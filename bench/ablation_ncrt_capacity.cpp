@@ -1,0 +1,48 @@
+// Ablation (beyond the paper): NCRT capacity. The paper fixes 32 entries per
+// core; this sweep shows how many regions the workloads actually need and
+// what a smaller table costs (overflowed regions silently stay coherent).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace raccd;
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  const auto& apps = paper_app_names();
+  const std::uint32_t capacities[] = {2, 4, 8, 16, 32, 64};
+  std::vector<RunSpec> specs;
+  for (const auto& app : apps) {
+    for (const std::uint32_t cap : capacities) {
+      RunSpec s;
+      s.app = app;
+      s.size = opts.size;
+      s.mode = CohMode::kRaCCD;
+      s.paper_machine = opts.paper_machine;
+      s.ncrt_entries = cap;
+      specs.push_back(s);
+    }
+  }
+  const auto results = run_all(specs, opts.run);
+
+  std::printf("Ablation — NCRT capacity: non-coherent block %% (and overflows) by "
+              "table size\n");
+  std::vector<std::string> headers{"app"};
+  for (const std::uint32_t c : capacities) headers.push_back(strprintf("%u entries", c));
+  TextTable table(headers);
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    std::vector<std::string> row{apps[a]};
+    for (std::size_t ci = 0; ci < std::size(capacities); ++ci) {
+      const SimStats& s = results[a * std::size(capacities) + ci];
+      row.push_back(strprintf("%.1f%% (%llu ovf)",
+                              100.0 * s.noncoherent_block_fraction,
+                              static_cast<unsigned long long>(s.ncrt.overflows)));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  table.write_csv("results/ablation_ncrt_capacity.csv");
+  std::printf("\nexpectation: the paper's 32 entries are comfortably enough for "
+              "every benchmark (0 overflows); tiny tables lose coverage\n");
+  return 0;
+}

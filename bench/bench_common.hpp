@@ -1,0 +1,94 @@
+// Shared helpers for the figure/table reproduction binaries: the common
+// 9-app x {FullCoh, PT, RaCCD} x {1:1..1:256} grid (paper Fig. 6/7), lookup
+// into its results, and normalization utilities. Results are cached on disk
+// (results/cache) so the five binaries that share the grid compute it once.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "raccd/common/format.hpp"
+#include "raccd/common/math.hpp"
+#include "raccd/harness/experiment.hpp"
+#include "raccd/harness/table.hpp"
+
+namespace raccd::bench {
+
+struct Grid {
+  std::vector<std::string> apps;
+  std::vector<RunSpec> specs;
+  std::vector<SimStats> results;
+
+  [[nodiscard]] const SimStats& at(std::size_t app_idx, CohMode mode,
+                                   std::uint32_t ratio) const {
+    const std::size_t mode_idx = static_cast<std::size_t>(mode);
+    std::size_t ratio_idx = 0;
+    while (kDirRatios[ratio_idx] != ratio) ++ratio_idx;
+    return results[(app_idx * kAllModes.size() + mode_idx) * kDirRatios.size() +
+                   ratio_idx];
+  }
+};
+
+/// Run (or load from cache) the full Fig. 6/7 grid.
+inline Grid run_grid(const BenchOptions& opts) {
+  Grid g;
+  g.apps = paper_app_names();
+  for (const auto& app : g.apps) {
+    for (const CohMode mode : kAllModes) {
+      for (const std::uint32_t ratio : kDirRatios) {
+        RunSpec s;
+        s.app = app;
+        s.size = opts.size;
+        s.mode = mode;
+        s.dir_ratio = ratio;
+        s.paper_machine = opts.paper_machine;
+        g.specs.push_back(s);
+      }
+    }
+  }
+  std::fprintf(stderr,
+               "grid: %zu simulations (9 apps x 3 systems x 7 directory sizes), "
+               "size=%s%s — cached results reused\n",
+               g.specs.size(), to_string(opts.size),
+               opts.paper_machine ? ", paper machine" : "");
+  g.results = run_all(g.specs, opts.run);
+  return g;
+}
+
+/// Print one figure: rows = apps (+ average), columns = directory ratios,
+/// three row-groups (FullCoh/PT/RaCCD), where `metric(stats, baseline)` maps
+/// a run to the plotted value. `baseline` is the same app's FullCoh 1:1 run.
+template <typename MetricFn>
+void print_figure(const Grid& g, const char* title, const char* value_name,
+                  MetricFn&& metric, const std::string& csv_path) {
+  std::printf("%s\n", title);
+  std::vector<std::string> headers{"app", "system"};
+  for (const std::uint32_t r : kDirRatios) headers.push_back(strprintf("1:%u", r));
+  TextTable table(headers);
+  for (const CohMode mode : kAllModes) {
+    std::vector<std::vector<double>> per_ratio(kDirRatios.size());
+    if (mode != CohMode::kFullCoh) table.add_separator();
+    for (std::size_t a = 0; a < g.apps.size(); ++a) {
+      const SimStats& base = g.at(a, CohMode::kFullCoh, 1);
+      std::vector<std::string> row{g.apps[a], to_string(mode)};
+      for (std::size_t ri = 0; ri < kDirRatios.size(); ++ri) {
+        const double v = metric(g.at(a, mode, kDirRatios[ri]), base);
+        per_ratio[ri].push_back(v);
+        row.push_back(strprintf("%.3f", v));
+      }
+      table.add_row(std::move(row));
+    }
+    std::vector<std::string> avg_row{"AVG", to_string(mode)};
+    for (std::size_t ri = 0; ri < kDirRatios.size(); ++ri) {
+      avg_row.push_back(strprintf("%.3f", mean(per_ratio[ri])));
+    }
+    table.add_row(std::move(avg_row));
+  }
+  table.print();
+  if (table.write_csv(csv_path)) {
+    std::printf("(csv written to %s; %s)\n\n", csv_path.c_str(), value_name);
+  }
+}
+
+}  // namespace raccd::bench

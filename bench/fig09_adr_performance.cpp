@@ -1,0 +1,57 @@
+// Paper Fig. 9: performance with Adaptive Directory Reduction — RaCCD+ADR
+// versus FullCoh/PT/RaCCD at 1:1, normalized to FullCoh 1:1 per benchmark.
+//
+// Paper reference points: RaCCD tracks FullCoh within <2% on average (the
+// exception is Kmeans, whose end-of-task flushes hurt L1 reuse), and adding
+// ADR does not hurt because reconfigurations are rare.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace raccd;
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  const auto& apps = paper_app_names();
+  std::vector<RunSpec> specs;
+  for (const auto& app : apps) {
+    for (int variant = 0; variant < 4; ++variant) {
+      RunSpec s;
+      s.app = app;
+      s.size = opts.size;
+      s.paper_machine = opts.paper_machine;
+      s.mode = variant == 0   ? CohMode::kFullCoh
+               : variant == 1 ? CohMode::kPT
+                              : CohMode::kRaCCD;
+      s.adr = (variant == 3);
+      specs.push_back(s);
+    }
+  }
+  const auto results = run_all(specs, opts.run);
+
+  std::printf("Fig. 9 — Normalized performance with ADR (FullCoh 1:1 = 1.0)\n");
+  TextTable table({"app", "FullCoh", "PT", "RaCCD", "RaCCD+ADR", "reconfigs"});
+  std::vector<double> sums(4, 0.0);
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    const double base = static_cast<double>(results[a * 4].cycles);
+    std::vector<std::string> row{apps[a]};
+    for (int v = 0; v < 4; ++v) {
+      const double norm = static_cast<double>(results[a * 4 + v].cycles) / base;
+      sums[v] += norm;
+      row.push_back(strprintf("%.3f", norm));
+    }
+    const auto& adr = results[a * 4 + 3].adr;
+    row.push_back(strprintf("%llu", static_cast<unsigned long long>(adr.grows + adr.shrinks)));
+    table.add_row(std::move(row));
+  }
+  table.add_separator();
+  table.add_row({"AVG", strprintf("%.3f", sums[0] / apps.size()),
+                 strprintf("%.3f", sums[1] / apps.size()),
+                 strprintf("%.3f", sums[2] / apps.size()),
+                 strprintf("%.3f", sums[3] / apps.size()), ""});
+  table.print();
+  table.write_csv("results/fig09_adr_performance.csv");
+  std::printf("\npaper: RaCCD within <2%% of FullCoh on average (Kmeans outlier, "
+              "+14.6%%); ADR adds no visible cost\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// google-benchmark microbenchmarks of the hardware-model hot paths: these
+// bound the host cost per simulated event, which is what makes the full
+// figure sweeps tractable.
+#include <benchmark/benchmark.h>
+
+#include "raccd/cache/l1_cache.hpp"
+#include "raccd/coherence/fabric.hpp"
+#include "raccd/common/rng.hpp"
+#include "raccd/core/ncrt.hpp"
+#include "raccd/interval/interval_set.hpp"
+#include "raccd/mem/page_table.hpp"
+#include "raccd/runtime/dep_registry.hpp"
+#include "raccd/tlb/tlb.hpp"
+
+namespace raccd {
+namespace {
+
+void BM_NcrtLookup(benchmark::State& state) {
+  Ncrt ncrt(32);
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    ncrt.insert(i * 0x100000, i * 0x100000 + 0x10000);
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ncrt.lookup(rng.next_below(32) * 0x100000 + 0x8000));
+  }
+}
+BENCHMARK(BM_NcrtLookup);
+
+void BM_L1FindHit(benchmark::State& state) {
+  L1Cache l1(L1Geometry{});
+  for (LineAddr l = 0; l < 512; ++l) l1.fill(l, false, Mesi::kShared, false, 0);
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(l1.find(rng.next_below(512)));
+  }
+}
+BENCHMARK(BM_L1FindHit);
+
+void BM_TlbAccess(benchmark::State& state) {
+  PageTable pt;
+  for (PageNum v = 0; v < 4096; ++v) pt.map(v, v);
+  Tlb tlb(256);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tlb.access(rng.next_below(512), pt));
+  }
+}
+BENCHMARK(BM_TlbAccess);
+
+void BM_FabricL1Hit(benchmark::State& state) {
+  FabricConfig cfg;
+  cfg.cores = 16;
+  Fabric fabric(cfg, nullptr);
+  fabric.access(0, 1, false, false, 0);
+  Cycle t = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fabric.access(0, 1, false, false, t++));
+  }
+}
+BENCHMARK(BM_FabricL1Hit);
+
+void BM_FabricMissStream(benchmark::State& state) {
+  FabricConfig cfg;
+  cfg.cores = 16;
+  Fabric fabric(cfg, nullptr);
+  Cycle t = 0;
+  LineAddr l = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fabric.access(l & 15, l, false, false, t++));
+    ++l;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FabricMissStream);
+
+void BM_DepRegistryRegister(benchmark::State& state) {
+  DepRegistry reg;
+  std::vector<TaskId> preds;
+  TaskId t = 0;
+  for (auto _ : state) {
+    preds.clear();
+    reg.register_dep(t, DepSpec{(t % 64) * 4096ull, 4096, DepKind::kInout}, preds);
+    benchmark::DoNotOptimize(preds.data());
+    ++t;
+  }
+}
+BENCHMARK(BM_DepRegistryRegister);
+
+void BM_IntervalSetInsert(benchmark::State& state) {
+  Rng rng(4);
+  IntervalSet set;
+  for (auto _ : state) {
+    const std::uint64_t a = rng.next_below(1 << 20);
+    set.insert(a, a + 64);
+    if (set.range_count() > 4096) set.clear();
+  }
+}
+BENCHMARK(BM_IntervalSetInsert);
+
+}  // namespace
+}  // namespace raccd
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Paper §V-C: RaCCD overheads.
+//  * NCRT latency sensitivity: raising the miss-path NCRT lookup from 1 to
+//    2/3/5/10 cycles costs 0.5/0.7/1.2/3.5% on average (0.1% at 1 cycle vs
+//    an ideal 0-cycle NCRT).
+//  * Storage: 5.25 KB for all NCRTs + 1 KB of NC bits; energy < 0.1%.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace raccd;
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  const auto& apps = paper_app_names();
+  const Cycle latencies[] = {0, 1, 2, 3, 5, 10};
+  std::vector<RunSpec> specs;
+  for (const auto& app : apps) {
+    for (const Cycle lat : latencies) {
+      RunSpec s;
+      s.app = app;
+      s.size = opts.size;
+      s.mode = CohMode::kRaCCD;
+      s.paper_machine = opts.paper_machine;
+      s.ncrt_latency = lat;
+      specs.push_back(s);
+    }
+  }
+  const auto results = run_all(specs, opts.run);
+
+  std::printf("Sec. V-C — NCRT lookup latency sensitivity (RaCCD 1:1, overhead %% "
+              "vs ideal 0-cycle NCRT)\n");
+  std::vector<std::string> headers{"app"};
+  for (const Cycle lat : latencies) headers.push_back(strprintf("%u cyc", static_cast<unsigned>(lat)));
+  TextTable table(headers);
+  std::vector<double> sums(std::size(latencies), 0.0);
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    const double base = static_cast<double>(results[a * std::size(latencies)].cycles);
+    std::vector<std::string> row{apps[a]};
+    for (std::size_t l = 0; l < std::size(latencies); ++l) {
+      const double over =
+          100.0 * (static_cast<double>(results[a * std::size(latencies) + l].cycles) /
+                       base -
+                   1.0);
+      sums[l] += over;
+      row.push_back(strprintf("%.2f", over));
+    }
+    table.add_row(std::move(row));
+  }
+  table.add_separator();
+  std::vector<std::string> avg{"AVG"};
+  for (std::size_t l = 0; l < std::size(latencies); ++l) {
+    avg.push_back(strprintf("%.2f", sums[l] / apps.size()));
+  }
+  table.add_row(std::move(avg));
+  table.print();
+  table.write_csv("results/overheads_ncrt.csv");
+  std::printf("\npaper: +0.1%% @1 cycle, +0.5/0.7/1.2/3.5%% @2/3/5/10 cycles\n");
+
+  // Storage overheads (paper machine): 16 NCRTs x 32 entries x 84 bits
+  // (2 x 42-bit physical addresses) = 5.25 KB; 1 bit per L1 line = 1 KB.
+  const SimConfig paper = SimConfig::paper();
+  const double ncrt_kb = paper.fabric.cores * paper.raccd.ncrt_entries * (2 * 42) / 8.0 / 1024.0;
+  const double nc_bits_kb =
+      paper.fabric.cores * paper.fabric.l1.lines() / 8.0 / 1024.0;
+  std::printf("storage: NCRTs %.2f KB (paper 5.25 KB), NC bits %.2f KB (paper 1 KB)\n",
+              ncrt_kb, nc_bits_kb);
+  return 0;
+}

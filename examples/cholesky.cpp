@@ -1,0 +1,44 @@
+// The paper's Fig. 1 example: task-based blocked Cholesky factorization.
+// Runs the factorization on the simulated machine under RaCCD, verifies the
+// reconstruction L*L^T against the original matrix, prints coherence stats,
+// and exports the task dependence graph as Graphviz dot (Fig. 1, right).
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string_view>
+
+#include "raccd/apps/app.hpp"
+#include "raccd/sim/report.hpp"
+
+using namespace raccd;
+
+int main(int argc, char** argv) {
+  SimConfig cfg = SimConfig::scaled(CohMode::kRaCCD);
+  print_config(cfg);
+
+  Machine machine(cfg);
+  const SizeClass size = (argc > 1 && std::string_view(argv[1]) == "--tiny")
+                             ? SizeClass::kTiny
+                             : SizeClass::kSmall;
+  auto app = make_app("cholesky", AppConfig{size, 0xC401E5C1ULL});
+  std::printf("\nproblem: %s\n", app->problem().c_str());
+  app->run(machine);
+
+  const std::string err = app->verify(machine);
+  std::printf("verification: %s\n\n", err.empty() ? "PASS (L*L^T == A)" : err.c_str());
+
+  const std::string dot = machine.runtime().tdg().to_dot();
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  const char* dot_path = "results/cholesky_tdg.dot";
+  std::ofstream out(dot_path);
+  if (out) {
+    out << dot;
+    std::printf("task dependence graph written to %s (%zu tasks)\n", dot_path,
+                machine.runtime().task_count());
+  }
+
+  const SimStats stats = machine.collect();
+  print_report(stats);
+  return err.empty() ? 0 : 1;
+}

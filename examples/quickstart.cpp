@@ -1,0 +1,67 @@
+// Quickstart: build a tiny task-parallel program, run it on the simulated
+// 16-core machine with RaCCD enabled, and print the run report.
+//
+// The program computes y = a*x + y over four chunks (a blocked AXPY): one
+// producer task initializes each chunk, one consumer task updates it. The
+// in/out annotations are all RaCCD needs to deactivate coherence for the
+// vector data while tasks execute.
+#include <cstdio>
+
+#include "raccd/sim/machine.hpp"
+#include "raccd/sim/report.hpp"
+
+using namespace raccd;
+
+int main() {
+  SimConfig cfg = SimConfig::scaled(CohMode::kRaCCD);
+  print_config(cfg);
+
+  Machine machine(cfg);
+  constexpr std::uint32_t kChunks = 16;
+  constexpr std::uint32_t kElems = 4096;  // per chunk
+  const VAddr x = machine.mem().alloc_array<float>(kChunks * kElems, "x");
+  const VAddr y = machine.mem().alloc_array<float>(kChunks * kElems, "y");
+
+  for (std::uint32_t c = 0; c < kChunks; ++c) {
+    const VAddr xc = x + static_cast<VAddr>(c) * kElems * sizeof(float);
+    const VAddr yc = y + static_cast<VAddr>(c) * kElems * sizeof(float);
+    TaskDesc init;
+    init.name = "init";
+    init.deps = {DepSpec{xc, kElems * sizeof(float), DepKind::kOut},
+                 DepSpec{yc, kElems * sizeof(float), DepKind::kOut}};
+    init.body = [xc, yc](TaskContext& ctx) {
+      for (std::uint32_t i = 0; i < kElems; ++i) {
+        ctx.store<float>(xc + i * sizeof(float), static_cast<float>(i));
+        ctx.store<float>(yc + i * sizeof(float), 1.0f);
+      }
+    };
+    machine.spawn(std::move(init));
+
+    TaskDesc axpy;
+    axpy.name = "axpy";
+    axpy.deps = {DepSpec{xc, kElems * sizeof(float), DepKind::kIn},
+                 DepSpec{yc, kElems * sizeof(float), DepKind::kInout}};
+    axpy.body = [xc, yc](TaskContext& ctx) {
+      for (std::uint32_t i = 0; i < kElems; ++i) {
+        const float xv = ctx.load<float>(xc + i * sizeof(float));
+        const float yv = ctx.load<float>(yc + i * sizeof(float));
+        ctx.compute(2);
+        ctx.store<float>(yc + i * sizeof(float), 2.0f * xv + yv);
+      }
+    };
+    machine.spawn(std::move(axpy));
+  }
+  machine.taskwait();
+
+  // Functional check: y[i] = 2*i + 1.
+  bool ok = true;
+  for (std::uint32_t i = 0; i < kChunks * kElems; ++i) {
+    const float got = machine.mem().read<float>(y + static_cast<VAddr>(i) * sizeof(float));
+    ok &= (got == 2.0f * static_cast<float>(i % kElems) + 1.0f);
+  }
+  std::printf("\nfunctional check: %s\n\n", ok ? "PASS" : "FAIL");
+
+  const SimStats stats = machine.collect();
+  print_report(stats);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+// Benchmark application interface (paper §IV-B, Table II).
+//
+// Each app allocates its dataset in the machine's simulated memory,
+// initializes it functionally (host-side, untimed — gem5 checkpoints past
+// initialization the same way), then submits OpenMP-4.0-style tasks with
+// in/out/inout dependence annotations and runs them through taskwait phases.
+// After run(), verify() checks the *functional* result (residuals, reference
+// digests, conservation laws), proving the simulated protocol delivered
+// correct data in every mode.
+//
+// Size classes: kTiny for unit tests, kSmall (default) keeps the paper's
+// working-set : LLC ratio on the scaled machine, kPaper is Table II verbatim.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "raccd/sim/machine.hpp"
+
+namespace raccd {
+
+enum class SizeClass : std::uint8_t { kTiny, kSmall, kPaper };
+
+[[nodiscard]] constexpr const char* to_string(SizeClass s) noexcept {
+  switch (s) {
+    case SizeClass::kTiny: return "tiny";
+    case SizeClass::kSmall: return "small";
+    case SizeClass::kPaper: return "paper";
+  }
+  return "?";
+}
+
+struct AppConfig {
+  SizeClass size = SizeClass::kSmall;
+  std::uint64_t seed = 0xA99DA7A;
+};
+
+class App {
+ public:
+  virtual ~App() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  /// Problem-size description (Table II analogue).
+  [[nodiscard]] virtual std::string problem() const = 0;
+
+  /// Allocate, initialize, submit tasks and execute to completion.
+  virtual void run(Machine& m) = 0;
+
+  /// Functional check after run(); empty string on success.
+  [[nodiscard]] virtual std::string verify(Machine& m) = 0;
+};
+
+/// The nine paper benchmarks, in the paper's order.
+[[nodiscard]] const std::vector<std::string>& paper_app_names();
+
+/// Factory; also accepts "cholesky". Asserts on unknown names.
+[[nodiscard]] std::unique_ptr<App> make_app(std::string_view name,
+                                            const AppConfig& cfg = {});
+
+}  // namespace raccd

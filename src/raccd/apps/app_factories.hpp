@@ -1,0 +1,21 @@
+// Internal per-app factory declarations (one per translation unit).
+#pragma once
+
+#include <memory>
+
+#include "raccd/apps/app.hpp"
+
+namespace raccd::apps {
+
+std::unique_ptr<App> make_cg(const AppConfig& cfg);
+std::unique_ptr<App> make_gauss(const AppConfig& cfg);
+std::unique_ptr<App> make_histogram(const AppConfig& cfg);
+std::unique_ptr<App> make_jacobi(const AppConfig& cfg);
+std::unique_ptr<App> make_jpeg(const AppConfig& cfg);
+std::unique_ptr<App> make_kmeans(const AppConfig& cfg);
+std::unique_ptr<App> make_knn(const AppConfig& cfg);
+std::unique_ptr<App> make_md5(const AppConfig& cfg);
+std::unique_ptr<App> make_redblack(const AppConfig& cfg);
+std::unique_ptr<App> make_cholesky(const AppConfig& cfg);
+
+}  // namespace raccd::apps

@@ -1,0 +1,372 @@
+// CG: conjugate gradient for large sparse systems (paper Table II: 3D matrix
+// N^3 = 884736, 3 iterations).
+//
+// The system is the 7-point Laplacian of an n^3 grid with Dirichlet boundary
+// (SPD), stored in CSR. Each iteration runs: SpMV row-block tasks (in: CSR
+// block + the whole p vector; out: q block), blocked dot products with a
+// sequential reduce task writing the alpha/beta scalars, AXPY tasks gated on
+// the scalar line, and the p-update. Vectors migrate across cores every
+// phase — the temporally-private pattern RaCCD captures and PT does not.
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "raccd/apps/app_factories.hpp"
+#include "raccd/common/format.hpp"
+#include "raccd/common/rng.hpp"
+
+namespace raccd::apps {
+namespace {
+
+struct CgParams {
+  std::uint32_t n;  ///< grid edge; rows = n^3
+  std::uint32_t iters;
+  std::uint32_t blocks;
+};
+
+[[nodiscard]] CgParams params_for(SizeClass size) {
+  switch (size) {
+    case SizeClass::kTiny: return {8, 2, 8};
+    case SizeClass::kSmall: return {32, 3, 32};
+    case SizeClass::kPaper: return {96, 3, 64};  // N^3 = 884736
+  }
+  return {};
+}
+
+/// Host-side CSR of the 7-point Laplacian (diag 6, neighbours -1).
+struct Csr {
+  std::vector<std::int32_t> rowptr;
+  std::vector<std::int32_t> colidx;
+  std::vector<float> vals;
+};
+
+[[nodiscard]] Csr build_laplacian(std::uint32_t n) {
+  Csr csr;
+  const std::uint32_t rows = n * n * n;
+  csr.rowptr.reserve(rows + 1);
+  csr.rowptr.push_back(0);
+  const auto id = [n](std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+    return (static_cast<std::int64_t>(z) * n + y) * n + x;
+  };
+  for (std::uint32_t z = 0; z < n; ++z) {
+    for (std::uint32_t y = 0; y < n; ++y) {
+      for (std::uint32_t x = 0; x < n; ++x) {
+        const auto push = [&](std::int64_t col, float v) {
+          csr.colidx.push_back(static_cast<std::int32_t>(col));
+          csr.vals.push_back(v);
+        };
+        // CSR columns in ascending order.
+        if (z > 0) push(id(x, y, z - 1), -1.0f);
+        if (y > 0) push(id(x, y - 1, z), -1.0f);
+        if (x > 0) push(id(x - 1, y, z), -1.0f);
+        push(id(x, y, z), 6.0f);
+        if (x + 1 < n) push(id(x + 1, y, z), -1.0f);
+        if (y + 1 < n) push(id(x, y + 1, z), -1.0f);
+        if (z + 1 < n) push(id(x, y, z + 1), -1.0f);
+        csr.rowptr.push_back(static_cast<std::int32_t>(csr.colidx.size()));
+      }
+    }
+  }
+  return csr;
+}
+
+// Scalar slots within the scalars line.
+constexpr std::uint32_t kRsOld = 0;   // r.r from the previous iteration
+constexpr std::uint32_t kAlpha = 4;
+constexpr std::uint32_t kBeta = 8;
+
+class CgApp final : public App {
+ public:
+  explicit CgApp(const AppConfig& cfg) : p_(params_for(cfg.size)), seed_(cfg.seed) {}
+
+  [[nodiscard]] std::string_view name() const override { return "cg"; }
+  [[nodiscard]] std::string problem() const override {
+    const std::uint32_t rows = p_.n * p_.n * p_.n;
+    return strprintf("3D matrix N^3=%u, %u iters, %u row blocks", rows, p_.iters,
+                     p_.blocks);
+  }
+
+  void run(Machine& m) override {
+    const std::uint32_t rows = p_.n * p_.n * p_.n;
+    const Csr csr = build_laplacian(p_.n);
+    const auto nnz = static_cast<std::uint64_t>(csr.vals.size());
+
+    rowptr_ = m.mem().alloc_array<std::int32_t>(rows + 1, "cg.rowptr");
+    colidx_ = m.mem().alloc_array<std::int32_t>(nnz, "cg.colidx");
+    vals_ = m.mem().alloc_array<float>(nnz, "cg.vals");
+    x_ = m.mem().alloc_array<float>(rows, "cg.x");
+    b_ = m.mem().alloc_array<float>(rows, "cg.b");
+    r_ = m.mem().alloc_array<float>(rows, "cg.r");
+    pv_ = m.mem().alloc_array<float>(rows, "cg.p");
+    q_ = m.mem().alloc_array<float>(rows, "cg.q");
+    partials_ = m.mem().alloc(static_cast<std::uint64_t>(p_.blocks) * kLineBytes,
+                              kLineBytes, "cg.partials");
+    scalars_ = m.mem().alloc(kLineBytes, kLineBytes, "cg.scalars");
+
+    m.mem().copy_in(rowptr_, csr.rowptr.data(), csr.rowptr.size() * 4);
+    m.mem().copy_in(colidx_, csr.colidx.data(), csr.colidx.size() * 4);
+    m.mem().copy_in(vals_, csr.vals.data(), csr.vals.size() * 4);
+
+    // b = A * x_true with pseudo-random x_true; x0 = 0 => r0 = b, p0 = r0.
+    Rng rng(seed_);
+    std::vector<float> x_true(rows);
+    for (auto& v : x_true) v = rng.next_float(0.0f, 1.0f);
+    std::vector<float> b_host(rows, 0.0f);
+    for (std::uint32_t row = 0; row < rows; ++row) {
+      float acc = 0.0f;
+      for (std::int32_t e = csr.rowptr[row]; e < csr.rowptr[row + 1]; ++e) {
+        acc += csr.vals[e] * x_true[csr.colidx[e]];
+      }
+      b_host[row] = acc;
+    }
+    m.mem().copy_in(b_, b_host.data(), b_host.size() * 4);
+    m.mem().copy_in(r_, b_host.data(), b_host.size() * 4);
+    m.mem().copy_in(pv_, b_host.data(), b_host.size() * 4);
+    float rs0 = 0.0f;
+    {
+      // rs_old = r.r computed with the same blocked order the tasks use.
+      std::vector<float> part(p_.blocks, 0.0f);
+      for (std::uint32_t blk = 0; blk < p_.blocks; ++blk) {
+        for (std::uint32_t i = row0(blk, rows); i < row1(blk, rows); ++i) {
+          part[blk] += b_host[i] * b_host[i];
+        }
+      }
+      for (const float v : part) rs0 += v;
+    }
+    m.mem().write<float>(scalars_ + kRsOld, rs0);
+    initial_rr_ = rs0;
+
+    const VAddr rowptr = rowptr_, colidx = colidx_, vals = vals_;
+    const VAddr x = x_, r = r_, p = pv_, q = q_, sc = scalars_;
+    const std::uint32_t blocks = p_.blocks;
+
+    for (std::uint32_t iter = 0; iter < p_.iters; ++iter) {
+      // q = A p
+      for (std::uint32_t blk = 0; blk < blocks; ++blk) {
+        const std::uint32_t i0 = row0(blk, rows), i1 = row1(blk, rows);
+        const std::int32_t e0 = csr.rowptr[i0], e1 = csr.rowptr[i1];
+        TaskDesc t;
+        t.name = strprintf("spmv(i%u,b%u)", iter, blk);
+        t.deps = {
+            DepSpec{rowptr + static_cast<VAddr>(i0) * 4,
+                    static_cast<std::uint64_t>(i1 - i0 + 1) * 4, DepKind::kIn},
+            DepSpec{colidx + static_cast<VAddr>(e0) * 4,
+                    static_cast<std::uint64_t>(e1 - e0) * 4, DepKind::kIn},
+            DepSpec{vals + static_cast<VAddr>(e0) * 4,
+                    static_cast<std::uint64_t>(e1 - e0) * 4, DepKind::kIn},
+            DepSpec{p, static_cast<std::uint64_t>(rows) * 4, DepKind::kIn},
+            DepSpec{q + static_cast<VAddr>(i0) * 4,
+                    static_cast<std::uint64_t>(i1 - i0) * 4, DepKind::kOut},
+        };
+        t.body = [rowptr, colidx, vals, p, q, i0, i1](TaskContext& ctx) {
+          std::int32_t e = ctx.load<std::int32_t>(rowptr + static_cast<VAddr>(i0) * 4);
+          for (std::uint32_t row = i0; row < i1; ++row) {
+            const std::int32_t eend =
+                ctx.load<std::int32_t>(rowptr + static_cast<VAddr>(row + 1) * 4);
+            float acc = 0.0f;
+            for (; e < eend; ++e) {
+              const float v = ctx.load<float>(vals + static_cast<VAddr>(e) * 4);
+              const auto col = ctx.load<std::int32_t>(colidx + static_cast<VAddr>(e) * 4);
+              acc += v * ctx.load<float>(p + static_cast<VAddr>(col) * 4);
+              ctx.compute(2);
+            }
+            ctx.store<float>(q + static_cast<VAddr>(row) * 4, acc);
+          }
+        };
+        m.spawn(std::move(t));
+      }
+      spawn_dot(m, p, q, /*alpha_step=*/true, rows);
+      // x += alpha p ; r -= alpha q
+      for (std::uint32_t blk = 0; blk < blocks; ++blk) {
+        const std::uint32_t i0 = row0(blk, rows), i1 = row1(blk, rows);
+        TaskDesc t;
+        t.name = strprintf("axpy(i%u,b%u)", iter, blk);
+        t.deps = {
+            DepSpec{sc, kLineBytes, DepKind::kIn},
+            DepSpec{p + static_cast<VAddr>(i0) * 4,
+                    static_cast<std::uint64_t>(i1 - i0) * 4, DepKind::kIn},
+            DepSpec{q + static_cast<VAddr>(i0) * 4,
+                    static_cast<std::uint64_t>(i1 - i0) * 4, DepKind::kIn},
+            DepSpec{x + static_cast<VAddr>(i0) * 4,
+                    static_cast<std::uint64_t>(i1 - i0) * 4, DepKind::kInout},
+            DepSpec{r + static_cast<VAddr>(i0) * 4,
+                    static_cast<std::uint64_t>(i1 - i0) * 4, DepKind::kInout},
+        };
+        t.body = [sc, p, q, x, r, i0, i1](TaskContext& ctx) {
+          const float alpha = ctx.load<float>(sc + kAlpha);
+          for (std::uint32_t i = i0; i < i1; ++i) {
+            const VAddr off = static_cast<VAddr>(i) * 4;
+            ctx.compute(4);
+            ctx.store<float>(x + off,
+                             ctx.load<float>(x + off) + alpha * ctx.load<float>(p + off));
+            ctx.store<float>(r + off,
+                             ctx.load<float>(r + off) - alpha * ctx.load<float>(q + off));
+          }
+        };
+        m.spawn(std::move(t));
+      }
+      spawn_dot(m, r, r, /*alpha_step=*/false, rows);
+      // p = r + beta p
+      for (std::uint32_t blk = 0; blk < blocks; ++blk) {
+        const std::uint32_t i0 = row0(blk, rows), i1 = row1(blk, rows);
+        TaskDesc t;
+        t.name = strprintf("pupd(i%u,b%u)", iter, blk);
+        t.deps = {
+            DepSpec{sc, kLineBytes, DepKind::kIn},
+            DepSpec{r + static_cast<VAddr>(i0) * 4,
+                    static_cast<std::uint64_t>(i1 - i0) * 4, DepKind::kIn},
+            DepSpec{p + static_cast<VAddr>(i0) * 4,
+                    static_cast<std::uint64_t>(i1 - i0) * 4, DepKind::kInout},
+        };
+        t.body = [sc, r, p, i0, i1](TaskContext& ctx) {
+          const float beta = ctx.load<float>(sc + kBeta);
+          for (std::uint32_t i = i0; i < i1; ++i) {
+            const VAddr off = static_cast<VAddr>(i) * 4;
+            ctx.compute(2);
+            ctx.store<float>(p + off,
+                             ctx.load<float>(r + off) + beta * ctx.load<float>(p + off));
+          }
+        };
+        m.spawn(std::move(t));
+      }
+    }
+    m.taskwait();
+  }
+
+  [[nodiscard]] std::string verify(Machine& m) override {
+    const std::uint32_t rows = p_.n * p_.n * p_.n;
+    const Csr csr = build_laplacian(p_.n);
+    Rng rng(seed_);
+    std::vector<float> x_true(rows);
+    for (auto& v : x_true) v = rng.next_float(0.0f, 1.0f);
+    std::vector<float> b(rows, 0.0f);
+    for (std::uint32_t row = 0; row < rows; ++row) {
+      float acc = 0.0f;
+      for (std::int32_t e = csr.rowptr[row]; e < csr.rowptr[row + 1]; ++e) {
+        acc += csr.vals[e] * x_true[csr.colidx[e]];
+      }
+      b[row] = acc;
+    }
+    std::vector<float> x(rows, 0.0f), r = b, p = b, q(rows, 0.0f);
+    float rs_old = blocked_dot(b, b, rows);
+    for (std::uint32_t iter = 0; iter < p_.iters; ++iter) {
+      for (std::uint32_t row = 0; row < rows; ++row) {
+        float acc = 0.0f;
+        for (std::int32_t e = csr.rowptr[row]; e < csr.rowptr[row + 1]; ++e) {
+          acc += csr.vals[e] * p[csr.colidx[e]];
+        }
+        q[row] = acc;
+      }
+      const float pq = blocked_dot(p, q, rows);
+      const float alpha = rs_old / pq;
+      for (std::uint32_t i = 0; i < rows; ++i) {
+        x[i] += alpha * p[i];
+        r[i] -= alpha * q[i];
+      }
+      const float rs_new = blocked_dot(r, r, rows);
+      const float beta = rs_new / rs_old;
+      rs_old = rs_new;
+      for (std::uint32_t i = 0; i < rows; ++i) p[i] = r[i] + beta * p[i];
+    }
+    std::vector<float> got(rows);
+    m.mem().copy_out(x_, got.data(), got.size() * 4);
+    for (std::uint32_t i = 0; i < rows; ++i) {
+      if (got[i] != x[i]) {
+        return strprintf("cg x[%u]: got %g want %g", i, static_cast<double>(got[i]),
+                         static_cast<double>(x[i]));
+      }
+    }
+    if (!(rs_old < initial_rr_)) return "cg residual did not decrease";
+    return {};
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t row0(std::uint32_t blk, std::uint32_t rows) const {
+    return static_cast<std::uint32_t>((static_cast<std::uint64_t>(blk) * rows) /
+                                      p_.blocks);
+  }
+  [[nodiscard]] std::uint32_t row1(std::uint32_t blk, std::uint32_t rows) const {
+    return static_cast<std::uint32_t>((static_cast<std::uint64_t>(blk + 1) * rows) /
+                                      p_.blocks);
+  }
+
+  /// Blocked dot + reduce tasks. alpha_step: computes alpha = rs_old/(u.v);
+  /// otherwise the r.r step: beta = rs_new/rs_old, rs_old = rs_new.
+  void spawn_dot(Machine& m, VAddr u, VAddr v, bool alpha_step, std::uint32_t rows) {
+    const VAddr parts = partials_, sc = scalars_;
+    const std::uint32_t blocks = p_.blocks;
+    for (std::uint32_t blk = 0; blk < blocks; ++blk) {
+      const std::uint32_t i0 = row0(blk, rows), i1 = row1(blk, rows);
+      TaskDesc t;
+      t.name = strprintf("dot(b%u)", blk);
+      t.deps = {
+          DepSpec{u + static_cast<VAddr>(i0) * 4, static_cast<std::uint64_t>(i1 - i0) * 4,
+                  DepKind::kIn},
+          DepSpec{parts + static_cast<VAddr>(blk) * kLineBytes, kLineBytes,
+                  DepKind::kOut},
+      };
+      if (u != v) {
+        t.deps.push_back(DepSpec{v + static_cast<VAddr>(i0) * 4,
+                                 static_cast<std::uint64_t>(i1 - i0) * 4, DepKind::kIn});
+      }
+      t.body = [u, v, parts, blk, i0, i1](TaskContext& ctx) {
+        float acc = 0.0f;
+        for (std::uint32_t i = i0; i < i1; ++i) {
+          const VAddr off = static_cast<VAddr>(i) * 4;
+          const float a = ctx.load<float>(u + off);
+          const float bb = (u == v) ? a : ctx.load<float>(v + off);
+          acc += a * bb;
+          ctx.compute(2);
+        }
+        ctx.store<float>(parts + static_cast<VAddr>(blk) * kLineBytes, acc);
+      };
+      m.spawn(std::move(t));
+    }
+    TaskDesc t;
+    t.name = alpha_step ? "reduce_alpha" : "reduce_beta";
+    t.deps = {DepSpec{parts, static_cast<std::uint64_t>(blocks) * kLineBytes, DepKind::kIn},
+              DepSpec{sc, kLineBytes, DepKind::kInout}};
+    t.body = [parts, sc, blocks, alpha_step](TaskContext& ctx) {
+      float sum = 0.0f;
+      for (std::uint32_t blk = 0; blk < blocks; ++blk) {
+        sum += ctx.load<float>(parts + static_cast<VAddr>(blk) * kLineBytes);
+        ctx.compute(1);
+      }
+      const float rs_old = ctx.load<float>(sc + kRsOld);
+      if (alpha_step) {
+        ctx.store<float>(sc + kAlpha, rs_old / sum);
+      } else {
+        ctx.store<float>(sc + kBeta, sum / rs_old);
+        ctx.store<float>(sc + kRsOld, sum);
+      }
+    };
+    m.spawn(std::move(t));
+  }
+
+  [[nodiscard]] float blocked_dot(const std::vector<float>& u, const std::vector<float>& v,
+                                  std::uint32_t rows) const {
+    std::vector<float> part(p_.blocks, 0.0f);
+    for (std::uint32_t blk = 0; blk < p_.blocks; ++blk) {
+      for (std::uint32_t i = row0(blk, rows); i < row1(blk, rows); ++i) {
+        part[blk] += u[i] * v[i];
+      }
+    }
+    float sum = 0.0f;
+    for (const float x : part) sum += x;
+    return sum;
+  }
+
+  CgParams p_;
+  std::uint64_t seed_;
+  float initial_rr_ = 0.0f;
+  VAddr rowptr_ = 0, colidx_ = 0, vals_ = 0;
+  VAddr x_ = 0, b_ = 0, r_ = 0, pv_ = 0, q_ = 0, partials_ = 0, scalars_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<App> make_cg(const AppConfig& cfg) {
+  return std::make_unique<CgApp>(cfg);
+}
+
+}  // namespace raccd::apps

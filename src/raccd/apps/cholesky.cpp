@@ -1,0 +1,288 @@
+// Cholesky: the paper's running example (Fig. 1) — blocked right-looking
+// Cholesky factorization with potrf/trsm/syrk/gemm tasks.
+//
+// The matrix uses the paper's tiled layout A[G][G][T][T]: each T x T tile is
+// contiguous, so every dependence annotation is a single byte range. Kernels
+// load their tiles into local buffers, compute, and store results —
+// dependence-declared data is exactly the data the tasks touch.
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "raccd/apps/app_factories.hpp"
+#include "raccd/common/format.hpp"
+#include "raccd/common/rng.hpp"
+
+namespace raccd::apps {
+namespace {
+
+struct CholParams {
+  std::uint32_t tiles;      ///< G: tile grid dimension
+  std::uint32_t tile_dim;   ///< T: tile edge
+};
+
+[[nodiscard]] CholParams params_for(SizeClass size) {
+  switch (size) {
+    case SizeClass::kTiny: return {4, 16};
+    case SizeClass::kSmall: return {8, 32};
+    case SizeClass::kPaper: return {16, 64};
+  }
+  return {};
+}
+
+class CholeskyApp final : public App {
+ public:
+  explicit CholeskyApp(const AppConfig& cfg) : p_(params_for(cfg.size)), seed_(cfg.seed) {}
+
+  [[nodiscard]] std::string_view name() const override { return "cholesky"; }
+  [[nodiscard]] std::string problem() const override {
+    return strprintf("matrix %ux%u in %ux%u tiles of %ux%u (paper Fig. 1)",
+                     p_.tiles * p_.tile_dim, p_.tiles * p_.tile_dim, p_.tiles, p_.tiles,
+                     p_.tile_dim, p_.tile_dim);
+  }
+
+  [[nodiscard]] VAddr tile(std::uint32_t i, std::uint32_t j) const noexcept {
+    const std::uint64_t words = static_cast<std::uint64_t>(p_.tile_dim) * p_.tile_dim;
+    return a_ + ((static_cast<VAddr>(i) * p_.tiles + j) * words) * sizeof(double);
+  }
+  [[nodiscard]] std::uint64_t tile_bytes() const noexcept {
+    return static_cast<std::uint64_t>(p_.tile_dim) * p_.tile_dim * sizeof(double);
+  }
+
+  void run(Machine& m) override {
+    const std::uint32_t g = p_.tiles, td = p_.tile_dim;
+    const std::uint32_t n = g * td;
+    a_ = m.mem().alloc_array<double>(static_cast<std::uint64_t>(n) * n, "cholesky.a");
+    init_spd(m.mem());
+
+    const std::uint64_t tb = tile_bytes();
+    for (std::uint32_t k = 0; k < g; ++k) {
+      {
+        TaskDesc t;
+        t.name = strprintf("potrf(%u)", k);
+        t.deps = {DepSpec{tile(k, k), tb, DepKind::kInout}};
+        const VAddr akk = tile(k, k);
+        t.body = [akk, td](TaskContext& ctx) { potrf_kernel(ctx, akk, td); };
+        m.spawn(std::move(t));
+      }
+      for (std::uint32_t i = k + 1; i < g; ++i) {
+        TaskDesc t;
+        t.name = strprintf("trsm(%u,%u)", i, k);
+        t.deps = {DepSpec{tile(k, k), tb, DepKind::kIn},
+                  DepSpec{tile(i, k), tb, DepKind::kInout}};
+        const VAddr akk = tile(k, k), aik = tile(i, k);
+        t.body = [akk, aik, td](TaskContext& ctx) { trsm_kernel(ctx, akk, aik, td); };
+        m.spawn(std::move(t));
+      }
+      for (std::uint32_t i = k + 1; i < g; ++i) {
+        for (std::uint32_t j = k + 1; j <= i; ++j) {
+          if (i == j) {
+            TaskDesc t;
+            t.name = strprintf("syrk(%u,%u)", i, k);
+            t.deps = {DepSpec{tile(i, k), tb, DepKind::kIn},
+                      DepSpec{tile(i, i), tb, DepKind::kInout}};
+            const VAddr aik = tile(i, k), aii = tile(i, i);
+            t.body = [aik, aii, td](TaskContext& ctx) { syrk_kernel(ctx, aik, aii, td); };
+            m.spawn(std::move(t));
+          } else {
+            TaskDesc t;
+            t.name = strprintf("gemm(%u,%u,%u)", i, j, k);
+            t.deps = {DepSpec{tile(i, k), tb, DepKind::kIn},
+                      DepSpec{tile(j, k), tb, DepKind::kIn},
+                      DepSpec{tile(i, j), tb, DepKind::kInout}};
+            const VAddr aik = tile(i, k), ajk = tile(j, k), aij = tile(i, j);
+            t.body = [aik, ajk, aij, td](TaskContext& ctx) {
+              gemm_kernel(ctx, aik, ajk, aij, td);
+            };
+            m.spawn(std::move(t));
+          }
+        }
+      }
+    }
+    m.taskwait();
+  }
+
+  [[nodiscard]] std::string verify(Machine& m) override {
+    // Reconstruct L * L^T from the lower-triangular tiles and compare to the
+    // original matrix.
+    const std::uint32_t g = p_.tiles, td = p_.tile_dim;
+    const std::uint32_t n = g * td;
+    std::vector<double> l(static_cast<std::size_t>(n) * n, 0.0);
+    std::vector<double> t(static_cast<std::size_t>(td) * td);
+    for (std::uint32_t ti = 0; ti < g; ++ti) {
+      for (std::uint32_t tj = 0; tj <= ti; ++tj) {
+        m.mem().copy_out(tile(ti, tj), t.data(), tile_bytes());
+        for (std::uint32_t i = 0; i < td; ++i) {
+          for (std::uint32_t j = 0; j < td; ++j) {
+            const std::uint32_t gi = ti * td + i, gj = tj * td + j;
+            if (gj <= gi) l[static_cast<std::size_t>(gi) * n + gj] = t[i * td + j];
+          }
+        }
+      }
+    }
+    double max_rel = 0.0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (std::uint32_t j = 0; j <= i; ++j) {
+        double acc = 0.0;
+        for (std::uint32_t k = 0; k <= j; ++k) {
+          acc += l[static_cast<std::size_t>(i) * n + k] *
+                 l[static_cast<std::size_t>(j) * n + k];
+        }
+        const double want = original_[static_cast<std::size_t>(i) * n + j];
+        const double rel = std::abs(acc - want) / (std::abs(want) + 1.0);
+        max_rel = std::max(max_rel, rel);
+      }
+    }
+    if (max_rel > 1e-9) {
+      return strprintf("cholesky reconstruction error %.3e", max_rel);
+    }
+    return {};
+  }
+
+ private:
+  // -- Tile kernels: load -> compute locally -> store --------------------------
+  static void load_tile(TaskContext& ctx, VAddr t, std::uint32_t td, double* buf) {
+    for (std::uint32_t w = 0; w < td * td; ++w) {
+      buf[w] = ctx.load<double>(t + static_cast<VAddr>(w) * sizeof(double));
+    }
+  }
+  static void store_tile(TaskContext& ctx, VAddr t, std::uint32_t td, const double* buf) {
+    for (std::uint32_t w = 0; w < td * td; ++w) {
+      ctx.store<double>(t + static_cast<VAddr>(w) * sizeof(double), buf[w]);
+    }
+  }
+
+  static void potrf_kernel(TaskContext& ctx, VAddr akk, std::uint32_t td) {
+    std::vector<double> a(static_cast<std::size_t>(td) * td);
+    load_tile(ctx, akk, td, a.data());
+    ctx.compute(static_cast<std::uint64_t>(td) * td * td / 6);
+    for (std::uint32_t j = 0; j < td; ++j) {
+      double d = a[static_cast<std::size_t>(j) * td + j];
+      for (std::uint32_t k = 0; k < j; ++k) {
+        d -= a[static_cast<std::size_t>(j) * td + k] * a[static_cast<std::size_t>(j) * td + k];
+      }
+      d = std::sqrt(d);
+      a[static_cast<std::size_t>(j) * td + j] = d;
+      for (std::uint32_t i = j + 1; i < td; ++i) {
+        double v = a[static_cast<std::size_t>(i) * td + j];
+        for (std::uint32_t k = 0; k < j; ++k) {
+          v -= a[static_cast<std::size_t>(i) * td + k] * a[static_cast<std::size_t>(j) * td + k];
+        }
+        a[static_cast<std::size_t>(i) * td + j] = v / d;
+      }
+    }
+    // Zero the strict upper triangle of the factored tile.
+    for (std::uint32_t i = 0; i < td; ++i) {
+      for (std::uint32_t j = i + 1; j < td; ++j) a[static_cast<std::size_t>(i) * td + j] = 0.0;
+    }
+    store_tile(ctx, akk, td, a.data());
+  }
+
+  /// A[i][k] = A[i][k] * L(k,k)^-T  (right solve with the lower factor).
+  static void trsm_kernel(TaskContext& ctx, VAddr akk, VAddr aik, std::uint32_t td) {
+    std::vector<double> l(static_cast<std::size_t>(td) * td);
+    std::vector<double> a(static_cast<std::size_t>(td) * td);
+    load_tile(ctx, akk, td, l.data());
+    load_tile(ctx, aik, td, a.data());
+    ctx.compute(static_cast<std::uint64_t>(td) * td * td / 2);
+    for (std::uint32_t row = 0; row < td; ++row) {
+      for (std::uint32_t j = 0; j < td; ++j) {
+        double v = a[static_cast<std::size_t>(row) * td + j];
+        for (std::uint32_t k = 0; k < j; ++k) {
+          v -= a[static_cast<std::size_t>(row) * td + k] * l[static_cast<std::size_t>(j) * td + k];
+        }
+        a[static_cast<std::size_t>(row) * td + j] = v / l[static_cast<std::size_t>(j) * td + j];
+      }
+    }
+    store_tile(ctx, aik, td, a.data());
+  }
+
+  /// A[i][i] -= A[i][k] * A[i][k]^T (lower triangle).
+  static void syrk_kernel(TaskContext& ctx, VAddr aik, VAddr aii, std::uint32_t td) {
+    std::vector<double> a(static_cast<std::size_t>(td) * td);
+    std::vector<double> c(static_cast<std::size_t>(td) * td);
+    load_tile(ctx, aik, td, a.data());
+    load_tile(ctx, aii, td, c.data());
+    ctx.compute(static_cast<std::uint64_t>(td) * td * td / 2);
+    for (std::uint32_t i = 0; i < td; ++i) {
+      for (std::uint32_t j = 0; j <= i; ++j) {
+        double acc = 0.0;
+        for (std::uint32_t k = 0; k < td; ++k) {
+          acc += a[static_cast<std::size_t>(i) * td + k] * a[static_cast<std::size_t>(j) * td + k];
+        }
+        c[static_cast<std::size_t>(i) * td + j] -= acc;
+      }
+    }
+    store_tile(ctx, aii, td, c.data());
+  }
+
+  /// A[i][j] -= A[i][k] * A[j][k]^T.
+  static void gemm_kernel(TaskContext& ctx, VAddr aik, VAddr ajk, VAddr aij,
+                          std::uint32_t td) {
+    std::vector<double> a(static_cast<std::size_t>(td) * td);
+    std::vector<double> b(static_cast<std::size_t>(td) * td);
+    std::vector<double> c(static_cast<std::size_t>(td) * td);
+    load_tile(ctx, aik, td, a.data());
+    load_tile(ctx, ajk, td, b.data());
+    load_tile(ctx, aij, td, c.data());
+    ctx.compute(static_cast<std::uint64_t>(td) * td * td);
+    for (std::uint32_t i = 0; i < td; ++i) {
+      for (std::uint32_t j = 0; j < td; ++j) {
+        double acc = 0.0;
+        for (std::uint32_t k = 0; k < td; ++k) {
+          acc += a[static_cast<std::size_t>(i) * td + k] * b[static_cast<std::size_t>(j) * td + k];
+        }
+        c[static_cast<std::size_t>(i) * td + j] -= acc;
+      }
+    }
+    store_tile(ctx, aij, td, c.data());
+  }
+
+  /// SPD matrix in tiled layout: A = M M^T + n I with pseudo-random M.
+  void init_spd(SimMemory& mem) {
+    const std::uint32_t g = p_.tiles, td = p_.tile_dim;
+    const std::uint32_t n = g * td;
+    Rng rng(seed_);
+    std::vector<double> mrand(static_cast<std::size_t>(n) * n);
+    for (auto& v : mrand) v = rng.next_double();
+    original_.assign(static_cast<std::size_t>(n) * n, 0.0);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (std::uint32_t j = 0; j <= i; ++j) {
+        double acc = i == j ? static_cast<double>(n) : 0.0;
+        for (std::uint32_t k = 0; k < n; ++k) {
+          acc += mrand[static_cast<std::size_t>(i) * n + k] *
+                 mrand[static_cast<std::size_t>(j) * n + k];
+        }
+        original_[static_cast<std::size_t>(i) * n + j] = acc;
+        original_[static_cast<std::size_t>(j) * n + i] = acc;
+      }
+    }
+    // Scatter into the tiled layout.
+    std::vector<double> t(static_cast<std::size_t>(td) * td);
+    for (std::uint32_t ti = 0; ti < g; ++ti) {
+      for (std::uint32_t tj = 0; tj < g; ++tj) {
+        for (std::uint32_t i = 0; i < td; ++i) {
+          for (std::uint32_t j = 0; j < td; ++j) {
+            t[static_cast<std::size_t>(i) * td + j] =
+                original_[static_cast<std::size_t>(ti * td + i) * n + tj * td + j];
+          }
+        }
+        mem.copy_in(tile(ti, tj), t.data(), tile_bytes());
+      }
+    }
+  }
+
+  CholParams p_;
+  std::uint64_t seed_;
+  VAddr a_ = 0;
+  std::vector<double> original_;
+};
+
+}  // namespace
+
+std::unique_ptr<App> make_cholesky(const AppConfig& cfg) {
+  return std::make_unique<CholeskyApp>(cfg);
+}
+
+}  // namespace raccd::apps

@@ -1,0 +1,193 @@
+// Histo: cumulative histogram of an image via cross-weave scan (paper
+// Table II: 1000x1000 pixels, 50 bins).
+//
+// Per round: strip tasks accumulate private partial histograms (out), a
+// fan-in-8 merge tree combines them (in: children, out: parent), and a final
+// task turns counts into the cumulative histogram. Strips are rescheduled to
+// different cores every round — temporally-private data that PT permanently
+// reclassifies as shared but RaCCD keeps non-coherent.
+#include <string>
+#include <vector>
+
+#include "raccd/apps/app_factories.hpp"
+#include "raccd/common/format.hpp"
+#include "raccd/common/rng.hpp"
+
+namespace raccd::apps {
+namespace {
+
+constexpr std::uint32_t kBins = 50;
+constexpr std::uint32_t kFanIn = 8;
+/// One histogram padded to full cache lines (no false sharing between slots).
+constexpr std::uint32_t kHistStride = ((kBins * 4 + kLineBytes - 1) / kLineBytes) * kLineBytes;
+
+struct HistoParams {
+  std::uint32_t width;
+  std::uint32_t height;
+  std::uint32_t strips;
+  std::uint32_t rounds;
+};
+
+[[nodiscard]] HistoParams params_for(SizeClass size) {
+  switch (size) {
+    case SizeClass::kTiny: return {64, 64, 8, 2};
+    case SizeClass::kSmall: return {1024, 1024, 32, 3};
+    case SizeClass::kPaper: return {1000, 1000, 64, 3};
+  }
+  return {};
+}
+
+class HistoApp final : public App {
+ public:
+  explicit HistoApp(const AppConfig& cfg) : p_(params_for(cfg.size)), seed_(cfg.seed) {}
+
+  [[nodiscard]] std::string_view name() const override { return "histo"; }
+  [[nodiscard]] std::string problem() const override {
+    return strprintf("%ux%u pixel image, %u bins, %u strips, %u rounds", p_.width,
+                     p_.height, kBins, p_.strips, p_.rounds);
+  }
+
+  void run(Machine& m) override {
+    const std::uint64_t pixels = static_cast<std::uint64_t>(p_.width) * p_.height;
+    image_ = m.mem().alloc(pixels, kLineBytes, "histo.image");
+    Rng rng(seed_);
+    for (std::uint64_t i = 0; i < pixels; ++i) {
+      m.mem().write<std::uint8_t>(image_ + i, static_cast<std::uint8_t>(rng.next_below(256)));
+    }
+    // Merge-tree level sizes: strips, ceil(strips/8), ..., 1.
+    std::vector<std::uint32_t> level_nodes;
+    for (std::uint32_t nodes = p_.strips; nodes > 1; nodes = (nodes + kFanIn - 1) / kFanIn) {
+      level_nodes.push_back(nodes);
+    }
+    level_nodes.push_back(1);
+
+    std::uint64_t slots = 0;
+    for (const std::uint32_t nodes : level_nodes) slots += nodes;
+    hists_ = m.mem().alloc(static_cast<std::uint64_t>(p_.rounds) * slots * kHistStride,
+                           kLineBytes, "histo.hists");
+    finals_ = m.mem().alloc(static_cast<std::uint64_t>(p_.rounds) * kHistStride,
+                            kLineBytes, "histo.finals");
+
+    for (std::uint32_t round = 0; round < p_.rounds; ++round) {
+      const VAddr round_base = hists_ + static_cast<VAddr>(round) * slots * kHistStride;
+      // Level base offsets within this round's slot block.
+      std::vector<VAddr> level_base;
+      VAddr off = round_base;
+      for (const std::uint32_t nodes : level_nodes) {
+        level_base.push_back(off);
+        off += static_cast<VAddr>(nodes) * kHistStride;
+      }
+
+      // Strip tasks -> level 0.
+      const std::uint64_t strip_pixels = pixels / p_.strips;
+      for (std::uint32_t s = 0; s < p_.strips; ++s) {
+        const VAddr strip = image_ + static_cast<VAddr>(s) * strip_pixels;
+        const std::uint64_t count =
+            s + 1 == p_.strips ? pixels - s * strip_pixels : strip_pixels;
+        const VAddr out = level_base[0] + static_cast<VAddr>(s) * kHistStride;
+        TaskDesc t;
+        t.name = strprintf("histo(r%u,s%u)", round, s);
+        t.deps = {DepSpec{strip, count, DepKind::kIn},
+                  DepSpec{out, kHistStride, DepKind::kOut}};
+        t.body = [strip, count, out](TaskContext& ctx) {
+          std::uint32_t local[kBins] = {};
+          for (std::uint64_t i = 0; i < count; ++i) {
+            const std::uint8_t px = ctx.load<std::uint8_t>(strip + i);
+            ctx.compute(2);  // bin index computation
+            ++local[static_cast<std::uint32_t>(px) * kBins / 256];
+          }
+          for (std::uint32_t b = 0; b < kBins; ++b) {
+            ctx.store<std::uint32_t>(out + b * 4, local[b]);
+          }
+        };
+        m.spawn(std::move(t));
+      }
+
+      // Merge tree.
+      for (std::size_t lvl = 1; lvl < level_nodes.size(); ++lvl) {
+        const std::uint32_t parents = level_nodes[lvl];
+        const std::uint32_t children = level_nodes[lvl - 1];
+        for (std::uint32_t pnode = 0; pnode < parents; ++pnode) {
+          const std::uint32_t c0 = pnode * kFanIn;
+          const std::uint32_t c1 = std::min(children, c0 + kFanIn);
+          const VAddr out = level_base[lvl] + static_cast<VAddr>(pnode) * kHistStride;
+          const VAddr child_base = level_base[lvl - 1];
+          TaskDesc t;
+          t.name = strprintf("merge(r%u,l%zu,%u)", round, lvl, pnode);
+          // Children are contiguous slots: one in-range covers them all.
+          t.deps = {DepSpec{child_base + static_cast<VAddr>(c0) * kHistStride,
+                            static_cast<std::uint64_t>(c1 - c0) * kHistStride,
+                            DepKind::kIn},
+                    DepSpec{out, kHistStride, DepKind::kOut}};
+          t.body = [child_base, c0, c1, out](TaskContext& ctx) {
+            std::uint32_t acc[kBins] = {};
+            for (std::uint32_t ch = c0; ch < c1; ++ch) {
+              for (std::uint32_t b = 0; b < kBins; ++b) {
+                acc[b] += ctx.load<std::uint32_t>(
+                    child_base + static_cast<VAddr>(ch) * kHistStride + b * 4);
+                ctx.compute(1);
+              }
+            }
+            for (std::uint32_t b = 0; b < kBins; ++b) {
+              ctx.store<std::uint32_t>(out + b * 4, acc[b]);
+            }
+          };
+          m.spawn(std::move(t));
+        }
+      }
+
+      // Cumulative (prefix-sum) task.
+      const VAddr root = level_base.back();
+      const VAddr fin = finals_ + static_cast<VAddr>(round) * kHistStride;
+      TaskDesc t;
+      t.name = strprintf("cumsum(r%u)", round);
+      t.deps = {DepSpec{root, kHistStride, DepKind::kIn},
+                DepSpec{fin, kHistStride, DepKind::kOut}};
+      t.body = [root, fin](TaskContext& ctx) {
+        std::uint32_t running = 0;
+        for (std::uint32_t b = 0; b < kBins; ++b) {
+          running += ctx.load<std::uint32_t>(root + b * 4);
+          ctx.compute(1);
+          ctx.store<std::uint32_t>(fin + b * 4, running);
+        }
+      };
+      m.spawn(std::move(t));
+    }
+    m.taskwait();
+  }
+
+  [[nodiscard]] std::string verify(Machine& m) override {
+    const std::uint64_t pixels = static_cast<std::uint64_t>(p_.width) * p_.height;
+    std::vector<std::uint8_t> img(pixels);
+    m.mem().copy_out(image_, img.data(), pixels);
+    std::uint64_t ref[kBins] = {};
+    for (const std::uint8_t px : img) ++ref[static_cast<std::uint32_t>(px) * kBins / 256];
+    std::uint64_t cum = 0;
+    for (std::uint32_t b = 0; b < kBins; ++b) {
+      cum += ref[b];
+      for (std::uint32_t round = 0; round < p_.rounds; ++round) {
+        const auto got = m.mem().read<std::uint32_t>(
+            finals_ + static_cast<VAddr>(round) * kHistStride + b * 4);
+        if (got != cum) {
+          return strprintf("histo round %u bin %u: got %u want %llu", round, b, got,
+                           static_cast<unsigned long long>(cum));
+        }
+      }
+    }
+    if (cum != pixels) return "histogram mass not conserved";
+    return {};
+  }
+
+ private:
+  HistoParams p_;
+  std::uint64_t seed_;
+  VAddr image_ = 0, hists_ = 0, finals_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<App> make_histogram(const AppConfig& cfg) {
+  return std::make_unique<HistoApp>(cfg);
+}
+
+}  // namespace raccd::apps

@@ -1,0 +1,246 @@
+// JPEG: decode of JPEG images with 2x2 MCU and YUV colour (paper Table II:
+// 2992x2000 image).
+//
+// Substitution (DESIGN.md #5): instead of a Huffman bitstream, the input is a
+// stream of quantized DCT coefficient blocks produced by our own forward
+// transform at initialization; decode tasks dequantize, run the 8x8 IDCT for
+// the 4 Y + 1 Cb + 1 Cr blocks of each 16x16 MCU, and write interleaved RGB.
+//
+// The load-bearing property of this benchmark is preserved exactly: its
+// tasks carry NO dependence annotations (they are pairwise independent and
+// synchronized only by the taskwait barrier), so RaCCD has nothing to
+// register and deactivates no coherence — the paper's worst case (Fig. 2:
+// 0% non-coherent blocks under RaCCD, while PT still classifies the
+// private-per-task pages).
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "raccd/apps/app_factories.hpp"
+#include "raccd/apps/jpeg_dct.hpp"
+#include "raccd/common/format.hpp"
+#include "raccd/common/rng.hpp"
+
+namespace raccd::apps {
+namespace {
+
+struct JpegParams {
+  std::uint32_t width;   // multiple of 16
+  std::uint32_t height;  // multiple of 16
+};
+
+[[nodiscard]] JpegParams params_for(SizeClass size) {
+  switch (size) {
+    case SizeClass::kTiny: return {64, 64};
+    case SizeClass::kSmall: return {320, 320};
+    case SizeClass::kPaper: return {2992, 2000};  // rounded to MCU: 2992x2000
+  }
+  return {};
+}
+
+/// Coefficient stream layout: per MCU, 6 blocks x 64 int16 (4 Y, Cb, Cr),
+/// MCUs in raster order. One MCU = 768 bytes.
+constexpr std::uint32_t kMcuCoeffBytes = 6 * 64 * 2;
+
+class JpegApp final : public App {
+ public:
+  explicit JpegApp(const AppConfig& cfg) : p_(params_for(cfg.size)), seed_(cfg.seed) {}
+
+  [[nodiscard]] std::string_view name() const override { return "jpeg"; }
+  [[nodiscard]] std::string problem() const override {
+    return strprintf("%ux%u pixel image, 2x2 MCU, YUV 4:2:0 (tasks without annotations)",
+                     p_.width, p_.height);
+  }
+
+  void run(Machine& m) override {
+    const std::uint32_t mcux = p_.width / 16, mcuy = p_.height / 16;
+    const std::uint64_t mcus = static_cast<std::uint64_t>(mcux) * mcuy;
+    coeffs_ = m.mem().alloc(mcus * kMcuCoeffBytes, kLineBytes, "jpeg.coeffs");
+    rgb_ = m.mem().alloc(static_cast<std::uint64_t>(p_.width) * p_.height * 3, kLineBytes,
+                         "jpeg.rgb");
+    encode_source(m.mem());
+
+    const VAddr coeffs = coeffs_, rgb = rgb_;
+    const std::uint32_t width = p_.width;
+    // One task per MCU row (the paper's decode units): its coefficient slice
+    // and output rows are page-sized private strips, which is why PT
+    // classifies JPEG well even though the tasks declare nothing.
+    for (std::uint32_t my = 0; my < mcuy; ++my) {
+      TaskDesc t;
+      t.name = strprintf("mcurow(%u)", my);
+      // Deliberately NO dependence annotations (see header comment).
+      t.body = [coeffs, rgb, width, mcux, my](TaskContext& ctx) {
+        for (std::uint32_t mx = 0; mx < mcux; ++mx) {
+          const VAddr in = coeffs + (static_cast<VAddr>(my) * mcux + mx) * kMcuCoeffBytes;
+          float blocks[6][64];
+          for (unsigned b = 0; b < 6; ++b) {
+            const auto& quant = b < 4 ? kLumaQuant : kChromaQuant;
+            float dequant[64];
+            for (unsigned i = 0; i < 64; ++i) {
+              const auto c = ctx.load<std::int16_t>(in + (b * 64 + i) * 2);
+              dequant[i] = static_cast<float>(c) * static_cast<float>(quant[i]);
+            }
+            ctx.compute(1024);  // 8x8 IDCT: 2 passes x 8x8x8 MACs
+            idct8x8(dequant, blocks[b]);
+            for (unsigned i = 0; i < 64; ++i) blocks[b][i] += 128.0f;
+          }
+          // Colour conversion: 16x16 pixels; chroma upsampled 2x2.
+          for (unsigned py = 0; py < 16; ++py) {
+            for (unsigned px = 0; px < 16; ++px) {
+              const unsigned yblk = (py / 8) * 2 + (px / 8);
+              const float y = blocks[yblk][(py % 8) * 8 + (px % 8)];
+              const float cb = blocks[4][(py / 2) * 8 + (px / 2)];
+              const float cr = blocks[5][(py / 2) * 8 + (px / 2)];
+              std::uint8_t px_rgb[3];
+              yuv_to_rgb(y, cb, cr, px_rgb);
+              ctx.compute(6);
+              const VAddr dst =
+                  rgb + ((static_cast<VAddr>(my) * 16 + py) * width + mx * 16 + px) * 3;
+              for (unsigned ch = 0; ch < 3; ++ch) {
+                ctx.store<std::uint8_t>(dst + ch, px_rgb[ch]);
+              }
+            }
+          }
+        }
+      };
+      m.spawn(std::move(t));
+    }
+    m.taskwait();
+  }
+
+  [[nodiscard]] std::string verify(Machine& m) override {
+    // Reference decode on the host, bit-identical arithmetic.
+    const std::uint32_t mcux = p_.width / 16, mcuy = p_.height / 16;
+    std::vector<std::int16_t> coeffs(static_cast<std::size_t>(mcux) * mcuy * 6 * 64);
+    m.mem().copy_out(coeffs_, coeffs.data(), coeffs.size() * 2);
+    std::vector<std::uint8_t> got(static_cast<std::size_t>(p_.width) * p_.height * 3);
+    m.mem().copy_out(rgb_, got.data(), got.size());
+
+    double sq_err = 0.0;
+    for (std::uint32_t my = 0; my < mcuy; ++my) {
+      for (std::uint32_t mx = 0; mx < mcux; ++mx) {
+        const std::size_t base =
+            (static_cast<std::size_t>(my) * mcux + mx) * 6 * 64;
+        float blocks[6][64];
+        for (unsigned b = 0; b < 6; ++b) {
+          const auto& quant = b < 4 ? kLumaQuant : kChromaQuant;
+          float dequant[64];
+          for (unsigned i = 0; i < 64; ++i) {
+            dequant[i] =
+                static_cast<float>(coeffs[base + b * 64 + i]) * static_cast<float>(quant[i]);
+          }
+          idct8x8(dequant, blocks[b]);
+          for (unsigned i = 0; i < 64; ++i) blocks[b][i] += 128.0f;
+        }
+        for (unsigned py = 0; py < 16; ++py) {
+          for (unsigned px = 0; px < 16; ++px) {
+            const unsigned yblk = (py / 8) * 2 + (px / 8);
+            std::uint8_t want[3];
+            yuv_to_rgb(blocks[yblk][(py % 8) * 8 + (px % 8)],
+                       blocks[4][(py / 2) * 8 + (px / 2)],
+                       blocks[5][(py / 2) * 8 + (px / 2)], want);
+            const std::size_t dst =
+                ((static_cast<std::size_t>(my) * 16 + py) * p_.width + mx * 16 + px) * 3;
+            for (unsigned ch = 0; ch < 3; ++ch) {
+              if (got[dst + ch] != want[ch]) {
+                return strprintf("jpeg pixel mismatch at mcu(%u,%u) py=%u px=%u ch=%u", mx,
+                                 my, py, px, ch);
+              }
+              const double d = static_cast<double>(got[dst + ch]) -
+                               static_cast<double>(source_rgb_[dst + ch]);
+              sq_err += d * d;
+            }
+          }
+        }
+      }
+    }
+    // Decode vs original source: quantization-limited, so demand sane PSNR.
+    const double mse = sq_err / static_cast<double>(got.size());
+    const double psnr = 10.0 * std::log10(255.0 * 255.0 / (mse + 1e-12));
+    if (psnr < 20.0) return strprintf("jpeg PSNR too low: %.1f dB", psnr);
+    return {};
+  }
+
+ private:
+  /// Host-side "encoder": build a smooth synthetic RGB image, convert to
+  /// YCbCr 4:2:0, forward-DCT and quantize into the coefficient stream.
+  void encode_source(SimMemory& mem) {
+    const std::uint32_t w = p_.width, h = p_.height;
+    Rng rng(seed_);
+    source_rgb_.resize(static_cast<std::size_t>(w) * h * 3);
+    std::vector<float> yp(static_cast<std::size_t>(w) * h);
+    std::vector<float> cbp(static_cast<std::size_t>(w / 2) * (h / 2));
+    std::vector<float> crp(cbp.size());
+    for (std::uint32_t y = 0; y < h; ++y) {
+      for (std::uint32_t x = 0; x < w; ++x) {
+        const float fx = static_cast<float>(x) / static_cast<float>(w);
+        const float fy = static_cast<float>(y) / static_cast<float>(h);
+        const float r = 255.0f * fx;
+        const float g = 255.0f * fy;
+        const float b = 128.0f + 100.0f * std::sin(8.0f * fx) * std::cos(6.0f * fy) +
+                        rng.next_float(-6.0f, 6.0f);
+        const std::size_t idx = (static_cast<std::size_t>(y) * w + x) * 3;
+        source_rgb_[idx] = r;
+        source_rgb_[idx + 1] = g;
+        source_rgb_[idx + 2] = std::min(std::max(b, 0.0f), 255.0f);
+        yp[static_cast<std::size_t>(y) * w + x] =
+            0.299f * r + 0.587f * g + 0.114f * source_rgb_[idx + 2];
+      }
+    }
+    for (std::uint32_t y = 0; y < h / 2; ++y) {
+      for (std::uint32_t x = 0; x < w / 2; ++x) {
+        // Subsample chroma from the top-left pixel of each 2x2 quad.
+        const std::size_t src = (static_cast<std::size_t>(y) * 2 * w + x * 2) * 3;
+        const float r = source_rgb_[src], g = source_rgb_[src + 1], b = source_rgb_[src + 2];
+        cbp[static_cast<std::size_t>(y) * (w / 2) + x] =
+            128.0f - 0.168736f * r - 0.331264f * g + 0.5f * b;
+        crp[static_cast<std::size_t>(y) * (w / 2) + x] =
+            128.0f + 0.5f * r - 0.418688f * g - 0.081312f * b;
+      }
+    }
+    const std::uint32_t mcux = w / 16;
+    const auto encode_block = [&](const std::vector<float>& plane, std::uint32_t pw,
+                                  std::uint32_t bx, std::uint32_t by,
+                                  const std::array<std::uint8_t, 64>& quant,
+                                  std::int16_t out[64]) {
+      float in[64];
+      for (unsigned yy = 0; yy < 8; ++yy) {
+        for (unsigned xx = 0; xx < 8; ++xx) {
+          in[yy * 8 + xx] =
+              plane[(static_cast<std::size_t>(by) * 8 + yy) * pw + bx * 8 + xx] - 128.0f;
+        }
+      }
+      float f[64];
+      fdct8x8(in, f);
+      for (unsigned i = 0; i < 64; ++i) {
+        out[i] = static_cast<std::int16_t>(std::lrintf(f[i] / static_cast<float>(quant[i])));
+      }
+    };
+    std::int16_t mcu[6 * 64];
+    for (std::uint32_t my = 0; my < h / 16; ++my) {
+      for (std::uint32_t mx = 0; mx < mcux; ++mx) {
+        encode_block(yp, w, mx * 2, my * 2, kLumaQuant, mcu + 0 * 64);
+        encode_block(yp, w, mx * 2 + 1, my * 2, kLumaQuant, mcu + 1 * 64);
+        encode_block(yp, w, mx * 2, my * 2 + 1, kLumaQuant, mcu + 2 * 64);
+        encode_block(yp, w, mx * 2 + 1, my * 2 + 1, kLumaQuant, mcu + 3 * 64);
+        encode_block(cbp, w / 2, mx, my, kChromaQuant, mcu + 4 * 64);
+        encode_block(crp, w / 2, mx, my, kChromaQuant, mcu + 5 * 64);
+        mem.copy_in(coeffs_ + (static_cast<VAddr>(my) * mcux + mx) * kMcuCoeffBytes, mcu,
+                    sizeof(mcu));
+      }
+    }
+  }
+
+  JpegParams p_;
+  std::uint64_t seed_;
+  VAddr coeffs_ = 0, rgb_ = 0;
+  std::vector<float> source_rgb_;
+};
+
+}  // namespace
+
+std::unique_ptr<App> make_jpeg(const AppConfig& cfg) {
+  return std::make_unique<JpegApp>(cfg);
+}
+
+}  // namespace raccd::apps

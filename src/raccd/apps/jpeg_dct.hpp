@@ -1,0 +1,94 @@
+// 8x8 DCT-II / DCT-III pair and JPEG quantization tables, shared by the
+// synthetic encoder (host-side initialization) and the simulated decoder
+// tasks plus the verification reference.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace raccd::apps {
+
+/// Standard JPEG luminance quantization table (Annex K), row-major.
+inline constexpr std::array<std::uint8_t, 64> kLumaQuant = {
+    16, 11, 10, 16, 24,  40,  51,  61,  12, 12, 14, 19, 26,  58,  60,  55,
+    14, 13, 16, 24, 40,  57,  69,  56,  14, 17, 22, 29, 51,  87,  80,  62,
+    18, 22, 37, 56, 68,  109, 103, 77,  24, 35, 55, 64, 81,  104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99};
+
+/// Standard JPEG chrominance quantization table (Annex K).
+inline constexpr std::array<std::uint8_t, 64> kChromaQuant = {
+    17, 18, 24, 47, 99, 99, 99, 99, 18, 21, 26, 66, 99, 99, 99, 99,
+    24, 26, 56, 99, 99, 99, 99, 99, 47, 66, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99};
+
+namespace dct_detail {
+/// C[u][x] = c(u) * cos((2x+1) u pi / 16) with c(0)=sqrt(1/8), c(u>0)=1/2.
+inline const std::array<std::array<float, 8>, 8>& basis() {
+  static const auto kBasis = [] {
+    std::array<std::array<float, 8>, 8> b{};
+    for (int u = 0; u < 8; ++u) {
+      const double cu = u == 0 ? std::sqrt(1.0 / 8.0) : 0.5;
+      for (int x = 0; x < 8; ++x) {
+        b[u][x] = static_cast<float>(cu * std::cos((2 * x + 1) * u * M_PI / 16.0));
+      }
+    }
+    return b;
+  }();
+  return kBasis;
+}
+}  // namespace dct_detail
+
+/// Forward 8x8 DCT-II of pixel block (values centred on 0), row-major.
+inline void fdct8x8(const float in[64], float out[64]) noexcept {
+  const auto& c = dct_detail::basis();
+  float tmp[64];
+  for (int u = 0; u < 8; ++u) {  // rows
+    for (int x = 0; x < 8; ++x) {
+      float acc = 0.0f;
+      for (int k = 0; k < 8; ++k) acc += c[u][k] * in[k * 8 + x];
+      tmp[u * 8 + x] = acc;
+    }
+  }
+  for (int u = 0; u < 8; ++u) {
+    for (int v = 0; v < 8; ++v) {
+      float acc = 0.0f;
+      for (int k = 0; k < 8; ++k) acc += c[v][k] * tmp[u * 8 + k];
+      out[u * 8 + v] = acc;
+    }
+  }
+}
+
+/// Inverse 8x8 DCT (DCT-III), row-major.
+inline void idct8x8(const float in[64], float out[64]) noexcept {
+  const auto& c = dct_detail::basis();
+  float tmp[64];
+  for (int x = 0; x < 8; ++x) {  // columns of the row pass
+    for (int v = 0; v < 8; ++v) {
+      float acc = 0.0f;
+      for (int k = 0; k < 8; ++k) acc += c[k][x] * in[k * 8 + v];
+      tmp[x * 8 + v] = acc;
+    }
+  }
+  for (int x = 0; x < 8; ++x) {
+    for (int y = 0; y < 8; ++y) {
+      float acc = 0.0f;
+      for (int k = 0; k < 8; ++k) acc += c[k][y] * tmp[x * 8 + k];
+      out[x * 8 + y] = acc;
+    }
+  }
+}
+
+[[nodiscard]] inline std::uint8_t clamp_u8(float v) noexcept {
+  return v <= 0.0f ? 0 : (v >= 255.0f ? 255 : static_cast<std::uint8_t>(v + 0.5f));
+}
+
+/// BT.601 full-range YCbCr -> RGB.
+inline void yuv_to_rgb(float y, float cb, float cr, std::uint8_t rgb[3]) noexcept {
+  rgb[0] = clamp_u8(y + 1.402f * (cr - 128.0f));
+  rgb[1] = clamp_u8(y - 0.344136f * (cb - 128.0f) - 0.714136f * (cr - 128.0f));
+  rgb[2] = clamp_u8(y + 1.772f * (cb - 128.0f));
+}
+
+}  // namespace raccd::apps

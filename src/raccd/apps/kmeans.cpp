@@ -1,0 +1,317 @@
+// Kmeans: k-means clustering (paper Table II: 150000 points, 30 dims,
+// 6 clusters, 3 iterations).
+//
+// Each iteration: assignment tasks over point blocks (in: points block +
+// centroids; out: labels block + a private partial-sum slot) followed by a
+// fan-in-8 merge tree and a centroid-update task. Partial slots hold
+// k*(dims+1) floats: per-cluster coordinate sums plus a count (stored as
+// float — exact below 2^24). The many small tasks whose NC lines are flushed
+// at task end make Kmeans the paper's recovery-cost outlier (Fig. 6/9).
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "raccd/apps/app_factories.hpp"
+#include "raccd/common/format.hpp"
+#include "raccd/common/rng.hpp"
+
+namespace raccd::apps {
+namespace {
+
+constexpr std::uint32_t kFanIn = 8;
+
+struct KmeansParams {
+  std::uint32_t points;
+  std::uint32_t dims;
+  std::uint32_t clusters;
+  std::uint32_t iters;
+  std::uint32_t blocks;
+};
+
+[[nodiscard]] KmeansParams params_for(SizeClass size) {
+  switch (size) {
+    case SizeClass::kTiny: return {512, 8, 4, 2, 8};
+    case SizeClass::kSmall: return {32768, 16, 6, 3, 32};
+    case SizeClass::kPaper: return {150000, 30, 6, 3, 64};
+  }
+  return {};
+}
+
+class KmeansApp final : public App {
+ public:
+  explicit KmeansApp(const AppConfig& cfg) : p_(params_for(cfg.size)), seed_(cfg.seed) {}
+
+  [[nodiscard]] std::string_view name() const override { return "kmeans"; }
+  [[nodiscard]] std::string problem() const override {
+    return strprintf("%u pts, %u dims, %u clusters, %u iters, %u blocks", p_.points,
+                     p_.dims, p_.clusters, p_.iters, p_.blocks);
+  }
+
+  /// Words per partial slot: k*dims sums + k counts.
+  [[nodiscard]] std::uint32_t slot_words() const noexcept {
+    return p_.clusters * (p_.dims + 1);
+  }
+  [[nodiscard]] std::uint32_t slot_stride() const noexcept {
+    return ((slot_words() * 4 + kLineBytes - 1) / kLineBytes) * kLineBytes;
+  }
+
+  void run(Machine& m) override {
+    const std::uint32_t npts = p_.points, dims = p_.dims, k = p_.clusters;
+    points_ = m.mem().alloc_array<float>(static_cast<std::uint64_t>(npts) * dims,
+                                         "kmeans.points");
+    labels_ = m.mem().alloc_array<std::int32_t>(npts, "kmeans.labels");
+    centroids_ = m.mem().alloc_array<float>(static_cast<std::uint64_t>(k) * dims,
+                                            "kmeans.centroids");
+
+    std::vector<std::uint32_t> level_nodes;
+    for (std::uint32_t nodes = p_.blocks; nodes > 1;
+         nodes = (nodes + kFanIn - 1) / kFanIn) {
+      level_nodes.push_back(nodes);
+    }
+    level_nodes.push_back(1);
+    std::uint64_t slots = 0;
+    for (const std::uint32_t nodes : level_nodes) slots += nodes;
+    const std::uint32_t stride = slot_stride();
+    partials_ = m.mem().alloc(slots * stride, kLineBytes, "kmeans.partials");
+
+    init_data(m.mem());
+
+    std::vector<VAddr> level_base;
+    {
+      VAddr off = partials_;
+      for (const std::uint32_t nodes : level_nodes) {
+        level_base.push_back(off);
+        off += static_cast<VAddr>(nodes) * stride;
+      }
+    }
+
+    const VAddr pts = points_, lbl = labels_, cen = centroids_;
+    const std::uint32_t words = slot_words();
+    for (std::uint32_t iter = 0; iter < p_.iters; ++iter) {
+      for (std::uint32_t blk = 0; blk < p_.blocks; ++blk) {
+        const auto i0 = static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(blk) * npts) / p_.blocks);
+        const auto i1 = static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(blk + 1) * npts) / p_.blocks);
+        const VAddr out = level_base[0] + static_cast<VAddr>(blk) * stride;
+        TaskDesc t;
+        t.name = strprintf("assign(i%u,b%u)", iter, blk);
+        t.deps = {
+            DepSpec{pts + static_cast<VAddr>(i0) * dims * 4,
+                    static_cast<std::uint64_t>(i1 - i0) * dims * 4, DepKind::kIn},
+            DepSpec{cen, static_cast<std::uint64_t>(k) * dims * 4, DepKind::kIn},
+            DepSpec{lbl + static_cast<VAddr>(i0) * 4,
+                    static_cast<std::uint64_t>(i1 - i0) * 4, DepKind::kOut},
+            DepSpec{out, stride, DepKind::kOut},
+        };
+        t.body = [pts, lbl, cen, out, i0, i1, dims, k](TaskContext& ctx) {
+          std::vector<float> cent(static_cast<std::size_t>(k) * dims);
+          for (std::uint32_t w = 0; w < k * dims; ++w) {
+            cent[w] = ctx.load<float>(cen + static_cast<VAddr>(w) * 4);
+          }
+          std::vector<float> sums(static_cast<std::size_t>(k) * dims, 0.0f);
+          std::vector<float> counts(k, 0.0f);
+          std::vector<float> pt(dims);
+          for (std::uint32_t i = i0; i < i1; ++i) {
+            for (std::uint32_t d = 0; d < dims; ++d) {
+              pt[d] = ctx.load<float>(pts + (static_cast<VAddr>(i) * dims + d) * 4);
+            }
+            std::uint32_t best = 0;
+            float best_d2 = 0.0f;
+            for (std::uint32_t c = 0; c < k; ++c) {
+              float d2 = 0.0f;
+              for (std::uint32_t d = 0; d < dims; ++d) {
+                const float diff = pt[d] - cent[static_cast<std::size_t>(c) * dims + d];
+                d2 += diff * diff;
+              }
+              ctx.compute(2 * dims);
+              if (c == 0 || d2 < best_d2) {
+                best_d2 = d2;
+                best = c;
+              }
+            }
+            ctx.store<std::int32_t>(lbl + static_cast<VAddr>(i) * 4,
+                                    static_cast<std::int32_t>(best));
+            for (std::uint32_t d = 0; d < dims; ++d) {
+              sums[static_cast<std::size_t>(best) * dims + d] += pt[d];
+            }
+            counts[best] += 1.0f;
+          }
+          for (std::uint32_t w = 0; w < k * dims; ++w) {
+            ctx.store<float>(out + static_cast<VAddr>(w) * 4, sums[w]);
+          }
+          for (std::uint32_t c = 0; c < k; ++c) {
+            ctx.store<float>(out + (static_cast<VAddr>(k) * dims + c) * 4, counts[c]);
+          }
+        };
+        m.spawn(std::move(t));
+      }
+      for (std::size_t lvl = 1; lvl < level_nodes.size(); ++lvl) {
+        const std::uint32_t parents = level_nodes[lvl];
+        const std::uint32_t children = level_nodes[lvl - 1];
+        for (std::uint32_t pnode = 0; pnode < parents; ++pnode) {
+          const std::uint32_t c0 = pnode * kFanIn;
+          const std::uint32_t c1 = std::min(children, c0 + kFanIn);
+          const VAddr out = level_base[lvl] + static_cast<VAddr>(pnode) * stride;
+          const VAddr child_base = level_base[lvl - 1];
+          TaskDesc t;
+          t.name = strprintf("kmerge(i%u,l%zu,%u)", iter, lvl, pnode);
+          t.deps = {DepSpec{child_base + static_cast<VAddr>(c0) * stride,
+                            static_cast<std::uint64_t>(c1 - c0) * stride, DepKind::kIn},
+                    DepSpec{out, stride, DepKind::kOut}};
+          t.body = [child_base, c0, c1, out, words, stride](TaskContext& ctx) {
+            std::vector<float> acc(words, 0.0f);
+            for (std::uint32_t ch = c0; ch < c1; ++ch) {
+              const VAddr base = child_base + static_cast<VAddr>(ch) * stride;
+              for (std::uint32_t w = 0; w < words; ++w) {
+                acc[w] += ctx.load<float>(base + static_cast<VAddr>(w) * 4);
+                ctx.compute(1);
+              }
+            }
+            for (std::uint32_t w = 0; w < words; ++w) {
+              ctx.store<float>(out + static_cast<VAddr>(w) * 4, acc[w]);
+            }
+          };
+          m.spawn(std::move(t));
+        }
+      }
+      const VAddr root = level_base.back();
+      TaskDesc t;
+      t.name = strprintf("update(i%u)", iter);
+      t.deps = {DepSpec{root, stride, DepKind::kIn},
+                DepSpec{cen, static_cast<std::uint64_t>(k) * dims * 4, DepKind::kInout}};
+      t.body = [root, cen, k, dims](TaskContext& ctx) {
+        for (std::uint32_t c = 0; c < k; ++c) {
+          const float count =
+              ctx.load<float>(root + (static_cast<VAddr>(k) * dims + c) * 4);
+          for (std::uint32_t d = 0; d < dims; ++d) {
+            const float sum =
+                ctx.load<float>(root + (static_cast<VAddr>(c) * dims + d) * 4);
+            ctx.compute(2);
+            if (count > 0.0f) {
+              ctx.store<float>(cen + (static_cast<VAddr>(c) * dims + d) * 4, sum / count);
+            }
+          }
+        }
+      };
+      m.spawn(std::move(t));
+    }
+    m.taskwait();
+  }
+
+  [[nodiscard]] std::string verify(Machine& m) override {
+    const std::uint32_t npts = p_.points, dims = p_.dims, k = p_.clusters;
+    std::vector<float> pts(static_cast<std::size_t>(npts) * dims);
+    m.mem().copy_out(points_, pts.data(), pts.size() * 4);
+    std::vector<float> cent(static_cast<std::size_t>(k) * dims);
+    for (std::uint32_t w = 0; w < k * dims; ++w) cent[w] = pts[w];  // first k points
+
+    std::vector<std::int32_t> ref_labels(npts, -1);
+    for (std::uint32_t iter = 0; iter < p_.iters; ++iter) {
+      // Mirror the blocked float accumulation exactly: per block, then the
+      // fan-in-8 tree order equals left-to-right addition over blocks.
+      std::vector<std::vector<float>> block_acc(
+          p_.blocks, std::vector<float>(static_cast<std::size_t>(k) * (dims + 1), 0.0f));
+      for (std::uint32_t blk = 0; blk < p_.blocks; ++blk) {
+        const auto i0 = static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(blk) * npts) / p_.blocks);
+        const auto i1 = static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(blk + 1) * npts) / p_.blocks);
+        auto& acc = block_acc[blk];
+        for (std::uint32_t i = i0; i < i1; ++i) {
+          std::uint32_t best = 0;
+          float best_d2 = 0.0f;
+          for (std::uint32_t c = 0; c < k; ++c) {
+            float d2 = 0.0f;
+            for (std::uint32_t d = 0; d < dims; ++d) {
+              const float diff = pts[static_cast<std::size_t>(i) * dims + d] -
+                                 cent[static_cast<std::size_t>(c) * dims + d];
+              d2 += diff * diff;
+            }
+            if (c == 0 || d2 < best_d2) {
+              best_d2 = d2;
+              best = c;
+            }
+          }
+          ref_labels[i] = static_cast<std::int32_t>(best);
+          for (std::uint32_t d = 0; d < dims; ++d) {
+            acc[static_cast<std::size_t>(best) * dims + d] +=
+                pts[static_cast<std::size_t>(i) * dims + d];
+          }
+          acc[static_cast<std::size_t>(k) * dims + best] += 1.0f;
+        }
+      }
+      // Fan-in-8 tree reduction, mirroring task order.
+      std::vector<std::vector<float>> level = std::move(block_acc);
+      while (level.size() > 1) {
+        std::vector<std::vector<float>> next;
+        for (std::size_t p0 = 0; p0 < level.size(); p0 += kFanIn) {
+          std::vector<float> acc(static_cast<std::size_t>(k) * (dims + 1), 0.0f);
+          for (std::size_t ch = p0; ch < std::min(level.size(), p0 + kFanIn); ++ch) {
+            for (std::size_t w = 0; w < acc.size(); ++w) acc[w] += level[ch][w];
+          }
+          next.push_back(std::move(acc));
+        }
+        level = std::move(next);
+      }
+      const auto& root = level[0];
+      for (std::uint32_t c = 0; c < k; ++c) {
+        const float count = root[static_cast<std::size_t>(k) * dims + c];
+        if (count > 0.0f) {
+          for (std::uint32_t d = 0; d < dims; ++d) {
+            cent[static_cast<std::size_t>(c) * dims + d] =
+                root[static_cast<std::size_t>(c) * dims + d] / count;
+          }
+        }
+      }
+    }
+
+    std::vector<float> got_cent(static_cast<std::size_t>(k) * dims);
+    m.mem().copy_out(centroids_, got_cent.data(), got_cent.size() * 4);
+    for (std::size_t w = 0; w < got_cent.size(); ++w) {
+      if (got_cent[w] != cent[w]) {
+        return strprintf("kmeans centroid word %zu: got %g want %g", w,
+                         static_cast<double>(got_cent[w]), static_cast<double>(cent[w]));
+      }
+    }
+    std::vector<std::int32_t> got_labels(npts);
+    m.mem().copy_out(labels_, got_labels.data(), got_labels.size() * 4);
+    for (std::uint32_t i = 0; i < npts; ++i) {
+      if (got_labels[i] != ref_labels[i]) {
+        return strprintf("kmeans label %u: got %d want %d", i, got_labels[i],
+                         ref_labels[i]);
+      }
+    }
+    return {};
+  }
+
+ private:
+  void init_data(SimMemory& mem) {
+    Rng rng(seed_);
+    const std::uint32_t npts = p_.points, dims = p_.dims, k = p_.clusters;
+    for (std::uint32_t i = 0; i < npts; ++i) {
+      const auto blob = static_cast<std::uint32_t>(rng.next_below(k));
+      for (std::uint32_t d = 0; d < dims; ++d) {
+        const float center = static_cast<float>(blob * 10 + d % 3);
+        mem.write<float>(points_ + (static_cast<VAddr>(i) * dims + d) * 4,
+                         center + rng.next_float(-1.0f, 1.0f));
+      }
+    }
+    for (std::uint32_t w = 0; w < k * dims; ++w) {
+      mem.write<float>(centroids_ + static_cast<VAddr>(w) * 4,
+                       mem.read<float>(points_ + static_cast<VAddr>(w) * 4));
+    }
+  }
+
+  KmeansParams p_;
+  std::uint64_t seed_;
+  VAddr points_ = 0, labels_ = 0, centroids_ = 0, partials_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<App> make_kmeans(const AppConfig& cfg) {
+  return std::make_unique<KmeansApp>(cfg);
+}
+
+}  // namespace raccd::apps

@@ -1,0 +1,211 @@
+// KNN: k-nearest-neighbours classification (paper Table II: 16384 training
+// points, 8192 points to classify, 4 dims, 4 classes).
+//
+// Tasks classify query blocks: in = query block + the full training set
+// (shared read-only — a pattern where RaCCD's end-of-task self-invalidation
+// throws away reusable training-set lines while PT keeps them coherent and
+// cached; the paper notes PT slightly beats RaCCD here). The kernel streams
+// the training set once per task, maintaining per-query k-best heaps.
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "raccd/apps/app_factories.hpp"
+#include "raccd/common/format.hpp"
+#include "raccd/common/rng.hpp"
+
+namespace raccd::apps {
+namespace {
+
+struct KnnParams {
+  std::uint32_t train;
+  std::uint32_t queries;
+  std::uint32_t dims;
+  std::uint32_t classes;
+  std::uint32_t k;
+  std::uint32_t blocks;
+};
+
+[[nodiscard]] KnnParams params_for(SizeClass size) {
+  switch (size) {
+    case SizeClass::kTiny: return {256, 128, 4, 4, 4, 4};
+    case SizeClass::kSmall: return {4096, 2048, 4, 4, 4, 16};
+    case SizeClass::kPaper: return {16384, 8192, 4, 4, 4, 64};
+  }
+  return {};
+}
+
+/// Insert (d2, label) into a fixed-size max-of-k nearest list.
+inline void kbest_insert(float* dist, std::int32_t* lab, std::uint32_t k, float d2,
+                         std::int32_t label) {
+  std::uint32_t worst = 0;
+  for (std::uint32_t i = 1; i < k; ++i) {
+    if (dist[i] > dist[worst]) worst = i;
+  }
+  if (d2 < dist[worst]) {
+    dist[worst] = d2;
+    lab[worst] = label;
+  }
+}
+
+class KnnApp final : public App {
+ public:
+  explicit KnnApp(const AppConfig& cfg) : p_(params_for(cfg.size)), seed_(cfg.seed) {}
+
+  [[nodiscard]] std::string_view name() const override { return "knn"; }
+  [[nodiscard]] std::string problem() const override {
+    return strprintf("%u training pts, %u pts to classify, %u dims, %u classes, k=%u",
+                     p_.train, p_.queries, p_.dims, p_.classes, p_.k);
+  }
+
+  void run(Machine& m) override {
+    const std::uint32_t dims = p_.dims;
+    train_ = m.mem().alloc_array<float>(static_cast<std::uint64_t>(p_.train) * dims,
+                                        "knn.train");
+    train_labels_ = m.mem().alloc_array<std::int32_t>(p_.train, "knn.train_labels");
+    queries_ = m.mem().alloc_array<float>(static_cast<std::uint64_t>(p_.queries) * dims,
+                                          "knn.queries");
+    results_ = m.mem().alloc_array<std::int32_t>(p_.queries, "knn.results");
+    init_data(m.mem());
+
+    const VAddr tr = train_, trl = train_labels_, qs = queries_, rs = results_;
+    const std::uint32_t ntrain = p_.train, k = p_.k, classes = p_.classes;
+    for (std::uint32_t blk = 0; blk < p_.blocks; ++blk) {
+      const auto q0 = static_cast<std::uint32_t>(
+          (static_cast<std::uint64_t>(blk) * p_.queries) / p_.blocks);
+      const auto q1 = static_cast<std::uint32_t>(
+          (static_cast<std::uint64_t>(blk + 1) * p_.queries) / p_.blocks);
+      TaskDesc t;
+      t.name = strprintf("knn(b%u)", blk);
+      t.deps = {
+          DepSpec{tr, static_cast<std::uint64_t>(ntrain) * dims * 4, DepKind::kIn},
+          DepSpec{trl, static_cast<std::uint64_t>(ntrain) * 4, DepKind::kIn},
+          DepSpec{qs + static_cast<VAddr>(q0) * dims * 4,
+                  static_cast<std::uint64_t>(q1 - q0) * dims * 4, DepKind::kIn},
+          DepSpec{rs + static_cast<VAddr>(q0) * 4,
+                  static_cast<std::uint64_t>(q1 - q0) * 4, DepKind::kOut},
+      };
+      t.body = [tr, trl, qs, rs, q0, q1, ntrain, dims, k, classes](TaskContext& ctx) {
+        const std::uint32_t nq = q1 - q0;
+        std::vector<float> query(static_cast<std::size_t>(nq) * dims);
+        for (std::uint32_t w = 0; w < nq * dims; ++w) {
+          query[w] = ctx.load<float>(qs + (static_cast<VAddr>(q0) * dims + w) * 4);
+        }
+        std::vector<float> best_d(static_cast<std::size_t>(nq) * k, 1e30f);
+        std::vector<std::int32_t> best_l(static_cast<std::size_t>(nq) * k, -1);
+        std::vector<float> tp(dims);
+        for (std::uint32_t ti = 0; ti < ntrain; ++ti) {
+          for (std::uint32_t d = 0; d < dims; ++d) {
+            tp[d] = ctx.load<float>(tr + (static_cast<VAddr>(ti) * dims + d) * 4);
+          }
+          const std::int32_t tl = ctx.load<std::int32_t>(trl + static_cast<VAddr>(ti) * 4);
+          ctx.compute(2ULL * dims * nq);  // distance FMA chain per query
+          for (std::uint32_t qi = 0; qi < nq; ++qi) {
+            float d2 = 0.0f;
+            for (std::uint32_t d = 0; d < dims; ++d) {
+              const float diff = query[static_cast<std::size_t>(qi) * dims + d] - tp[d];
+              d2 += diff * diff;
+            }
+            kbest_insert(&best_d[static_cast<std::size_t>(qi) * k],
+                         &best_l[static_cast<std::size_t>(qi) * k], k, d2, tl);
+          }
+        }
+        for (std::uint32_t qi = 0; qi < nq; ++qi) {
+          std::vector<std::uint32_t> votes(classes, 0);
+          for (std::uint32_t i = 0; i < k; ++i) {
+            const std::int32_t l = best_l[static_cast<std::size_t>(qi) * k + i];
+            if (l >= 0) ++votes[static_cast<std::uint32_t>(l)];
+          }
+          std::uint32_t winner = 0;
+          for (std::uint32_t c = 1; c < classes; ++c) {
+            if (votes[c] > votes[winner]) winner = c;
+          }
+          ctx.store<std::int32_t>(rs + static_cast<VAddr>(q0 + qi) * 4,
+                                  static_cast<std::int32_t>(winner));
+        }
+      };
+      m.spawn(std::move(t));
+    }
+    m.taskwait();
+  }
+
+  [[nodiscard]] std::string verify(Machine& m) override {
+    const std::uint32_t dims = p_.dims, k = p_.k, classes = p_.classes;
+    std::vector<float> tr(static_cast<std::size_t>(p_.train) * dims);
+    std::vector<std::int32_t> trl(p_.train);
+    std::vector<float> qs(static_cast<std::size_t>(p_.queries) * dims);
+    m.mem().copy_out(train_, tr.data(), tr.size() * 4);
+    m.mem().copy_out(train_labels_, trl.data(), trl.size() * 4);
+    m.mem().copy_out(queries_, qs.data(), qs.size() * 4);
+
+    std::uint32_t correct_class = 0;
+    for (std::uint32_t qi = 0; qi < p_.queries; ++qi) {
+      std::vector<float> best_d(k, 1e30f);
+      std::vector<std::int32_t> best_l(k, -1);
+      for (std::uint32_t ti = 0; ti < p_.train; ++ti) {
+        float d2 = 0.0f;
+        for (std::uint32_t d = 0; d < dims; ++d) {
+          const float diff = qs[static_cast<std::size_t>(qi) * dims + d] -
+                             tr[static_cast<std::size_t>(ti) * dims + d];
+          d2 += diff * diff;
+        }
+        kbest_insert(best_d.data(), best_l.data(), k, d2, trl[ti]);
+      }
+      std::vector<std::uint32_t> votes(classes, 0);
+      for (std::uint32_t i = 0; i < k; ++i) {
+        if (best_l[i] >= 0) ++votes[static_cast<std::uint32_t>(best_l[i])];
+      }
+      std::uint32_t winner = 0;
+      for (std::uint32_t c = 1; c < classes; ++c) {
+        if (votes[c] > votes[winner]) winner = c;
+      }
+      const auto got = m.mem().read<std::int32_t>(results_ + static_cast<VAddr>(qi) * 4);
+      if (got != static_cast<std::int32_t>(winner)) {
+        return strprintf("knn query %u: got %d want %u", qi, got, winner);
+      }
+      if (got == expected_class_[qi]) ++correct_class;
+    }
+    // Synthetic blobs are well separated: classification accuracy must be
+    // high, or the kernel (not just the replay) is broken.
+    if (correct_class < p_.queries * 9 / 10) {
+      return strprintf("knn accuracy too low: %u/%u", correct_class, p_.queries);
+    }
+    return {};
+  }
+
+ private:
+  void init_data(SimMemory& mem) {
+    Rng rng(seed_);
+    const std::uint32_t dims = p_.dims;
+    for (std::uint32_t i = 0; i < p_.train; ++i) {
+      const auto cls = static_cast<std::int32_t>(rng.next_below(p_.classes));
+      mem.write<std::int32_t>(train_labels_ + static_cast<VAddr>(i) * 4, cls);
+      for (std::uint32_t d = 0; d < dims; ++d) {
+        mem.write<float>(train_ + (static_cast<VAddr>(i) * dims + d) * 4,
+                         static_cast<float>(cls) * 8.0f + rng.next_float(-1.0f, 1.0f));
+      }
+    }
+    expected_class_.resize(p_.queries);
+    for (std::uint32_t i = 0; i < p_.queries; ++i) {
+      const auto cls = static_cast<std::int32_t>(rng.next_below(p_.classes));
+      expected_class_[i] = cls;
+      for (std::uint32_t d = 0; d < dims; ++d) {
+        mem.write<float>(queries_ + (static_cast<VAddr>(i) * dims + d) * 4,
+                         static_cast<float>(cls) * 8.0f + rng.next_float(-1.0f, 1.0f));
+      }
+    }
+  }
+
+  KnnParams p_;
+  std::uint64_t seed_;
+  VAddr train_ = 0, train_labels_ = 0, queries_ = 0, results_ = 0;
+  std::vector<std::int32_t> expected_class_;
+};
+
+}  // namespace
+
+std::unique_ptr<App> make_knn(const AppConfig& cfg) {
+  return std::make_unique<KnnApp>(cfg);
+}
+
+}  // namespace raccd::apps

@@ -1,0 +1,129 @@
+// RFC 1321 MD5, implemented from the specification.
+//
+// The block transform is shared between the simulated benchmark (which feeds
+// it words loaded through the timing model) and the host-side reference
+// hasher used for verification and for the RFC test-vector unit tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+
+namespace raccd::apps {
+
+struct Md5State {
+  std::uint32_t a = 0x67452301u;
+  std::uint32_t b = 0xefcdab89u;
+  std::uint32_t c = 0x98badcfeu;
+  std::uint32_t d = 0x10325476u;
+};
+
+namespace md5_detail {
+
+inline constexpr std::array<std::uint32_t, 64> kT = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+inline constexpr std::array<std::uint8_t, 64> kS = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+[[nodiscard]] constexpr std::uint32_t rotl(std::uint32_t x, unsigned s) noexcept {
+  return (x << s) | (x >> (32 - s));
+}
+
+}  // namespace md5_detail
+
+/// One 512-bit block transform.
+inline void md5_transform(Md5State& st, const std::uint32_t m[16]) noexcept {
+  using namespace md5_detail;
+  std::uint32_t a = st.a, b = st.b, c = st.c, d = st.d;
+  for (unsigned i = 0; i < 64; ++i) {
+    std::uint32_t f = 0;
+    unsigned g = 0;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) & 15;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) & 15;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) & 15;
+    }
+    const std::uint32_t tmp = d;
+    d = c;
+    c = b;
+    b = b + rotl(a + f + kT[i] + m[g], kS[i]);
+    a = tmp;
+  }
+  st.a += a;
+  st.b += b;
+  st.c += c;
+  st.d += d;
+}
+
+/// Finish a hash whose full 64-byte blocks were already transformed and whose
+/// remaining tail (< 64 bytes) is given; total_len is the full message length.
+[[nodiscard]] inline std::array<std::uint8_t, 16> md5_finalize(
+    Md5State st, std::uint64_t total_len, std::span<const std::uint8_t> tail) noexcept {
+  std::uint8_t pad[128] = {};
+  std::memcpy(pad, tail.data(), tail.size());
+  pad[tail.size()] = 0x80;
+  const std::size_t pad_blocks = tail.size() + 9 <= 64 ? 1 : 2;
+  const std::uint64_t bit_len = total_len * 8;
+  std::memcpy(pad + pad_blocks * 64 - 8, &bit_len, 8);
+  std::uint32_t m[16];
+  for (std::size_t blk = 0; blk < pad_blocks; ++blk) {
+    std::memcpy(m, pad + blk * 64, 64);
+    md5_transform(st, m);
+  }
+  std::array<std::uint8_t, 16> digest{};
+  std::memcpy(digest.data() + 0, &st.a, 4);
+  std::memcpy(digest.data() + 4, &st.b, 4);
+  std::memcpy(digest.data() + 8, &st.c, 4);
+  std::memcpy(digest.data() + 12, &st.d, 4);
+  return digest;
+}
+
+/// Host-side reference hash of a full buffer.
+[[nodiscard]] inline std::array<std::uint8_t, 16> md5_hash(
+    std::span<const std::uint8_t> data) noexcept {
+  Md5State st;
+  std::size_t off = 0;
+  std::uint32_t m[16];
+  while (data.size() - off >= 64) {
+    std::memcpy(m, data.data() + off, 64);
+    md5_transform(st, m);
+    off += 64;
+  }
+  return md5_finalize(st, data.size(), data.subspan(off));
+}
+
+[[nodiscard]] inline std::string md5_hex(const std::array<std::uint8_t, 16>& d) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (std::size_t i = 0; i < 16; ++i) {
+    out[2 * i] = kHex[d[i] >> 4];
+    out[2 * i + 1] = kHex[d[i] & 0xf];
+  }
+  return out;
+}
+
+}  // namespace raccd::apps

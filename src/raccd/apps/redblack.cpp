@@ -1,0 +1,140 @@
+// RedBlack: stationary heat diffusion with red-black (checkerboard) ordering,
+// 4-element stencil (paper Table II: 2D matrix N^2 = 2359296, 10 iterations).
+//
+// Each iteration has a red phase (updates cells with (i+j) even) and a black
+// phase (odd), both over contiguous row blocks of the single in-place grid.
+// Phase tasks carry inout on their rows and in on the halo rows, which
+// serializes red(k) -> black(k) -> red(k+1) per neighbourhood while allowing
+// full parallelism within a phase.
+#include <string>
+
+#include "raccd/apps/app_factories.hpp"
+#include "raccd/apps/stencil_common.hpp"
+#include "raccd/common/format.hpp"
+
+namespace raccd::apps {
+namespace {
+
+struct RbParams {
+  std::uint32_t n;
+  std::uint32_t iters;
+  std::uint32_t blocks;
+};
+
+[[nodiscard]] RbParams params_for(SizeClass size) {
+  switch (size) {
+    case SizeClass::kTiny: return {64, 3, 8};
+    case SizeClass::kSmall: return {512, 10, 32};
+    case SizeClass::kPaper: return {1536, 10, 64};
+  }
+  return {};
+}
+
+class RedBlackApp final : public App {
+ public:
+  explicit RedBlackApp(const AppConfig& cfg) : p_(params_for(cfg.size)), seed_(cfg.seed) {}
+
+  [[nodiscard]] std::string_view name() const override { return "redblack"; }
+  [[nodiscard]] std::string problem() const override {
+    return strprintf("2D matrix N^2=%u, %u iters (2 phases each), %u row blocks",
+                     p_.n * p_.n, p_.iters, p_.blocks);
+  }
+
+  void run(Machine& m) override {
+    const std::uint32_t n = p_.n;
+    grid_ = m.mem().alloc_array<float>(static_cast<std::uint64_t>(n) * n, "redblack.grid");
+    Rng rng(seed_);
+    init_grid(m.mem(), grid_, n, rng);
+
+    const RowBlocks rb{n, p_.blocks};
+    const VAddr g = grid_;
+    for (std::uint32_t iter = 0; iter < p_.iters; ++iter) {
+      for (std::uint32_t color = 0; color < 2; ++color) {
+        for (std::uint32_t blk = 0; blk < p_.blocks; ++blk) {
+          const std::uint32_t r0 = rb.row0(blk);
+          const std::uint32_t r1 = rb.row1(blk);
+          TaskDesc t;
+          t.name = strprintf("rb(i%u,%s,b%u)", iter, color == 0 ? "red" : "black", blk);
+          t.deps.push_back(
+              DepSpec{g + static_cast<VAddr>(r0) * n * sizeof(float),
+                      static_cast<std::uint64_t>(r1 - r0) * n * sizeof(float),
+                      DepKind::kInout});
+          if (r0 > 0) {
+            t.deps.push_back(DepSpec{g + static_cast<VAddr>(r0 - 1) * n * sizeof(float),
+                                     static_cast<std::uint64_t>(n) * sizeof(float),
+                                     DepKind::kIn});
+          }
+          if (r1 < n) {
+            t.deps.push_back(DepSpec{g + static_cast<VAddr>(r1) * n * sizeof(float),
+                                     static_cast<std::uint64_t>(n) * sizeof(float),
+                                     DepKind::kIn});
+          }
+          t.body = [g, n, r0, r1, color](TaskContext& ctx) {
+            const auto at = [g, n](std::uint32_t i, std::uint32_t j) {
+              return g + (static_cast<VAddr>(i) * n + j) * sizeof(float);
+            };
+            for (std::uint32_t i = std::max(r0, 1u); i < std::min(r1, n - 1); ++i) {
+              const std::uint32_t j0 = 1 + ((i + 1 + color) & 1u);
+              for (std::uint32_t j = j0; j < n - 1; j += 2) {
+                const float up = ctx.load<float>(at(i - 1, j));
+                const float left = ctx.load<float>(at(i, j - 1));
+                const float right = ctx.load<float>(at(i, j + 1));
+                const float down = ctx.load<float>(at(i + 1, j));
+                ctx.compute(4);
+                ctx.store<float>(at(i, j), 0.25f * (up + left + right + down));
+              }
+            }
+          };
+          m.spawn(std::move(t));
+        }
+      }
+    }
+    m.taskwait();
+  }
+
+  [[nodiscard]] std::string verify(Machine& m) override {
+    const std::uint32_t n = p_.n;
+    Rng rng(seed_);
+    std::vector<float> ref(static_cast<std::size_t>(n) * n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (std::uint32_t j = 0; j < n; ++j) {
+        const bool boundary = i == 0 || j == 0 || i == n - 1 || j == n - 1;
+        ref[static_cast<std::size_t>(i) * n + j] =
+            boundary ? 1.0f : rng.next_float(0.0f, 1.0f);
+      }
+    }
+    for (std::uint32_t iter = 0; iter < p_.iters; ++iter) {
+      for (std::uint32_t color = 0; color < 2; ++color) {
+        for (std::uint32_t i = 1; i < n - 1; ++i) {
+          const std::uint32_t j0 = 1 + ((i + 1 + color) & 1u);
+          for (std::uint32_t j = j0; j < n - 1; j += 2) {
+            const std::size_t idx = static_cast<std::size_t>(i) * n + j;
+            ref[idx] =
+                0.25f * (ref[idx - n] + ref[idx - 1] + ref[idx + 1] + ref[idx + n]);
+          }
+        }
+      }
+    }
+    const std::vector<float> got = read_grid(m.mem(), grid_, n);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (got[i] != ref[i]) {
+        return strprintf("redblack mismatch at %zu: got %g want %g", i,
+                         static_cast<double>(got[i]), static_cast<double>(ref[i]));
+      }
+    }
+    return {};
+  }
+
+ private:
+  RbParams p_;
+  std::uint64_t seed_;
+  VAddr grid_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<App> make_redblack(const AppConfig& cfg) {
+  return std::make_unique<RedBlackApp>(cfg);
+}
+
+}  // namespace raccd::apps

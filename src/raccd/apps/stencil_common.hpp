@@ -1,0 +1,44 @@
+// Shared helpers for the 2D stencil benchmarks (Gauss, Jacobi, RedBlack):
+// row-major n x n float grids partitioned into contiguous row blocks, so each
+// dependence annotation is a single contiguous byte range (as the paper's
+// array-section annotations are for tiled layouts).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "raccd/common/rng.hpp"
+#include "raccd/runtime/task.hpp"
+
+namespace raccd::apps {
+
+struct RowBlocks {
+  std::uint32_t n = 0;       ///< grid dimension
+  std::uint32_t blocks = 0;  ///< number of row blocks
+  [[nodiscard]] std::uint32_t row0(std::uint32_t b) const noexcept {
+    return static_cast<std::uint32_t>((static_cast<std::uint64_t>(b) * n) / blocks);
+  }
+  [[nodiscard]] std::uint32_t row1(std::uint32_t b) const noexcept {
+    return static_cast<std::uint32_t>((static_cast<std::uint64_t>(b + 1) * n) / blocks);
+  }
+};
+
+/// Fill an n*n float grid: fixed hot boundary (1.0), pseudo-random interior.
+inline void init_grid(SimMemory& mem, VAddr base, std::uint32_t n, Rng& rng) {
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      const bool boundary = i == 0 || j == 0 || i == n - 1 || j == n - 1;
+      const float v = boundary ? 1.0f : rng.next_float(0.0f, 1.0f);
+      mem.write<float>(base + (static_cast<VAddr>(i) * n + j) * sizeof(float), v);
+    }
+  }
+}
+
+/// Copy an n*n float grid out of simulated memory (reference checking).
+inline std::vector<float> read_grid(const SimMemory& mem, VAddr base, std::uint32_t n) {
+  std::vector<float> out(static_cast<std::size_t>(n) * n);
+  mem.copy_out(base, out.data(), out.size() * sizeof(float));
+  return out;
+}
+
+}  // namespace raccd::apps

@@ -1,0 +1,64 @@
+#include "raccd/cache/l1_cache.hpp"
+
+#include "raccd/common/assert.hpp"
+#include "raccd/common/bits.hpp"
+
+namespace raccd {
+
+L1Cache::L1Cache(const L1Geometry& geo)
+    : sets_(geo.sets()), ways_(geo.ways), repl_(geo.repl, geo.sets(), geo.ways) {
+  RACCD_ASSERT(is_pow2(sets_), "L1 set count must be a power of two");
+  lines_.resize(static_cast<std::size_t>(sets_) * ways_);
+}
+
+L1Line* L1Cache::find(LineAddr line) noexcept {
+  const std::uint32_t set = set_of(line);
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    L1Line& l = at(set, w);
+    if (l.valid && l.line == line) return &l;
+  }
+  return nullptr;
+}
+
+const L1Line* L1Cache::find(LineAddr line) const noexcept {
+  return const_cast<L1Cache*>(this)->find(line);
+}
+
+void L1Cache::touch(const L1Line& l) noexcept {
+  const auto idx = static_cast<std::size_t>(&l - lines_.data());
+  repl_.touch(static_cast<std::uint32_t>(idx / ways_),
+              static_cast<std::uint32_t>(idx % ways_));
+}
+
+L1Line L1Cache::fill(LineAddr line, bool nc, Mesi coh, bool dirty, std::uint64_t version) {
+  RACCD_DEBUG_ASSERT(find(line) == nullptr, "fill of already-resident line");
+  const std::uint32_t set = set_of(line);
+  std::uint32_t way = ways_;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (!at(set, w).valid) {
+      way = w;
+      break;
+    }
+  }
+  L1Line evicted{};
+  if (way == ways_) {
+    way = repl_.victim(set);
+    evicted = at(set, way);
+    --valid_count_;
+  }
+  at(set, way) = L1Line{line, true, nc, dirty, nc ? Mesi::kInvalid : coh, version};
+  ++valid_count_;
+  repl_.touch(set, way);
+  return evicted;
+}
+
+L1Line L1Cache::invalidate(LineAddr line) noexcept {
+  L1Line* l = find(line);
+  if (l == nullptr) return L1Line{};
+  const L1Line old = *l;
+  *l = L1Line{};
+  --valid_count_;
+  return old;
+}
+
+}  // namespace raccd

@@ -1,0 +1,108 @@
+// Private L1 data cache structure (paper Table I: 32 KB, 2-way, 64 B lines,
+// 2-cycle hit, write-back, write-allocate) extended with the RaCCD
+// Non-Coherent (NC) bit per line (paper Fig. 4).
+//
+// This class models tag state only; protocol decisions (what to do on a hit,
+// miss, eviction, recall) live in coherence::Fabric. Functional data lives in
+// SimMemory; lines carry a version stamp used by the optional coherence
+// checker to verify that every load observes the last store.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "raccd/cache/replacement.hpp"
+#include "raccd/common/types.hpp"
+
+namespace raccd {
+
+/// MESI stable states for coherent lines.
+enum class Mesi : std::uint8_t { kInvalid = 0, kShared, kExclusive, kModified };
+
+[[nodiscard]] constexpr const char* to_string(Mesi s) noexcept {
+  switch (s) {
+    case Mesi::kInvalid: return "I";
+    case Mesi::kShared: return "S";
+    case Mesi::kExclusive: return "E";
+    case Mesi::kModified: return "M";
+  }
+  return "?";
+}
+
+struct L1Line {
+  LineAddr line = 0;
+  bool valid = false;
+  bool nc = false;     ///< RaCCD NC bit: line fetched via a non-coherent request
+  bool dirty = false;  ///< meaningful for NC lines and mirrors M for coherent ones
+  Mesi coh = Mesi::kInvalid;  ///< coherent state; kInvalid when nc
+  std::uint64_t version = 0;  ///< checker shadow value (see coherence/checker)
+};
+
+struct L1Geometry {
+  std::uint32_t size_bytes = 32 * 1024;
+  std::uint32_t ways = 2;
+  ReplPolicy repl = ReplPolicy::kTreePlru;
+
+  [[nodiscard]] std::uint32_t sets() const noexcept {
+    return size_bytes / kLineBytes / ways;
+  }
+  [[nodiscard]] std::uint32_t lines() const noexcept { return size_bytes / kLineBytes; }
+};
+
+class L1Cache {
+ public:
+  explicit L1Cache(const L1Geometry& geo);
+
+  [[nodiscard]] std::uint32_t set_of(LineAddr line) const noexcept {
+    return static_cast<std::uint32_t>(line) & (sets_ - 1);
+  }
+
+  /// Find a valid line; nullptr on miss. Does not update replacement state.
+  [[nodiscard]] L1Line* find(LineAddr line) noexcept;
+  [[nodiscard]] const L1Line* find(LineAddr line) const noexcept;
+
+  /// Update replacement state for an access to this (resident) line.
+  void touch(const L1Line& l) noexcept;
+
+  /// Install `line`; returns the displaced valid victim (valid=false if the
+  /// set had a free way). The caller handles victim writeback/notification.
+  L1Line fill(LineAddr line, bool nc, Mesi coh, bool dirty, std::uint64_t version);
+
+  /// Invalidate one line if present; returns the old contents (valid=false
+  /// if the line was not resident).
+  L1Line invalidate(LineAddr line) noexcept;
+
+  /// Visit every valid line (raccd_invalidate walk, PT page flush, checker).
+  /// F: void(L1Line&). Iteration order is set-major, matching the paper's
+  /// "sequentially traverses the blocks of its private cache".
+  template <typename F>
+  void for_each_valid(F&& f) {
+    for (auto& l : lines_) {
+      if (l.valid) f(l);
+    }
+  }
+  template <typename F>
+  void for_each_valid(F&& f) const {
+    for (const auto& l : lines_) {
+      if (l.valid) f(l);
+    }
+  }
+
+  [[nodiscard]] std::uint32_t sets() const noexcept { return sets_; }
+  [[nodiscard]] std::uint32_t ways() const noexcept { return ways_; }
+  [[nodiscard]] std::uint32_t line_capacity() const noexcept { return sets_ * ways_; }
+  [[nodiscard]] std::uint32_t valid_lines() const noexcept { return valid_count_; }
+
+ private:
+  [[nodiscard]] L1Line& at(std::uint32_t set, std::uint32_t way) noexcept {
+    return lines_[static_cast<std::size_t>(set) * ways_ + way];
+  }
+
+  std::uint32_t sets_;
+  std::uint32_t ways_;
+  std::vector<L1Line> lines_;
+  ReplacementState repl_;
+  std::uint32_t valid_count_ = 0;
+};
+
+}  // namespace raccd

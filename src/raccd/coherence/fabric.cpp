@@ -1,0 +1,712 @@
+#include "raccd/coherence/fabric.hpp"
+
+#include <algorithm>
+
+#include "raccd/coherence/checker.hpp"
+#include "raccd/common/assert.hpp"
+#include "raccd/common/bits.hpp"
+
+namespace raccd {
+
+namespace {
+[[nodiscard]] constexpr std::uint64_t bit(CoreId c) noexcept { return 1ULL << c; }
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FabricStats / BlockClassifier
+// ---------------------------------------------------------------------------
+
+void FabricStats::add(const FabricStats& o) noexcept {
+  l1_accesses += o.l1_accesses;
+  l1_hits += o.l1_hits;
+  l1_misses += o.l1_misses;
+  l1_evictions += o.l1_evictions;
+  l1_wb_coh += o.l1_wb_coh;
+  l1_wb_nc += o.l1_wb_nc;
+  l1_invals_sharer += o.l1_invals_sharer;
+  l1_invals_recall += o.l1_invals_recall;
+  l1_flush_nc_lines += o.l1_flush_nc_lines;
+  l1_flush_nc_wbs += o.l1_flush_nc_wbs;
+  l1_flush_page_lines += o.l1_flush_page_lines;
+  l1_flush_page_wbs += o.l1_flush_page_wbs;
+  llc_lookups += o.llc_lookups;
+  llc_hits += o.llc_hits;
+  llc_misses += o.llc_misses;
+  llc_nc_lookups += o.llc_nc_lookups;
+  llc_nc_hits += o.llc_nc_hits;
+  llc_fills += o.llc_fills;
+  llc_evictions += o.llc_evictions;
+  llc_inval_by_dir += o.llc_inval_by_dir;
+  llc_wb_mem += o.llc_wb_mem;
+  llc_touches += o.llc_touches;
+  dir_accesses += o.dir_accesses;
+  dir_lookups += o.dir_lookups;
+  dir_hits += o.dir_hits;
+  dir_misses += o.dir_misses;
+  dir_allocs += o.dir_allocs;
+  dir_evictions += o.dir_evictions;
+  dir_recall_msgs += o.dir_recall_msgs;
+  dir_wb_updates += o.dir_wb_updates;
+  dir_nc_to_coh += o.dir_nc_to_coh;
+  dir_coh_to_nc += o.dir_coh_to_nc;
+  coh_reads += o.coh_reads;
+  coh_writes += o.coh_writes;
+  upgrades += o.upgrades;
+  nc_reads += o.nc_reads;
+  nc_writes += o.nc_writes;
+  owner_probes += o.owner_probes;
+  mem_reads += o.mem_reads;
+  mem_writes += o.mem_writes;
+  e_dir_pj += o.e_dir_pj;
+  e_llc_pj += o.e_llc_pj;
+  e_l1_pj += o.e_l1_pj;
+  e_noc_pj += o.e_noc_pj;
+  e_mem_pj += o.e_mem_pj;
+}
+
+void BlockClassifier::record(LineAddr line, bool nc) {
+  if (line >= flags_.size()) flags_.resize(line + 1, 0);
+  flags_[line] |= nc ? kSawNc : kSawCoh;
+}
+std::uint64_t BlockClassifier::touched_blocks() const noexcept {
+  std::uint64_t n = 0;
+  for (auto f : flags_) n += (f != 0);
+  return n;
+}
+std::uint64_t BlockClassifier::coherent_blocks() const noexcept {
+  std::uint64_t n = 0;
+  for (auto f : flags_) n += ((f & kSawCoh) != 0);
+  return n;
+}
+std::uint64_t BlockClassifier::noncoherent_blocks() const noexcept {
+  std::uint64_t n = 0;
+  for (auto f : flags_) n += (f == kSawNc);  // touched and never coherent
+  return n;
+}
+double BlockClassifier::noncoherent_fraction() const noexcept {
+  const std::uint64_t t = touched_blocks();
+  return t == 0 ? 0.0 : static_cast<double>(noncoherent_blocks()) / static_cast<double>(t);
+}
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+Fabric::Fabric(const FabricConfig& cfg, CoherenceChecker* checker)
+    : cfg_(cfg), energy_(cfg.energy), mesh_(cfg.mesh), checker_(checker) {
+  RACCD_ASSERT(is_pow2(cfg_.cores), "core count must be a power of two");
+  RACCD_ASSERT(cfg_.cores <= 64, "sharer vector limited to 64 cores");
+  RACCD_ASSERT(mesh_.node_count() == cfg_.cores, "mesh geometry must match core count");
+  const std::uint32_t bank_bits = log2_exact(cfg_.cores);
+  FabricConfig fixed = cfg_;
+  fixed.llc.bank_bits = bank_bits;
+  fixed.dir.bank_bits = bank_bits;
+  cfg_ = fixed;
+  for (std::uint32_t c = 0; c < cfg_.cores; ++c) {
+    l1_.push_back(std::make_unique<L1Cache>(cfg_.l1));
+    llc_.push_back(std::make_unique<LlcBank>(cfg_.llc));
+    dir_.push_back(std::make_unique<DirectoryBank>(cfg_.dir));
+    dir_access_pj_.push_back(energy_.dir_access_pj(dir_[c]->active_entries()));
+  }
+  dir_busy_.assign(cfg_.cores, 0);
+  llc_busy_.assign(cfg_.cores, 0);
+  mem_version_.reserve(4096);
+}
+
+// ---------------------------------------------------------------------------
+// Small helpers
+// ---------------------------------------------------------------------------
+
+Cycle Fabric::msg(std::uint32_t from, std::uint32_t to, MsgClass cls) {
+  const std::uint32_t hops = mesh_.hops(from, to);
+  const std::uint32_t flits = mesh_.flits_for(cls);
+  stats_.e_noc_pj += static_cast<double>(hops) * flits * energy_.noc_flit_hop_pj();
+  return mesh_.transfer(from, to, cls);
+}
+
+Cycle Fabric::bank_service(Cycle& busy_until, Cycle arrive, Cycle service) noexcept {
+  if (!cfg_.model_bank_contention) return service;
+  const Cycle start = std::max(arrive, busy_until);
+  busy_until = start + service;
+  return (start - arrive) + service;
+}
+
+void Fabric::count_dir_access(BankId b) {
+  ++stats_.dir_accesses;
+  stats_.e_dir_pj += dir_access_pj_[b];
+}
+
+void Fabric::count_llc_touch(BankId b) {
+  ++stats_.llc_touches;
+  stats_.e_llc_pj += energy_.llc_access_pj(llc_[b]->line_capacity());
+}
+
+void Fabric::mark_dir_dirty(BankId b, Cycle now) {
+  dir_[b]->occupancy_tick(now);
+  dir_dirty_mask_ |= (1u << b);
+}
+
+std::uint64_t Fabric::mem_version(LineAddr line) const noexcept {
+  const auto it = mem_version_.find(line);
+  return it == mem_version_.end() ? 0 : it->second;
+}
+
+void Fabric::store_version_bump(L1Line& l, LineAddr line) {
+  l.version = ++version_counter_;
+  l.dirty = true;
+  if (checker_ != nullptr) checker_->on_store(line, l.version);
+}
+
+// ---------------------------------------------------------------------------
+// Recall / eviction machinery
+// ---------------------------------------------------------------------------
+
+Cycle Fabric::recall_sharers(BankId b, DirEntry& e, CoreId skip, Cycle now) {
+  (void)now;
+  Cycle slowest = 0;
+  std::uint64_t remaining = e.sharers;
+  while (remaining != 0) {
+    const CoreId s = static_cast<CoreId>(std::countr_zero(remaining));
+    remaining &= remaining - 1;
+    if (s == skip) continue;
+    Cycle leg = msg(b, s, MsgClass::kInval);
+    ++stats_.dir_recall_msgs;
+    const L1Line old = l1_[s]->invalidate(e.line);
+    if (old.valid) {
+      ++stats_.l1_invals_recall;
+      if (old.dirty) {
+        // Owner held M: pull the data back into the (still resident) LLC line.
+        LlcLine* ll = llc_[b]->find(e.line);
+        RACCD_ASSERT(ll != nullptr, "dirty recall without resident LLC line");
+        ll->dirty = true;
+        ll->version = old.version;
+        count_llc_touch(b);
+        leg += msg(s, b, MsgClass::kWriteback);
+        ++stats_.l1_wb_coh;
+      } else {
+        leg += msg(s, b, MsgClass::kAck);
+      }
+    } else {
+      leg += msg(s, b, MsgClass::kAck);  // silently evicted: stale sharer bit
+    }
+    slowest = std::max(slowest, leg);
+  }
+  e.sharers = (skip != kNoCore && (e.sharers & bit(skip)) != 0) ? bit(skip) : 0;
+  e.excl = kNoCore;
+  return slowest;
+}
+
+Cycle Fabric::drop_llc_line(BankId b, LineAddr line, bool due_to_dir) {
+  const LlcLine dead = llc_[b]->invalidate(line);
+  RACCD_ASSERT(dead.valid, "dropping a non-resident LLC line");
+  count_llc_touch(b);
+  if (due_to_dir) ++stats_.llc_inval_by_dir;
+  Cycle lat = 0;
+  if (dead.dirty) {
+    mem_writeback(b, line, dead.version);
+    ++stats_.llc_wb_mem;
+    lat += 0;  // writeback drains off the critical path
+  }
+  return lat;
+}
+
+Cycle Fabric::evict_dir_entry(BankId b, const DirEntry& victim, Cycle now) {
+  DirEntry copy = victim;
+  Cycle lat = recall_sharers(b, copy, kNoCore, now);
+  lat += drop_llc_line(b, victim.line, /*due_to_dir=*/true);
+  mark_dir_dirty(b, now);
+  const bool removed = dir_[b]->remove(victim.line);
+  RACCD_ASSERT(removed, "directory victim vanished during recall");
+  count_dir_access(b);
+  ++stats_.dir_evictions;
+  return lat;
+}
+
+Cycle Fabric::llc_fill(BankId b, LineAddr line, bool nc, bool dirty, std::uint64_t version,
+                       Cycle now) {
+  Cycle lat = 0;
+  const LlcLine victim = llc_[b]->peek_victim(line);
+  if (victim.valid) {
+    ++stats_.llc_evictions;
+    const DirEntry* ve = victim.nc ? nullptr : dir_[b]->find(victim.line);
+    if (ve != nullptr) {
+      // Tracked coherent victim: recall the L1 copies and free its entry
+      // (LLC capacity pressure shrinking directory occupancy, paper Fig. 8).
+      count_dir_access(b);
+      lat += evict_dir_entry(b, *ve, now);
+    } else {
+      // NC line or untracked coherent line: plain eviction.
+      lat += drop_llc_line(b, victim.line, /*due_to_dir=*/false);
+    }
+  }
+  llc_[b]->fill(line, nc, dirty, version);
+  count_llc_touch(b);
+  ++stats_.llc_fills;
+  return lat;
+}
+
+Cycle Fabric::mem_fetch(BankId b, LineAddr line, std::uint64_t& version) {
+  const std::uint32_t mc = mesh_.nearest_memory_controller(b);
+  Cycle lat = msg(b, mc, MsgClass::kRequest);
+  lat += cfg_.mem_cycles;
+  lat += msg(mc, b, MsgClass::kResponseData);
+  ++stats_.mem_reads;
+  stats_.e_mem_pj += energy_.mem_access_pj();
+  version = mem_version(line);
+  return lat;
+}
+
+void Fabric::mem_writeback(BankId b, LineAddr line, std::uint64_t version) {
+  const std::uint32_t mc = mesh_.nearest_memory_controller(b);
+  (void)msg(b, mc, MsgClass::kWriteback);
+  ++stats_.mem_writes;
+  stats_.e_mem_pj += energy_.mem_access_pj();
+  mem_version_[line] = version;
+}
+
+void Fabric::handle_l1_victim(CoreId c, const L1Line& victim, Cycle now) {
+  ++stats_.l1_evictions;
+  if (!victim.dirty) return;  // silent clean eviction (paper Table I)
+  const BankId b = home_of(victim.line);
+  if (victim.nc) {
+    // NC writeback: straight to the LLC; if the LLC lost the line, forward
+    // to memory without re-allocating (paper §III-C.3).
+    (void)msg(c, b, MsgClass::kWriteback);
+    ++stats_.l1_wb_nc;
+    LlcLine* ll = llc_[b]->find(victim.line);
+    count_llc_touch(b);
+    if (ll != nullptr) {
+      ll->dirty = true;
+      ll->version = victim.version;
+    } else {
+      mem_writeback(b, victim.line, victim.version);
+      ++stats_.llc_wb_mem;
+    }
+  } else {
+    // Coherent M writeback: update LLC data and directory sharing state.
+    (void)msg(c, b, MsgClass::kWriteback);
+    ++stats_.l1_wb_coh;
+    DirEntry* e = dir_[b]->find(victim.line);
+    count_dir_access(b);
+    ++stats_.dir_wb_updates;
+    RACCD_ASSERT(e != nullptr, "M writeback without directory entry");
+    if (e->excl == c) e->excl = kNoCore;
+    e->sharers &= ~bit(c);
+    LlcLine* ll = llc_[b]->find(victim.line);
+    RACCD_ASSERT(ll != nullptr, "M writeback without LLC line");
+    count_llc_touch(b);
+    ll->dirty = true;
+    ll->version = victim.version;
+  }
+  (void)now;
+}
+
+// ---------------------------------------------------------------------------
+// Miss paths
+// ---------------------------------------------------------------------------
+
+Fabric::MissResult Fabric::coherent_miss(CoreId c, LineAddr line, bool is_write, Cycle now) {
+  const BankId b = home_of(line);
+  MissResult r;
+  r.latency += msg(c, b, MsgClass::kRequest);
+  // The home node looks up directory and LLC tags in parallel.
+  {
+    const Cycle arrive = now + r.latency;
+    const Cycle dir_leg = bank_service(dir_busy_[b], arrive, cfg_.dir_cycles);
+    const Cycle llc_leg = bank_service(llc_busy_[b], arrive, cfg_.llc_cycles);
+    r.latency += std::max(dir_leg, llc_leg);
+  }
+  count_dir_access(b);
+  ++stats_.dir_lookups;
+  count_llc_touch(b);
+  ++stats_.llc_lookups;
+
+  DirEntry* e = dir_[b]->find(line);
+  if (e != nullptr) {
+    ++stats_.dir_hits;
+    dir_[b]->touch(*e);
+    if (e->excl != kNoCore) {
+      // Probe the E/M holder (it may have silently evicted an E line).
+      const CoreId o = e->excl;
+      ++stats_.owner_probes;
+      Cycle leg = msg(b, o, MsgClass::kInval);
+      L1Line* ol = l1_[o]->find(line);
+      if (ol != nullptr) {
+        if (is_write) {
+          const L1Line old = l1_[o]->invalidate(line);
+          ++stats_.l1_invals_sharer;
+          if (old.dirty) {
+            LlcLine* ll = llc_[b]->find(line);
+            RACCD_ASSERT(ll != nullptr, "owner WB without LLC line");
+            ll->dirty = true;
+            ll->version = old.version;
+            count_llc_touch(b);
+            leg += msg(o, b, MsgClass::kWriteback);
+            ++stats_.l1_wb_coh;
+          } else {
+            leg += msg(o, b, MsgClass::kAck);
+          }
+          e->sharers &= ~bit(o);
+        } else {
+          // Downgrade to S; dirty data returns to the LLC.
+          if (ol->dirty) {
+            LlcLine* ll = llc_[b]->find(line);
+            RACCD_ASSERT(ll != nullptr, "owner WB without LLC line");
+            ll->dirty = true;
+            ll->version = ol->version;
+            count_llc_touch(b);
+            leg += msg(o, b, MsgClass::kWriteback);
+            ++stats_.l1_wb_coh;
+            ol->dirty = false;
+          } else {
+            leg += msg(o, b, MsgClass::kAck);
+          }
+          ol->coh = Mesi::kShared;
+        }
+      } else {
+        leg += msg(o, b, MsgClass::kAck);  // silent eviction: stale owner
+        e->sharers &= ~bit(o);
+      }
+      e->excl = kNoCore;
+      r.latency += leg;
+    }
+    if (is_write && (e->sharers & ~bit(c)) != 0) {
+      // Invalidate remaining sharers in parallel; pay the slowest leg.
+      Cycle slowest = 0;
+      std::uint64_t remaining = e->sharers & ~bit(c);
+      while (remaining != 0) {
+        const CoreId s = static_cast<CoreId>(std::countr_zero(remaining));
+        remaining &= remaining - 1;
+        Cycle leg = msg(b, s, MsgClass::kInval);
+        const L1Line old = l1_[s]->invalidate(line);
+        if (old.valid) {
+          RACCD_ASSERT(!old.dirty, "dirty sharer outside excl state");
+          ++stats_.l1_invals_sharer;
+        }
+        leg += msg(s, b, MsgClass::kAck);
+        slowest = std::max(slowest, leg);
+      }
+      r.latency += slowest;
+    }
+    // Serve data from the LLC (a tracked line is always LLC-resident: LLC
+    // evictions recall the entry and directory evictions invalidate the line).
+    LlcLine* ll = llc_[b]->find(line);
+    RACCD_ASSERT(ll != nullptr, "directory entry without LLC line");
+    ++stats_.llc_hits;
+    llc_[b]->touch(*ll);
+    r.llc_hit = true;
+    r.version = ll->version;
+    if (is_write) {
+      e->sharers = bit(c);
+      e->excl = c;
+      r.grant = Mesi::kModified;
+    } else {
+      e->sharers |= bit(c);
+      if (e->sharers == bit(c)) {
+        e->excl = c;
+        r.grant = Mesi::kExclusive;
+      } else {
+        r.grant = Mesi::kShared;
+      }
+    }
+  } else {
+    // Sparse directory: entries track lines with (possible) private-cache
+    // copies. A new L1 fill allocates one, recalling a victim if the set is
+    // full (the recall also invalidates the victim's LLC line — the
+    // mechanism behind FullCoh's LLC degradation, paper §V-A.3). LLC lines
+    // without L1 copies live untracked.
+    ++stats_.dir_misses;
+    if (!dir_[b]->has_free_way(line)) {
+      const DirEntry victim = dir_[b]->peek_victim(line);
+      r.latency += evict_dir_entry(b, victim, now + r.latency);
+    }
+    mark_dir_dirty(b, now + r.latency);
+    DirEntry& ne = dir_[b]->alloc(line);
+    count_dir_access(b);
+    ++stats_.dir_allocs;
+
+    LlcLine* ll = llc_[b]->find(line);
+    if (ll != nullptr) {
+      ++stats_.llc_hits;
+      if (ll->nc) {
+        // NC -> coherent transition (paper §III-E): start tracking.
+        ll->nc = false;
+        ++stats_.dir_nc_to_coh;
+      }
+      llc_[b]->touch(*ll);
+      r.llc_hit = true;
+      r.version = ll->version;
+    } else {
+      ++stats_.llc_misses;
+      r.latency += mem_fetch(b, line, r.version);
+      r.latency += llc_fill(b, line, /*nc=*/false, /*dirty=*/false, r.version,
+                            now + r.latency);
+    }
+    ne.sharers = bit(c);
+    ne.excl = c;
+    r.grant = is_write ? Mesi::kModified : Mesi::kExclusive;
+  }
+  r.latency += msg(b, c, MsgClass::kResponseData);
+  return r;
+}
+
+Fabric::MissResult Fabric::nc_miss(CoreId c, LineAddr line, bool is_write, Cycle now) {
+  const BankId b = home_of(line);
+  MissResult r;
+  r.grant = Mesi::kInvalid;
+  r.latency += msg(c, b, MsgClass::kRequest);
+  r.latency += bank_service(llc_busy_[b], now + r.latency, cfg_.llc_cycles);
+  ++stats_.llc_lookups;
+  ++stats_.llc_nc_lookups;
+  LlcLine* ll = llc_[b]->find(line);
+  count_llc_touch(b);
+  if (ll != nullptr) {
+    ++stats_.llc_hits;
+    ++stats_.llc_nc_hits;
+    if (!ll->nc) {
+      // Coherent -> NC transition (paper §III-E): if the line is tracked,
+      // pull any dirty owner data into the LLC and deallocate the entry;
+      // untracked lines simply re-tag without touching the directory.
+      DirEntry* e = dir_[b]->find(line);
+      if (e != nullptr) {
+        count_dir_access(b);
+        r.latency += recall_sharers(b, *e, kNoCore, now + r.latency);
+        mark_dir_dirty(b, now + r.latency);
+        dir_[b]->remove(line);
+        count_dir_access(b);
+        ++stats_.dir_coh_to_nc;
+      }
+      ll->nc = true;
+    }
+    llc_[b]->touch(*ll);
+    r.llc_hit = true;
+    r.version = ll->version;
+  } else {
+    ++stats_.llc_misses;
+    r.latency += mem_fetch(b, line, r.version);
+    r.latency += llc_fill(b, line, /*nc=*/true, /*dirty=*/false, r.version,
+                          now + r.latency);
+  }
+  r.latency += msg(b, c, MsgClass::kResponseData);
+  (void)is_write;
+  return r;
+}
+
+Cycle Fabric::upgrade_to_m(CoreId c, LineAddr line, Cycle now) {
+  const BankId b = home_of(line);
+  Cycle lat = msg(c, b, MsgClass::kRequest);
+  lat += bank_service(dir_busy_[b], now + lat, cfg_.dir_cycles);
+  count_dir_access(b);
+  ++stats_.dir_lookups;
+  ++stats_.upgrades;
+  DirEntry* e = dir_[b]->find(line);
+  RACCD_ASSERT(e != nullptr, "upgrade from S without directory entry");
+  ++stats_.dir_hits;
+  dir_[b]->touch(*e);
+  RACCD_ASSERT(e->excl == kNoCore || e->excl == c,
+               "S copy coexisting with a foreign exclusive owner");
+  Cycle slowest = 0;
+  std::uint64_t remaining = e->sharers & ~bit(c);
+  while (remaining != 0) {
+    const CoreId s = static_cast<CoreId>(std::countr_zero(remaining));
+    remaining &= remaining - 1;
+    Cycle leg = msg(b, s, MsgClass::kInval);
+    const L1Line old = l1_[s]->invalidate(line);
+    if (old.valid) {
+      RACCD_ASSERT(!old.dirty, "dirty sharer outside excl state");
+      ++stats_.l1_invals_sharer;
+    }
+    leg += msg(s, b, MsgClass::kAck);
+    slowest = std::max(slowest, leg);
+  }
+  lat += slowest;
+  e->sharers = bit(c);
+  e->excl = c;
+  lat += msg(b, c, MsgClass::kAck);
+  return lat;
+}
+
+// ---------------------------------------------------------------------------
+// Public operations
+// ---------------------------------------------------------------------------
+
+AccessOutcome Fabric::access(CoreId c, LineAddr line, bool is_write, bool nc, Cycle now) {
+  RACCD_DEBUG_ASSERT(c < cfg_.cores, "core id out of range");
+  ++stats_.l1_accesses;
+  stats_.e_l1_pj += energy_.l1_access_pj();
+  L1Cache& l1c = *l1_[c];
+  Cycle lat = cfg_.l1_hit_cycles;
+
+  if (L1Line* hit = l1c.find(line)) {
+    ++stats_.l1_hits;
+    l1c.touch(*hit);
+    classifier_.record(line, hit->nc);
+    if (!is_write) {
+      if (checker_ != nullptr) checker_->on_load(line, hit->version);
+      return AccessOutcome{lat, true, false};
+    }
+    if (hit->nc) {
+      store_version_bump(*hit, line);
+    } else {
+      switch (hit->coh) {
+        case Mesi::kModified:
+          store_version_bump(*hit, line);
+          break;
+        case Mesi::kExclusive:
+          hit->coh = Mesi::kModified;  // silent E->M upgrade
+          store_version_bump(*hit, line);
+          break;
+        case Mesi::kShared:
+          lat += upgrade_to_m(c, line, now + lat);
+          hit->coh = Mesi::kModified;
+          store_version_bump(*hit, line);
+          break;
+        case Mesi::kInvalid:
+          RACCD_ASSERT(false, "valid coherent line in I state");
+          break;
+      }
+    }
+    return AccessOutcome{lat, true, false};
+  }
+
+  ++stats_.l1_misses;
+  classifier_.record(line, nc);
+  if (nc) {
+    is_write ? ++stats_.nc_writes : ++stats_.nc_reads;
+  } else {
+    is_write ? ++stats_.coh_writes : ++stats_.coh_reads;
+  }
+  const MissResult r =
+      nc ? nc_miss(c, line, is_write, now + lat) : coherent_miss(c, line, is_write, now + lat);
+  lat += r.latency;
+
+  const L1Line victim = l1c.fill(line, nc, r.grant, /*dirty=*/false, r.version);
+  if (victim.valid) handle_l1_victim(c, victim, now + lat);
+  L1Line* nl = l1c.find(line);
+  if (is_write) {
+    store_version_bump(*nl, line);
+  } else if (checker_ != nullptr) {
+    checker_->on_load(line, nl->version);
+  }
+  return AccessOutcome{lat, false, r.llc_hit};
+}
+
+Fabric::FlushOutcome Fabric::flush_nc_lines(CoreId c, Cycle now) {
+  FlushOutcome out;
+  L1Cache& l1c = *l1_[c];
+  // Sequential walk over the whole array (paper §III-C.4).
+  out.cycles = static_cast<Cycle>(l1c.line_capacity()) * cfg_.invalidate_walk_cycles_per_line;
+  std::vector<LineAddr> to_drop;
+  to_drop.reserve(64);
+  l1c.for_each_valid([&](L1Line& l) {
+    if (l.nc) to_drop.push_back(l.line);
+  });
+  for (const LineAddr line : to_drop) {
+    const L1Line old = l1c.invalidate(line);
+    ++out.lines;
+    ++stats_.l1_flush_nc_lines;
+    if (old.dirty) {
+      ++out.writebacks;
+      ++stats_.l1_flush_nc_wbs;
+      const BankId b = home_of(line);
+      (void)msg(c, b, MsgClass::kWriteback);
+      ++stats_.l1_wb_nc;
+      LlcLine* ll = llc_[b]->find(line);
+      count_llc_touch(b);
+      if (ll != nullptr) {
+        ll->dirty = true;
+        ll->version = old.version;
+      } else {
+        mem_writeback(b, line, old.version);
+        ++stats_.llc_wb_mem;
+      }
+    }
+  }
+  (void)now;
+  return out;
+}
+
+Fabric::FlushOutcome Fabric::flush_page_lines(CoreId c, PageNum frame, Cycle now) {
+  FlushOutcome out;
+  L1Cache& l1c = *l1_[c];
+  const LineAddr first = frame << (kPageShift - kLineShift);
+  for (std::uint32_t i = 0; i < kLinesPerPage; ++i) {
+    const LineAddr line = first + i;
+    out.cycles += 1;  // one tag probe per line of the page
+    const L1Line old = l1c.invalidate(line);
+    if (!old.valid) continue;
+    ++out.lines;
+    ++stats_.l1_flush_page_lines;
+    if (old.dirty) {
+      ++out.writebacks;
+      ++stats_.l1_flush_page_wbs;
+      const BankId b = home_of(line);
+      (void)msg(c, b, MsgClass::kWriteback);
+      if (old.nc) {
+        ++stats_.l1_wb_nc;
+        LlcLine* ll = llc_[b]->find(line);
+        count_llc_touch(b);
+        if (ll != nullptr) {
+          ll->dirty = true;
+          ll->version = old.version;
+        } else {
+          mem_writeback(b, line, old.version);
+          ++stats_.llc_wb_mem;
+        }
+      } else {
+        // Coherent M line of a reclassifying page.
+        ++stats_.l1_wb_coh;
+        DirEntry* e = dir_[home_of(line)]->find(line);
+        count_dir_access(b);
+        RACCD_ASSERT(e != nullptr, "M flush without directory entry");
+        if (e->excl == c) e->excl = kNoCore;
+        e->sharers &= ~bit(c);
+        LlcLine* ll = llc_[b]->find(line);
+        RACCD_ASSERT(ll != nullptr, "M flush without LLC line");
+        count_llc_touch(b);
+        ll->dirty = true;
+        ll->version = old.version;
+      }
+    }
+  }
+  (void)now;
+  return out;
+}
+
+Fabric::ResizeOutcome Fabric::resize_dir_bank(BankId b, std::uint32_t new_active_sets,
+                                              Cycle now) {
+  ResizeOutcome out;
+  mark_dir_dirty(b, now);
+  std::vector<DirEntry> displaced;
+  out.moved = dir_[b]->resize(new_active_sets, displaced);
+  out.displaced = static_cast<std::uint32_t>(displaced.size());
+  for (DirEntry& e : displaced) {
+    // Conflict overflow under the new indexing: recall like an eviction.
+    (void)recall_sharers(b, e, kNoCore, now);
+    (void)drop_llc_line(b, e.line, /*due_to_dir=*/true);
+    ++stats_.dir_evictions;
+  }
+  // The reconfiguration blocks the bank while entries move (paper §III-D).
+  out.blocked_cycles = static_cast<Cycle>(out.moved) * 2 + 100;
+  dir_busy_[b] = std::max(dir_busy_[b], now) + out.blocked_cycles;
+  dir_access_pj_[b] = energy_.dir_access_pj(dir_[b]->active_entries());
+  return out;
+}
+
+void Fabric::finalize(Cycle end_time) {
+  for (auto& d : dir_) d->occupancy_tick(end_time);
+}
+
+double Fabric::avg_dir_occupancy(Cycle end_time) const noexcept {
+  if (end_time == 0) return 0.0;
+  double sum = 0.0;
+  for (const auto& d : dir_) {
+    // Normalize against the *configured* capacity (paper Fig. 8 reports
+    // occupancy of the 1:1 directory).
+    const double cap = static_cast<double>(d->total_sets()) * d->ways();
+    sum += d->occupancy_integral() / (static_cast<double>(end_time) * cap);
+  }
+  return sum / static_cast<double>(dir_.size());
+}
+
+}  // namespace raccd

@@ -1,0 +1,248 @@
+// The coherence fabric: private L1s + banked shared LLC + banked sparse
+// directory + mesh NoC + memory controllers, driven as atomic transactions.
+//
+// Every memory access runs to completion in protocol order ("now" values are
+// globally non-decreasing because the simulation advances the core with the
+// lowest local clock first). Per-bank busy windows model serialization at
+// directory/LLC banks. This reproduces the quantities the paper's figures
+// plot — directory accesses/occupancy, LLC hit ratio, NoC traffic, energy,
+// and latency — without modelling protocol transient states (see DESIGN.md
+// substitution #2).
+//
+// Non-coherent (NC) transactions (paper §III-C.3): requests flagged NC go to
+// the home LLC bank only and never allocate directory state; NC lines carry
+// the NC bit through L1 and LLC. Transitions between coherent and
+// non-coherent (paper §III-E) allocate/deallocate the directory entry on
+// demand.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "raccd/cache/l1_cache.hpp"
+#include "raccd/cache/llc_bank.hpp"
+#include "raccd/coherence/directory.hpp"
+#include "raccd/common/types.hpp"
+#include "raccd/energy/energy_model.hpp"
+#include "raccd/noc/mesh.hpp"
+
+namespace raccd {
+
+class CoherenceChecker;
+
+struct FabricConfig {
+  std::uint32_t cores = 16;
+  L1Geometry l1{};
+  LlcGeometry llc{};
+  DirGeometry dir{};
+  MeshConfig mesh{};
+  Cycle l1_hit_cycles = 2;
+  Cycle llc_cycles = 15;
+  Cycle dir_cycles = 15;
+  Cycle mem_cycles = 150;
+  Cycle invalidate_walk_cycles_per_line = 1;  ///< raccd_invalidate L1 walk cost
+  bool model_bank_contention = true;
+  EnergyConfig energy{};
+  /// Pre-size for the Fig. 2 block-classification table (lines).
+  std::uint64_t phys_lines_hint = 0;
+};
+
+/// Result of one access, as seen by the issuing core.
+struct AccessOutcome {
+  Cycle latency = 0;
+  bool l1_hit = false;
+  bool llc_hit = false;  ///< meaningful only when !l1_hit
+};
+
+struct FabricStats {
+  // L1 (aggregated over cores)
+  std::uint64_t l1_accesses = 0, l1_hits = 0, l1_misses = 0;
+  std::uint64_t l1_evictions = 0, l1_wb_coh = 0, l1_wb_nc = 0;
+  std::uint64_t l1_invals_sharer = 0;  ///< invalidations from GetX/upgrades
+  std::uint64_t l1_invals_recall = 0;  ///< invalidations from directory/LLC recalls
+  std::uint64_t l1_flush_nc_lines = 0, l1_flush_nc_wbs = 0;    ///< raccd_invalidate
+  std::uint64_t l1_flush_page_lines = 0, l1_flush_page_wbs = 0;  ///< PT recovery
+
+  // LLC: hit-rate denominators count only demand lookups from L1 misses.
+  std::uint64_t llc_lookups = 0, llc_hits = 0, llc_misses = 0;
+  std::uint64_t llc_nc_lookups = 0, llc_nc_hits = 0;
+  std::uint64_t llc_fills = 0, llc_evictions = 0, llc_inval_by_dir = 0, llc_wb_mem = 0;
+  std::uint64_t llc_touches = 0;  ///< every array access (energy basis)
+
+  // Directory. dir_accesses counts every read/update of the structure and is
+  // the paper's Fig. 7a metric and the dynamic-energy basis.
+  std::uint64_t dir_accesses = 0;
+  std::uint64_t dir_lookups = 0, dir_hits = 0, dir_misses = 0;
+  std::uint64_t dir_allocs = 0, dir_evictions = 0, dir_recall_msgs = 0;
+  std::uint64_t dir_wb_updates = 0;
+  std::uint64_t dir_nc_to_coh = 0;  ///< NC LLC line re-tracked on coherent access
+  std::uint64_t dir_coh_to_nc = 0;  ///< entry dropped on NC access (paper III-E)
+
+  // Transactions
+  std::uint64_t coh_reads = 0, coh_writes = 0, upgrades = 0;
+  std::uint64_t nc_reads = 0, nc_writes = 0;
+  std::uint64_t owner_probes = 0;
+
+  // Memory
+  std::uint64_t mem_reads = 0, mem_writes = 0;
+
+  // Dynamic energy (pJ)
+  double e_dir_pj = 0.0, e_llc_pj = 0.0, e_l1_pj = 0.0, e_noc_pj = 0.0, e_mem_pj = 0.0;
+
+  void add(const FabricStats& o) noexcept;
+  [[nodiscard]] double llc_hit_ratio() const noexcept {
+    return llc_lookups == 0 ? 0.0
+                            : static_cast<double>(llc_hits) / static_cast<double>(llc_lookups);
+  }
+};
+
+/// Per-line classification for paper Fig. 2: a block counts as non-coherent
+/// iff it is touched and never accessed coherently.
+class BlockClassifier {
+ public:
+  void record(LineAddr line, bool nc);
+  [[nodiscard]] std::uint64_t touched_blocks() const noexcept;
+  [[nodiscard]] std::uint64_t coherent_blocks() const noexcept;
+  [[nodiscard]] std::uint64_t noncoherent_blocks() const noexcept;
+  [[nodiscard]] double noncoherent_fraction() const noexcept;
+
+ private:
+  static constexpr std::uint8_t kSawNc = 1, kSawCoh = 2;
+  std::vector<std::uint8_t> flags_;
+};
+
+class Fabric {
+ public:
+  explicit Fabric(const FabricConfig& cfg, CoherenceChecker* checker = nullptr);
+
+  /// One load/store by core `c` to physical line `line` at time `now`.
+  /// `nc` is the caller's classification (NCRT hit, or PT private page).
+  AccessOutcome access(CoreId c, LineAddr line, bool is_write, bool nc, Cycle now);
+
+  /// Account `n` run-length-merged repeat accesses as guaranteed L1 hits
+  /// (the trace replayer proves residency; see trace/access_trace.hpp).
+  void count_l1_repeat_hits(std::uint64_t n) noexcept {
+    stats_.l1_accesses += n;
+    stats_.l1_hits += n;
+    stats_.e_l1_pj += static_cast<double>(n) * energy_.l1_access_pj();
+  }
+
+  struct FlushOutcome {
+    std::uint64_t lines = 0;       ///< lines invalidated
+    std::uint64_t writebacks = 0;  ///< dirty lines written back
+    Cycle cycles = 0;              ///< cost charged to the flushing core
+  };
+
+  /// raccd_invalidate: sequentially walk core c's L1 and flush NC lines
+  /// (paper §III-C.4). Clean NC lines drop silently; dirty ones write back.
+  FlushOutcome flush_nc_lines(CoreId c, Cycle now);
+
+  /// PT recovery: flush all lines of physical page `frame` from core c's L1
+  /// (page reclassified private -> shared).
+  FlushOutcome flush_page_lines(CoreId c, PageNum frame, Cycle now);
+
+  // -- ADR support -------------------------------------------------------------
+  struct ResizeOutcome {
+    std::uint32_t moved = 0;
+    std::uint32_t displaced = 0;
+    Cycle blocked_cycles = 0;
+  };
+  /// Power directory bank `b` to `new_active_sets`; displaced entries are
+  /// recalled. The bank is blocked for the returned window. Must not be
+  /// called from inside access() (the sim loop runs ADR between accesses).
+  ResizeOutcome resize_dir_bank(BankId b, std::uint32_t new_active_sets, Cycle now);
+
+  /// Banks whose directory occupancy changed since the last call (bitmask);
+  /// reading clears the mask. The ADR monitor polls this between accesses.
+  [[nodiscard]] std::uint32_t take_dir_occupancy_dirty_mask() noexcept {
+    const std::uint32_t m = dir_dirty_mask_;
+    dir_dirty_mask_ = 0;
+    return m;
+  }
+
+  /// Flush time-weighted occupancy integrals at end of simulation.
+  void finalize(Cycle end_time);
+
+  // -- Accessors ----------------------------------------------------------------
+  [[nodiscard]] const FabricConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] BankId home_of(LineAddr line) const noexcept {
+    return static_cast<BankId>(line & (cfg_.cores - 1));
+  }
+  [[nodiscard]] L1Cache& l1(CoreId c) noexcept { return *l1_[c]; }
+  [[nodiscard]] const L1Cache& l1(CoreId c) const noexcept { return *l1_[c]; }
+  [[nodiscard]] LlcBank& llc(BankId b) noexcept { return *llc_[b]; }
+  [[nodiscard]] const LlcBank& llc(BankId b) const noexcept { return *llc_[b]; }
+  [[nodiscard]] DirectoryBank& dir(BankId b) noexcept { return *dir_[b]; }
+  [[nodiscard]] const DirectoryBank& dir(BankId b) const noexcept { return *dir_[b]; }
+  [[nodiscard]] Mesh& mesh() noexcept { return mesh_; }
+  [[nodiscard]] const Mesh& mesh() const noexcept { return mesh_; }
+  [[nodiscard]] FabricStats& stats() noexcept { return stats_; }
+  [[nodiscard]] const FabricStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const EnergyModel& energy() const noexcept { return energy_; }
+  [[nodiscard]] const BlockClassifier& classifier() const noexcept { return classifier_; }
+  [[nodiscard]] std::uint64_t mem_version(LineAddr line) const noexcept;
+
+  /// Average directory occupancy across banks [0,1] (valid after finalize()).
+  [[nodiscard]] double avg_dir_occupancy(Cycle end_time) const noexcept;
+
+ private:
+  struct MissResult {
+    Cycle latency = 0;
+    bool llc_hit = false;
+    std::uint64_t version = 0;
+    Mesi grant = Mesi::kShared;
+  };
+
+  // Message + energy accounting; returns the message latency.
+  Cycle msg(std::uint32_t from, std::uint32_t to, MsgClass cls);
+  // Bank occupancy: wait + service; returns wait+service time.
+  Cycle bank_service(Cycle& busy_until, Cycle arrive, Cycle service) noexcept;
+
+  void count_dir_access(BankId b);
+  void count_llc_touch(BankId b);
+
+  MissResult coherent_miss(CoreId c, LineAddr line, bool is_write, Cycle now);
+  MissResult nc_miss(CoreId c, LineAddr line, bool is_write, Cycle now);
+  Cycle upgrade_to_m(CoreId c, LineAddr line, Cycle now);
+
+  /// Invalidate all L1 copies listed by `e` (skipping `skip`), writing dirty
+  /// owner data back into the resident LLC line. Returns the slowest
+  /// inval/ack leg (invals run in parallel).
+  Cycle recall_sharers(BankId b, DirEntry& e, CoreId skip, Cycle now);
+  /// Remove the LLC line (writing it back to memory if dirty).
+  Cycle drop_llc_line(BankId b, LineAddr line, bool due_to_dir);
+  /// Evict a directory entry: recall sharers, drop the LLC line, remove.
+  Cycle evict_dir_entry(BankId b, const DirEntry& victim, Cycle now);
+  /// Fill `line` into its home LLC bank, evicting a victim if needed.
+  Cycle llc_fill(BankId b, LineAddr line, bool nc, bool dirty, std::uint64_t version,
+                 Cycle now);
+  /// Memory fetch legs from home bank b; returns latency, sets version.
+  Cycle mem_fetch(BankId b, LineAddr line, std::uint64_t& version);
+  void mem_writeback(BankId b, LineAddr line, std::uint64_t version);
+
+  void handle_l1_victim(CoreId c, const L1Line& victim, Cycle now);
+  void mark_dir_dirty(BankId b, Cycle now);
+
+  void store_version_bump(L1Line& l, LineAddr line);
+
+  FabricConfig cfg_;
+  EnergyModel energy_;
+  Mesh mesh_;
+  std::vector<std::unique_ptr<L1Cache>> l1_;
+  std::vector<std::unique_ptr<LlcBank>> llc_;
+  std::vector<std::unique_ptr<DirectoryBank>> dir_;
+  std::vector<Cycle> dir_busy_;
+  std::vector<Cycle> llc_busy_;
+  std::unordered_map<LineAddr, std::uint64_t> mem_version_;
+  std::vector<double> dir_access_pj_;  ///< cached per-bank per-access energy
+  FabricStats stats_;
+  BlockClassifier classifier_;
+  CoherenceChecker* checker_;
+  std::uint64_t version_counter_ = 0;
+  std::uint32_t dir_dirty_mask_ = 0;
+};
+
+}  // namespace raccd

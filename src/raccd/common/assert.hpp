@@ -1,0 +1,34 @@
+// Always-on assertions for simulator invariants.
+//
+// Protocol bugs silently corrupt statistics, so invariant checks stay active
+// in release builds; the hot-path checks are cheap compares. RACCD_DEBUG_ASSERT
+// compiles out in release for checks that are too hot to keep.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace raccd::detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "RACCD_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg != nullptr ? msg : "");
+  std::fflush(stderr);
+  std::abort();
+}
+}  // namespace raccd::detail
+
+#define RACCD_ASSERT(cond, msg)                                        \
+  do {                                                                 \
+    if (!(cond)) [[unlikely]] {                                        \
+      ::raccd::detail::assert_fail(#cond, __FILE__, __LINE__, (msg));  \
+    }                                                                  \
+  } while (false)
+
+#ifdef NDEBUG
+#define RACCD_DEBUG_ASSERT(cond, msg) \
+  do {                                \
+  } while (false)
+#else
+#define RACCD_DEBUG_ASSERT(cond, msg) RACCD_ASSERT(cond, msg)
+#endif

@@ -1,0 +1,41 @@
+// Small bit-manipulation helpers on top of <bit>.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "raccd/common/assert.hpp"
+
+namespace raccd {
+
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// log2 of a power of two.
+[[nodiscard]] constexpr unsigned log2_exact(std::uint64_t v) noexcept {
+  RACCD_DEBUG_ASSERT(is_pow2(v), "log2_exact requires a power of two");
+  return static_cast<unsigned>(std::countr_zero(v));
+}
+
+[[nodiscard]] constexpr std::uint64_t ceil_pow2(std::uint64_t v) noexcept {
+  return v <= 1 ? 1 : std::bit_ceil(v);
+}
+
+[[nodiscard]] constexpr unsigned popcount64(std::uint64_t v) noexcept {
+  return static_cast<unsigned>(std::popcount(v));
+}
+
+/// Mixes a 64-bit value (used for set-index hashing of line addresses so that
+/// strided app footprints spread across directory sets the way physical
+/// addresses do on real hardware).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace raccd

@@ -1,0 +1,52 @@
+#include "raccd/common/format.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace raccd {
+
+std::string strprintf(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  if (v == static_cast<double>(static_cast<std::uint64_t>(v))) {
+    return strprintf("%llu %s", static_cast<unsigned long long>(v), kUnits[unit]);
+  }
+  return strprintf("%.2f %s", v, kUnits[unit]);
+}
+
+std::string format_count(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int seen = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (seen != 0 && seen % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++seen;
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+}  // namespace raccd

@@ -1,0 +1,20 @@
+// printf-style std::string formatting (the toolchain's <format> is not yet
+// complete for our uses) plus human-readable unit helpers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace raccd {
+
+/// vsnprintf into a std::string.
+[[nodiscard]] std::string strprintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// "1.5 KB", "32 MB", ... (powers of 1024).
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes);
+
+/// "1234567" -> "1,234,567".
+[[nodiscard]] std::string format_count(std::uint64_t v);
+
+}  // namespace raccd

@@ -1,0 +1,36 @@
+// Aggregation helpers used by reports and the experiment harness.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+namespace raccd {
+
+/// Arithmetic mean; 0 for an empty span.
+[[nodiscard]] inline double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+/// Geometric mean; 0 for an empty span. Standard aggregator for normalized
+/// performance numbers (speedups/slowdowns).
+[[nodiscard]] inline double geomean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : xs) log_sum += std::log(x);
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+/// Safe ratio: 0 when the denominator is 0.
+[[nodiscard]] constexpr double ratio(double num, double den) noexcept {
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+[[nodiscard]] constexpr double percent(double num, double den) noexcept {
+  return 100.0 * ratio(num, den);
+}
+
+}  // namespace raccd

@@ -1,0 +1,67 @@
+// Deterministic, seedable PRNG used everywhere randomness is needed
+// (workload generation, fragmented page allocation, property tests).
+// xoshiro256** seeded through SplitMix64; never std::rand, never
+// std::random_device, so simulations replay bit-identically.
+#pragma once
+
+#include <cstdint>
+
+namespace raccd {
+
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) noexcept { reseed(seed); }
+
+  constexpr void reseed(std::uint64_t seed) noexcept {
+    // SplitMix64 to expand the seed into the xoshiro state.
+    auto next = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+    for (auto& word : state_) word = next();
+  }
+
+  constexpr std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    // Lemire's multiply-shift rejection-free variant is overkill here; the
+    // simple 128-bit multiply keeps bias below 2^-64 which is fine for
+    // workload generation.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  constexpr float next_float(float lo, float hi) noexcept {
+    return lo + static_cast<float>(next_double()) * (hi - lo);
+  }
+
+  constexpr bool next_bool(double p_true) noexcept { return next_double() < p_true; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace raccd

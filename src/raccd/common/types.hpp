@@ -1,0 +1,72 @@
+// Fundamental identifiers and geometry constants shared by every module.
+//
+// Addresses are 64-bit byte addresses. Virtual and physical addresses use
+// distinct aliases so interfaces document which space they operate in; the
+// simulated machine uses 42-bit physical addresses (paper Table I) but the
+// model accepts any width.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace raccd {
+
+using VAddr = std::uint64_t;  ///< simulated virtual byte address
+using PAddr = std::uint64_t;  ///< simulated physical byte address
+using Cycle = std::uint64_t;  ///< simulated time, in core cycles
+using CoreId = std::uint32_t;
+using BankId = std::uint32_t;
+using TaskId = std::uint32_t;
+
+/// Cache line geometry (64 B lines, paper Table I).
+inline constexpr unsigned kLineShift = 6;
+inline constexpr unsigned kLineBytes = 1u << kLineShift;
+
+/// Page geometry (4 KB pages, x86).
+inline constexpr unsigned kPageShift = 12;
+inline constexpr unsigned kPageBytes = 1u << kPageShift;
+inline constexpr unsigned kLinesPerPage = kPageBytes / kLineBytes;
+
+/// A physical cache-line number (PAddr >> kLineShift).
+using LineAddr = std::uint64_t;
+/// A page number in either address space (addr >> kPageShift).
+using PageNum = std::uint64_t;
+
+[[nodiscard]] constexpr LineAddr line_of(PAddr a) noexcept { return a >> kLineShift; }
+[[nodiscard]] constexpr PAddr addr_of_line(LineAddr l) noexcept { return l << kLineShift; }
+[[nodiscard]] constexpr PageNum page_of(std::uint64_t a) noexcept { return a >> kPageShift; }
+[[nodiscard]] constexpr std::uint64_t page_offset(std::uint64_t a) noexcept {
+  return a & (kPageBytes - 1);
+}
+[[nodiscard]] constexpr std::uint64_t line_offset(std::uint64_t a) noexcept {
+  return a & (kLineBytes - 1);
+}
+[[nodiscard]] constexpr std::uint64_t align_down(std::uint64_t a, std::uint64_t align) noexcept {
+  return a & ~(align - 1);
+}
+[[nodiscard]] constexpr std::uint64_t align_up(std::uint64_t a, std::uint64_t align) noexcept {
+  return (a + align - 1) & ~(align - 1);
+}
+
+/// Marker for "no core" in owner fields.
+inline constexpr CoreId kNoCore = ~CoreId{0};
+/// Marker for "no task".
+inline constexpr TaskId kNoTask = ~TaskId{0};
+
+/// A half-open byte range [begin, end) in one address space.
+struct AddrRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+
+  [[nodiscard]] constexpr std::uint64_t size() const noexcept { return end - begin; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return begin >= end; }
+  [[nodiscard]] constexpr bool contains(std::uint64_t a) const noexcept {
+    return a >= begin && a < end;
+  }
+  [[nodiscard]] constexpr bool overlaps(const AddrRange& o) const noexcept {
+    return begin < o.end && o.begin < end;
+  }
+  constexpr bool operator==(const AddrRange&) const noexcept = default;
+};
+
+}  // namespace raccd

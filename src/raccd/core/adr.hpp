@@ -1,0 +1,63 @@
+// Adaptive Directory Reduction (paper §III-D).
+//
+// A per-bank occupancy monitor is updated whenever a directory entry is
+// allocated or evicted (the fabric exposes a dirty-bank mask to avoid
+// resizing mid-transaction). When occupancy crosses theta_inc (80% of the
+// current active size) the bank doubles its sets; below theta_dec (20%) it
+// halves them. The 80/20 pair forms a hysteresis loop (after a resize the
+// occupancy ratio lands between the thresholds). Reconfiguration re-indexes
+// entries, recalls conflict overflow and blocks the bank (cost modelled in
+// Fabric::resize_dir_bank); Gated-Vdd leakage of powered-off sets is zero.
+#pragma once
+
+#include <cstdint>
+
+#include "raccd/coherence/fabric.hpp"
+#include "raccd/common/types.hpp"
+
+namespace raccd {
+
+struct AdrConfig {
+  bool enabled = false;
+  double theta_inc = 0.80;
+  double theta_dec = 0.20;
+  /// Lower bound on powered sets, as a divisor of the configured size
+  /// (256 == the paper's most extreme static configuration, 1:256).
+  std::uint32_t min_sets_divisor = 256;
+};
+
+struct AdrStats {
+  std::uint64_t polls = 0;
+  std::uint64_t grows = 0;
+  std::uint64_t shrinks = 0;
+  std::uint64_t entries_moved = 0;
+  std::uint64_t entries_displaced = 0;
+  Cycle blocked_cycles = 0;
+};
+
+class AdrController {
+ public:
+  AdrController(Fabric& fabric, const AdrConfig& cfg);
+
+  /// Check banks whose occupancy changed since the last poll and resize any
+  /// that crossed a threshold. Call between accesses (never mid-transaction).
+  void poll(Cycle now);
+
+  /// Evaluate every bank regardless of recent activity. The machine calls
+  /// this at task completion boundaries so banks with *no* directory traffic
+  /// (fully non-coherent phases) still power down to their floor.
+  void poll_all(Cycle now);
+
+  [[nodiscard]] const AdrStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const AdrConfig& config() const noexcept { return cfg_; }
+
+ private:
+  void consider_bank(BankId b, Cycle now);
+
+  Fabric& fabric_;
+  AdrConfig cfg_;
+  AdrStats stats_;
+  std::uint32_t min_sets_;
+};
+
+}  // namespace raccd

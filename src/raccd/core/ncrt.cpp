@@ -1,0 +1,41 @@
+#include "raccd/core/ncrt.hpp"
+
+#include "raccd/common/assert.hpp"
+
+namespace raccd {
+
+Ncrt::Ncrt(std::uint32_t capacity) : capacity_(capacity) {
+  RACCD_ASSERT(capacity_ > 0, "NCRT needs at least one entry");
+  entries_.reserve(capacity_);
+}
+
+bool Ncrt::insert(PAddr start, PAddr end) {
+  RACCD_ASSERT(start < end, "empty NCRT region");
+  if (full()) {
+    ++stats_.overflows;
+    return false;
+  }
+  entries_.push_back(AddrRange{start, end});
+  ++stats_.inserts;
+  return true;
+}
+
+bool Ncrt::lookup(PAddr pa) noexcept {
+  ++stats_.lookups;
+  // Hardware compares all entries in parallel; a linear scan over <=32
+  // entries models the same single-cycle CAM lookup.
+  for (const AddrRange& r : entries_) {
+    if (r.contains(pa)) {
+      ++stats_.hits;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Ncrt::clear() noexcept {
+  entries_.clear();
+  ++stats_.clears;
+}
+
+}  // namespace raccd

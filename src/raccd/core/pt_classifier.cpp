@@ -1,0 +1,33 @@
+#include "raccd/core/pt_classifier.hpp"
+
+namespace raccd {
+
+PtClassifier::Decision PtClassifier::on_access(CoreId c, PageNum vpage) {
+  if (vpage >= pages_.size()) pages_.resize(vpage + 1);
+  PageState& p = pages_[vpage];
+  switch (p.cls) {
+    case PageClass::kUntouched:
+      p.cls = PageClass::kPrivate;
+      p.owner = c;
+      ++stats_.first_touches;
+      return Decision{true, false, kNoCore};
+    case PageClass::kPrivate:
+      if (p.owner == c) return Decision{true, false, kNoCore};
+      p.cls = PageClass::kShared;
+      ++stats_.transitions;
+      return Decision{false, true, p.owner};
+    case PageClass::kShared:
+      return Decision{false, false, kNoCore};
+  }
+  return Decision{};
+}
+
+PageClass PtClassifier::class_of(PageNum vpage) const noexcept {
+  return vpage < pages_.size() ? pages_[vpage].cls : PageClass::kUntouched;
+}
+
+CoreId PtClassifier::owner_of(PageNum vpage) const noexcept {
+  return vpage < pages_.size() ? pages_[vpage].owner : kNoCore;
+}
+
+}  // namespace raccd

@@ -1,0 +1,60 @@
+#include "raccd/energy/area_model.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace raccd {
+namespace {
+
+// Paper Table III anchors: (directory KB, area mm^2), descending size.
+// 1:1 .. 1:256 configurations of the 524288-entry baseline.
+constexpr std::array<std::pair<double, double>, 7> kAnchors{{
+    {4224.0, 106.08},
+    {2112.0, 53.92},
+    {1056.0, 34.08},
+    {528.0, 21.28},
+    {264.0, 14.88},
+    {66.0, 6.18},
+    {16.5, 2.64},
+}};
+
+}  // namespace
+
+double AreaModel::directory_kb(std::uint64_t entries) noexcept {
+  return static_cast<double>(entries) * kEntryBits / 8.0 / 1024.0;
+}
+
+double AreaModel::directory_mm2_from_kb(double kb) noexcept {
+  if (kb <= 0.0) return 0.0;
+  // Clamp-extrapolate with the end-segment slopes; interpolate in log-log
+  // space between anchors.
+  const auto interp = [](double x, double x0, double y0, double x1, double y1) {
+    const double t = (std::log(x) - std::log(x0)) / (std::log(x1) - std::log(x0));
+    return std::exp(std::log(y0) + t * (std::log(y1) - std::log(y0)));
+  };
+  if (kb >= kAnchors.front().first) {
+    const auto& [x1, y1] = kAnchors[0];
+    const auto& [x0, y0] = kAnchors[1];
+    return interp(kb, x0, y0, x1, y1);
+  }
+  if (kb <= kAnchors.back().first) {
+    const auto& [x1, y1] = kAnchors[kAnchors.size() - 2];
+    const auto& [x0, y0] = kAnchors.back();
+    return interp(kb, x0, y0, x1, y1);
+  }
+  for (std::size_t i = 0; i + 1 < kAnchors.size(); ++i) {
+    const auto& [hi_kb, hi_mm2] = kAnchors[i];
+    const auto& [lo_kb, lo_mm2] = kAnchors[i + 1];
+    if (kb <= hi_kb && kb >= lo_kb) {
+      return interp(kb, lo_kb, lo_mm2, hi_kb, hi_mm2);
+    }
+  }
+  return 0.0;
+}
+
+DirStorage AreaModel::directory_storage(std::uint64_t entries) noexcept {
+  const double kb = directory_kb(entries);
+  return DirStorage{kb, directory_mm2_from_kb(kb)};
+}
+
+}  // namespace raccd

@@ -1,0 +1,32 @@
+// Directory storage and area model (paper Table III).
+//
+// Each directory entry stores a 42-bit tag plus 3 bytes of state and sharer
+// bit-vector = 66 bits (paper §V-A.5). Area is interpolated log-log through
+// the paper's own CACTI 6.0 numbers (Table III), so `bench/table3_directory_area`
+// reproduces the table exactly at the anchor points and sensibly in between.
+#pragma once
+
+#include <cstdint>
+
+namespace raccd {
+
+struct DirStorage {
+  double kilobytes = 0.0;
+  double area_mm2 = 0.0;
+};
+
+class AreaModel {
+ public:
+  /// Bits per directory entry: 42-bit tag + 3 bytes state/sharers.
+  static constexpr unsigned kEntryBits = 42 + 24;
+
+  /// Total directory storage in KB for `entries` entries.
+  [[nodiscard]] static double directory_kb(std::uint64_t entries) noexcept;
+
+  /// Area (mm^2) for a directory of the given total KB.
+  [[nodiscard]] static double directory_mm2_from_kb(double kb) noexcept;
+
+  [[nodiscard]] static DirStorage directory_storage(std::uint64_t entries) noexcept;
+};
+
+}  // namespace raccd

@@ -1,0 +1,63 @@
+// Analytical dynamic-energy model for the simulated structures.
+//
+// Substitutes McPAT/CACTI 6.0 (paper §IV-A; 22 nm, 0.6 V). Per-access dynamic
+// energy of an SRAM array scales sub-linearly with its active capacity: we
+// use E(n) = E_ref * (n / n_ref)^alpha with alpha = 0.5, the classic
+// bitline/wordline length scaling CACTI exhibits for same-associativity
+// arrays. Reference energies are in the range CACTI reports for similar
+// arrays at this node. All paper energy figures are *normalized*, so only
+// this relative scaling is load-bearing; we document absolute values in
+// EXPERIMENTS.md for transparency.
+//
+// ADR ties per-access energy to the *currently active* directory size: a
+// Gated-Vdd powered-down portion neither spends dynamic energy nor leaks.
+#pragma once
+
+#include <cstdint>
+
+namespace raccd {
+
+struct EnergyConfig {
+  double size_exponent = 0.5;  ///< alpha in E(n) = E_ref * (n/n_ref)^alpha
+
+  double dir_ref_pj = 20.0;           ///< directory bank access at dir_ref_entries
+  std::uint32_t dir_ref_entries = 32768;
+
+  double llc_ref_pj = 120.0;          ///< LLC bank access at llc_ref_lines
+  std::uint32_t llc_ref_lines = 32768;  ///< 2 MB / 64 B
+
+  double l1_access_pj = 10.0;
+  double noc_flit_hop_pj = 6.0;
+  double ncrt_lookup_pj = 0.6;
+  double mem_access_pj = 15000.0;  ///< DRAM access (row activation + IO)
+
+  /// Leakage power per directory entry (Gated-Vdd cuts this for powered-off
+  /// entries). 66 bits/entry at 22 nm LP: ~2 pW/bit.
+  double dir_leak_pw_per_entry = 132.0;
+};
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(const EnergyConfig& cfg = {}) : cfg_(cfg) {}
+
+  /// Per-access dynamic energy of one directory bank with `active_entries`
+  /// currently powered (ADR shrinks this).
+  [[nodiscard]] double dir_access_pj(std::uint32_t active_entries) const noexcept;
+
+  [[nodiscard]] double llc_access_pj(std::uint32_t lines_per_bank) const noexcept;
+  [[nodiscard]] double l1_access_pj() const noexcept { return cfg_.l1_access_pj; }
+  [[nodiscard]] double noc_flit_hop_pj() const noexcept { return cfg_.noc_flit_hop_pj; }
+  [[nodiscard]] double ncrt_lookup_pj() const noexcept { return cfg_.ncrt_lookup_pj; }
+  [[nodiscard]] double mem_access_pj() const noexcept { return cfg_.mem_access_pj; }
+
+  /// Leakage energy of `active_entries` over `cycles` cycles at `ghz`.
+  [[nodiscard]] double dir_leakage_pj(std::uint64_t active_entries, std::uint64_t cycles,
+                                      double ghz = 1.0) const noexcept;
+
+  [[nodiscard]] const EnergyConfig& config() const noexcept { return cfg_; }
+
+ private:
+  EnergyConfig cfg_;
+};
+
+}  // namespace raccd

@@ -1,0 +1,118 @@
+#include "raccd/harness/experiment.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "raccd/common/assert.hpp"
+#include "raccd/common/format.hpp"
+#include "raccd/harness/sweep_cache.hpp"
+
+namespace raccd {
+
+std::string RunSpec::key() const {
+  return strprintf("%s-%s-%s-d%u%s%s-s%llu-nl%u-ne%u-%s-%s-v%u", app.c_str(),
+                   to_string(size), to_string(mode), dir_ratio, adr ? "-adr" : "",
+                   paper_machine ? "-paperm" : "", static_cast<unsigned long long>(seed),
+                   static_cast<unsigned>(ncrt_latency), ncrt_entries,
+                   alloc == AllocPolicy::kContiguous ? "cont" : "frag",
+                   to_string(sched), kStatsFormatVersion);
+}
+
+SimConfig config_for(const RunSpec& spec) {
+  SimConfig cfg =
+      spec.paper_machine ? SimConfig::paper(spec.mode) : SimConfig::scaled(spec.mode);
+  cfg.set_dir_ratio(spec.dir_ratio);
+  cfg.adr.enabled = spec.adr;
+  cfg.timing.ncrt_lookup_cycles = spec.ncrt_latency;
+  cfg.raccd.ncrt_entries = spec.ncrt_entries;
+  cfg.alloc_policy = spec.alloc;
+  cfg.sched = spec.sched;
+  cfg.seed = spec.seed;
+  return cfg;
+}
+
+SimStats run_one(const RunSpec& spec) {
+  Machine machine(config_for(spec));
+  auto app = make_app(spec.app, AppConfig{spec.size, spec.seed});
+  app->run(machine);
+  const std::string err = app->verify(machine);
+  if (!err.empty()) {
+    std::fprintf(stderr, "verification failed for %s: %s\n", spec.key().c_str(),
+                 err.c_str());
+    RACCD_ASSERT(false, "application verification failed");
+  }
+  return machine.collect();
+}
+
+std::vector<SimStats> run_all(const std::vector<RunSpec>& specs, const RunOptions& opts) {
+  std::vector<SimStats> results(specs.size());
+  std::vector<std::uint8_t> pending(specs.size(), 1);
+
+  if (opts.use_cache) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (auto cached = cache_load(opts.cache_dir, specs[i].key())) {
+        results[i] = *cached;
+        pending[i] = 0;
+      }
+    }
+  }
+
+  std::vector<std::size_t> todo;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (pending[i] != 0) todo.push_back(i);
+  }
+  if (!todo.empty()) {
+    unsigned threads = opts.threads != 0 ? opts.threads : std::thread::hardware_concurrency();
+    threads = std::max(1u, std::min<unsigned>(threads, static_cast<unsigned>(todo.size())));
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    auto worker = [&] {
+      for (;;) {
+        const std::size_t slot = next.fetch_add(1);
+        if (slot >= todo.size()) return;
+        const std::size_t i = todo[slot];
+        results[i] = run_one(specs[i]);
+        if (opts.use_cache) cache_store(opts.cache_dir, specs[i].key(), results[i]);
+        const std::size_t d = done.fetch_add(1) + 1;
+        if (opts.verbose) {
+          std::fprintf(stderr, "[%zu/%zu] %s\n", d, todo.size(), specs[i].key().c_str());
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+  return results;
+}
+
+BenchOptions BenchOptions::parse(int argc, char** argv) {
+  BenchOptions o;
+  const auto apply_size = [&o](const char* v) {
+    if (std::strcmp(v, "tiny") == 0) o.size = SizeClass::kTiny;
+    if (std::strcmp(v, "small") == 0) o.size = SizeClass::kSmall;
+    if (std::strcmp(v, "paper") == 0) o.size = SizeClass::kPaper;
+  };
+  if (const char* env = std::getenv("RACCD_SIZE")) apply_size(env);
+  if (std::getenv("RACCD_PAPER") != nullptr) o.paper_machine = true;
+  if (std::getenv("RACCD_NO_CACHE") != nullptr) o.run.use_cache = false;
+  if (const char* env = std::getenv("RACCD_THREADS")) {
+    o.run.threads = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+  }
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--size=", 7) == 0) apply_size(a + 7);
+    else if (std::strcmp(a, "--paper") == 0) o.paper_machine = true;
+    else if (std::strcmp(a, "--no-cache") == 0) o.run.use_cache = false;
+    else if (std::strcmp(a, "--verbose") == 0) o.run.verbose = true;
+    else if (std::strncmp(a, "--threads=", 10) == 0) {
+      o.run.threads = static_cast<unsigned>(std::strtoul(a + 10, nullptr, 10));
+    }
+  }
+  return o;
+}
+
+}  // namespace raccd

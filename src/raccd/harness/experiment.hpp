@@ -1,0 +1,65 @@
+// Experiment harness: declarative run specs, a host-parallel executor (one
+// deterministic simulation per job, no shared mutable state), and a
+// file-backed result cache so the Fig. 6/7a-d binaries — which share one
+// 9-app x 3-system x 7-size grid — compute it only once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "raccd/apps/app.hpp"
+#include "raccd/sim/config.hpp"
+#include "raccd/sim/stats.hpp"
+
+namespace raccd {
+
+struct RunSpec {
+  std::string app = "jacobi";
+  SizeClass size = SizeClass::kSmall;
+  CohMode mode = CohMode::kFullCoh;
+  std::uint32_t dir_ratio = 1;
+  bool adr = false;
+  bool paper_machine = false;
+  std::uint64_t seed = 42;
+  // Overheads / ablation knobs.
+  Cycle ncrt_latency = 1;
+  std::uint32_t ncrt_entries = 32;
+  AllocPolicy alloc = AllocPolicy::kContiguous;
+  SchedPolicy sched = SchedPolicy::kFifo;
+
+  /// Stable identity string (cache key and log label).
+  [[nodiscard]] std::string key() const;
+};
+
+/// Build the SimConfig a spec describes.
+[[nodiscard]] SimConfig config_for(const RunSpec& spec);
+
+/// Run one simulation: build machine, run app, *verify the functional
+/// result* (aborts on corruption — every benchmark run is also an
+/// end-to-end correctness test), and collect stats.
+[[nodiscard]] SimStats run_one(const RunSpec& spec);
+
+struct RunOptions {
+  unsigned threads = 0;     ///< 0 = hardware concurrency
+  bool use_cache = true;    ///< file-backed cache under cache_dir
+  std::string cache_dir = "results/cache";
+  bool verbose = false;     ///< progress lines to stderr
+};
+
+/// Run all specs (cache-aware, host-parallel); results align with specs.
+[[nodiscard]] std::vector<SimStats> run_all(const std::vector<RunSpec>& specs,
+                                            const RunOptions& opts = {});
+
+/// Common CLI/env options for the bench binaries: --size=tiny|small|paper,
+/// --paper (machine preset), --no-cache, --threads=N, --verbose
+/// (env: RACCD_SIZE, RACCD_PAPER, RACCD_NO_CACHE, RACCD_THREADS).
+struct BenchOptions {
+  SizeClass size = SizeClass::kSmall;
+  bool paper_machine = false;
+  RunOptions run{};
+
+  static BenchOptions parse(int argc, char** argv);
+};
+
+}  // namespace raccd

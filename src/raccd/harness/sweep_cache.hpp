@@ -1,0 +1,25 @@
+// File-backed SimStats cache: one key=value text file per run spec.
+// The format version is baked into the key, so stale results from older
+// model revisions are never reused.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "raccd/sim/stats.hpp"
+
+namespace raccd {
+
+/// Bump when the simulation model or stats layout changes.
+inline constexpr unsigned kStatsFormatVersion = 4;
+
+[[nodiscard]] std::string stats_to_text(const SimStats& s);
+[[nodiscard]] std::optional<SimStats> stats_from_text(const std::string& text);
+
+/// Load a cached result for `key` from `dir` (nullopt on miss/corruption).
+[[nodiscard]] std::optional<SimStats> cache_load(const std::string& dir,
+                                                 const std::string& key);
+/// Store a result (best-effort; failures are silent).
+void cache_store(const std::string& dir, const std::string& key, const SimStats& s);
+
+}  // namespace raccd

@@ -1,0 +1,85 @@
+#include "raccd/harness/table.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+namespace raccd {
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::FILE* out) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  const auto print_sep = [&] {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      std::fputc('+', out);
+      for (std::size_t i = 0; i < width[c] + 2; ++i) std::fputc('-', out);
+    }
+    std::fputs("+\n", out);
+  };
+  const auto print_row = [&](const std::vector<std::string>& row, bool right_align) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : headers_[c];
+      const std::size_t pad = width[c] - cell.size();
+      std::fputs("| ", out);
+      if (right_align && c > 0) {
+        for (std::size_t i = 0; i < pad; ++i) std::fputc(' ', out);
+        std::fputs(cell.c_str(), out);
+      } else {
+        std::fputs(cell.c_str(), out);
+        for (std::size_t i = 0; i < pad; ++i) std::fputc(' ', out);
+      }
+      std::fputc(' ', out);
+    }
+    std::fputs("|\n", out);
+  };
+  print_sep();
+  print_row(headers_, false);
+  print_sep();
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (std::find(separators_.begin(), separators_.end(), r) != separators_.end()) {
+      print_sep();
+    }
+    print_row(rows_[r], true);
+  }
+  print_sep();
+}
+
+bool TextTable::write_csv(const std::string& path) const {
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  std::ofstream out(path);
+  if (!out) return false;
+  const auto esc = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (const char ch : s) {
+      if (ch == '"') q += "\"\"";
+      else q += ch;
+    }
+    return q + "\"";
+  };
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << (c != 0 ? "," : "") << esc(headers_[c]);
+  }
+  out << "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c != 0 ? "," : "") << esc(row[c]);
+    }
+    out << "\n";
+  }
+  return true;
+}
+
+}  // namespace raccd

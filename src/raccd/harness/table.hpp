@@ -1,0 +1,29 @@
+// Aligned ASCII tables + CSV export for the bench binaries: each bench prints
+// the same rows/series the corresponding paper table or figure reports.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace raccd {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells);
+  /// Insert a horizontal separator before the next row.
+  void add_separator() { separators_.push_back(rows_.size()); }
+
+  void print(std::FILE* out = stdout) const;
+  /// Write as CSV; returns false on IO failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> separators_;
+};
+
+}  // namespace raccd

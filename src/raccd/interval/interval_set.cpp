@@ -1,0 +1,78 @@
+#include "raccd/interval/interval_set.hpp"
+
+#include <algorithm>
+
+#include "raccd/common/assert.hpp"
+
+namespace raccd {
+
+std::size_t IntervalSet::lower_index(std::uint64_t point) const noexcept {
+  const auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), point,
+      [](std::uint64_t p, const AddrRange& r) { return p < r.end; });
+  return static_cast<std::size_t>(it - ranges_.begin());
+}
+
+void IntervalSet::insert(std::uint64_t begin, std::uint64_t end) {
+  if (begin >= end) return;
+  // Find the insertion window: every range that overlaps or touches
+  // [begin, end) gets merged into one.
+  auto first = std::lower_bound(
+      ranges_.begin(), ranges_.end(), begin,
+      [](const AddrRange& r, std::uint64_t b) { return r.end < b; });
+  auto last = first;
+  std::uint64_t nb = begin;
+  std::uint64_t ne = end;
+  while (last != ranges_.end() && last->begin <= end) {
+    nb = std::min(nb, last->begin);
+    ne = std::max(ne, last->end);
+    ++last;
+  }
+  if (first == last) {
+    ranges_.insert(first, AddrRange{nb, ne});
+  } else {
+    first->begin = nb;
+    first->end = ne;
+    ranges_.erase(first + 1, last);
+  }
+}
+
+void IntervalSet::erase(std::uint64_t begin, std::uint64_t end) {
+  if (begin >= end || ranges_.empty()) return;
+  std::vector<AddrRange> out;
+  out.reserve(ranges_.size() + 1);
+  for (const AddrRange& r : ranges_) {
+    if (r.end <= begin || r.begin >= end) {
+      out.push_back(r);
+      continue;
+    }
+    if (r.begin < begin) out.push_back(AddrRange{r.begin, begin});
+    if (r.end > end) out.push_back(AddrRange{end, r.end});
+  }
+  ranges_ = std::move(out);
+}
+
+bool IntervalSet::contains(std::uint64_t point) const noexcept {
+  const std::size_t i = lower_index(point);
+  return i < ranges_.size() && ranges_[i].contains(point);
+}
+
+bool IntervalSet::overlaps(std::uint64_t begin, std::uint64_t end) const noexcept {
+  if (begin >= end) return false;
+  const std::size_t i = lower_index(begin);
+  return i < ranges_.size() && ranges_[i].begin < end;
+}
+
+bool IntervalSet::covers(std::uint64_t begin, std::uint64_t end) const noexcept {
+  if (begin >= end) return true;
+  const std::size_t i = lower_index(begin);
+  return i < ranges_.size() && ranges_[i].begin <= begin && ranges_[i].end >= end;
+}
+
+std::uint64_t IntervalSet::total_bytes() const noexcept {
+  std::uint64_t sum = 0;
+  for (const AddrRange& r : ranges_) sum += r.size();
+  return sum;
+}
+
+}  // namespace raccd

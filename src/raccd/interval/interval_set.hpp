@@ -1,0 +1,46 @@
+// Sorted, coalescing set of half-open address ranges.
+//
+// Used by the NCRT physical-range collapse logic, the Fig. 2 block
+// classification tracker, and the dependence tests. Ranges are kept sorted
+// and non-overlapping; insertion merges adjacent/overlapping ranges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "raccd/common/types.hpp"
+
+namespace raccd {
+
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+
+  /// Insert [begin, end), merging with any overlapping or adjacent ranges.
+  void insert(std::uint64_t begin, std::uint64_t end);
+  void insert(const AddrRange& r) { insert(r.begin, r.end); }
+
+  /// Remove [begin, end) from the set, splitting ranges as needed.
+  void erase(std::uint64_t begin, std::uint64_t end);
+
+  [[nodiscard]] bool contains(std::uint64_t point) const noexcept;
+  /// True if any byte of [begin, end) is present.
+  [[nodiscard]] bool overlaps(std::uint64_t begin, std::uint64_t end) const noexcept;
+  /// True if every byte of [begin, end) is present.
+  [[nodiscard]] bool covers(std::uint64_t begin, std::uint64_t end) const noexcept;
+
+  [[nodiscard]] std::size_t range_count() const noexcept { return ranges_.size(); }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return ranges_.empty(); }
+  void clear() noexcept { ranges_.clear(); }
+
+  [[nodiscard]] const std::vector<AddrRange>& ranges() const noexcept { return ranges_; }
+
+ private:
+  // Index of the first range with end > point (candidate container of point).
+  [[nodiscard]] std::size_t lower_index(std::uint64_t point) const noexcept;
+
+  std::vector<AddrRange> ranges_;  // sorted by begin, non-overlapping, non-adjacent
+};
+
+}  // namespace raccd

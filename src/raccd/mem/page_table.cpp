@@ -1,0 +1,23 @@
+#include "raccd/mem/page_table.hpp"
+
+#include "raccd/common/assert.hpp"
+
+namespace raccd {
+
+void PageTable::map(PageNum vpage, PageNum pframe) {
+  if (vpage >= entries_.size()) entries_.resize(vpage + 1, kUnmapped);
+  RACCD_ASSERT(entries_[vpage] == kUnmapped, "virtual page double-mapped");
+  entries_[vpage] = static_cast<std::int64_t>(pframe);
+  ++mapped_count_;
+}
+
+PageNum PageTable::frame_of(PageNum vpage) const {
+  RACCD_ASSERT(mapped(vpage), "translation of unmapped virtual page");
+  return static_cast<PageNum>(entries_[vpage]);
+}
+
+PAddr PageTable::translate(VAddr va) const {
+  return (frame_of(page_of(va)) << kPageShift) | page_offset(va);
+}
+
+}  // namespace raccd

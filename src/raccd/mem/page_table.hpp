@@ -1,0 +1,38 @@
+// Per-address-space page table: dense vpage -> pframe map.
+//
+// The simulated applications share one address space (the paper runs one
+// parallel program at a time); virtual pages are allocated densely from 0 by
+// SimMemory, so a flat vector is the natural representation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "raccd/common/types.hpp"
+
+namespace raccd {
+
+class PageTable {
+ public:
+  static constexpr std::int64_t kUnmapped = -1;
+
+  void map(PageNum vpage, PageNum pframe);
+
+  [[nodiscard]] bool mapped(PageNum vpage) const noexcept {
+    return vpage < entries_.size() && entries_[vpage] != kUnmapped;
+  }
+
+  /// Physical frame of a mapped virtual page. Asserts when unmapped.
+  [[nodiscard]] PageNum frame_of(PageNum vpage) const;
+
+  /// Full virtual-to-physical byte address translation.
+  [[nodiscard]] PAddr translate(VAddr va) const;
+
+  [[nodiscard]] std::uint64_t mapped_pages() const noexcept { return mapped_count_; }
+
+ private:
+  std::vector<std::int64_t> entries_;
+  std::uint64_t mapped_count_ = 0;
+};
+
+}  // namespace raccd

@@ -1,0 +1,29 @@
+#include "raccd/mem/phys_memory.hpp"
+
+#include <numeric>
+
+#include "raccd/common/assert.hpp"
+
+namespace raccd {
+
+PhysMemory::PhysMemory(std::uint64_t frames, AllocPolicy policy, std::uint64_t seed)
+    : frames_(frames), policy_(policy), rng_(seed) {
+  RACCD_ASSERT(frames > 0, "physical memory needs at least one frame");
+  if (policy_ == AllocPolicy::kFragmented) {
+    shuffled_.resize(frames_);
+    std::iota(shuffled_.begin(), shuffled_.end(), PageNum{0});
+    // Fisher-Yates with the deterministic RNG.
+    for (std::uint64_t i = frames_ - 1; i > 0; --i) {
+      const std::uint64_t j = rng_.next_below(i + 1);
+      std::swap(shuffled_[i], shuffled_[j]);
+    }
+  }
+}
+
+PageNum PhysMemory::alloc_frame() {
+  RACCD_ASSERT(next_ < frames_, "simulated physical memory exhausted");
+  const std::uint64_t idx = next_++;
+  return policy_ == AllocPolicy::kContiguous ? PageNum{idx} : shuffled_[idx];
+}
+
+}  // namespace raccd

@@ -1,0 +1,43 @@
+// Simulated physical page frame allocator.
+//
+// The paper observes (§III-C.2) that an unmodified Linux kernel maps the
+// benchmarks' contiguous virtual pages to contiguous physical pages, so NCRT
+// range collapsing is highly effective. We model that as the default
+// Contiguous policy and provide a Fragmented policy (random frame order) to
+// stress NCRT capacity in tests and ablations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "raccd/common/rng.hpp"
+#include "raccd/common/types.hpp"
+
+namespace raccd {
+
+enum class AllocPolicy {
+  kContiguous,  ///< frames handed out in increasing order (Linux-like for our workloads)
+  kFragmented,  ///< frames handed out in pseudo-random order
+};
+
+class PhysMemory {
+ public:
+  /// @param frames total number of physical page frames available.
+  PhysMemory(std::uint64_t frames, AllocPolicy policy, std::uint64_t seed = 0x9acc5eedULL);
+
+  /// Allocate one physical frame. Asserts if physical memory is exhausted.
+  [[nodiscard]] PageNum alloc_frame();
+
+  [[nodiscard]] std::uint64_t frames_total() const noexcept { return frames_; }
+  [[nodiscard]] std::uint64_t frames_allocated() const noexcept { return next_; }
+  [[nodiscard]] AllocPolicy policy() const noexcept { return policy_; }
+
+ private:
+  std::uint64_t frames_;
+  AllocPolicy policy_;
+  std::uint64_t next_ = 0;         // frames handed out so far
+  std::vector<PageNum> shuffled_;  // lazily built permutation (Fragmented only)
+  Rng rng_;
+};
+
+}  // namespace raccd

@@ -1,0 +1,65 @@
+#include "raccd/mem/sim_memory.hpp"
+
+#include <algorithm>
+
+#include "raccd/common/bits.hpp"
+
+namespace raccd {
+
+SimMemory::SimMemory(std::uint64_t phys_frames, AllocPolicy policy, std::uint64_t seed)
+    : phys_(phys_frames, policy, seed) {}
+
+VAddr SimMemory::alloc(std::uint64_t bytes, std::uint64_t align, std::string label) {
+  RACCD_ASSERT(bytes > 0, "zero-byte allocation");
+  RACCD_ASSERT(is_pow2(align) && align >= 8, "alignment must be a power of two >= 8");
+  const VAddr base = align_up(next_, align);
+  next_ = base + bytes;
+  ensure_backing(next_);
+  // Map every page of the allocation eagerly (the paper's workloads touch
+  // their whole footprint; eager mapping also keeps translation latency out
+  // of the first-touch timing path, which gem5 full-system pays at warmup).
+  for (PageNum vp = page_of(base); vp <= page_of(next_ - 1); ++vp) {
+    if (!page_table_.mapped(vp)) page_table_.map(vp, phys_.alloc_frame());
+  }
+  allocations_.push_back(Allocation{std::move(label), base, bytes});
+  return base;
+}
+
+void SimMemory::ensure_backing(VAddr up_to) {
+  const std::uint64_t needed_chunks = chunk_index(up_to - 1) + 1;
+  while (chunks_.size() < needed_chunks) {
+    auto chunk = std::make_unique<std::uint8_t[]>(kChunkBytes);
+    std::memset(chunk.get(), 0, kChunkBytes);
+    chunks_.push_back(std::move(chunk));
+  }
+}
+
+void SimMemory::copy_out(VAddr va, void* dst, std::uint64_t n) const {
+  RACCD_DEBUG_ASSERT(va >= kArenaBase && va + n <= next_, "functional read out of arena");
+  auto* out = static_cast<std::uint8_t*>(dst);
+  while (n > 0) {
+    const std::uint64_t ci = chunk_index(va);
+    const std::uint64_t off = chunk_offset(va);
+    const std::uint64_t take = std::min(n, kChunkBytes - off);
+    std::memcpy(out, chunks_[ci].get() + off, take);
+    va += take;
+    out += take;
+    n -= take;
+  }
+}
+
+void SimMemory::copy_in(VAddr va, const void* src, std::uint64_t n) {
+  RACCD_DEBUG_ASSERT(va >= kArenaBase && va + n <= next_, "functional write out of arena");
+  const auto* in = static_cast<const std::uint8_t*>(src);
+  while (n > 0) {
+    const std::uint64_t ci = chunk_index(va);
+    const std::uint64_t off = chunk_offset(va);
+    const std::uint64_t take = std::min(n, kChunkBytes - off);
+    std::memcpy(chunks_[ci].get() + off, in, take);
+    va += take;
+    in += take;
+    n -= take;
+  }
+}
+
+}  // namespace raccd

@@ -1,0 +1,88 @@
+#include "raccd/noc/mesh.hpp"
+
+#include <cstdlib>
+
+#include "raccd/common/assert.hpp"
+
+namespace raccd {
+
+std::uint64_t NocStats::total_messages() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& c : per_class) sum += c.messages;
+  return sum;
+}
+std::uint64_t NocStats::total_flits() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& c : per_class) sum += c.flits;
+  return sum;
+}
+std::uint64_t NocStats::total_flit_hops() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& c : per_class) sum += c.flit_hops;
+  return sum;
+}
+void NocStats::add(const NocStats& o) noexcept {
+  for (std::size_t i = 0; i < per_class.size(); ++i) {
+    per_class[i].messages += o.per_class[i].messages;
+    per_class[i].flits += o.per_class[i].flits;
+    per_class[i].flit_hops += o.per_class[i].flit_hops;
+  }
+}
+
+Mesh::Mesh(const MeshConfig& cfg) : cfg_(cfg) {
+  RACCD_ASSERT(cfg_.width > 0 && cfg_.height > 0, "empty mesh");
+  RACCD_ASSERT(cfg_.flit_bytes > 0, "flit size must be positive");
+  const std::uint32_t w = cfg_.width;
+  const std::uint32_t h = cfg_.height;
+  corners_ = {0, w - 1, (h - 1) * w, h * w - 1};
+}
+
+std::uint32_t Mesh::hops(std::uint32_t from, std::uint32_t to) const noexcept {
+  const auto xy = [this](std::uint32_t n) {
+    return std::pair<int, int>{static_cast<int>(n % cfg_.width),
+                               static_cast<int>(n / cfg_.width)};
+  };
+  const auto [fx, fy] = xy(from);
+  const auto [tx, ty] = xy(to);
+  return static_cast<std::uint32_t>(std::abs(fx - tx) + std::abs(fy - ty));
+}
+
+std::uint32_t Mesh::flits_for(MsgClass cls) const noexcept {
+  const std::uint32_t bytes = (cls == MsgClass::kResponseData || cls == MsgClass::kWriteback)
+                                  ? cfg_.data_bytes
+                                  : cfg_.control_bytes;
+  return (bytes + cfg_.flit_bytes - 1) / cfg_.flit_bytes;
+}
+
+Cycle Mesh::latency(std::uint32_t from, std::uint32_t to, MsgClass cls) const noexcept {
+  const std::uint32_t h = hops(from, to);
+  if (h == 0) return 0;  // same tile: bank is local, no network traversal
+  const Cycle per_hop = cfg_.link_cycles + cfg_.router_cycles;
+  // Wormhole pipeline: head flit pays the route, body flits stream behind.
+  return per_hop * h + (flits_for(cls) - 1);
+}
+
+Cycle Mesh::transfer(std::uint32_t from, std::uint32_t to, MsgClass cls) noexcept {
+  const std::uint32_t h = hops(from, to);
+  const std::uint32_t flits = flits_for(cls);
+  auto& pc = stats_.per_class[static_cast<std::size_t>(cls)];
+  ++pc.messages;
+  pc.flits += flits;
+  pc.flit_hops += static_cast<std::uint64_t>(flits) * h;
+  return latency(from, to, cls);
+}
+
+std::uint32_t Mesh::nearest_memory_controller(std::uint32_t node) const noexcept {
+  std::uint32_t best = corners_[0];
+  std::uint32_t best_hops = hops(node, best);
+  for (std::size_t i = 1; i < corners_.size(); ++i) {
+    const std::uint32_t h = hops(node, corners_[i]);
+    if (h < best_hops) {
+      best_hops = h;
+      best = corners_[i];
+    }
+  }
+  return best;
+}
+
+}  // namespace raccd

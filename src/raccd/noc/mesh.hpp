@@ -1,0 +1,94 @@
+// 2D mesh Network-on-Chip model (paper Table I: 4x4 mesh, 1-cycle links,
+// 1-cycle routers, XY dimension-ordered routing).
+//
+// The atomic-transaction protocol engine asks the mesh for the latency of
+// each message leg and the mesh accounts traffic (messages, flits and
+// flit-hops) per message class. Flit-hops (flits x links traversed) is the
+// figure-of-merit reported as "NoC traffic" (paper Fig. 7c) and the basis of
+// NoC dynamic energy.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "raccd/common/types.hpp"
+
+namespace raccd {
+
+/// Message classes, used for traffic breakdown and flit sizing.
+enum class MsgClass : std::uint8_t {
+  kRequest = 0,   ///< GetS/GetX/Upgrade and NC request (control, 1 flit)
+  kResponseData,  ///< data response, 1 + line flits
+  kInval,         ///< invalidation / recall request (control)
+  kAck,           ///< invalidation ack / completion (control)
+  kWriteback,     ///< dirty data writeback (data)
+};
+inline constexpr std::size_t kMsgClassCount = 5;
+
+[[nodiscard]] constexpr const char* to_string(MsgClass c) noexcept {
+  switch (c) {
+    case MsgClass::kRequest: return "request";
+    case MsgClass::kResponseData: return "data";
+    case MsgClass::kInval: return "inval";
+    case MsgClass::kAck: return "ack";
+    case MsgClass::kWriteback: return "writeback";
+  }
+  return "?";
+}
+
+struct MeshConfig {
+  std::uint32_t width = 4;
+  std::uint32_t height = 4;
+  Cycle link_cycles = 1;
+  Cycle router_cycles = 1;
+  std::uint32_t flit_bytes = 16;
+  std::uint32_t control_bytes = 8;                 ///< header-only message payload
+  std::uint32_t data_bytes = 8 + kLineBytes;       ///< header + cache line
+};
+
+struct NocStats {
+  struct PerClass {
+    std::uint64_t messages = 0;
+    std::uint64_t flits = 0;
+    std::uint64_t flit_hops = 0;
+  };
+  std::array<PerClass, kMsgClassCount> per_class{};
+
+  [[nodiscard]] std::uint64_t total_messages() const noexcept;
+  [[nodiscard]] std::uint64_t total_flits() const noexcept;
+  [[nodiscard]] std::uint64_t total_flit_hops() const noexcept;
+  void add(const NocStats& o) noexcept;
+};
+
+class Mesh {
+ public:
+  explicit Mesh(const MeshConfig& cfg);
+
+  [[nodiscard]] std::uint32_t node_count() const noexcept { return cfg_.width * cfg_.height; }
+
+  /// Manhattan hop count between two nodes under XY routing.
+  [[nodiscard]] std::uint32_t hops(std::uint32_t from, std::uint32_t to) const noexcept;
+
+  /// Head-flit latency of a message: per-hop link+router delay plus
+  /// serialization of the remaining flits at the destination.
+  [[nodiscard]] Cycle latency(std::uint32_t from, std::uint32_t to, MsgClass cls) const noexcept;
+
+  /// Record a message in the stats and return its latency.
+  Cycle transfer(std::uint32_t from, std::uint32_t to, MsgClass cls) noexcept;
+
+  /// Node id of the memory controller closest to `node` (controllers sit at
+  /// the four mesh corners, as in common tiled-CMP floorplans).
+  [[nodiscard]] std::uint32_t nearest_memory_controller(std::uint32_t node) const noexcept;
+
+  [[nodiscard]] std::uint32_t flits_for(MsgClass cls) const noexcept;
+  [[nodiscard]] const NocStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = NocStats{}; }
+  [[nodiscard]] const MeshConfig& config() const noexcept { return cfg_; }
+
+ private:
+  MeshConfig cfg_;
+  std::array<std::uint32_t, 4> corners_;
+  NocStats stats_;
+};
+
+}  // namespace raccd

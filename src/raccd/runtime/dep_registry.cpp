@@ -1,0 +1,75 @@
+#include "raccd/runtime/dep_registry.hpp"
+
+#include "raccd/common/assert.hpp"
+
+namespace raccd {
+
+void DepRegistry::split_at(VAddr addr) {
+  auto it = segs_.upper_bound(addr);
+  if (it == segs_.begin()) return;
+  --it;
+  if (it->first == addr || it->second.end <= addr) return;
+  // Split [begin, end) into [begin, addr) + [addr, end).
+  Segment right = it->second;
+  it->second.end = addr;
+  segs_.emplace(addr, std::move(right));
+}
+
+void DepRegistry::register_dep(TaskId t, const DepSpec& dep, std::vector<TaskId>& preds) {
+  if (dep.size == 0) return;
+  const VAddr begin = dep.addr;
+  const VAddr end = dep.addr + dep.size;
+  split_at(begin);
+  split_at(end);
+
+  const bool reads = dep.kind != DepKind::kOut;
+  const bool writes = dep.kind != DepKind::kIn;
+
+  auto it = segs_.lower_bound(begin);
+  VAddr cursor = begin;
+  while (cursor < end) {
+    if (it == segs_.end() || it->first > cursor) {
+      // Uncovered gap [cursor, gap_end): fresh memory with no history.
+      const VAddr gap_end = (it == segs_.end()) ? end : std::min(end, it->first);
+      Segment fresh;
+      fresh.end = gap_end;
+      if (writes) {
+        fresh.last_writer = t;
+      } else {
+        fresh.readers.push_back(t);
+      }
+      it = segs_.emplace_hint(it, cursor, std::move(fresh));
+      ++it;
+      cursor = gap_end;
+      continue;
+    }
+    RACCD_DEBUG_ASSERT(it->first == cursor, "segment map lost alignment");
+    Segment& seg = it->second;
+    RACCD_DEBUG_ASSERT(seg.end <= end || seg.end > cursor, "split_at failed");
+    if (seg.last_writer != kNoTask && seg.last_writer != t) {
+      preds.push_back(seg.last_writer);  // RAW or WAW
+    }
+    if (writes) {
+      for (const TaskId r : seg.readers) {
+        if (r != t) preds.push_back(r);  // WAR
+      }
+      seg.last_writer = t;
+      seg.readers.clear();
+    }
+    if (reads) {
+      seg.readers.push_back(t);
+    }
+    cursor = seg.end;
+    ++it;
+  }
+}
+
+TaskId DepRegistry::last_writer_at(VAddr addr) const noexcept {
+  auto it = segs_.upper_bound(addr);
+  if (it == segs_.begin()) return kNoTask;
+  --it;
+  if (it->second.end <= addr) return kNoTask;
+  return it->second.last_writer;
+}
+
+}  // namespace raccd

@@ -1,0 +1,45 @@
+// Byte-range dependence analysis (the OmpSs/Nanos++ region-dependence model).
+//
+// A segment map over the virtual address space tracks, for every byte range,
+// the last writing task and the readers since that write. Registering a new
+// dependence splits segments at the range boundaries and derives:
+//   in    -> RAW edge from the last writer;
+//   out   -> WAW edge from the last writer + WAR edges from the readers;
+//   inout -> both of the above.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "raccd/common/types.hpp"
+#include "raccd/runtime/task.hpp"
+
+namespace raccd {
+
+class DepRegistry {
+ public:
+  /// Register one dependence of task `t`; appends predecessor task ids to
+  /// `preds` (duplicates possible — caller dedupes per task).
+  void register_dep(TaskId t, const DepSpec& dep, std::vector<TaskId>& preds);
+
+  [[nodiscard]] std::size_t segment_count() const noexcept { return segs_.size(); }
+
+  /// Last writer covering `addr` (kNoTask if never written). Test hook.
+  [[nodiscard]] TaskId last_writer_at(VAddr addr) const noexcept;
+
+ private:
+  struct Segment {
+    VAddr end = 0;
+    TaskId last_writer = kNoTask;
+    std::vector<TaskId> readers;  ///< readers since last_writer
+  };
+  using Map = std::map<VAddr, Segment>;  // key = segment begin
+
+  /// Ensure a segment boundary exists exactly at `addr`.
+  void split_at(VAddr addr);
+
+  Map segs_;
+};
+
+}  // namespace raccd

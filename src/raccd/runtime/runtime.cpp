@@ -1,0 +1,50 @@
+#include "raccd/runtime/runtime.hpp"
+
+#include <algorithm>
+
+#include "raccd/common/assert.hpp"
+
+namespace raccd {
+
+TaskId Runtime::create_task(TaskDesc desc) {
+  scratch_preds_.clear();
+  const TaskId id = tdg_.add_task(std::move(desc));
+  TaskNode& n = tdg_.task(id);
+  for (const DepSpec& d : n.deps) {
+    deps_.register_dep(id, d, scratch_preds_);
+    ++stats_.deps_registered;
+  }
+  std::sort(scratch_preds_.begin(), scratch_preds_.end());
+  scratch_preds_.erase(std::unique(scratch_preds_.begin(), scratch_preds_.end()),
+                       scratch_preds_.end());
+  for (const TaskId p : scratch_preds_) {
+    tdg_.add_edge(p, id);
+  }
+  stats_.edges = tdg_.edge_count();
+  ++stats_.tasks_created;
+  if (n.unresolved_preds == 0) {
+    n.state = TaskState::kReady;
+    sched_.push(id, /*producer=*/0);
+  }
+  return id;
+}
+
+bool Runtime::pop_ready(CoreId core, TaskId& out) { return sched_.pop(core, out); }
+
+void Runtime::start_task(TaskId t) {
+  TaskNode& n = tdg_.task(t);
+  RACCD_ASSERT(n.state == TaskState::kReady, "starting a non-ready task");
+  n.state = TaskState::kRunning;
+}
+
+bool Runtime::finish_task(TaskId t, CoreId core, std::uint32_t& resolved) {
+  scratch_ready_.clear();
+  resolved = tdg_.finish(t, scratch_ready_);
+  stats_.wakeups += resolved;
+  for (const TaskId r : scratch_ready_) {
+    sched_.push(r, core);
+  }
+  return !scratch_ready_.empty();
+}
+
+}  // namespace raccd

@@ -1,0 +1,62 @@
+// The task-based runtime system frontend: task creation with dependence
+// analysis, readiness tracking, and scheduling (paper §II-C/III-B).
+// Execution timing is driven by sim::Machine; this class owns the
+// programming-model state only, so it is unit-testable in isolation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "raccd/common/types.hpp"
+#include "raccd/runtime/dep_registry.hpp"
+#include "raccd/runtime/scheduler.hpp"
+#include "raccd/runtime/tdg.hpp"
+
+namespace raccd {
+
+struct RuntimeStats {
+  std::uint64_t tasks_created = 0;
+  std::uint64_t deps_registered = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t wakeups = 0;  ///< successor edges resolved at task completion
+};
+
+class Runtime {
+ public:
+  explicit Runtime(SchedPolicy policy = SchedPolicy::kFifo, std::uint32_t cores = 16)
+      : sched_(policy, cores) {}
+
+  /// Create a task, derive its dependence edges, and enqueue it if ready
+  /// (creation happens on the main thread, core 0).
+  TaskId create_task(TaskDesc desc);
+
+  /// Scheduler pop for an idle core; false when no task is ready.
+  bool pop_ready(CoreId core, TaskId& out);
+
+  /// Mark `t` running (scheduler handed it to a core).
+  void start_task(TaskId t);
+
+  /// Complete `t` on `core`: resolves successors, enqueues newly ready
+  /// tasks (onto the finishing core's deque under work stealing). Returns
+  /// whether any task became ready; `resolved` counts wake-up edges.
+  bool finish_task(TaskId t, CoreId core, std::uint32_t& resolved);
+
+  [[nodiscard]] TaskNode& task(TaskId t) { return tdg_.task(t); }
+  [[nodiscard]] const TaskNode& task(TaskId t) const { return tdg_.task(t); }
+  [[nodiscard]] bool all_finished() const noexcept { return tdg_.all_finished(); }
+  [[nodiscard]] std::size_t task_count() const noexcept { return tdg_.task_count(); }
+  [[nodiscard]] const Tdg& tdg() const noexcept { return tdg_; }
+  [[nodiscard]] const RuntimeStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const Scheduler& scheduler() const noexcept { return sched_; }
+  [[nodiscard]] std::size_t ready_count() const noexcept { return sched_.size(); }
+
+ private:
+  Tdg tdg_;
+  DepRegistry deps_;
+  Scheduler sched_;
+  RuntimeStats stats_;
+  std::vector<TaskId> scratch_preds_;
+  std::vector<TaskId> scratch_ready_;
+};
+
+}  // namespace raccd

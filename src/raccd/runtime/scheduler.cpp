@@ -1,0 +1,2 @@
+// ReadyQueue is header-only; this translation unit anchors the library.
+#include "raccd/runtime/scheduler.hpp"

@@ -1,0 +1,117 @@
+// Task model of the data-flow runtime (paper §II-C).
+//
+// A task is a body plus dependence annotations over byte ranges of the
+// simulated address space, mirroring OpenMP 4.0
+// `#pragma omp task depend(in/out/inout: A[i][j][:][:])`.
+// TaskContext is the recording API the body uses: typed loads/stores execute
+// functionally against SimMemory and append to the task's access trace.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "raccd/common/types.hpp"
+#include "raccd/mem/sim_memory.hpp"
+#include "raccd/trace/access_trace.hpp"
+
+namespace raccd {
+
+enum class DepKind : std::uint8_t { kIn, kOut, kInout };
+
+[[nodiscard]] constexpr const char* to_string(DepKind k) noexcept {
+  switch (k) {
+    case DepKind::kIn: return "in";
+    case DepKind::kOut: return "out";
+    case DepKind::kInout: return "inout";
+  }
+  return "?";
+}
+
+struct DepSpec {
+  VAddr addr = 0;
+  std::uint64_t size = 0;
+  DepKind kind = DepKind::kIn;
+};
+
+class TaskContext {
+ public:
+  TaskContext(SimMemory& mem, AccessTrace& trace) : mem_(mem), trace_(trace) {}
+
+  template <typename T>
+  [[nodiscard]] T load(VAddr a) {
+    trace_.record(a, sizeof(T), /*is_write=*/false);
+    return mem_.read<T>(a);
+  }
+  template <typename T>
+  void store(VAddr a, const T& v) {
+    trace_.record(a, sizeof(T), /*is_write=*/true);
+    mem_.write<T>(a, v);
+  }
+  /// Annotate `cycles` of computation between memory accesses.
+  void compute(std::uint64_t cycles) { trace_.add_compute(cycles); }
+
+  [[nodiscard]] SimMemory& memory() noexcept { return mem_; }
+
+ private:
+  SimMemory& mem_;
+  AccessTrace& trace_;
+};
+
+/// Typed element view over a simulated array; every element access records a
+/// simulated load/store.
+template <typename T>
+class ArrayRef {
+ public:
+  ArrayRef(VAddr base, std::uint64_t count) : base_(base), count_(count) {}
+
+  [[nodiscard]] T get(TaskContext& ctx, std::uint64_t i) const {
+    RACCD_DEBUG_ASSERT(i < count_, "ArrayRef read out of bounds");
+    return ctx.load<T>(base_ + i * sizeof(T));
+  }
+  void set(TaskContext& ctx, std::uint64_t i, const T& v) const {
+    RACCD_DEBUG_ASSERT(i < count_, "ArrayRef write out of bounds");
+    ctx.store<T>(base_ + i * sizeof(T), v);
+  }
+
+  [[nodiscard]] VAddr addr_of(std::uint64_t i) const noexcept {
+    return base_ + i * sizeof(T);
+  }
+  [[nodiscard]] VAddr base() const noexcept { return base_; }
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return count_ * sizeof(T); }
+
+  /// Dependence spec over elements [first, first+n).
+  [[nodiscard]] DepSpec dep(DepKind kind, std::uint64_t first, std::uint64_t n) const {
+    RACCD_DEBUG_ASSERT(first + n <= count_, "dep range out of bounds");
+    return DepSpec{base_ + first * sizeof(T), n * sizeof(T), kind};
+  }
+  [[nodiscard]] DepSpec dep(DepKind kind) const { return dep(kind, 0, count_); }
+
+ private:
+  VAddr base_;
+  std::uint64_t count_;
+};
+
+using TaskBody = std::function<void(TaskContext&)>;
+
+struct TaskDesc {
+  TaskBody body;
+  std::vector<DepSpec> deps;
+  std::string name;
+};
+
+enum class TaskState : std::uint8_t { kCreated, kReady, kRunning, kFinished };
+
+struct TaskNode {
+  TaskId id = kNoTask;
+  TaskState state = TaskState::kCreated;
+  std::uint32_t unresolved_preds = 0;
+  std::vector<TaskId> successors;
+  std::vector<DepSpec> deps;
+  TaskBody body;
+  std::string name;
+};
+
+}  // namespace raccd

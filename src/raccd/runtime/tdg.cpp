@@ -1,0 +1,84 @@
+#include "raccd/runtime/tdg.hpp"
+
+#include <algorithm>
+
+#include "raccd/common/assert.hpp"
+#include "raccd/common/format.hpp"
+
+namespace raccd {
+
+TaskId Tdg::add_task(TaskDesc desc) {
+  const TaskId id = static_cast<TaskId>(nodes_.size());
+  TaskNode n;
+  n.id = id;
+  n.deps = std::move(desc.deps);
+  n.body = std::move(desc.body);
+  n.name = std::move(desc.name);
+  nodes_.push_back(std::move(n));
+  return id;
+}
+
+void Tdg::add_edge(TaskId from, TaskId to) {
+  RACCD_ASSERT(from < nodes_.size() && to < nodes_.size(), "edge endpoints out of range");
+  RACCD_ASSERT(from != to, "self edge");
+  TaskNode& src = nodes_[from];
+  if (std::find(src.successors.begin(), src.successors.end(), to) != src.successors.end()) {
+    return;  // duplicate dependence between the same pair
+  }
+  src.successors.push_back(to);
+  ++edges_;
+  if (src.state != TaskState::kFinished) {
+    ++nodes_[to].unresolved_preds;
+  }
+}
+
+std::uint32_t Tdg::finish(TaskId t, std::vector<TaskId>& ready) {
+  TaskNode& n = nodes_[t];
+  RACCD_ASSERT(n.state == TaskState::kRunning, "finishing a task that is not running");
+  n.state = TaskState::kFinished;
+  ++finished_;
+  std::uint32_t resolved = 0;
+  for (const TaskId s : n.successors) {
+    TaskNode& succ = nodes_[s];
+    RACCD_ASSERT(succ.unresolved_preds > 0, "dependence count underflow");
+    ++resolved;
+    if (--succ.unresolved_preds == 0 && succ.state == TaskState::kCreated) {
+      succ.state = TaskState::kReady;
+      ready.push_back(s);
+    }
+  }
+  return resolved;
+}
+
+std::size_t Tdg::critical_path_length() const {
+  if (nodes_.empty()) return 0;
+  // Dependences always point from earlier-created tasks to later ones, so a
+  // single pass in id order is a topological traversal.
+  std::vector<std::size_t> depth(nodes_.size(), 1);
+  std::size_t longest = 0;
+  for (const TaskNode& n : nodes_) {
+    longest = std::max(longest, depth[n.id]);
+    for (const TaskId s : n.successors) {
+      RACCD_ASSERT(s > n.id, "dependence edge against creation order");
+      depth[s] = std::max(depth[s], depth[n.id] + 1);
+    }
+  }
+  return longest;
+}
+
+std::string Tdg::to_dot() const {
+  std::string out = "digraph tdg {\n  rankdir=TB;\n  node [shape=circle];\n";
+  for (const TaskNode& n : nodes_) {
+    out += strprintf("  t%u [label=\"%s\"];\n", n.id,
+                     n.name.empty() ? strprintf("t%u", n.id).c_str() : n.name.c_str());
+  }
+  for (const TaskNode& n : nodes_) {
+    for (const TaskId s : n.successors) {
+      out += strprintf("  t%u -> t%u;\n", n.id, s);
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace raccd

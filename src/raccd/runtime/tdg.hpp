@@ -1,0 +1,51 @@
+// Task Dependence Graph (paper §II-C, Fig. 1): nodes are tasks, edges are
+// data dependences derived by DepRegistry. Tracks readiness via unresolved
+// predecessor counts and supports Graphviz export (examples/cholesky).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "raccd/common/types.hpp"
+#include "raccd/runtime/task.hpp"
+
+namespace raccd {
+
+class Tdg {
+ public:
+  /// Add a task node; returns its id.
+  TaskId add_task(TaskDesc desc);
+
+  /// Add a dependence edge from -> to. Edges from finished tasks resolve
+  /// immediately and are recorded only for export. Duplicate edges between
+  /// the same pair are ignored.
+  void add_edge(TaskId from, TaskId to);
+
+  [[nodiscard]] TaskNode& task(TaskId t) { return nodes_[t]; }
+  [[nodiscard]] const TaskNode& task(TaskId t) const { return nodes_[t]; }
+
+  /// Mark `t` finished; appends newly ready successor ids to `ready`.
+  /// Returns the number of successor edges resolved (wake-up work).
+  std::uint32_t finish(TaskId t, std::vector<TaskId>& ready);
+
+  [[nodiscard]] std::size_t task_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::uint64_t edge_count() const noexcept { return edges_; }
+  [[nodiscard]] std::size_t finished_count() const noexcept { return finished_; }
+  [[nodiscard]] bool all_finished() const noexcept { return finished_ == nodes_.size(); }
+
+  /// Graphviz dot of the graph (paper Fig. 1 right-hand side).
+  [[nodiscard]] std::string to_dot() const;
+
+  /// Longest dependence chain in tasks (unit weights). With p cores, the
+  /// execution time is bounded below by this; the ratio task_count/critical
+  /// path is the graph's average parallelism.
+  [[nodiscard]] std::size_t critical_path_length() const;
+
+ private:
+  std::vector<TaskNode> nodes_;
+  std::uint64_t edges_ = 0;
+  std::size_t finished_ = 0;
+};
+
+}  // namespace raccd

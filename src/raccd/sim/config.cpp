@@ -1,0 +1,40 @@
+#include "raccd/sim/config.hpp"
+
+#include "raccd/common/assert.hpp"
+#include "raccd/common/bits.hpp"
+
+namespace raccd {
+
+SimConfig SimConfig::scaled(CohMode mode) {
+  SimConfig cfg;
+  cfg.mode = mode;
+  cfg.fabric.cores = 16;
+  cfg.fabric.l1 = L1Geometry{32 * 1024, 2, ReplPolicy::kTreePlru};
+  cfg.fabric.llc.lines_per_bank = 2048;  // 128 KB/bank, 2 MB total
+  cfg.fabric.llc.ways = 8;
+  cfg.fabric.dir.entries_per_bank = 2048;  // 1:1
+  cfg.fabric.dir.ways = 8;
+  cfg.fabric.mesh = MeshConfig{};  // 4x4, 1-cycle link + router
+  cfg.fabric.energy.dir_ref_entries = 2048;
+  cfg.fabric.energy.llc_ref_lines = 2048;
+  return cfg;
+}
+
+SimConfig SimConfig::paper(CohMode mode) {
+  SimConfig cfg = scaled(mode);
+  cfg.fabric.llc.lines_per_bank = 32768;  // 2 MB/bank, 32 MB total
+  cfg.fabric.dir.entries_per_bank = 32768;
+  cfg.fabric.energy.dir_ref_entries = 32768;
+  cfg.fabric.energy.llc_ref_lines = 32768;
+  cfg.phys_mb = 4096;
+  return cfg;
+}
+
+void SimConfig::set_dir_ratio(std::uint32_t n) {
+  RACCD_ASSERT(is_pow2(n), "directory ratio must be a power of two");
+  const std::uint32_t entries = fabric.llc.lines_per_bank / n;
+  RACCD_ASSERT(entries >= fabric.dir.ways, "directory smaller than one set");
+  fabric.dir.entries_per_bank = entries;
+}
+
+}  // namespace raccd

@@ -1,0 +1,90 @@
+// Simulation configuration: coherence modes and machine presets.
+//
+// Two presets:
+//  * Paper  — paper Table I verbatim (32 MB LLC, 524288-entry directory).
+//    Faithful but slow with full-size inputs; used with --paper.
+//  * Scaled — the default: the same 16-core organisation with the LLC and
+//    directory scaled down 16x so that the benchmarks' (scaled) working sets
+//    keep the paper's working-set : LLC : directory-coverage ratios, which is
+//    what the shape of every figure depends on (see DESIGN.md substitution #3).
+//
+// The directory-size sweep of the evaluation uses ratios 1:N, N in
+// {1,2,4,8,16,64,256} (paper Fig. 6/7, Table III): a 1:N directory has N
+// times fewer entries than the LLC has lines.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "raccd/coherence/fabric.hpp"
+#include "raccd/core/adr.hpp"
+#include "raccd/core/raccd_engine.hpp"
+#include "raccd/mem/phys_memory.hpp"
+#include "raccd/runtime/scheduler.hpp"
+
+namespace raccd {
+
+enum class CohMode : std::uint8_t { kFullCoh = 0, kPT, kRaCCD };
+inline constexpr std::array<CohMode, 3> kAllModes{CohMode::kFullCoh, CohMode::kPT,
+                                                  CohMode::kRaCCD};
+
+[[nodiscard]] constexpr const char* to_string(CohMode m) noexcept {
+  switch (m) {
+    case CohMode::kFullCoh: return "FullCoh";
+    case CohMode::kPT: return "PT";
+    case CohMode::kRaCCD: return "RaCCD";
+  }
+  return "?";
+}
+
+/// The paper's directory-reduction sweep (Fig. 6/7, Table III).
+inline constexpr std::array<std::uint32_t, 7> kDirRatios{1, 2, 4, 8, 16, 64, 256};
+
+/// Runtime-system and ISA-extension cycle costs.
+struct TimingConfig {
+  Cycle task_create_cycles = 120;     ///< per task, on the creating thread
+  Cycle dep_analysis_cycles = 40;     ///< per dependence at creation
+  Cycle schedule_cycles = 150;        ///< scheduling phase per task (paper Fig. 3)
+  Cycle wakeup_per_edge_cycles = 30;  ///< wake-up phase per resolved edge
+  Cycle ncrt_lookup_cycles = 1;       ///< added to L1 miss path in RaCCD mode
+  Cycle tlb_walk_cycles = 50;
+  Cycle pt_shootdown_cycles = 400;  ///< TLB shootdown at private->shared
+  /// OoO miss overlap: the detailed 4-wide cores of the paper hide part of
+  /// each miss behind independent work; the core-perceived stall is
+  /// l1_hit + (latency - l1_hit) / miss_overlap (DESIGN.md substitution #1).
+  double miss_overlap = 3.0;
+};
+
+struct SimConfig {
+  CohMode mode = CohMode::kRaCCD;
+  FabricConfig fabric{};
+  RaccdEngineConfig raccd{};
+  AdrConfig adr{};
+  TimingConfig timing{};
+  std::uint32_t tlb_entries = 256;
+  std::uint64_t phys_mb = 512;  ///< simulated physical memory
+  AllocPolicy alloc_policy = AllocPolicy::kContiguous;
+  SchedPolicy sched = SchedPolicy::kFifo;
+  std::uint64_t seed = 42;
+  bool enable_checker = false;
+
+  /// Default machine: 16 cores, 32 KB 2-way L1s, 2 MB LLC (128 KB/bank),
+  /// directory 1:1 (2048 entries/bank).
+  [[nodiscard]] static SimConfig scaled(CohMode mode = CohMode::kRaCCD);
+
+  /// Paper Table I machine: 32 MB LLC (2 MB/bank), directory 1:1
+  /// (32768 entries/bank).
+  [[nodiscard]] static SimConfig paper(CohMode mode = CohMode::kRaCCD);
+
+  /// Shrink the directory to 1:N of the LLC line count (paper Fig. 6/7).
+  void set_dir_ratio(std::uint32_t n);
+
+  [[nodiscard]] std::uint32_t dir_ratio() const noexcept {
+    return fabric.llc.lines_per_bank / fabric.dir.entries_per_bank;
+  }
+  [[nodiscard]] std::uint64_t total_dir_entries() const noexcept {
+    return static_cast<std::uint64_t>(fabric.dir.entries_per_bank) * fabric.cores;
+  }
+};
+
+}  // namespace raccd

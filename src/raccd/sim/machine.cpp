@@ -1,0 +1,273 @@
+#include "raccd/sim/machine.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "raccd/common/assert.hpp"
+
+namespace raccd {
+
+Machine::Machine(const SimConfig& cfg)
+    : cfg_(cfg),
+      checker_(/*strict=*/true),
+      fabric_(cfg.fabric, cfg.enable_checker ? &checker_ : nullptr),
+      raccd_(cfg.fabric.cores, cfg.raccd),
+      adr_(fabric_, cfg.adr),
+      mem_(cfg.phys_mb * (1024 * 1024 / kPageBytes), cfg.alloc_policy, cfg.seed),
+      rt_(cfg.sched, cfg.fabric.cores) {
+  for (std::uint32_t c = 0; c < cfg_.fabric.cores; ++c) {
+    tlbs_.emplace_back(cfg_.tlb_entries);
+  }
+  cores_.resize(cfg_.fabric.cores);
+}
+
+TaskId Machine::spawn(TaskDesc desc) {
+  const Cycle cost = cfg_.timing.task_create_cycles +
+                     cfg_.timing.dep_analysis_cycles * desc.deps.size();
+  main_clock_ += cost;
+  create_cycles_ += cost;
+  return rt_.create_task(std::move(desc));
+}
+
+CoreId Machine::pick_min_clock_core() const noexcept {
+  CoreId best = kNoCore;
+  Cycle best_clock = std::numeric_limits<Cycle>::max();
+  for (CoreId c = 0; c < cores_.size(); ++c) {
+    const CoreState& cs = cores_[c];
+    if (cs.sleeping) continue;
+    if (cs.clock < best_clock) {
+      best_clock = cs.clock;
+      best = c;
+    }
+  }
+  return best;
+}
+
+void Machine::wake_sleepers(Cycle at) {
+  for (auto& cs : cores_) {
+    if (cs.sleeping) {
+      cs.sleeping = false;
+      cs.clock = std::max(cs.clock, at);
+    }
+  }
+}
+
+void Machine::taskwait() {
+  const Cycle phase_start = main_clock_;
+  for (auto& cs : cores_) {
+    cs.clock = phase_start;
+    cs.sleeping = false;
+  }
+  while (!rt_.all_finished()) {
+    const CoreId c = pick_min_clock_core();
+    RACCD_ASSERT(c != kNoCore, "deadlock: all cores asleep with unfinished tasks");
+    step(c);
+  }
+  Cycle end = phase_start;
+  for (const auto& cs : cores_) end = std::max(end, cs.clock);
+  main_clock_ = end;
+}
+
+void Machine::step(CoreId c) {
+  CoreState& cs = cores_[c];
+  if (cs.current == kNoTask) {
+    TaskId t = kNoTask;
+    if (!rt_.pop_ready(c, t)) {
+      cs.sleeping = true;  // woken by the next task completion
+      return;
+    }
+    cs.clock += cfg_.timing.schedule_cycles;
+    schedule_cycles_ += cfg_.timing.schedule_cycles;
+    start_task(c, t);
+    return;
+  }
+  if (cs.cursor < cs.trace.records().size()) {
+    replay_record(c);
+    return;
+  }
+  finish_task(c);
+}
+
+void Machine::start_task(CoreId c, TaskId t) {
+  CoreState& cs = cores_[c];
+  rt_.start_task(t);
+  cs.current = t;
+  cs.cursor = 0;
+  TaskNode& node = rt_.task(t);
+
+  if (cfg_.mode == CohMode::kRaCCD) {
+    // raccd_register for every input/output (paper §III-B).
+    for (const DepSpec& d : node.deps) {
+      const RegisterOutcome ro =
+          raccd_.register_region(c, d.addr, d.size, tlbs_[c], mem_.page_table());
+      cs.clock += ro.cycles;
+      register_cycles_ += ro.cycles;
+    }
+  }
+
+  // Functional execution records the access trace; replay charges timing.
+  cs.trace.clear();
+  TaskContext ctx(mem_, cs.trace);
+  RACCD_ASSERT(node.body != nullptr, "task without a body");
+  node.body(ctx);
+}
+
+void Machine::replay_record(CoreId c) {
+  CoreState& cs = cores_[c];
+  const AccessRecord& r = cs.trace.records()[cs.cursor++];
+  cs.clock += r.compute_gap;
+  cs.busy_cycles += r.compute_gap;
+  accesses_replayed_ += r.repeat;
+
+  // Address translation (VIPT-style: only walks cost extra time).
+  const PageNum vpage = page_of(r.vaddr);
+  const auto tr = tlbs_[c].access(vpage, mem_.page_table());
+  Cycle extra = 0;
+  if (!tr.hit) extra += cfg_.timing.tlb_walk_cycles;
+  const PAddr paddr = (tr.pframe << kPageShift) | page_offset(r.vaddr);
+  const LineAddr line = line_of(paddr);
+
+  // Classify the request on an L1 miss (NCRT lookup / PT page class).
+  bool nc = false;
+  const bool l1_resident = fabric_.l1(c).find(line) != nullptr;
+  if (!l1_resident) {
+    switch (cfg_.mode) {
+      case CohMode::kFullCoh:
+        break;
+      case CohMode::kRaCCD:
+        extra += cfg_.timing.ncrt_lookup_cycles;
+        nc = raccd_.is_noncoherent(c, paddr);
+        break;
+      case CohMode::kPT: {
+        const auto d = pt_.on_access(c, vpage);
+        if (d.transition) {
+          // private -> shared recovery: flush the previous owner's cached
+          // lines of this page and shoot down its TLB entry; the accessor
+          // waits for the recovery to complete.
+          const auto fo =
+              fabric_.flush_page_lines(d.prev_owner, tr.pframe, cs.clock + extra);
+          tlbs_[d.prev_owner].invalidate(vpage);
+          extra += fo.cycles + cfg_.timing.pt_shootdown_cycles;
+        }
+        nc = d.noncoherent;
+        break;
+      }
+    }
+  }
+
+  const AccessOutcome out = fabric_.access(c, line, r.is_write != 0, nc, cs.clock + extra);
+  Cycle stall = out.latency;
+  if (!out.l1_hit && cfg_.timing.miss_overlap > 1.0) {
+    const Cycle l1h = cfg_.fabric.l1_hit_cycles;
+    stall = l1h + static_cast<Cycle>(static_cast<double>(out.latency - l1h) /
+                                     cfg_.timing.miss_overlap);
+  }
+  Cycle total = extra + stall;
+  if (r.repeat > 1) {
+    fabric_.count_l1_repeat_hits(r.repeat - 1);
+    total += static_cast<Cycle>(r.repeat - 1) * cfg_.fabric.l1_hit_cycles;
+  }
+  cs.clock += total;
+  cs.busy_cycles += total;
+  adr_.poll(cs.clock);
+}
+
+void Machine::finish_task(CoreId c) {
+  CoreState& cs = cores_[c];
+  const Cycle trailing = cs.trace.trailing_compute();
+  cs.clock += trailing;
+  cs.busy_cycles += trailing;
+
+  if (cfg_.mode == CohMode::kRaCCD) {
+    // raccd_invalidate: clear the NCRT and walk the L1 flushing NC lines
+    // (paper §III-C.4). The instruction blocks until the walk completes.
+    Cycle cost = raccd_.invalidate(c);
+    const auto fo = fabric_.flush_nc_lines(c, cs.clock);
+    cost += fo.cycles;
+    flushed_nc_lines_ += fo.lines;
+    flushed_nc_wbs_ += fo.writebacks;
+    cs.clock += cost;
+    invalidate_cycles_ += cost;
+    adr_.poll(cs.clock);
+  }
+
+  adr_.poll_all(cs.clock);
+
+  // Wake-up phase (paper Fig. 3): notify dependent tasks.
+  std::uint32_t resolved = 0;
+  const bool new_ready = rt_.finish_task(cs.current, c, resolved);
+  const Cycle wake_cost = cfg_.timing.wakeup_per_edge_cycles * resolved;
+  cs.clock += wake_cost;
+  wakeup_cycles_ += wake_cost;
+  cs.current = kNoTask;
+  if (new_ready) wake_sleepers(cs.clock);
+}
+
+SimStats Machine::collect() {
+  RACCD_ASSERT(!collected_, "collect() must be called once");
+  RACCD_ASSERT(rt_.all_finished(), "collect() before all tasks finished");
+  collected_ = true;
+  fabric_.finalize(main_clock_);
+
+  SimStats s;
+  s.mode = cfg_.mode;
+  s.dir_ratio = cfg_.dir_ratio();
+  s.adr_enabled = cfg_.adr.enabled;
+  s.cycles = main_clock_;
+  for (const auto& cs : cores_) s.busy_cycles += cs.busy_cycles;
+  s.core_utilization =
+      main_clock_ == 0 ? 0.0
+                       : static_cast<double>(s.busy_cycles) /
+                             (static_cast<double>(main_clock_) * cores_.size());
+  s.fabric = fabric_.stats();
+  s.noc = fabric_.mesh().stats();
+  s.ncrt = raccd_.total_stats();
+  for (const auto& tlb : tlbs_) {
+    const TlbStats& t = tlb.stats();
+    s.tlb.lookups += t.lookups;
+    s.tlb.hits += t.hits;
+    s.tlb.misses += t.misses;
+    s.tlb.shootdowns += t.shootdowns;
+    s.tlb.evictions += t.evictions;
+  }
+  s.pt = pt_.stats();
+  s.adr = adr_.stats();
+  s.tasks = rt_.stats().tasks_created;
+  s.edges = rt_.stats().edges;
+  s.accesses_replayed = accesses_replayed_;
+  s.create_cycles = create_cycles_;
+  s.schedule_cycles = schedule_cycles_;
+  s.wakeup_cycles = wakeup_cycles_;
+  s.register_cycles = register_cycles_;
+  s.invalidate_cycles = invalidate_cycles_;
+  s.flushed_nc_lines = flushed_nc_lines_;
+  s.flushed_nc_wbs = flushed_nc_wbs_;
+  s.blocks_touched = fabric_.classifier().touched_blocks();
+  s.blocks_noncoherent = fabric_.classifier().noncoherent_blocks();
+  s.noncoherent_block_fraction = fabric_.classifier().noncoherent_fraction();
+  s.avg_dir_occupancy = fabric_.avg_dir_occupancy(main_clock_);
+  if (main_clock_ > 0) {
+    double active_sum = 0.0;
+    for (BankId b = 0; b < cfg_.fabric.cores; ++b) {
+      const auto& d = fabric_.dir(b);
+      const double cap = static_cast<double>(d.total_sets()) * d.ways();
+      active_sum += d.active_integral() / (static_cast<double>(main_clock_) * cap);
+    }
+    s.avg_dir_active_frac = active_sum / cfg_.fabric.cores;
+  }
+  s.dir_dyn_energy_pj = s.fabric.e_dir_pj;
+  s.llc_dyn_energy_pj = s.fabric.e_llc_pj;
+  s.noc_dyn_energy_pj = s.fabric.e_noc_pj;
+  s.mem_dyn_energy_pj = s.fabric.e_mem_pj;
+  s.l1_dyn_energy_pj = s.fabric.e_l1_pj;
+  // Leakage over the run, integrated over the powered entry count.
+  double leak = 0.0;
+  for (BankId b = 0; b < cfg_.fabric.cores; ++b) {
+    const double entry_cycles = fabric_.dir(b).active_integral();
+    leak += fabric_.energy().dir_leakage_pj(1, 1) * entry_cycles;
+  }
+  s.dir_leak_energy_pj = leak;
+  return s;
+}
+
+}  // namespace raccd

@@ -1,0 +1,102 @@
+// The simulated machine: cores + TLBs + coherence fabric + RaCCD hardware +
+// runtime system, advanced by a deterministic discrete-event loop.
+//
+// Execution model (paper §II-C, Fig. 3): application code runs on the main
+// thread creating tasks (spawn), paying creation/dependence-analysis costs;
+// taskwait() is the global synchronisation point where all cores execute the
+// created tasks. Each scheduled task body runs functionally once, recording
+// its access trace, which is replayed access-by-access through the timing
+// model: the loop always advances the core with the lowest local clock, so
+// coherence transactions interleave in a deterministic global order.
+//
+// Per-task RaCCD hooks (paper Fig. 3): before execution, one raccd_register
+// per dependence; after execution, raccd_invalidate (NCRT clear + L1 NC-line
+// walk). PT mode instead classifies pages on L1 misses and pays the
+// private->shared recovery. FullCoh issues every request coherently.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "raccd/coherence/checker.hpp"
+#include "raccd/coherence/fabric.hpp"
+#include "raccd/core/adr.hpp"
+#include "raccd/core/pt_classifier.hpp"
+#include "raccd/core/raccd_engine.hpp"
+#include "raccd/mem/sim_memory.hpp"
+#include "raccd/runtime/runtime.hpp"
+#include "raccd/sim/config.hpp"
+#include "raccd/sim/stats.hpp"
+#include "raccd/tlb/tlb.hpp"
+
+namespace raccd {
+
+class Machine {
+ public:
+  explicit Machine(const SimConfig& cfg);
+
+  // -- Application-facing API ---------------------------------------------------
+  [[nodiscard]] SimMemory& mem() noexcept { return mem_; }
+  /// Create a task (main thread pays creation + dependence analysis).
+  TaskId spawn(TaskDesc desc);
+  /// Global synchronisation point: execute all pending tasks to completion.
+  void taskwait();
+  /// Finalize and collect statistics (call once, after the last taskwait).
+  [[nodiscard]] SimStats collect();
+
+  // -- Introspection --------------------------------------------------------------
+  [[nodiscard]] const SimConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] Fabric& fabric() noexcept { return fabric_; }
+  [[nodiscard]] Runtime& runtime() noexcept { return rt_; }
+  [[nodiscard]] RaccdEngine& raccd() noexcept { return raccd_; }
+  [[nodiscard]] PtClassifier& pt_classifier() noexcept { return pt_; }
+  [[nodiscard]] AdrController& adr() noexcept { return adr_; }
+  [[nodiscard]] Cycle now() const noexcept { return main_clock_; }
+  [[nodiscard]] CoherenceChecker* checker() noexcept {
+    return cfg_.enable_checker ? &checker_ : nullptr;
+  }
+
+ private:
+  struct CoreState {
+    Cycle clock = 0;
+    bool sleeping = false;
+    TaskId current = kNoTask;
+    std::size_t cursor = 0;
+    AccessTrace trace;
+    Cycle busy_cycles = 0;
+  };
+
+  [[nodiscard]] CoreId pick_min_clock_core() const noexcept;
+  /// Advance core c by one step (fetch a task, replay one record, or finish).
+  void step(CoreId c);
+  void start_task(CoreId c, TaskId t);
+  void replay_record(CoreId c);
+  void finish_task(CoreId c);
+  void wake_sleepers(Cycle at);
+
+  SimConfig cfg_;
+  CoherenceChecker checker_;
+  Fabric fabric_;
+  RaccdEngine raccd_;
+  PtClassifier pt_;
+  AdrController adr_;
+  SimMemory mem_;
+  Runtime rt_;
+  std::vector<Tlb> tlbs_;
+  std::vector<CoreState> cores_;
+  Cycle main_clock_ = 0;
+
+  // accumulated runtime-cost stats
+  Cycle create_cycles_ = 0;
+  Cycle schedule_cycles_ = 0;
+  Cycle wakeup_cycles_ = 0;
+  Cycle register_cycles_ = 0;
+  Cycle invalidate_cycles_ = 0;
+  std::uint64_t flushed_nc_lines_ = 0;
+  std::uint64_t flushed_nc_wbs_ = 0;
+  std::uint64_t accesses_replayed_ = 0;
+  bool collected_ = false;
+};
+
+}  // namespace raccd

@@ -1,0 +1,61 @@
+#include "raccd/sim/report.hpp"
+
+#include "raccd/common/format.hpp"
+#include "raccd/energy/area_model.hpp"
+
+namespace raccd {
+
+void print_config(const SimConfig& cfg, std::FILE* out) {
+  const auto& f = cfg.fabric;
+  std::fprintf(out, "machine: %u cores, %ux%u mesh, mode=%s\n", f.cores, f.mesh.width,
+               f.mesh.height, to_string(cfg.mode));
+  std::fprintf(out, "  L1D: %s, %u-way, %u-cycle | TLB: %u entries\n",
+               format_bytes(f.l1.size_bytes).c_str(), f.l1.ways,
+               static_cast<unsigned>(f.l1_hit_cycles), cfg.tlb_entries);
+  std::fprintf(out, "  LLC: %s total (%s/bank), %u-way, %u-cycle\n",
+               format_bytes(static_cast<std::uint64_t>(f.llc.lines_per_bank) * f.cores *
+                            kLineBytes)
+                   .c_str(),
+               format_bytes(static_cast<std::uint64_t>(f.llc.lines_per_bank) * kLineBytes)
+                   .c_str(),
+               f.llc.ways, static_cast<unsigned>(f.llc_cycles));
+  const std::uint64_t dir_total = cfg.total_dir_entries();
+  const DirStorage ds = AreaModel::directory_storage(dir_total);
+  std::fprintf(out,
+               "  directory: 1:%u — %s entries (%u/bank), %u-way, %u-cycle, %.1f KB, "
+               "%.2f mm2\n",
+               cfg.dir_ratio(), format_count(dir_total).c_str(), f.dir.entries_per_bank,
+               f.dir.ways, static_cast<unsigned>(cfg.fabric.dir_cycles), ds.kilobytes,
+               ds.area_mm2);
+  if (cfg.mode == CohMode::kRaCCD) {
+    std::fprintf(out, "  NCRT: %u entries/core, %u-cycle lookup | ADR: %s\n",
+                 cfg.raccd.ncrt_entries,
+                 static_cast<unsigned>(cfg.timing.ncrt_lookup_cycles),
+                 cfg.adr.enabled ? "on" : "off");
+  }
+}
+
+void print_report(const SimStats& s, std::FILE* out) {
+  std::fputs(s.summary().c_str(), out);
+  std::fprintf(out, "  runtime overhead: create=%s sched=%s wakeup=%s",
+               format_count(s.create_cycles).c_str(),
+               format_count(s.schedule_cycles).c_str(),
+               format_count(s.wakeup_cycles).c_str());
+  if (s.mode == CohMode::kRaCCD) {
+    std::fprintf(out, " register=%s invalidate=%s (flushed %llu lines, %llu WBs)",
+                 format_count(s.register_cycles).c_str(),
+                 format_count(s.invalidate_cycles).c_str(),
+                 static_cast<unsigned long long>(s.flushed_nc_lines),
+                 static_cast<unsigned long long>(s.flushed_nc_wbs));
+  }
+  std::fputc('\n', out);
+  if (s.adr_enabled) {
+    std::fprintf(out, "  ADR: %llu grows, %llu shrinks, %llu moved, blocked %s cycles\n",
+                 static_cast<unsigned long long>(s.adr.grows),
+                 static_cast<unsigned long long>(s.adr.shrinks),
+                 static_cast<unsigned long long>(s.adr.entries_moved),
+                 format_count(s.adr.blocked_cycles).c_str());
+  }
+}
+
+}  // namespace raccd

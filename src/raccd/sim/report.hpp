@@ -1,0 +1,16 @@
+// Verbose per-run report printing (used by examples and for debugging).
+#pragma once
+
+#include <cstdio>
+
+#include "raccd/sim/stats.hpp"
+
+namespace raccd {
+
+/// Print a full breakdown of one simulation run to `out`.
+void print_report(const SimStats& s, std::FILE* out = stdout);
+
+/// Print the machine configuration header (paper Table I analogue).
+void print_config(const SimConfig& cfg, std::FILE* out = stdout);
+
+}  // namespace raccd

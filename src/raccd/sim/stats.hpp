@@ -1,0 +1,73 @@
+// End-of-run statistics: everything the paper's figures plot, in one struct.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "raccd/coherence/fabric.hpp"
+#include "raccd/core/adr.hpp"
+#include "raccd/core/ncrt.hpp"
+#include "raccd/core/pt_classifier.hpp"
+#include "raccd/noc/mesh.hpp"
+#include "raccd/sim/config.hpp"
+#include "raccd/tlb/tlb.hpp"
+
+namespace raccd {
+
+struct SimStats {
+  // Identity
+  CohMode mode = CohMode::kFullCoh;
+  std::uint32_t dir_ratio = 1;
+  bool adr_enabled = false;
+
+  // Time (paper Fig. 6, 9)
+  Cycle cycles = 0;
+  Cycle busy_cycles = 0;  ///< sum of per-core task execution time
+  double core_utilization = 0.0;
+
+  // Subsystem stats
+  FabricStats fabric{};
+  NocStats noc{};
+  NcrtStats ncrt{};
+  TlbStats tlb{};
+  PtClassifierStats pt{};
+  AdrStats adr{};
+
+  // Runtime activity
+  std::uint64_t tasks = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t accesses_replayed = 0;
+  Cycle create_cycles = 0;
+  Cycle schedule_cycles = 0;
+  Cycle wakeup_cycles = 0;
+  Cycle register_cycles = 0;    ///< raccd_register total
+  Cycle invalidate_cycles = 0;  ///< raccd_invalidate total (incl. cache walks)
+  std::uint64_t flushed_nc_lines = 0;
+  std::uint64_t flushed_nc_wbs = 0;
+
+  // Block classification (paper Fig. 2)
+  std::uint64_t blocks_touched = 0;
+  std::uint64_t blocks_noncoherent = 0;
+  double noncoherent_block_fraction = 0.0;
+
+  // Directory occupancy (paper Fig. 8) and ADR power state
+  double avg_dir_occupancy = 0.0;    ///< vs configured capacity
+  double avg_dir_active_frac = 0.0;  ///< powered fraction (ADR)
+
+  // Energy (paper Fig. 7d, 10); directory dynamic energy is the headline.
+  double dir_dyn_energy_pj = 0.0;
+  double llc_dyn_energy_pj = 0.0;
+  double noc_dyn_energy_pj = 0.0;
+  double mem_dyn_energy_pj = 0.0;
+  double l1_dyn_energy_pj = 0.0;
+  double dir_leak_energy_pj = 0.0;
+
+  // Derived (paper Fig. 7a/7b/7c)
+  [[nodiscard]] std::uint64_t dir_accesses() const noexcept { return fabric.dir_accesses; }
+  [[nodiscard]] double llc_hit_ratio() const noexcept { return fabric.llc_hit_ratio(); }
+  [[nodiscard]] std::uint64_t noc_traffic() const noexcept { return noc.total_flit_hops(); }
+
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace raccd

@@ -1,0 +1,101 @@
+#include "raccd/tlb/tlb.hpp"
+
+#include "raccd/common/assert.hpp"
+
+namespace raccd {
+
+Tlb::Tlb(std::uint32_t capacity) : capacity_(capacity) {
+  RACCD_ASSERT(capacity_ > 0, "TLB needs at least one entry");
+  entries_.resize(capacity_);
+  free_.reserve(capacity_);
+  for (std::uint32_t i = 0; i < capacity_; ++i) free_.push_back(capacity_ - 1 - i);
+  index_.reserve(capacity_ * 2);
+}
+
+void Tlb::unlink(std::uint32_t slot) noexcept {
+  Entry& e = entries_[slot];
+  if (e.prev != kNil) {
+    entries_[e.prev].next = e.next;
+  } else {
+    head_ = e.next;
+  }
+  if (e.next != kNil) {
+    entries_[e.next].prev = e.prev;
+  } else {
+    tail_ = e.prev;
+  }
+  e.prev = e.next = kNil;
+}
+
+void Tlb::push_front(std::uint32_t slot) noexcept {
+  Entry& e = entries_[slot];
+  e.prev = kNil;
+  e.next = head_;
+  if (head_ != kNil) entries_[head_].prev = slot;
+  head_ = slot;
+  if (tail_ == kNil) tail_ = slot;
+}
+
+Tlb::Result Tlb::access(PageNum vpage, const PageTable& pt) {
+  ++stats_.lookups;
+  if (vpage == last_vpage_) {
+    ++stats_.hits;
+    return Result{true, last_pframe_};
+  }
+  if (const auto it = index_.find(vpage); it != index_.end()) {
+    ++stats_.hits;
+    const std::uint32_t slot = it->second;
+    if (slot != head_) {
+      unlink(slot);
+      push_front(slot);
+    }
+    last_vpage_ = vpage;
+    last_pframe_ = entries_[slot].pframe;
+    return Result{true, entries_[slot].pframe};
+  }
+  // Miss: walk the page table and install.
+  ++stats_.misses;
+  const PageNum pframe = pt.frame_of(vpage);
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = tail_;
+    ++stats_.evictions;
+    index_.erase(entries_[slot].vpage);
+    unlink(slot);
+  }
+  entries_[slot].vpage = vpage;
+  entries_[slot].pframe = pframe;
+  push_front(slot);
+  index_.emplace(vpage, slot);
+  last_vpage_ = vpage;
+  last_pframe_ = pframe;
+  return Result{false, pframe};
+}
+
+bool Tlb::invalidate(PageNum vpage) {
+  const auto it = index_.find(vpage);
+  if (it == index_.end()) return false;
+  ++stats_.shootdowns;
+  const std::uint32_t slot = it->second;
+  unlink(slot);
+  free_.push_back(slot);
+  index_.erase(it);
+  if (last_vpage_ == vpage) last_vpage_ = ~PageNum{0};
+  return true;
+}
+
+void Tlb::flush() {
+  for (auto& [vpage, slot] : index_) {
+    (void)vpage;
+    free_.push_back(slot);
+    entries_[slot].prev = entries_[slot].next = kNil;
+  }
+  index_.clear();
+  head_ = tail_ = kNil;
+  last_vpage_ = ~PageNum{0};
+}
+
+}  // namespace raccd

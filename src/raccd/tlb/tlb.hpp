@@ -1,0 +1,79 @@
+// Per-core TLB model: fully associative, true LRU (paper Table I: 256-entry
+// fully-associative DTLB, 1 cycle).
+//
+// Timing convention: lookups that hit are folded into the L1 access (VIPT
+// style) and cost no extra cycles; misses pay the page-walk latency from
+// SimConfig. The RaCCD `raccd_register` translation loop (paper Fig. 5) and
+// the PT baseline's classification both run through this structure.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "raccd/common/types.hpp"
+#include "raccd/mem/page_table.hpp"
+
+namespace raccd {
+
+struct TlbStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t shootdowns = 0;  ///< entries invalidated by remote request
+  std::uint64_t evictions = 0;   ///< capacity-driven LRU evictions
+};
+
+class Tlb {
+ public:
+  explicit Tlb(std::uint32_t capacity);
+
+  struct Result {
+    bool hit = false;
+    PageNum pframe = 0;
+  };
+
+  /// Look up vpage; on miss, walk `pt` and install the translation (evicting
+  /// the LRU entry if full). Result.hit reports whether the walk was needed.
+  Result access(PageNum vpage, const PageTable& pt);
+
+  /// Invalidate one entry (TLB shootdown). Returns true if it was present.
+  bool invalidate(PageNum vpage);
+
+  void flush();
+
+  [[nodiscard]] bool contains(PageNum vpage) const noexcept {
+    return index_.contains(vpage);
+  }
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(index_.size());
+  }
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] const TlbStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Entry {
+    PageNum vpage = 0;
+    PageNum pframe = 0;
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+  };
+  static constexpr std::uint32_t kNil = ~std::uint32_t{0};
+
+  void unlink(std::uint32_t slot) noexcept;
+  void push_front(std::uint32_t slot) noexcept;
+
+  std::uint32_t capacity_;
+  std::vector<Entry> entries_;          // slot storage
+  std::vector<std::uint32_t> free_;     // free slots
+  std::unordered_map<PageNum, std::uint32_t> index_;
+  std::uint32_t head_ = kNil;  // most recently used
+  std::uint32_t tail_ = kNil;  // least recently used
+  // Single-entry filter for the common same-page-as-last-access case; keeps
+  // host cost of the per-access timing lookup negligible.
+  PageNum last_vpage_ = ~PageNum{0};
+  PageNum last_pframe_ = 0;
+  TlbStats stats_;
+};
+
+}  // namespace raccd

@@ -1,0 +1,2 @@
+// AccessTrace is header-only; this translation unit anchors the library.
+#include "raccd/trace/access_trace.hpp"

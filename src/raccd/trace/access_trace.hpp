@@ -1,0 +1,77 @@
+// Per-task memory access traces.
+//
+// Task bodies execute functionally once (at schedule time) while recording
+// their loads/stores and annotated compute cycles here; the machine then
+// replays the trace through the timing model. Consecutive same-line,
+// same-kind accesses are run-length merged: after the first access the line
+// is L1-resident and no other event can intervene within the record, so the
+// remaining repeats are guaranteed L1 hits — the replay charges them as such
+// without touching the protocol engine. This compresses streaming kernels
+// ~16x (16 floats per 64 B line).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "raccd/common/assert.hpp"
+#include "raccd/common/types.hpp"
+
+namespace raccd {
+
+struct AccessRecord {
+  VAddr vaddr = 0;
+  std::uint32_t compute_gap = 0;  ///< compute cycles preceding this access
+  std::uint16_t repeat = 1;       ///< merged same-line same-kind accesses
+  std::uint8_t is_write = 0;
+  std::uint8_t size = 0;  ///< access width in bytes
+};
+
+class AccessTrace {
+ public:
+  void record(VAddr vaddr, std::uint8_t size, bool is_write) {
+    RACCD_DEBUG_ASSERT(line_of(vaddr) == line_of(vaddr + size - 1),
+                       "access straddles a cache line");
+    if (!records_.empty() && pending_compute_ == 0) {
+      AccessRecord& last = records_.back();
+      if (line_of(last.vaddr) == line_of(vaddr) &&
+          last.is_write == static_cast<std::uint8_t>(is_write) && last.repeat < 0xffff) {
+        ++last.repeat;
+        ++total_accesses_;
+        return;
+      }
+    }
+    AccessRecord r;
+    r.vaddr = vaddr;
+    r.compute_gap = pending_compute_ > 0xffffffffULL
+                        ? 0xffffffffu
+                        : static_cast<std::uint32_t>(pending_compute_);
+    r.size = size;
+    r.is_write = static_cast<std::uint8_t>(is_write);
+    records_.push_back(r);
+    pending_compute_ = 0;
+    ++total_accesses_;
+  }
+
+  /// Annotate compute work between memory accesses.
+  void add_compute(std::uint64_t cycles) noexcept { pending_compute_ += cycles; }
+
+  void clear() noexcept {
+    records_.clear();
+    pending_compute_ = 0;
+    total_accesses_ = 0;
+  }
+
+  [[nodiscard]] const std::vector<AccessRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t total_accesses() const noexcept { return total_accesses_; }
+  /// Compute cycles recorded after the final access (charged at task end).
+  [[nodiscard]] std::uint64_t trailing_compute() const noexcept { return pending_compute_; }
+
+ private:
+  std::vector<AccessRecord> records_;
+  std::uint64_t pending_compute_ = 0;
+  std::uint64_t total_accesses_ = 0;
+};
+
+}  // namespace raccd

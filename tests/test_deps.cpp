@@ -1,0 +1,125 @@
+// Dependence registry tests: RAW/WAR/WAW derivation over byte ranges with
+// splitting, the OmpSs region-dependence semantics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "raccd/runtime/dep_registry.hpp"
+
+namespace raccd {
+namespace {
+
+std::vector<TaskId> preds_of(DepRegistry& reg, TaskId t,
+                             std::initializer_list<DepSpec> deps) {
+  std::vector<TaskId> out;
+  for (const DepSpec& d : deps) reg.register_dep(t, d, out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+TEST(DepRegistry, RawDependence) {
+  DepRegistry reg;
+  EXPECT_TRUE(preds_of(reg, 0, {DepSpec{0, 100, DepKind::kOut}}).empty());
+  const auto preds = preds_of(reg, 1, {DepSpec{0, 100, DepKind::kIn}});
+  EXPECT_EQ(preds, std::vector<TaskId>{0});
+}
+
+TEST(DepRegistry, NoFalseDependenceOnDisjointRanges) {
+  DepRegistry reg;
+  preds_of(reg, 0, {DepSpec{0, 100, DepKind::kOut}});
+  const auto preds = preds_of(reg, 1, {DepSpec{100, 100, DepKind::kIn}});
+  EXPECT_TRUE(preds.empty());
+}
+
+TEST(DepRegistry, PartialOverlapSplitsSegments) {
+  DepRegistry reg;
+  preds_of(reg, 0, {DepSpec{0, 100, DepKind::kOut}});
+  preds_of(reg, 1, {DepSpec{100, 100, DepKind::kOut}});
+  const auto preds = preds_of(reg, 2, {DepSpec{50, 100, DepKind::kIn}});
+  EXPECT_EQ(preds, (std::vector<TaskId>{0, 1}));
+}
+
+TEST(DepRegistry, WarDependence) {
+  DepRegistry reg;
+  preds_of(reg, 0, {DepSpec{0, 64, DepKind::kOut}});
+  preds_of(reg, 1, {DepSpec{0, 64, DepKind::kIn}});
+  preds_of(reg, 2, {DepSpec{0, 64, DepKind::kIn}});
+  const auto preds = preds_of(reg, 3, {DepSpec{0, 64, DepKind::kOut}});
+  // WAW on 0 plus WAR on both readers.
+  EXPECT_EQ(preds, (std::vector<TaskId>{0, 1, 2}));
+}
+
+TEST(DepRegistry, WawChain) {
+  DepRegistry reg;
+  preds_of(reg, 0, {DepSpec{0, 64, DepKind::kOut}});
+  EXPECT_EQ(preds_of(reg, 1, {DepSpec{0, 64, DepKind::kOut}}), std::vector<TaskId>{0});
+  EXPECT_EQ(preds_of(reg, 2, {DepSpec{0, 64, DepKind::kOut}}), std::vector<TaskId>{1});
+  EXPECT_EQ(reg.last_writer_at(0), 2u);
+}
+
+TEST(DepRegistry, InoutActsAsReadAndWrite) {
+  DepRegistry reg;
+  preds_of(reg, 0, {DepSpec{0, 64, DepKind::kOut}});
+  const auto p1 = preds_of(reg, 1, {DepSpec{0, 64, DepKind::kInout}});
+  EXPECT_EQ(p1, std::vector<TaskId>{0});
+  // Reader after inout depends on the inout task.
+  const auto p2 = preds_of(reg, 2, {DepSpec{0, 64, DepKind::kIn}});
+  EXPECT_EQ(p2, std::vector<TaskId>{1});
+}
+
+TEST(DepRegistry, ReadersDoNotDependOnEachOther) {
+  DepRegistry reg;
+  preds_of(reg, 0, {DepSpec{0, 64, DepKind::kOut}});
+  EXPECT_EQ(preds_of(reg, 1, {DepSpec{0, 64, DepKind::kIn}}), std::vector<TaskId>{0});
+  EXPECT_EQ(preds_of(reg, 2, {DepSpec{0, 64, DepKind::kIn}}), std::vector<TaskId>{0});
+}
+
+TEST(DepRegistry, GaussSeidelWavefrontShape) {
+  // Row blocks with inout-own + in-halo deps must produce the wavefront:
+  // block b of iteration k depends on b-1 (same iter) and b+1 (prev iter).
+  DepRegistry reg;
+  constexpr std::uint64_t kRow = 64;  // bytes per halo row
+  constexpr std::uint64_t kBlockRows = 4;
+  const auto block_range = [&](std::uint32_t b) {
+    return DepSpec{b * kBlockRows * kRow, kBlockRows * kRow, DepKind::kInout};
+  };
+  const auto halo_above = [&](std::uint32_t b) {
+    return DepSpec{b * kBlockRows * kRow - kRow, kRow, DepKind::kIn};
+  };
+  const auto halo_below = [&](std::uint32_t b) {
+    return DepSpec{(b + 1) * kBlockRows * kRow, kRow, DepKind::kIn};
+  };
+  // Iteration 0: blocks 0..2 (task ids 0..2).
+  preds_of(reg, 0, {block_range(0), halo_below(0)});
+  const auto p1 = preds_of(reg, 1, {block_range(1), halo_above(1), halo_below(1)});
+  EXPECT_EQ(p1, std::vector<TaskId>{0});  // reads row written by block 0
+  const auto p2 = preds_of(reg, 2, {block_range(2), halo_above(2)});
+  EXPECT_EQ(p2, std::vector<TaskId>{1});
+  // Iteration 1 block 0 (task 3): depends on its own block (task 0 wrote it,
+  // task 1 read its last row... precisely: WAW with 0, WAR with 1) and RAW
+  // on block 1's first row (task 1).
+  const auto p3 = preds_of(reg, 3, {block_range(0), halo_below(0)});
+  EXPECT_EQ(p3, (std::vector<TaskId>{0, 1}));
+}
+
+TEST(DepRegistry, ManySmallRangesStress) {
+  DepRegistry reg;
+  std::vector<TaskId> preds;
+  for (TaskId t = 0; t < 200; ++t) {
+    preds.clear();
+    reg.register_dep(t, DepSpec{(t % 50) * 16ull, 16, DepKind::kInout}, preds);
+    // The registry may report a predecessor through both the RAW and WAR
+    // paths; callers dedupe (see Runtime::create_task).
+    std::sort(preds.begin(), preds.end());
+    preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+    if (t >= 50) {
+      ASSERT_EQ(preds.size(), 1u);
+      EXPECT_EQ(preds[0], t - 50);
+    }
+  }
+  EXPECT_LE(reg.segment_count(), 50u);
+}
+
+}  // namespace
+}  // namespace raccd

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "raccd/common/rng.hpp"
+#include "raccd/interval/interval_set.hpp"
+
+namespace raccd {
+namespace {
+
+TEST(IntervalSet, InsertDisjoint) {
+  IntervalSet s;
+  s.insert(10, 20);
+  s.insert(30, 40);
+  EXPECT_EQ(s.range_count(), 2u);
+  EXPECT_EQ(s.total_bytes(), 20u);
+  EXPECT_TRUE(s.contains(10));
+  EXPECT_FALSE(s.contains(20));
+  EXPECT_TRUE(s.contains(39));
+  EXPECT_FALSE(s.contains(25));
+}
+
+TEST(IntervalSet, InsertMergesOverlapAndAdjacency) {
+  IntervalSet s;
+  s.insert(10, 20);
+  s.insert(20, 30);  // adjacent: merges
+  EXPECT_EQ(s.range_count(), 1u);
+  s.insert(5, 12);  // overlapping front
+  EXPECT_EQ(s.range_count(), 1u);
+  EXPECT_TRUE(s.covers(5, 30));
+  s.insert(40, 50);
+  s.insert(28, 45);  // bridges two ranges
+  EXPECT_EQ(s.range_count(), 1u);
+  EXPECT_TRUE(s.covers(5, 50));
+}
+
+TEST(IntervalSet, EraseSplits) {
+  IntervalSet s;
+  s.insert(0, 100);
+  s.erase(40, 60);
+  EXPECT_EQ(s.range_count(), 2u);
+  EXPECT_TRUE(s.covers(0, 40));
+  EXPECT_TRUE(s.covers(60, 100));
+  EXPECT_FALSE(s.overlaps(40, 60));
+  s.erase(0, 100);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, QueriesOnEmptyAndDegenerate) {
+  IntervalSet s;
+  EXPECT_FALSE(s.contains(0));
+  EXPECT_FALSE(s.overlaps(0, 10));
+  EXPECT_TRUE(s.covers(5, 5));  // empty range trivially covered
+  s.insert(7, 7);               // empty insert is a no-op
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, RandomizedAgainstBitmap) {
+  Rng rng(1234);
+  constexpr std::uint64_t kSpace = 512;
+  IntervalSet s;
+  std::vector<bool> ref(kSpace, false);
+  for (int op = 0; op < 2000; ++op) {
+    const std::uint64_t a = rng.next_below(kSpace);
+    const std::uint64_t b = a + 1 + rng.next_below(32);
+    const std::uint64_t e = std::min(b, kSpace);
+    if (rng.next_bool(0.7)) {
+      s.insert(a, e);
+      for (std::uint64_t i = a; i < e; ++i) ref[i] = true;
+    } else {
+      s.erase(a, e);
+      for (std::uint64_t i = a; i < e; ++i) ref[i] = false;
+    }
+    if (op % 50 == 0) {
+      for (std::uint64_t i = 0; i < kSpace; ++i) {
+        ASSERT_EQ(s.contains(i), ref[i]) << "op " << op << " at " << i;
+      }
+      // Ranges must stay sorted, non-overlapping, non-adjacent.
+      const auto& rs = s.ranges();
+      for (std::size_t i = 1; i < rs.size(); ++i) {
+        ASSERT_GT(rs[i].begin, rs[i - 1].end);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace raccd

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "raccd/apps/jpeg_dct.hpp"
+#include "raccd/common/rng.hpp"
+
+namespace raccd::apps {
+namespace {
+
+TEST(Dct, RoundTripIsNearIdentity) {
+  Rng rng(3);
+  float in[64], freq[64], out[64];
+  for (int trial = 0; trial < 20; ++trial) {
+    for (float& v : in) v = rng.next_float(-128.0f, 128.0f);
+    fdct8x8(in, freq);
+    idct8x8(freq, out);
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_NEAR(out[i], in[i], 1e-2f) << "trial " << trial << " idx " << i;
+    }
+  }
+}
+
+TEST(Dct, DcCoefficientIsScaledMean) {
+  float in[64], freq[64];
+  for (float& v : in) v = 10.0f;
+  fdct8x8(in, freq);
+  // DC = 8 * mean for the orthonormal scaling used here.
+  EXPECT_NEAR(freq[0], 80.0f, 1e-3f);
+  for (int i = 1; i < 64; ++i) EXPECT_NEAR(freq[i], 0.0f, 1e-3f);
+}
+
+TEST(Dct, ParsevalEnergyPreserved) {
+  Rng rng(5);
+  float in[64], freq[64];
+  for (float& v : in) v = rng.next_float(-100.0f, 100.0f);
+  fdct8x8(in, freq);
+  double e_in = 0.0, e_freq = 0.0;
+  for (int i = 0; i < 64; ++i) {
+    e_in += static_cast<double>(in[i]) * static_cast<double>(in[i]);
+    e_freq += static_cast<double>(freq[i]) * static_cast<double>(freq[i]);
+  }
+  EXPECT_NEAR(e_freq, e_in, e_in * 1e-4);
+}
+
+TEST(Color, ClampBehaviour) {
+  EXPECT_EQ(clamp_u8(-5.0f), 0u);
+  EXPECT_EQ(clamp_u8(0.4f), 0u);
+  EXPECT_EQ(clamp_u8(0.6f), 1u);
+  EXPECT_EQ(clamp_u8(254.6f), 255u);
+  EXPECT_EQ(clamp_u8(300.0f), 255u);
+}
+
+TEST(Color, GrayRoundTrip) {
+  // Neutral chroma (128) must reproduce the luma on all channels.
+  std::uint8_t rgb[3];
+  yuv_to_rgb(100.0f, 128.0f, 128.0f, rgb);
+  EXPECT_EQ(rgb[0], 100u);
+  EXPECT_EQ(rgb[1], 100u);
+  EXPECT_EQ(rgb[2], 100u);
+}
+
+TEST(Color, PrimariesHaveExpectedOrdering) {
+  std::uint8_t red[3], blue[3];
+  yuv_to_rgb(81.0f, 90.0f, 240.0f, red);    // red-ish: Cr high
+  yuv_to_rgb(41.0f, 240.0f, 110.0f, blue);  // blue-ish: Cb high
+  EXPECT_GT(red[0], red[2]);
+  EXPECT_GT(blue[2], blue[0]);
+}
+
+TEST(Quant, TablesAreJpegAnnexK) {
+  EXPECT_EQ(kLumaQuant[0], 16u);
+  EXPECT_EQ(kLumaQuant[63], 99u);
+  EXPECT_EQ(kChromaQuant[0], 17u);
+  // Quantization must be coarser at high frequencies for luma.
+  EXPECT_GT(kLumaQuant[63], kLumaQuant[0]);
+}
+
+}  // namespace
+}  // namespace raccd::apps

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "raccd/mem/page_table.hpp"
+#include "raccd/mem/phys_memory.hpp"
+#include "raccd/mem/sim_memory.hpp"
+
+namespace raccd {
+namespace {
+
+TEST(PhysMemory, ContiguousAllocation) {
+  PhysMemory pm(16, AllocPolicy::kContiguous);
+  for (PageNum i = 0; i < 16; ++i) {
+    EXPECT_EQ(pm.alloc_frame(), i);
+  }
+  EXPECT_EQ(pm.frames_allocated(), 16u);
+}
+
+TEST(PhysMemory, FragmentedIsAPermutation) {
+  PhysMemory pm(64, AllocPolicy::kFragmented, 9);
+  std::set<PageNum> seen;
+  bool out_of_order = false;
+  PageNum prev = 0;
+  for (PageNum i = 0; i < 64; ++i) {
+    const PageNum f = pm.alloc_frame();
+    EXPECT_LT(f, 64u);
+    EXPECT_TRUE(seen.insert(f).second) << "frame handed out twice";
+    if (i > 0 && f != prev + 1) out_of_order = true;
+    prev = f;
+  }
+  EXPECT_TRUE(out_of_order);
+}
+
+TEST(PhysMemory, FragmentedDeterministicPerSeed) {
+  PhysMemory a(32, AllocPolicy::kFragmented, 5);
+  PhysMemory b(32, AllocPolicy::kFragmented, 5);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.alloc_frame(), b.alloc_frame());
+}
+
+TEST(PageTable, MapAndTranslate) {
+  PageTable pt;
+  EXPECT_FALSE(pt.mapped(3));
+  pt.map(3, 7);
+  EXPECT_TRUE(pt.mapped(3));
+  EXPECT_EQ(pt.frame_of(3), 7u);
+  EXPECT_EQ(pt.translate((3ull << kPageShift) | 0x123), (7ull << kPageShift) | 0x123);
+  EXPECT_EQ(pt.mapped_pages(), 1u);
+}
+
+TEST(SimMemory, AllocAlignmentAndZeroInit) {
+  SimMemory mem(1024, AllocPolicy::kContiguous);
+  const VAddr a = mem.alloc(100, 64, "a");
+  EXPECT_EQ(a % 64, 0u);
+  EXPECT_EQ(mem.read<std::uint64_t>(a), 0u);
+  const VAddr b = mem.alloc(8, 256, "b");
+  EXPECT_EQ(b % 256, 0u);
+  EXPECT_GE(b, a + 100);
+  EXPECT_EQ(mem.allocations().size(), 2u);
+  EXPECT_EQ(mem.allocations()[0].label, "a");
+}
+
+TEST(SimMemory, ReadWriteRoundTrip) {
+  SimMemory mem(1024, AllocPolicy::kContiguous);
+  const VAddr a = mem.alloc_array<double>(1000, "d");
+  for (int i = 0; i < 1000; ++i) {
+    mem.write<double>(a + i * 8, i * 1.5);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_DOUBLE_EQ(mem.read<double>(a + i * 8), i * 1.5);
+  }
+}
+
+TEST(SimMemory, CrossChunkCopy) {
+  // Chunks are 1 MB; allocate past the boundary and copy across it.
+  SimMemory mem(4096, AllocPolicy::kContiguous);
+  const VAddr a = mem.alloc(3 * 1024 * 1024, 64, "big");
+  std::vector<std::uint8_t> src(2 * 1024 * 1024);
+  for (std::size_t i = 0; i < src.size(); ++i) src[i] = static_cast<std::uint8_t>(i * 31);
+  const VAddr mid = a + 512 * 1024;  // straddles the 1MB chunk boundary
+  mem.copy_in(mid, src.data(), src.size());
+  std::vector<std::uint8_t> dst(src.size());
+  mem.copy_out(mid, dst.data(), dst.size());
+  EXPECT_EQ(src, dst);
+}
+
+TEST(SimMemory, PagesMappedEagerly) {
+  SimMemory mem(1024, AllocPolicy::kContiguous);
+  const VAddr a = mem.alloc(10 * kPageBytes, 64, "p");
+  for (PageNum vp = page_of(a); vp <= page_of(a + 10 * kPageBytes - 1); ++vp) {
+    EXPECT_TRUE(mem.page_table().mapped(vp));
+  }
+  // Contiguous policy => contiguous frames => translate is affine.
+  const PAddr p0 = mem.translate(a);
+  EXPECT_EQ(mem.translate(a + 2 * kPageBytes + 5), p0 + 2 * kPageBytes + 5);
+}
+
+TEST(SimMemory, FragmentedBreaksContiguity) {
+  SimMemory mem(4096, AllocPolicy::kFragmented, 77);
+  const VAddr a = mem.alloc(32 * kPageBytes, kPageBytes, "p");
+  bool contiguous = true;
+  for (unsigned i = 1; i < 32; ++i) {
+    if (mem.translate(a + i * kPageBytes) !=
+        mem.translate(a + (i - 1) * kPageBytes) + kPageBytes) {
+      contiguous = false;
+    }
+  }
+  EXPECT_FALSE(contiguous);
+}
+
+}  // namespace
+}  // namespace raccd

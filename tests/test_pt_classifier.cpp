@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "raccd/core/pt_classifier.hpp"
+
+namespace raccd {
+namespace {
+
+TEST(PtClassifier, FirstTouchIsPrivate) {
+  PtClassifier pt;
+  const auto d = pt.on_access(3, 10);
+  EXPECT_TRUE(d.noncoherent);
+  EXPECT_FALSE(d.transition);
+  EXPECT_EQ(pt.class_of(10), PageClass::kPrivate);
+  EXPECT_EQ(pt.owner_of(10), 3u);
+  EXPECT_EQ(pt.stats().first_touches, 1u);
+}
+
+TEST(PtClassifier, OwnerKeepsNcAccess) {
+  PtClassifier pt;
+  pt.on_access(3, 10);
+  for (int i = 0; i < 5; ++i) {
+    const auto d = pt.on_access(3, 10);
+    EXPECT_TRUE(d.noncoherent);
+    EXPECT_FALSE(d.transition);
+  }
+  EXPECT_EQ(pt.stats().transitions, 0u);
+}
+
+TEST(PtClassifier, SecondCoreTriggersTransition) {
+  PtClassifier pt;
+  pt.on_access(3, 10);
+  const auto d = pt.on_access(1, 10);
+  EXPECT_FALSE(d.noncoherent);
+  EXPECT_TRUE(d.transition);
+  EXPECT_EQ(d.prev_owner, 3u);
+  EXPECT_EQ(pt.class_of(10), PageClass::kShared);
+  EXPECT_EQ(pt.stats().transitions, 1u);
+}
+
+TEST(PtClassifier, SharedIsForever) {
+  // The key inaccuracy RaCCD fixes: temporarily-private pages never return
+  // to private, even when only one core uses them later.
+  PtClassifier pt;
+  pt.on_access(0, 7);
+  pt.on_access(1, 7);  // -> shared
+  for (int i = 0; i < 10; ++i) {
+    const auto d = pt.on_access(1, 7);
+    EXPECT_FALSE(d.noncoherent);
+    EXPECT_FALSE(d.transition);
+  }
+  EXPECT_EQ(pt.class_of(7), PageClass::kShared);
+  EXPECT_EQ(pt.stats().transitions, 1u);
+}
+
+TEST(PtClassifier, PagesAreIndependent) {
+  PtClassifier pt;
+  pt.on_access(0, 1);
+  pt.on_access(1, 2);
+  EXPECT_EQ(pt.class_of(1), PageClass::kPrivate);
+  EXPECT_EQ(pt.class_of(2), PageClass::kPrivate);
+  EXPECT_EQ(pt.owner_of(1), 0u);
+  EXPECT_EQ(pt.owner_of(2), 1u);
+  EXPECT_EQ(pt.class_of(3), PageClass::kUntouched);
+  EXPECT_EQ(pt.owner_of(999), kNoCore);
+}
+
+}  // namespace
+}  // namespace raccd

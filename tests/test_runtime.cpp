@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "raccd/runtime/runtime.hpp"
+
+namespace raccd {
+namespace {
+
+TaskDesc task_with_deps(std::vector<DepSpec> deps) {
+  TaskDesc d;
+  d.body = [](TaskContext&) {};
+  d.deps = std::move(deps);
+  return d;
+}
+
+TEST(Runtime, IndependentTasksAllReady) {
+  Runtime rt;
+  rt.create_task(task_with_deps({DepSpec{0, 64, DepKind::kOut}}));
+  rt.create_task(task_with_deps({DepSpec{64, 64, DepKind::kOut}}));
+  rt.create_task(task_with_deps({}));
+  EXPECT_EQ(rt.ready_count(), 3u);
+}
+
+TEST(Runtime, ChainExecutesInOrder) {
+  Runtime rt;
+  const TaskId a = rt.create_task(task_with_deps({DepSpec{0, 64, DepKind::kOut}}));
+  const TaskId b = rt.create_task(task_with_deps({DepSpec{0, 64, DepKind::kInout}}));
+  const TaskId c = rt.create_task(task_with_deps({DepSpec{0, 64, DepKind::kIn}}));
+  EXPECT_EQ(rt.ready_count(), 1u);
+  TaskId got;
+  ASSERT_TRUE(rt.pop_ready(0, got));
+  EXPECT_EQ(got, a);
+  rt.start_task(a);
+  std::uint32_t resolved = 0;
+  EXPECT_TRUE(rt.finish_task(a, 0, resolved));
+  EXPECT_EQ(resolved, 1u);
+  ASSERT_TRUE(rt.pop_ready(0, got));
+  EXPECT_EQ(got, b);
+  rt.start_task(b);
+  rt.finish_task(b, 0, resolved);
+  ASSERT_TRUE(rt.pop_ready(0, got));
+  EXPECT_EQ(got, c);
+  rt.start_task(c);
+  rt.finish_task(c, 0, resolved);
+  EXPECT_TRUE(rt.all_finished());
+}
+
+TEST(Runtime, FifoVsLifoOrder) {
+  Runtime fifo(SchedPolicy::kFifo);
+  Runtime lifo(SchedPolicy::kLifo);
+  for (int i = 0; i < 3; ++i) {
+    fifo.create_task(task_with_deps({}));
+    lifo.create_task(task_with_deps({}));
+  }
+  TaskId got;
+  fifo.pop_ready(0, got);
+  EXPECT_EQ(got, 0u);
+  lifo.pop_ready(0, got);
+  EXPECT_EQ(got, 2u);
+}
+
+TEST(Runtime, DiamondGraph) {
+  // a fans out to b and c, which join at d.
+  Runtime rt;
+  rt.create_task(task_with_deps({DepSpec{0, 128, DepKind::kOut}}));    // a
+  rt.create_task(task_with_deps({DepSpec{0, 64, DepKind::kInout}}));   // b
+  rt.create_task(task_with_deps({DepSpec{64, 64, DepKind::kInout}}));  // c
+  rt.create_task(task_with_deps({DepSpec{0, 128, DepKind::kIn}}));     // d
+  EXPECT_EQ(rt.stats().edges, 4u);
+  EXPECT_EQ(rt.tdg().critical_path_length(), 3u);
+  TaskId got;
+  ASSERT_TRUE(rt.pop_ready(0, got));
+  EXPECT_EQ(got, 0u);
+  EXPECT_FALSE(rt.pop_ready(0, got));
+  rt.start_task(0);
+  std::uint32_t resolved;
+  rt.finish_task(0, 0, resolved);
+  EXPECT_EQ(rt.ready_count(), 2u);
+  TaskId b, c;
+  rt.pop_ready(0, b);
+  rt.pop_ready(0, c);
+  rt.start_task(b);
+  rt.start_task(c);
+  rt.finish_task(b, 0, resolved);
+  EXPECT_EQ(rt.ready_count(), 0u);  // d waits for both
+  rt.finish_task(c, 0, resolved);
+  EXPECT_EQ(rt.ready_count(), 1u);
+}
+
+TEST(Runtime, StatsTrackCreationAndWakeups) {
+  Runtime rt;
+  rt.create_task(task_with_deps({DepSpec{0, 64, DepKind::kOut}}));
+  rt.create_task(task_with_deps({DepSpec{0, 64, DepKind::kIn}}));
+  EXPECT_EQ(rt.stats().tasks_created, 2u);
+  EXPECT_EQ(rt.stats().deps_registered, 2u);
+  TaskId got;
+  rt.pop_ready(0, got);
+  rt.start_task(got);
+  std::uint32_t resolved;
+  rt.finish_task(got, 0, resolved);
+  EXPECT_EQ(rt.stats().wakeups, 1u);
+}
+
+TEST(Runtime, CriticalPathOfChainAndIndependentSets) {
+  Runtime chain;
+  for (int i = 0; i < 10; ++i) {
+    chain.create_task(task_with_deps({DepSpec{0, 64, DepKind::kInout}}));
+  }
+  EXPECT_EQ(chain.tdg().critical_path_length(), 10u);
+
+  Runtime flat;
+  for (int i = 0; i < 10; ++i) {
+    flat.create_task(task_with_deps({DepSpec{static_cast<VAddr>(i) * 64, 64,
+                                             DepKind::kInout}}));
+  }
+  EXPECT_EQ(flat.tdg().critical_path_length(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler policies
+// ---------------------------------------------------------------------------
+
+TEST(Scheduler, WorkStealOwnerPopsLifo) {
+  Scheduler s(SchedPolicy::kWorkSteal, 4);
+  s.push(1, 2);
+  s.push(2, 2);
+  s.push(3, 2);
+  TaskId got;
+  ASSERT_TRUE(s.pop(2, got));
+  EXPECT_EQ(got, 3u);  // own deque: newest first (hot data)
+  ASSERT_TRUE(s.pop(2, got));
+  EXPECT_EQ(got, 2u);
+  EXPECT_EQ(s.stats().local_pops, 2u);
+  EXPECT_EQ(s.stats().steals, 0u);
+}
+
+TEST(Scheduler, ThiefStealsOldestFromNearestVictim) {
+  Scheduler s(SchedPolicy::kWorkSteal, 4);
+  s.push(1, 0);
+  s.push(2, 0);
+  TaskId got;
+  ASSERT_TRUE(s.pop(3, got));
+  EXPECT_EQ(got, 1u);  // steal the oldest (coldest) entry
+  EXPECT_EQ(s.stats().steals, 1u);
+  ASSERT_TRUE(s.pop(0, got));
+  EXPECT_EQ(got, 2u);
+  EXPECT_FALSE(s.pop(0, got));
+}
+
+TEST(Scheduler, WorkStealVisitsAllVictims) {
+  Scheduler s(SchedPolicy::kWorkSteal, 4);
+  s.push(7, 3);  // only core 3 has work
+  TaskId got;
+  ASSERT_TRUE(s.pop(1, got));
+  EXPECT_EQ(got, 7u);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Scheduler, SizeAggregatesAllDeques) {
+  Scheduler s(SchedPolicy::kWorkSteal, 4);
+  s.push(1, 0);
+  s.push(2, 1);
+  s.push(3, 3);
+  EXPECT_EQ(s.size(), 3u);
+  Scheduler c(SchedPolicy::kFifo, 4);
+  c.push(1, 0);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+}  // namespace
+}  // namespace raccd

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "raccd/runtime/tdg.hpp"
+
+namespace raccd {
+namespace {
+
+TaskDesc named(const char* name) {
+  TaskDesc d;
+  d.name = name;
+  d.body = [](TaskContext&) {};
+  return d;
+}
+
+TEST(Tdg, AddTasksAndEdges) {
+  Tdg g;
+  const TaskId a = g.add_task(named("a"));
+  const TaskId b = g.add_task(named("b"));
+  const TaskId c = g.add_task(named("c"));
+  g.add_edge(a, c);
+  g.add_edge(b, c);
+  g.add_edge(a, c);  // duplicate ignored
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.task(c).unresolved_preds, 2u);
+  EXPECT_EQ(g.task(a).successors.size(), 1u);
+}
+
+TEST(Tdg, FinishResolvesSuccessors) {
+  Tdg g;
+  const TaskId a = g.add_task(named("a"));
+  const TaskId b = g.add_task(named("b"));
+  const TaskId c = g.add_task(named("c"));
+  g.add_edge(a, c);
+  g.add_edge(b, c);
+  g.task(a).state = TaskState::kRunning;
+  g.task(b).state = TaskState::kRunning;
+  std::vector<TaskId> ready;
+  EXPECT_EQ(g.finish(a, ready), 1u);
+  EXPECT_TRUE(ready.empty());  // c still blocked on b
+  EXPECT_EQ(g.finish(b, ready), 1u);
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], c);
+  EXPECT_EQ(g.task(c).state, TaskState::kReady);
+  EXPECT_FALSE(g.all_finished());
+  g.task(c).state = TaskState::kRunning;
+  ready.clear();
+  g.finish(c, ready);
+  EXPECT_TRUE(g.all_finished());
+}
+
+TEST(Tdg, EdgeFromFinishedTaskDoesNotBlock) {
+  Tdg g;
+  const TaskId a = g.add_task(named("a"));
+  g.task(a).state = TaskState::kRunning;
+  std::vector<TaskId> ready;
+  g.finish(a, ready);
+  const TaskId b = g.add_task(named("b"));
+  g.add_edge(a, b);  // predecessor already finished
+  EXPECT_EQ(g.task(b).unresolved_preds, 0u);
+}
+
+TEST(Tdg, DotExportContainsNodesAndEdges) {
+  Tdg g;
+  const TaskId a = g.add_task(named("potrf"));
+  const TaskId b = g.add_task(named("trsm"));
+  g.add_edge(a, b);
+  const std::string dot = g.to_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("potrf"), std::string::npos);
+  EXPECT_NE(dot.find("t0 -> t1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace raccd

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "raccd/trace/access_trace.hpp"
+
+namespace raccd {
+namespace {
+
+TEST(AccessTrace, RecordsBasicFields) {
+  AccessTrace t;
+  t.add_compute(10);
+  t.record(0x100, 4, false);
+  t.record(0x200, 8, true);
+  ASSERT_EQ(t.records().size(), 2u);
+  EXPECT_EQ(t.records()[0].vaddr, 0x100u);
+  EXPECT_EQ(t.records()[0].compute_gap, 10u);
+  EXPECT_EQ(t.records()[0].is_write, 0u);
+  EXPECT_EQ(t.records()[0].size, 4u);
+  EXPECT_EQ(t.records()[1].is_write, 1u);
+  EXPECT_EQ(t.total_accesses(), 2u);
+}
+
+TEST(AccessTrace, MergesConsecutiveSameLineSameKind) {
+  AccessTrace t;
+  for (int i = 0; i < 16; ++i) t.record(0x1000 + i * 4, 4, false);  // one line
+  ASSERT_EQ(t.records().size(), 1u);
+  EXPECT_EQ(t.records()[0].repeat, 16u);
+  EXPECT_EQ(t.total_accesses(), 16u);
+}
+
+TEST(AccessTrace, DoesNotMergeAcrossLines) {
+  AccessTrace t;
+  t.record(0x1000, 4, false);
+  t.record(0x1040, 4, false);  // next line
+  EXPECT_EQ(t.records().size(), 2u);
+}
+
+TEST(AccessTrace, DoesNotMergeLoadWithStore) {
+  AccessTrace t;
+  t.record(0x1000, 4, false);
+  t.record(0x1004, 4, true);
+  t.record(0x1008, 4, true);
+  ASSERT_EQ(t.records().size(), 2u);
+  EXPECT_EQ(t.records()[1].repeat, 2u);
+}
+
+TEST(AccessTrace, ComputeBreaksMerging) {
+  AccessTrace t;
+  t.record(0x1000, 4, false);
+  t.add_compute(5);
+  t.record(0x1004, 4, false);
+  ASSERT_EQ(t.records().size(), 2u);
+  EXPECT_EQ(t.records()[1].compute_gap, 5u);
+}
+
+TEST(AccessTrace, TrailingComputeExposed) {
+  AccessTrace t;
+  t.record(0x1000, 4, false);
+  t.add_compute(42);
+  EXPECT_EQ(t.trailing_compute(), 42u);
+  t.clear();
+  EXPECT_EQ(t.trailing_compute(), 0u);
+  EXPECT_TRUE(t.records().empty());
+  EXPECT_EQ(t.total_accesses(), 0u);
+}
+
+TEST(AccessTrace, RepeatSaturationSplitsRecords) {
+  AccessTrace t;
+  for (int i = 0; i < 0xffff + 10; ++i) t.record(0x2000, 4, false);
+  ASSERT_EQ(t.records().size(), 2u);
+  EXPECT_EQ(t.records()[0].repeat, 0xffffu);
+  EXPECT_EQ(t.records()[1].repeat, 10u);
+  EXPECT_EQ(t.total_accesses(), 0xffffu + 10u);
+}
+
+}  // namespace
+}  // namespace raccd
