@@ -1,7 +1,8 @@
 // Shared helpers for the figure/table reproduction binaries: the common
-// 9-app x {FullCoh, PT, RaCCD} x {1:1..1:256} grid (paper Fig. 6/7), lookup
-// into its results, and normalization utilities. Results are cached on disk
-// (results/cache) so the five binaries that share the grid compute it once.
+// 9-app x {FullCoh, PT, RaCCD, WbNC} x {1:1..1:256} grid (paper Fig. 6/7
+// systems plus the software-coherence baseline), lookup into its results,
+// and normalization utilities. Results are cached on disk (results/cache)
+// so the five binaries that share the grid compute it once.
 #pragma once
 
 #include <cstdio>
@@ -25,7 +26,7 @@ struct Grid {
     const std::size_t mode_idx = static_cast<std::size_t>(mode);
     std::size_t ratio_idx = 0;
     while (kDirRatios[ratio_idx] != ratio) ++ratio_idx;
-    return results[(app_idx * kAllModes.size() + mode_idx) * kDirRatios.size() +
+    return results[(app_idx * kAllBackends.size() + mode_idx) * kDirRatios.size() +
                    ratio_idx];
   }
 };
@@ -35,12 +36,15 @@ inline Grid run_grid(const BenchOptions& opts) {
   Grid g;
   g.apps = paper_app_names();
   for (const auto& app : g.apps) {
-    for (const CohMode mode : kAllModes) {
+    for (const CohMode mode : kAllBackends) {
       for (const std::uint32_t ratio : kDirRatios) {
         RunSpec s;
         s.app = app;
         s.size = opts.size;
         s.mode = mode;
+        // Every mode sweeps every ratio — even WbNC, whose *dynamic* stats
+        // are ratio-invariant: the powered (leaking) directory still scales
+        // with the configured size.
         s.dir_ratio = ratio;
         s.paper_machine = opts.paper_machine;
         g.specs.push_back(s);
@@ -48,7 +52,7 @@ inline Grid run_grid(const BenchOptions& opts) {
     }
   }
   std::fprintf(stderr,
-               "grid: %zu simulations (9 apps x 3 systems x 7 directory sizes), "
+               "grid: %zu simulations (9 apps x 4 systems x 7 directory sizes), "
                "size=%s%s — cached results reused\n",
                g.specs.size(), to_string(opts.size),
                opts.paper_machine ? ", paper machine" : "");
@@ -66,7 +70,7 @@ void print_figure(const Grid& g, const char* title, const char* value_name,
   std::vector<std::string> headers{"app", "system"};
   for (const std::uint32_t r : kDirRatios) headers.push_back(strprintf("1:%u", r));
   TextTable table(headers);
-  for (const CohMode mode : kAllModes) {
+  for (const CohMode mode : kAllBackends) {
     std::vector<std::vector<double>> per_ratio(kDirRatios.size());
     if (mode != CohMode::kFullCoh) table.add_separator();
     for (std::size_t a = 0; a < g.apps.size(); ++a) {

@@ -1,5 +1,6 @@
-// Run every paper benchmark once under FullCoh, PT and RaCCD at the 1:1
-// directory and print a side-by-side comparison — a one-screen tour of what
+// Run every paper benchmark once under all four coherence backends —
+// FullCoh, PT, RaCCD, and the WbNC software-coherence baseline — at the 1:1
+// directory and print a side-by-side comparison: a one-screen tour of what
 // the library measures.
 #include <cstdio>
 
@@ -13,7 +14,7 @@ int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
   std::vector<RunSpec> specs;
   for (const auto& app : paper_app_names()) {
-    for (const CohMode mode : kAllModes) {
+    for (const CohMode mode : kAllBackends) {
       RunSpec s;
       s.app = app;
       s.size = SizeClass::kTiny;  // quick tour by default
@@ -29,7 +30,7 @@ int main(int argc, char** argv) {
   std::size_t i = 0;
   for (const auto& app : paper_app_names()) {
     if (i != 0) table.add_separator();
-    for (std::size_t m = 0; m < kAllModes.size(); ++m) {
+    for (std::size_t m = 0; m < kAllBackends.size(); ++m) {
       const SimStats& s = results[i++];
       table.add_row({app, to_string(s.mode), format_count(s.cycles),
                      strprintf("%.1f", 100.0 * s.noncoherent_block_fraction),

@@ -3,7 +3,7 @@
 // reaches for first.
 //
 // Usage:
-//   simulate [app] [--mode=fullcoh|pt|raccd] [--size=tiny|small|paper]
+//   simulate [app] [--mode=fullcoh|pt|raccd|wbnc] [--size=tiny|small|paper]
 //            [--dir-ratio=N] [--adr] [--paper] [--sched=fifo|lifo|worksteal]
 //            [--ncrt-entries=N] [--ncrt-latency=N] [--fragmented] [--seed=N]
 //            [--dot=FILE]
@@ -25,7 +25,7 @@ void usage() {
   std::puts(
       "usage: simulate [app] [options]\n"
       "  apps: cg gauss histo jacobi jpeg kmeans knn md5 redblack cholesky\n"
-      "  --mode=fullcoh|pt|raccd   coherence system (default raccd)\n"
+      "  --mode=fullcoh|pt|raccd|wbnc   coherence system (default raccd)\n"
       "  --size=tiny|small|paper   problem size (default small)\n"
       "  --dir-ratio=N             directory 1:N of LLC lines (default 1)\n"
       "  --adr                     enable Adaptive Directory Reduction\n"
@@ -54,6 +54,7 @@ int main(int argc, char** argv) {
       if (m == "fullcoh") spec.mode = CohMode::kFullCoh;
       else if (m == "pt") spec.mode = CohMode::kPT;
       else if (m == "raccd") spec.mode = CohMode::kRaCCD;
+      else if (m == "wbnc") spec.mode = CohMode::kWbNC;
       else { usage(); return 1; }
     } else if (std::strncmp(a, "--size=", 7) == 0) {
       const std::string s = a + 7;

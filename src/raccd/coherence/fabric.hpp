@@ -25,6 +25,7 @@
 #include "raccd/cache/l1_cache.hpp"
 #include "raccd/cache/llc_bank.hpp"
 #include "raccd/coherence/directory.hpp"
+#include "raccd/coherence/fabric_stats.hpp"
 #include "raccd/common/types.hpp"
 #include "raccd/energy/energy_model.hpp"
 #include "raccd/noc/mesh.hpp"
@@ -48,55 +49,6 @@ struct FabricConfig {
   EnergyConfig energy{};
   /// Pre-size for the Fig. 2 block-classification table (lines).
   std::uint64_t phys_lines_hint = 0;
-};
-
-/// Result of one access, as seen by the issuing core.
-struct AccessOutcome {
-  Cycle latency = 0;
-  bool l1_hit = false;
-  bool llc_hit = false;  ///< meaningful only when !l1_hit
-};
-
-struct FabricStats {
-  // L1 (aggregated over cores)
-  std::uint64_t l1_accesses = 0, l1_hits = 0, l1_misses = 0;
-  std::uint64_t l1_evictions = 0, l1_wb_coh = 0, l1_wb_nc = 0;
-  std::uint64_t l1_invals_sharer = 0;  ///< invalidations from GetX/upgrades
-  std::uint64_t l1_invals_recall = 0;  ///< invalidations from directory/LLC recalls
-  std::uint64_t l1_flush_nc_lines = 0, l1_flush_nc_wbs = 0;    ///< raccd_invalidate
-  std::uint64_t l1_flush_page_lines = 0, l1_flush_page_wbs = 0;  ///< PT recovery
-
-  // LLC: hit-rate denominators count only demand lookups from L1 misses.
-  std::uint64_t llc_lookups = 0, llc_hits = 0, llc_misses = 0;
-  std::uint64_t llc_nc_lookups = 0, llc_nc_hits = 0;
-  std::uint64_t llc_fills = 0, llc_evictions = 0, llc_inval_by_dir = 0, llc_wb_mem = 0;
-  std::uint64_t llc_touches = 0;  ///< every array access (energy basis)
-
-  // Directory. dir_accesses counts every read/update of the structure and is
-  // the paper's Fig. 7a metric and the dynamic-energy basis.
-  std::uint64_t dir_accesses = 0;
-  std::uint64_t dir_lookups = 0, dir_hits = 0, dir_misses = 0;
-  std::uint64_t dir_allocs = 0, dir_evictions = 0, dir_recall_msgs = 0;
-  std::uint64_t dir_wb_updates = 0;
-  std::uint64_t dir_nc_to_coh = 0;  ///< NC LLC line re-tracked on coherent access
-  std::uint64_t dir_coh_to_nc = 0;  ///< entry dropped on NC access (paper III-E)
-
-  // Transactions
-  std::uint64_t coh_reads = 0, coh_writes = 0, upgrades = 0;
-  std::uint64_t nc_reads = 0, nc_writes = 0;
-  std::uint64_t owner_probes = 0;
-
-  // Memory
-  std::uint64_t mem_reads = 0, mem_writes = 0;
-
-  // Dynamic energy (pJ)
-  double e_dir_pj = 0.0, e_llc_pj = 0.0, e_l1_pj = 0.0, e_noc_pj = 0.0, e_mem_pj = 0.0;
-
-  void add(const FabricStats& o) noexcept;
-  [[nodiscard]] double llc_hit_ratio() const noexcept {
-    return llc_lookups == 0 ? 0.0
-                            : static_cast<double>(llc_hits) / static_cast<double>(llc_lookups);
-  }
 };
 
 /// Per-line classification for paper Fig. 2: a block counts as non-coherent

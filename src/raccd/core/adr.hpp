@@ -14,26 +14,9 @@
 
 #include "raccd/coherence/fabric.hpp"
 #include "raccd/common/types.hpp"
+#include "raccd/core/adr_config.hpp"
 
 namespace raccd {
-
-struct AdrConfig {
-  bool enabled = false;
-  double theta_inc = 0.80;
-  double theta_dec = 0.20;
-  /// Lower bound on powered sets, as a divisor of the configured size
-  /// (256 == the paper's most extreme static configuration, 1:256).
-  std::uint32_t min_sets_divisor = 256;
-};
-
-struct AdrStats {
-  std::uint64_t polls = 0;
-  std::uint64_t grows = 0;
-  std::uint64_t shrinks = 0;
-  std::uint64_t entries_moved = 0;
-  std::uint64_t entries_displaced = 0;
-  Cycle blocked_cycles = 0;
-};
 
 class AdrController {
  public:

@@ -1,0 +1,30 @@
+// ADR configuration and statistics, split from adr.hpp so stats-only
+// consumers (SimConfig, SimStats, report) don't pull in the controller and
+// the full fabric it drives.
+#pragma once
+
+#include <cstdint>
+
+#include "raccd/common/types.hpp"
+
+namespace raccd {
+
+struct AdrConfig {
+  bool enabled = false;
+  double theta_inc = 0.80;
+  double theta_dec = 0.20;
+  /// Lower bound on powered sets, as a divisor of the configured size
+  /// (256 == the paper's most extreme static configuration, 1:256).
+  std::uint32_t min_sets_divisor = 256;
+};
+
+struct AdrStats {
+  std::uint64_t polls = 0;
+  std::uint64_t grows = 0;
+  std::uint64_t shrinks = 0;
+  std::uint64_t entries_moved = 0;
+  std::uint64_t entries_displaced = 0;
+  Cycle blocked_cycles = 0;
+};
+
+}  // namespace raccd

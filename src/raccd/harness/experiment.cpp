@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 
 #include "raccd/common/assert.hpp"
 #include "raccd/common/format.hpp"
@@ -59,9 +61,16 @@ std::vector<SimStats> run_all(const std::vector<RunSpec>& specs, const RunOption
     }
   }
 
+  // Identical specs (same cache key) are simulated once and copied, so
+  // callers may pass spec lists with repeats without paying for them.
   std::vector<std::size_t> todo;
+  std::unordered_map<std::string, std::size_t> first_with_key;
+  std::vector<std::pair<std::size_t, std::size_t>> dup;  // (dst, src) indices
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    if (pending[i] != 0) todo.push_back(i);
+    if (pending[i] == 0) continue;
+    const auto [it, inserted] = first_with_key.try_emplace(specs[i].key(), i);
+    if (inserted) todo.push_back(i);
+    else dup.emplace_back(i, it->second);
   }
   if (!todo.empty()) {
     unsigned threads = opts.threads != 0 ? opts.threads : std::thread::hardware_concurrency();
@@ -86,6 +95,7 @@ std::vector<SimStats> run_all(const std::vector<RunSpec>& specs, const RunOption
     for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
     for (auto& th : pool) th.join();
   }
+  for (const auto& [dst, src] : dup) results[dst] = results[src];
   return results;
 }
 

@@ -1,7 +1,8 @@
 // Experiment harness: declarative run specs, a host-parallel executor (one
 // deterministic simulation per job, no shared mutable state), and a
 // file-backed result cache so the Fig. 6/7a-d binaries — which share one
-// 9-app x 3-system x 7-size grid — compute it only once.
+// 9-app x 4-system x 7-size grid (FullCoh/PT/RaCCD plus the WbNC
+// software-coherence baseline) — compute it only once.
 #pragma once
 
 #include <cstdint>

@@ -11,7 +11,10 @@
 namespace raccd {
 
 /// Bump when the simulation model or stats layout changes.
-inline constexpr unsigned kStatsFormatVersion = 4;
+/// v5: coherence-backend seam — task-end ADR evaluation is a single
+/// poll_all (the redundant dirty-bank poll is gone), so RaCCD+ADR numbers
+/// can differ from v4 caches.
+inline constexpr unsigned kStatsFormatVersion = 5;
 
 [[nodiscard]] std::string stats_to_text(const SimStats& s);
 [[nodiscard]] std::optional<SimStats> stats_from_text(const std::string& text);

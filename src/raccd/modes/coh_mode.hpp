@@ -1,0 +1,48 @@
+// Coherence operating modes (the systems compared by the paper, plus one
+// software-coherence baseline).
+//
+//  * kFullCoh — every request is coherent; the sparse directory tracks all
+//    cached lines (the paper's hardware-coherence baseline).
+//  * kPT      — OS page-table private/shared classification (Cuesta et al.,
+//    ISCA'11): first-touch-private pages go non-coherent until another core
+//    touches them.
+//  * kRaCCD   — runtime-assisted coherence deactivation: the task runtime
+//    registers dependence regions in the per-core NCRT and flushes
+//    non-coherent lines at task end (the paper's contribution).
+//  * kWbNC    — writeback-non-coherent software coherence: *every* request
+//    bypasses the directory and the runtime flushes the whole L1 at task
+//    boundaries, as task-parallel runtimes for non-coherent machines do
+//    (BDDT-SCC, Labrineas et al.). A lower bound on directory pressure and
+//    an upper bound on task-boundary flush cost.
+//
+// This header is the bottom of the modes layer: it must stay free of
+// sim/coherence includes so stats-only consumers can name a mode without
+// pulling in the machine model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace raccd {
+
+enum class CohMode : std::uint8_t { kFullCoh = 0, kPT, kRaCCD, kWbNC };
+
+/// The paper's three systems (Fig. 2/6/7/8 compare exactly these).
+inline constexpr std::array<CohMode, 3> kAllModes{CohMode::kFullCoh, CohMode::kPT,
+                                                  CohMode::kRaCCD};
+
+/// Every implemented backend, including the software-coherence baseline.
+inline constexpr std::array<CohMode, 4> kAllBackends{CohMode::kFullCoh, CohMode::kPT,
+                                                     CohMode::kRaCCD, CohMode::kWbNC};
+
+[[nodiscard]] constexpr const char* to_string(CohMode m) noexcept {
+  switch (m) {
+    case CohMode::kFullCoh: return "FullCoh";
+    case CohMode::kPT: return "PT";
+    case CohMode::kRaCCD: return "RaCCD";
+    case CohMode::kWbNC: return "WbNC";
+  }
+  return "?";
+}
+
+}  // namespace raccd

@@ -1,0 +1,17 @@
+// Full hardware coherence (the paper's baseline): every request is coherent,
+// so the backend has no per-task hooks, no per-access classification (null
+// ClassifierView — the miss path skips the call), and no private state.
+#pragma once
+
+#include "raccd/modes/coherence_backend.hpp"
+
+namespace raccd {
+
+class FullCohBackend final : public CoherenceBackend {
+ public:
+  explicit FullCohBackend(const BackendContext& ctx) : CoherenceBackend(ctx) {}
+
+  [[nodiscard]] CohMode mode() const noexcept override { return CohMode::kFullCoh; }
+};
+
+}  // namespace raccd

@@ -1,0 +1,34 @@
+#include "raccd/modes/pt_backend.hpp"
+
+#include "raccd/coherence/fabric.hpp"
+#include "raccd/sim/config.hpp"
+#include "raccd/sim/stats.hpp"
+#include "raccd/tlb/tlb.hpp"
+
+namespace raccd {
+
+AccessClass PtBackend::classify_thunk(CoherenceBackend* self, CoreId c, VAddr vaddr,
+                                      PAddr paddr, PageNum pframe, Cycle now) {
+  (void)paddr;
+  return static_cast<PtBackend*>(self)->classify(c, vaddr, pframe, now);
+}
+
+AccessClass PtBackend::classify(CoreId c, VAddr vaddr, PageNum pframe, Cycle now) {
+  AccessClass out;
+  const PageNum vpage = page_of(vaddr);
+  const PtClassifier::Decision d = pt_.on_access(c, vpage);
+  if (d.transition) {
+    // private -> shared recovery: flush the previous owner's cached lines of
+    // this page and shoot down its TLB entry; the accessor waits for the
+    // recovery to complete.
+    const auto fo = ctx_.fabric.flush_page_lines(d.prev_owner, pframe, now);
+    ctx_.tlbs[d.prev_owner].invalidate(vpage);
+    out.extra_cycles = fo.cycles + ctx_.cfg.timing.pt_shootdown_cycles;
+  }
+  out.nc = d.noncoherent;
+  return out;
+}
+
+void PtBackend::accumulate(SimStats& s) const { s.pt = pt_.stats(); }
+
+}  // namespace raccd

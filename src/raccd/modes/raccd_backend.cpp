@@ -1,0 +1,47 @@
+#include "raccd/modes/raccd_backend.hpp"
+
+#include "raccd/coherence/fabric.hpp"
+#include "raccd/mem/sim_memory.hpp"
+#include "raccd/runtime/task.hpp"
+#include "raccd/sim/config.hpp"
+#include "raccd/sim/stats.hpp"
+#include "raccd/tlb/tlb.hpp"
+
+namespace raccd {
+
+RaccdBackend::RaccdBackend(const BackendContext& ctx)
+    : CoherenceBackend(ctx), engine_(ctx.cfg.fabric.cores, ctx.cfg.raccd) {}
+
+Cycle RaccdBackend::on_task_start(CoreId c, const TaskNode& node) {
+  // raccd_register for every input/output (paper §III-B).
+  Cycle cost = 0;
+  for (const DepSpec& d : node.deps) {
+    const RegisterOutcome ro =
+        engine_.register_region(c, d.addr, d.size, ctx_.tlbs[c], ctx_.mem.page_table());
+    cost += ro.cycles;
+  }
+  return cost;
+}
+
+AccessClass RaccdBackend::classify_thunk(CoherenceBackend* self, CoreId c, VAddr vaddr,
+                                         PAddr paddr, PageNum pframe, Cycle now) {
+  (void)vaddr;
+  (void)pframe;
+  (void)now;
+  auto* be = static_cast<RaccdBackend*>(self);
+  return {be->engine_.is_noncoherent(c, paddr),
+          be->ctx_.cfg.timing.ncrt_lookup_cycles};
+}
+
+TaskEndOutcome RaccdBackend::on_task_end(CoreId c, Cycle now) {
+  // raccd_invalidate: clear the NCRT and walk the L1 flushing NC lines
+  // (paper §III-C.4). The instruction blocks until the walk completes.
+  Cycle cost = engine_.invalidate(c);
+  const auto fo = ctx_.fabric.flush_nc_lines(c, now);
+  cost += fo.cycles;
+  return {cost, fo.lines, fo.writebacks};
+}
+
+void RaccdBackend::accumulate(SimStats& s) const { s.ncrt = engine_.total_stats(); }
+
+}  // namespace raccd

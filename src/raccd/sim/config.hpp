@@ -17,25 +17,13 @@
 #include <cstdint>
 
 #include "raccd/coherence/fabric.hpp"
-#include "raccd/core/adr.hpp"
+#include "raccd/core/adr_config.hpp"
 #include "raccd/core/raccd_engine.hpp"
 #include "raccd/mem/phys_memory.hpp"
+#include "raccd/modes/coh_mode.hpp"
 #include "raccd/runtime/scheduler.hpp"
 
 namespace raccd {
-
-enum class CohMode : std::uint8_t { kFullCoh = 0, kPT, kRaCCD };
-inline constexpr std::array<CohMode, 3> kAllModes{CohMode::kFullCoh, CohMode::kPT,
-                                                  CohMode::kRaCCD};
-
-[[nodiscard]] constexpr const char* to_string(CohMode m) noexcept {
-  switch (m) {
-    case CohMode::kFullCoh: return "FullCoh";
-    case CohMode::kPT: return "PT";
-    case CohMode::kRaCCD: return "RaCCD";
-  }
-  return "?";
-}
 
 /// The paper's directory-reduction sweep (Fig. 6/7, Table III).
 inline constexpr std::array<std::uint32_t, 7> kDirRatios{1, 2, 4, 8, 16, 64, 256};
@@ -49,6 +37,7 @@ struct TimingConfig {
   Cycle ncrt_lookup_cycles = 1;       ///< added to L1 miss path in RaCCD mode
   Cycle tlb_walk_cycles = 50;
   Cycle pt_shootdown_cycles = 400;  ///< TLB shootdown at private->shared
+  Cycle swcoh_flush_call_cycles = 30;  ///< WbNC software cache-flush call at task end
   /// OoO miss overlap: the detailed 4-wide cores of the paper hide part of
   /// each miss behind independent work; the core-perceived stall is
   /// l1_hit + (latency - l1_hit) / miss_overlap (DESIGN.md substitution #1).

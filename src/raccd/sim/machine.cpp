@@ -11,7 +11,6 @@ Machine::Machine(const SimConfig& cfg)
     : cfg_(cfg),
       checker_(/*strict=*/true),
       fabric_(cfg.fabric, cfg.enable_checker ? &checker_ : nullptr),
-      raccd_(cfg.fabric.cores, cfg.raccd),
       adr_(fabric_, cfg.adr),
       mem_(cfg.phys_mb * (1024 * 1024 / kPageBytes), cfg.alloc_policy, cfg.seed),
       rt_(cfg.sched, cfg.fabric.cores) {
@@ -19,6 +18,7 @@ Machine::Machine(const SimConfig& cfg)
     tlbs_.emplace_back(cfg_.tlb_entries);
   }
   cores_.resize(cfg_.fabric.cores);
+  backend_ = make_backend(BackendContext{cfg_, fabric_, mem_, tlbs_});
 }
 
 TaskId Machine::spawn(TaskDesc desc) {
@@ -95,15 +95,12 @@ void Machine::start_task(CoreId c, TaskId t) {
   cs.cursor = 0;
   TaskNode& node = rt_.task(t);
 
-  if (cfg_.mode == CohMode::kRaCCD) {
-    // raccd_register for every input/output (paper §III-B).
-    for (const DepSpec& d : node.deps) {
-      const RegisterOutcome ro =
-          raccd_.register_region(c, d.addr, d.size, tlbs_[c], mem_.page_table());
-      cs.clock += ro.cycles;
-      register_cycles_ += ro.cycles;
-    }
-  }
+  // Mode-specific setup (e.g. RaCCD's raccd_register per dependence), and
+  // the per-access classification hook for this task, resolved once.
+  const Cycle setup = backend_->on_task_start(c, node);
+  cs.clock += setup;
+  register_cycles_ += setup;
+  cs.classify = backend_->classifier();
 
   // Functional execution records the access trace; replay charges timing.
   cs.trace.clear();
@@ -127,32 +124,14 @@ void Machine::replay_record(CoreId c) {
   const PAddr paddr = (tr.pframe << kPageShift) | page_offset(r.vaddr);
   const LineAddr line = line_of(paddr);
 
-  // Classify the request on an L1 miss (NCRT lookup / PT page class).
+  // Classify the request on an L1 miss through the backend's cached view
+  // (NCRT lookup / PT page class / always-NC; null view = always coherent).
   bool nc = false;
   const bool l1_resident = fabric_.l1(c).find(line) != nullptr;
-  if (!l1_resident) {
-    switch (cfg_.mode) {
-      case CohMode::kFullCoh:
-        break;
-      case CohMode::kRaCCD:
-        extra += cfg_.timing.ncrt_lookup_cycles;
-        nc = raccd_.is_noncoherent(c, paddr);
-        break;
-      case CohMode::kPT: {
-        const auto d = pt_.on_access(c, vpage);
-        if (d.transition) {
-          // private -> shared recovery: flush the previous owner's cached
-          // lines of this page and shoot down its TLB entry; the accessor
-          // waits for the recovery to complete.
-          const auto fo =
-              fabric_.flush_page_lines(d.prev_owner, tr.pframe, cs.clock + extra);
-          tlbs_[d.prev_owner].invalidate(vpage);
-          extra += fo.cycles + cfg_.timing.pt_shootdown_cycles;
-        }
-        nc = d.noncoherent;
-        break;
-      }
-    }
+  if (!l1_resident && cs.classify) {
+    const AccessClass ac = cs.classify(c, r.vaddr, paddr, tr.pframe, cs.clock + extra);
+    extra += ac.extra_cycles;
+    nc = ac.nc;
   }
 
   const AccessOutcome out = fabric_.access(c, line, r.is_write != 0, nc, cs.clock + extra);
@@ -178,18 +157,13 @@ void Machine::finish_task(CoreId c) {
   cs.clock += trailing;
   cs.busy_cycles += trailing;
 
-  if (cfg_.mode == CohMode::kRaCCD) {
-    // raccd_invalidate: clear the NCRT and walk the L1 flushing NC lines
-    // (paper §III-C.4). The instruction blocks until the walk completes.
-    Cycle cost = raccd_.invalidate(c);
-    const auto fo = fabric_.flush_nc_lines(c, cs.clock);
-    cost += fo.cycles;
-    flushed_nc_lines_ += fo.lines;
-    flushed_nc_wbs_ += fo.writebacks;
-    cs.clock += cost;
-    invalidate_cycles_ += cost;
-    adr_.poll(cs.clock);
-  }
+  // Mode-specific teardown (RaCCD: NCRT clear + NC-line flush; WbNC:
+  // whole-L1 writeback flush). Costs block the finishing core.
+  const TaskEndOutcome teardown = backend_->on_task_end(c, cs.clock);
+  cs.clock += teardown.cycles;
+  invalidate_cycles_ += teardown.cycles;
+  flushed_nc_lines_ += teardown.flushed_lines;
+  flushed_nc_wbs_ += teardown.flushed_wbs;
 
   adr_.poll_all(cs.clock);
 
@@ -221,7 +195,7 @@ SimStats Machine::collect() {
                              (static_cast<double>(main_clock_) * cores_.size());
   s.fabric = fabric_.stats();
   s.noc = fabric_.mesh().stats();
-  s.ncrt = raccd_.total_stats();
+  backend_->accumulate(s);  // mode-private stats (NCRT, PT classifier)
   for (const auto& tlb : tlbs_) {
     const TlbStats& t = tlb.stats();
     s.tlb.lookups += t.lookups;
@@ -230,7 +204,6 @@ SimStats Machine::collect() {
     s.tlb.shootdowns += t.shootdowns;
     s.tlb.evictions += t.evictions;
   }
-  s.pt = pt_.stats();
   s.adr = adr_.stats();
   s.tasks = rt_.stats().tasks_created;
   s.edges = rt_.stats().edges;

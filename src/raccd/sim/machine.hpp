@@ -1,5 +1,6 @@
-// The simulated machine: cores + TLBs + coherence fabric + RaCCD hardware +
-// runtime system, advanced by a deterministic discrete-event loop.
+// The simulated machine: cores + TLBs + coherence fabric + runtime system,
+// advanced by a deterministic discrete-event loop, with all coherence-mode
+// policy delegated to a pluggable CoherenceBackend (src/raccd/modes/).
 //
 // Execution model (paper §II-C, Fig. 3): application code runs on the main
 // thread creating tasks (spawn), paying creation/dependence-analysis costs;
@@ -9,10 +10,11 @@
 // model: the loop always advances the core with the lowest local clock, so
 // coherence transactions interleave in a deterministic global order.
 //
-// Per-task RaCCD hooks (paper Fig. 3): before execution, one raccd_register
-// per dependence; after execution, raccd_invalidate (NCRT clear + L1 NC-line
-// walk). PT mode instead classifies pages on L1 misses and pays the
-// private->shared recovery. FullCoh issues every request coherently.
+// Mode policy lives entirely behind the backend seam: the backend's
+// on_task_start/on_task_end hooks bracket every task (paper Fig. 3 for
+// RaCCD's register/invalidate), and per-access non-coherence classification
+// goes through a ClassifierView resolved once per task — the replay loop
+// never branches on CohMode.
 #pragma once
 
 #include <cstdint>
@@ -22,9 +24,8 @@
 #include "raccd/coherence/checker.hpp"
 #include "raccd/coherence/fabric.hpp"
 #include "raccd/core/adr.hpp"
-#include "raccd/core/pt_classifier.hpp"
-#include "raccd/core/raccd_engine.hpp"
 #include "raccd/mem/sim_memory.hpp"
+#include "raccd/modes/coherence_backend.hpp"
 #include "raccd/runtime/runtime.hpp"
 #include "raccd/sim/config.hpp"
 #include "raccd/sim/stats.hpp"
@@ -49,8 +50,7 @@ class Machine {
   [[nodiscard]] const SimConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] Fabric& fabric() noexcept { return fabric_; }
   [[nodiscard]] Runtime& runtime() noexcept { return rt_; }
-  [[nodiscard]] RaccdEngine& raccd() noexcept { return raccd_; }
-  [[nodiscard]] PtClassifier& pt_classifier() noexcept { return pt_; }
+  [[nodiscard]] CoherenceBackend& backend() noexcept { return *backend_; }
   [[nodiscard]] AdrController& adr() noexcept { return adr_; }
   [[nodiscard]] Cycle now() const noexcept { return main_clock_; }
   [[nodiscard]] CoherenceChecker* checker() noexcept {
@@ -65,6 +65,8 @@ class Machine {
     std::size_t cursor = 0;
     AccessTrace trace;
     Cycle busy_cycles = 0;
+    /// Backend classification hook, resolved once per task (devirtualized).
+    ClassifierView classify{};
   };
 
   [[nodiscard]] CoreId pick_min_clock_core() const noexcept;
@@ -78,8 +80,6 @@ class Machine {
   SimConfig cfg_;
   CoherenceChecker checker_;
   Fabric fabric_;
-  RaccdEngine raccd_;
-  PtClassifier pt_;
   AdrController adr_;
   SimMemory mem_;
   Runtime rt_;
@@ -97,6 +97,9 @@ class Machine {
   std::uint64_t flushed_nc_wbs_ = 0;
   std::uint64_t accesses_replayed_ = 0;
   bool collected_ = false;
+
+  /// Constructed last (it references fabric/mem/tlbs), destroyed first.
+  std::unique_ptr<CoherenceBackend> backend_;
 };
 
 }  // namespace raccd

@@ -2,6 +2,8 @@
 
 #include "raccd/common/format.hpp"
 #include "raccd/energy/area_model.hpp"
+#include "raccd/modes/coherence_backend.hpp"
+#include "raccd/sim/config.hpp"
 
 namespace raccd {
 
@@ -27,12 +29,8 @@ void print_config(const SimConfig& cfg, std::FILE* out) {
                cfg.dir_ratio(), format_count(dir_total).c_str(), f.dir.entries_per_bank,
                f.dir.ways, static_cast<unsigned>(cfg.fabric.dir_cycles), ds.kilobytes,
                ds.area_mm2);
-  if (cfg.mode == CohMode::kRaCCD) {
-    std::fprintf(out, "  NCRT: %u entries/core, %u-cycle lookup | ADR: %s\n",
-                 cfg.raccd.ncrt_entries,
-                 static_cast<unsigned>(cfg.timing.ncrt_lookup_cycles),
-                 cfg.adr.enabled ? "on" : "off");
-  }
+  const ModeTraits& traits = mode_traits(cfg.mode);
+  if (traits.print_config_extra != nullptr) traits.print_config_extra(cfg, out);
 }
 
 void print_report(const SimStats& s, std::FILE* out) {
@@ -41,13 +39,8 @@ void print_report(const SimStats& s, std::FILE* out) {
                format_count(s.create_cycles).c_str(),
                format_count(s.schedule_cycles).c_str(),
                format_count(s.wakeup_cycles).c_str());
-  if (s.mode == CohMode::kRaCCD) {
-    std::fprintf(out, " register=%s invalidate=%s (flushed %llu lines, %llu WBs)",
-                 format_count(s.register_cycles).c_str(),
-                 format_count(s.invalidate_cycles).c_str(),
-                 static_cast<unsigned long long>(s.flushed_nc_lines),
-                 static_cast<unsigned long long>(s.flushed_nc_wbs));
-  }
+  const ModeTraits& traits = mode_traits(s.mode);
+  if (traits.print_report_extra != nullptr) traits.print_report_extra(s, out);
   std::fputc('\n', out);
   if (s.adr_enabled) {
     std::fprintf(out, "  ADR: %llu grows, %llu shrinks, %llu moved, blocked %s cycles\n",

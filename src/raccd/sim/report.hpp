@@ -3,6 +3,7 @@
 
 #include <cstdio>
 
+#include "raccd/sim/config.hpp"
 #include "raccd/sim/stats.hpp"
 
 namespace raccd {

@@ -4,12 +4,12 @@
 #include <cstdint>
 #include <string>
 
-#include "raccd/coherence/fabric.hpp"
-#include "raccd/core/adr.hpp"
+#include "raccd/coherence/fabric_stats.hpp"
+#include "raccd/core/adr_config.hpp"
 #include "raccd/core/ncrt.hpp"
 #include "raccd/core/pt_classifier.hpp"
+#include "raccd/modes/coh_mode.hpp"
 #include "raccd/noc/mesh.hpp"
-#include "raccd/sim/config.hpp"
 #include "raccd/tlb/tlb.hpp"
 
 namespace raccd {

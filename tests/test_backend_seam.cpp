@@ -1,0 +1,157 @@
+// The CoherenceBackend seam: every mode must produce the SAME functional
+// result for the same workload (coherence policy changes timing and traffic,
+// never data), with mode-appropriate traffic statistics — RaCCD/WbNC see NC
+// transactions, FullCoh sees none; all policy is behind the backend, so the
+// machine loop itself is mode-blind.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "raccd/coherence/checker.hpp"
+#include "raccd/sim/machine.hpp"
+
+namespace raccd {
+namespace {
+
+struct SeamRun {
+  SimStats stats;
+  std::vector<std::uint32_t> result;  ///< functional memory contents after run
+};
+
+/// Producer/consumer chain over enough data to miss in L1, with cross-core
+/// partner reads (the migration pattern that separates the modes).
+SeamRun run_workload(CohMode mode) {
+  SimConfig cfg = SimConfig::scaled(mode);
+  cfg.enable_checker = true;
+  Machine m(cfg);
+  constexpr std::uint32_t kTasks = 24;
+  constexpr std::uint32_t kBytes = 4096;
+  const VAddr base =
+      m.mem().alloc(static_cast<std::uint64_t>(kTasks) * kBytes, kLineBytes, "seam");
+  for (std::uint32_t t = 0; t < kTasks; ++t) {
+    const VAddr region = base + static_cast<VAddr>(t) * kBytes;
+    TaskDesc wr;
+    wr.deps = {DepSpec{region, kBytes, DepKind::kOut}};
+    wr.body = [region, t](TaskContext& ctx) {
+      for (std::uint32_t i = 0; i < kBytes; i += 4) {
+        ctx.store<std::uint32_t>(region + i, t * 131 + i);
+      }
+    };
+    m.spawn(std::move(wr));
+  }
+  for (std::uint32_t t = 0; t < kTasks; ++t) {
+    const VAddr region = base + static_cast<VAddr>(t) * kBytes;
+    const VAddr partner = base + static_cast<VAddr>((t + kTasks / 2) % kTasks) * kBytes;
+    TaskDesc rd;
+    rd.deps = {DepSpec{region, kBytes, DepKind::kInout},
+               DepSpec{partner, kBytes, DepKind::kIn}};
+    rd.body = [region, partner](TaskContext& ctx) {
+      for (std::uint32_t i = 0; i < kBytes; i += 4) {
+        const std::uint32_t own = ctx.load<std::uint32_t>(region + i);
+        const std::uint32_t other = ctx.load<std::uint32_t>(partner + i);
+        ctx.store<std::uint32_t>(region + i, own + other);
+      }
+    };
+    m.spawn(std::move(rd));
+  }
+  m.taskwait();
+
+  SeamRun out;
+  for (std::uint32_t i = 0; i < kTasks * kBytes; i += 4) {
+    out.result.push_back(m.mem().read<std::uint32_t>(base + i));
+  }
+  const auto violations = CoherenceChecker::scan(m.fabric());
+  for (const auto& v : violations) ADD_FAILURE() << to_string(mode) << ": " << v;
+  out.stats = m.collect();
+  return out;
+}
+
+class BackendSeam : public ::testing::TestWithParam<CohMode> {};
+
+TEST_P(BackendSeam, FunctionalResultIdenticalToFullCoh) {
+  const SeamRun ref = run_workload(CohMode::kFullCoh);
+  const SeamRun got = run_workload(GetParam());
+  ASSERT_EQ(ref.result.size(), got.result.size());
+  EXPECT_EQ(ref.result, got.result);
+  EXPECT_EQ(ref.stats.tasks, got.stats.tasks);
+  EXPECT_EQ(ref.stats.accesses_replayed, got.stats.accesses_replayed);
+}
+
+TEST_P(BackendSeam, StatsMatchModePolicy) {
+  const CohMode mode = GetParam();
+  const SimStats s = run_workload(mode).stats;
+  EXPECT_EQ(s.mode, mode);
+  const std::uint64_t nc_traffic = s.fabric.nc_reads + s.fabric.nc_writes;
+  switch (mode) {
+    case CohMode::kFullCoh:
+      // Nothing is ever non-coherent: no NC transactions, no NC LLC path,
+      // no task-boundary flushes, no NCRT/PT activity.
+      EXPECT_EQ(nc_traffic, 0u);
+      EXPECT_EQ(s.fabric.llc_nc_lookups, 0u);
+      EXPECT_EQ(s.flushed_nc_lines, 0u);
+      EXPECT_EQ(s.ncrt.lookups, 0u);
+      EXPECT_EQ(s.pt.first_touches, 0u);
+      EXPECT_EQ(s.register_cycles, 0u);
+      EXPECT_EQ(s.invalidate_cycles, 0u);
+      break;
+    case CohMode::kPT:
+      // First-touch classification engages, and task migration forces
+      // private->shared transitions (the paper's PT inaccuracy).
+      EXPECT_GT(s.pt.first_touches, 0u);
+      EXPECT_GT(s.pt.transitions, 0u);
+      EXPECT_EQ(s.ncrt.lookups, 0u);
+      EXPECT_EQ(s.flushed_nc_lines, 0u);
+      break;
+    case CohMode::kRaCCD:
+      // All task data is dependence-declared: NC traffic, NCRT activity,
+      // register/invalidate overheads and task-end NC flushes all engage.
+      EXPECT_GT(nc_traffic, 0u);
+      EXPECT_GT(s.fabric.llc_nc_lookups, 0u);
+      EXPECT_GT(s.ncrt.inserts, 0u);
+      EXPECT_GT(s.register_cycles, 0u);
+      EXPECT_GT(s.invalidate_cycles, 0u);
+      EXPECT_GT(s.flushed_nc_lines, 0u);
+      EXPECT_GT(s.noncoherent_block_fraction, 0.95);
+      break;
+    case CohMode::kWbNC:
+      // Everything is non-coherent: zero directory pressure, zero coherent
+      // transactions, and whole-L1 writeback flushes at task boundaries.
+      EXPECT_GT(nc_traffic, 0u);
+      EXPECT_EQ(s.fabric.coh_reads + s.fabric.coh_writes + s.fabric.upgrades, 0u);
+      EXPECT_EQ(s.fabric.dir_accesses, 0u);
+      EXPECT_EQ(s.noncoherent_block_fraction, 1.0);
+      EXPECT_GT(s.flushed_nc_lines, 0u);
+      EXPECT_GT(s.flushed_nc_wbs, 0u);
+      EXPECT_GT(s.invalidate_cycles, 0u);
+      EXPECT_EQ(s.register_cycles, 0u);  // no per-task registration
+      break;
+  }
+}
+
+TEST_P(BackendSeam, BackendReportsItsMode) {
+  SimConfig cfg = SimConfig::scaled(GetParam());
+  Machine m(cfg);
+  EXPECT_EQ(m.backend().mode(), GetParam());
+  EXPECT_EQ(mode_traits(GetParam()).mode, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendSeam, ::testing::ValuesIn(kAllBackends),
+                         [](const ::testing::TestParamInfo<CohMode>& info) {
+                           return to_string(info.param);
+                         });
+
+TEST(BackendSeam, DirectoryPressureOrdering) {
+  // WbNC <= RaCCD < PT <= FullCoh on the migrating-producer/consumer
+  // workload: the whole point of deactivation, now across four backends.
+  const SimStats full = run_workload(CohMode::kFullCoh).stats;
+  const SimStats pt = run_workload(CohMode::kPT).stats;
+  const SimStats raccd = run_workload(CohMode::kRaCCD).stats;
+  const SimStats wbnc = run_workload(CohMode::kWbNC).stats;
+  EXPECT_LE(wbnc.fabric.dir_accesses, raccd.fabric.dir_accesses);
+  EXPECT_LT(raccd.fabric.dir_accesses, pt.fabric.dir_accesses);
+  EXPECT_LE(pt.fabric.dir_accesses, full.fabric.dir_accesses);
+  EXPECT_EQ(wbnc.fabric.dir_accesses, 0u);
+}
+
+}  // namespace
+}  // namespace raccd

@@ -1,0 +1,110 @@
+// Harness determinism regression: the simulation is a deterministic function
+// of the RunSpec, so running the same specs host-parallel with the result
+// cache disabled, enabled-cold, and enabled-warm must produce byte-identical
+// SimStats (via the canonical stats_to_text serialization). This pins down
+// both simulator determinism and cache-round-trip fidelity.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "raccd/harness/experiment.hpp"
+#include "raccd/harness/sweep_cache.hpp"
+
+namespace raccd {
+namespace {
+
+std::vector<RunSpec> sample_specs() {
+  std::vector<RunSpec> specs;
+  for (const CohMode mode : kAllBackends) {
+    for (const char* app : {"histo", "md5"}) {
+      RunSpec s;
+      s.app = app;
+      s.size = SizeClass::kTiny;
+      s.mode = mode;
+      specs.push_back(s);
+    }
+  }
+  RunSpec adr;
+  adr.app = "histo";
+  adr.size = SizeClass::kTiny;
+  adr.mode = CohMode::kRaCCD;
+  adr.adr = true;
+  specs.push_back(adr);
+  return specs;
+}
+
+std::vector<std::string> serialize(const std::vector<SimStats>& results) {
+  std::vector<std::string> out;
+  out.reserve(results.size());
+  for (const SimStats& s : results) out.push_back(stats_to_text(s));
+  return out;
+}
+
+TEST(Determinism, RunAllByteIdenticalWithAndWithoutCache) {
+  const std::string dir = "test_cache_determinism";
+  std::filesystem::remove_all(dir);
+  const std::vector<RunSpec> specs = sample_specs();
+
+  RunOptions uncached;
+  uncached.use_cache = false;
+  uncached.threads = 3;
+  const auto baseline = serialize(run_all(specs, uncached));
+
+  RunOptions cached;
+  cached.use_cache = true;
+  cached.cache_dir = dir;
+  cached.threads = 2;
+  const auto cold = serialize(run_all(specs, cached));   // simulate + store
+  const auto warm = serialize(run_all(specs, cached));   // pure cache load
+
+  ASSERT_EQ(baseline.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(baseline[i], cold[i]) << specs[i].key();
+    EXPECT_EQ(baseline[i], warm[i]) << specs[i].key();
+    EXPECT_FALSE(baseline[i].empty());
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Determinism, DuplicateSpecsSimulatedOnceAndIdentical) {
+  // run_all dedupes identical specs (same key). Results must align with the
+  // request order, and the cache must hold one file per unique key.
+  const std::string dir = "test_cache_dedupe";
+  std::filesystem::remove_all(dir);
+  RunSpec a;
+  a.app = "histo";
+  a.size = SizeClass::kTiny;
+  a.mode = CohMode::kWbNC;
+  RunSpec b = a;
+  b.mode = CohMode::kRaCCD;
+  const std::vector<RunSpec> specs{a, b, a, a};
+  RunOptions opts;
+  opts.cache_dir = dir;
+  opts.threads = 2;
+  const auto results = run_all(specs, opts);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(stats_to_text(results[0]), stats_to_text(results[2]));
+  EXPECT_EQ(stats_to_text(results[0]), stats_to_text(results[3]));
+  EXPECT_NE(stats_to_text(results[0]), stats_to_text(results[1]));
+  std::size_t files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    files += e.is_regular_file();
+  }
+  EXPECT_EQ(files, 2u);  // one cached result per unique key
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Determinism, RepeatedUncachedRunsIdentical) {
+  RunSpec spec;
+  spec.app = "jacobi";
+  spec.size = SizeClass::kTiny;
+  spec.mode = CohMode::kWbNC;
+  const std::string a = stats_to_text(run_one(spec));
+  const std::string b = stats_to_text(run_one(spec));
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace raccd

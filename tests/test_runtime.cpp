@@ -155,6 +155,44 @@ TEST(Scheduler, WorkStealVisitsAllVictims) {
   EXPECT_TRUE(s.empty());
 }
 
+TEST(Scheduler, StealOrderIsRoundRobinFromConsumer) {
+  // Thieves probe victims at consumer+1, consumer+2, ... (mod cores): core 1
+  // must take core 2's work before core 3's, then wrap around to core 0.
+  Scheduler s(SchedPolicy::kWorkSteal, 4);
+  s.push(30, 3);
+  s.push(20, 2);
+  s.push(0, 0);
+  TaskId got;
+  ASSERT_TRUE(s.pop(1, got));
+  EXPECT_EQ(got, 20u);  // nearest victim clockwise is core 2
+  ASSERT_TRUE(s.pop(1, got));
+  EXPECT_EQ(got, 30u);  // then core 3
+  ASSERT_TRUE(s.pop(1, got));
+  EXPECT_EQ(got, 0u);  // wraps to core 0
+  EXPECT_EQ(s.stats().steals, 3u);
+  EXPECT_EQ(s.stats().local_pops, 0u);
+}
+
+TEST(Scheduler, StatsCountPushesPopsAndSteals) {
+  Scheduler s(SchedPolicy::kWorkSteal, 4);
+  for (TaskId t = 0; t < 5; ++t) s.push(t, t % 2);  // cores 0 and 1
+  EXPECT_EQ(s.stats().pushes, 5u);
+  TaskId got;
+  ASSERT_TRUE(s.pop(0, got));  // local
+  ASSERT_TRUE(s.pop(1, got));  // local
+  ASSERT_TRUE(s.pop(2, got));  // must steal
+  EXPECT_EQ(s.stats().local_pops, 2u);
+  EXPECT_EQ(s.stats().steals, 1u);
+  EXPECT_EQ(s.stats().pushes, 5u);  // pops never count as pushes
+  // Central policies count pushes too but never local_pops/steals.
+  Scheduler fifo(SchedPolicy::kFifo, 4);
+  fifo.push(9, 0);
+  ASSERT_TRUE(fifo.pop(3, got));
+  EXPECT_EQ(fifo.stats().pushes, 1u);
+  EXPECT_EQ(fifo.stats().local_pops, 0u);
+  EXPECT_EQ(fifo.stats().steals, 0u);
+}
+
 TEST(Scheduler, SizeAggregatesAllDeques) {
   Scheduler s(SchedPolicy::kWorkSteal, 4);
   s.push(1, 0);
