@@ -1,53 +1,44 @@
 // Ablation (beyond the paper): ADR hysteresis thresholds. The paper picks
 // theta_inc/theta_dec = 80%/20% as a band with "good reaction time and a
 // reduced number of reconfigurations"; this sweep quantifies the trade-off
-// between reconfiguration count, powered size and energy.
+// between reconfiguration count, powered size and energy. The band is a
+// first-class RunSpec/Grid axis, so the sweep is cached and parallel like
+// every other experiment.
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "raccd/sim/machine.hpp"
 
 using namespace raccd;
 
-namespace {
-
-SimStats run_with_thresholds(const std::string& app, SizeClass size, double inc,
-                             double dec) {
-  RunSpec spec;
-  spec.app = app;
-  spec.size = size;
-  spec.mode = CohMode::kRaCCD;
-  spec.adr = true;
-  SimConfig cfg = config_for(spec);
-  cfg.adr.theta_inc = inc;
-  cfg.adr.theta_dec = dec;
-  Machine m(cfg);
-  auto a = make_app(app, AppConfig{size, spec.seed});
-  a->run(m);
-  const std::string err = a->verify(m);
-  RACCD_ASSERT(err.empty(), "verification failed in ablation");
-  return m.collect();
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
-  const struct {
-    double inc, dec;
-  } bands[] = {{0.95, 0.05}, {0.90, 0.10}, {0.80, 0.20}, {0.70, 0.30}, {0.60, 0.40}};
-  const char* apps[] = {"cg", "jacobi", "kmeans"};
+  const std::vector<std::pair<double, double>> bands{
+      {0.95, 0.05}, {0.90, 0.10}, {0.80, 0.20}, {0.70, 0.30}, {0.60, 0.40}};
+  const std::vector<std::string> apps{"cg", "jacobi", "kmeans"};
+
+  const ResultSet rs = bench::run_logged(Grid()
+                                             .workloads(apps)
+                                             .set_params(opts.params)
+                                             .size(opts.size)
+                                             .mode(CohMode::kRaCCD)
+                                             .adr(true)
+                                             .adr_bands(bands)
+                                             .paper_machine(opts.paper_machine)
+                                             .specs(),
+                                         opts);
 
   std::printf("Ablation — ADR thresholds (RaCCD+ADR)\n");
-  TextTable table({"app", "band", "reconfigs", "displaced", "powered %", "dir energy (nJ)",
-                   "cycles"});
-  for (const char* app : apps) {
-    for (const auto& band : bands) {
-      const SimStats s = run_with_thresholds(app, opts.size, band.inc, band.dec);
+  TextTable table({"app", "band", "reconfigs", "displaced", "powered %",
+                   "dir energy (nJ)", "cycles"});
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    for (std::size_t b = 0; b < bands.size(); ++b) {
+      const SimStats& s = rs[a * bands.size() + b];
       table.add_row(
-          {app, strprintf("%.0f/%.0f%s", 100 * band.inc, 100 * band.dec,
-                          band.inc == 0.80 ? " (paper)" : ""),
-           format_count(s.adr.grows + s.adr.shrinks), format_count(s.adr.entries_displaced),
+          {apps[a],
+           strprintf("%.0f/%.0f%s", 100 * bands[b].first, 100 * bands[b].second,
+                     bands[b].first == 0.80 ? " (paper)" : ""),
+           format_count(s.adr.grows + s.adr.shrinks),
+           format_count(s.adr.entries_displaced),
            strprintf("%.1f", 100.0 * s.avg_dir_active_frac),
            strprintf("%.1f", s.dir_dyn_energy_pj / 1e3), format_count(s.cycles)});
     }

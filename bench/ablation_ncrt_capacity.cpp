@@ -11,19 +11,15 @@ int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
   const auto& apps = paper_app_names();
   const std::uint32_t capacities[] = {2, 4, 8, 16, 32, 64};
-  std::vector<RunSpec> specs;
-  for (const auto& app : apps) {
-    for (const std::uint32_t cap : capacities) {
-      RunSpec s;
-      s.app = app;
-      s.size = opts.size;
-      s.mode = CohMode::kRaCCD;
-      s.paper_machine = opts.paper_machine;
-      s.ncrt_entries = cap;
-      specs.push_back(s);
-    }
-  }
-  const auto results = run_all(specs, opts.run);
+  const auto results = bench::run_logged(Grid()
+                                             .paper_apps()
+                                             .set_params(opts.params)
+                                             .size(opts.size)
+                                             .mode(CohMode::kRaCCD)
+                                             .ncrt_entry_counts({2, 4, 8, 16, 32, 64})
+                                             .paper_machine(opts.paper_machine)
+                                             .specs(),
+                                         opts);
 
   std::printf("Ablation — NCRT capacity: non-coherent block %% (and overflows) by "
               "table size\n");

@@ -12,19 +12,16 @@ using namespace raccd;
 int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
   const auto& apps = paper_app_names;
-  std::vector<RunSpec> specs;
-  for (const auto& app : apps()) {
-    for (const AllocPolicy policy : {AllocPolicy::kContiguous, AllocPolicy::kFragmented}) {
-      RunSpec s;
-      s.app = app;
-      s.size = opts.size;
-      s.mode = CohMode::kRaCCD;
-      s.paper_machine = opts.paper_machine;
-      s.alloc = policy;
-      specs.push_back(s);
-    }
-  }
-  const auto results = run_all(specs, opts.run);
+  const auto results = bench::run_logged(
+      Grid()
+          .paper_apps()
+          .set_params(opts.params)
+          .size(opts.size)
+          .mode(CohMode::kRaCCD)
+          .allocs({AllocPolicy::kContiguous, AllocPolicy::kFragmented})
+          .paper_machine(opts.paper_machine)
+          .specs(),
+      opts);
 
   std::printf("Ablation — physical allocation policy under RaCCD\n");
   TextTable table({"app", "policy", "NCRT inserts", "overflows", "NC blocks %",

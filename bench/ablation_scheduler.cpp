@@ -12,34 +12,30 @@ using namespace raccd;
 
 int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
-  const char* apps[] = {"jacobi", "gauss", "histo", "kmeans"};
+  const std::vector<std::string> apps{"jacobi", "gauss", "histo", "kmeans"};
   const SchedPolicy policies[] = {SchedPolicy::kFifo, SchedPolicy::kLifo,
                                   SchedPolicy::kWorkSteal};
-  std::vector<RunSpec> specs;
-  for (const char* app : apps) {
-    for (const SchedPolicy pol : policies) {
-      for (const CohMode mode : {CohMode::kPT, CohMode::kRaCCD}) {
-        RunSpec s;
-        s.app = app;
-        s.size = opts.size;
-        s.mode = mode;
-        s.sched = pol;
-        s.paper_machine = opts.paper_machine;
-        specs.push_back(s);
-      }
-    }
-  }
-  const auto results = run_all(specs, opts.run);
+  const ResultSet rs = bench::run_logged(
+      Grid()
+          .workloads(apps)
+          .set_params(opts.params)
+          .size(opts.size)
+          .modes({CohMode::kPT, CohMode::kRaCCD})
+          .scheds({SchedPolicy::kFifo, SchedPolicy::kLifo, SchedPolicy::kWorkSteal})
+          .paper_machine(opts.paper_machine)
+          .specs(),
+      opts);
 
   std::printf("Ablation — scheduler policy vs classification accuracy\n");
   TextTable table({"app", "scheduler", "PT NC blocks %", "PT transitions",
                    "RaCCD NC blocks %", "PT cycles / RaCCD cycles"});
-  std::size_t i = 0;
-  for (const char* app : apps) {
-    for (const SchedPolicy pol : policies) {
-      const SimStats& pt = results[i++];
-      const SimStats& rc = results[i++];
-      table.add_row({app, to_string(pol),
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    for (std::size_t p = 0; p < std::size(policies); ++p) {
+      const SchedPolicy pol = policies[p];
+      // Expansion order: app (outer), mode, sched (inner).
+      const SimStats& pt = rs[(a * 2 + 0) * std::size(policies) + p];
+      const SimStats& rc = rs[(a * 2 + 1) * std::size(policies) + p];
+      table.add_row({apps[a], to_string(pol),
                      strprintf("%.1f", 100.0 * pt.noncoherent_block_fraction),
                      format_count(pt.pt.transitions),
                      strprintf("%.1f", 100.0 * rc.noncoherent_block_fraction),

@@ -1,8 +1,11 @@
-// Shared helpers for the figure/table reproduction binaries: the common
-// 9-app x {FullCoh, PT, RaCCD, WbNC} x {1:1..1:256} grid (paper Fig. 6/7
-// systems plus the software-coherence baseline), lookup into its results,
-// and normalization utilities. Results are cached on disk (results/cache)
-// so the five binaries that share the grid compute it once.
+// Shared helpers for the figure/table reproduction binaries, built on the
+// declarative Grid/ResultSet experiment API: the common 9-app x
+// {FullCoh, PT, RaCCD, WbNC} x {1:1..1:256} grid (paper Fig. 6/7 systems
+// plus the software-coherence baseline), lookup into its results, and the
+// figure printer. Results are cached on disk (results/cache) so the five
+// binaries that share the grid compute it once, and every bench run merges
+// its measurements into the cumulative machine-readable perf log
+// results/BENCH_grid.json (spec key -> headline metrics).
 #pragma once
 
 #include <cstdio>
@@ -11,60 +14,68 @@
 
 #include "raccd/common/format.hpp"
 #include "raccd/common/math.hpp"
-#include "raccd/harness/experiment.hpp"
+#include "raccd/harness/grid.hpp"
 #include "raccd/harness/table.hpp"
 
 namespace raccd::bench {
 
-struct Grid {
+inline constexpr const char* kBenchJsonPath = "results/BENCH_grid.json";
+
+/// Execute specs (cache-aware, host-parallel) and merge the results into the
+/// cumulative BENCH_grid.json perf log. Every bench binary runs through this.
+inline ResultSet run_logged(std::vector<RunSpec> specs, const BenchOptions& opts) {
+  ResultSet rs = ResultSet::run(std::move(specs), opts.run);
+  if (!rs.append_bench_json(kBenchJsonPath)) {
+    std::fprintf(stderr, "warning: could not update %s\n", kBenchJsonPath);
+  }
+  return rs;
+}
+
+/// The Fig. 6/7 grid with axis-major lookup.
+struct PaperGrid {
   std::vector<std::string> apps;
-  std::vector<RunSpec> specs;
-  std::vector<SimStats> results;
+  ResultSet rs;
 
   [[nodiscard]] const SimStats& at(std::size_t app_idx, CohMode mode,
                                    std::uint32_t ratio) const {
     const std::size_t mode_idx = static_cast<std::size_t>(mode);
     std::size_t ratio_idx = 0;
     while (kDirRatios[ratio_idx] != ratio) ++ratio_idx;
-    return results[(app_idx * kAllBackends.size() + mode_idx) * kDirRatios.size() +
-                   ratio_idx];
+    return rs[(app_idx * kAllBackends.size() + mode_idx) * kDirRatios.size() +
+              ratio_idx];
   }
 };
 
 /// Run (or load from cache) the full Fig. 6/7 grid.
-inline Grid run_grid(const BenchOptions& opts) {
-  Grid g;
+inline PaperGrid run_grid(const BenchOptions& opts) {
+  PaperGrid g;
   g.apps = paper_app_names();
-  for (const auto& app : g.apps) {
-    for (const CohMode mode : kAllBackends) {
-      for (const std::uint32_t ratio : kDirRatios) {
-        RunSpec s;
-        s.app = app;
-        s.size = opts.size;
-        s.mode = mode;
-        // Every mode sweeps every ratio — even WbNC, whose *dynamic* stats
-        // are ratio-invariant: the powered (leaking) directory still scales
-        // with the configured size.
-        s.dir_ratio = ratio;
-        s.paper_machine = opts.paper_machine;
-        g.specs.push_back(s);
-      }
-    }
-  }
+  const std::vector<RunSpec> specs = Grid()
+                                         .paper_apps()
+                                         .set_params(opts.params)
+                                         .size(opts.size)
+                                         .modes(kAllBackends)
+                                         // Every mode sweeps every ratio — even
+                                         // WbNC, whose *dynamic* stats are
+                                         // ratio-invariant: the powered (leaking)
+                                         // directory still scales with size.
+                                         .dir_ratios(kDirRatios)
+                                         .paper_machine(opts.paper_machine)
+                                         .specs();
   std::fprintf(stderr,
                "grid: %zu simulations (9 apps x 4 systems x 7 directory sizes), "
                "size=%s%s — cached results reused\n",
-               g.specs.size(), to_string(opts.size),
+               specs.size(), to_string(opts.size),
                opts.paper_machine ? ", paper machine" : "");
-  g.results = run_all(g.specs, opts.run);
+  g.rs = run_logged(specs, opts);
   return g;
 }
 
 /// Print one figure: rows = apps (+ average), columns = directory ratios,
-/// three row-groups (FullCoh/PT/RaCCD), where `metric(stats, baseline)` maps
-/// a run to the plotted value. `baseline` is the same app's FullCoh 1:1 run.
+/// row-groups per backend, where `metric(stats, baseline)` maps a run to the
+/// plotted value. `baseline` is the same app's FullCoh 1:1 run.
 template <typename MetricFn>
-void print_figure(const Grid& g, const char* title, const char* value_name,
+void print_figure(const PaperGrid& g, const char* title, const char* value_name,
                   MetricFn&& metric, const std::string& csv_path) {
   std::printf("%s\n", title);
   std::vector<std::string> headers{"app", "system"};

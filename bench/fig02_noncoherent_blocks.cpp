@@ -9,24 +9,21 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "raccd/apps/registry.hpp"
 
 using namespace raccd;
 
 int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
-  std::vector<RunSpec> specs;
   const auto& apps = paper_app_names();
-  for (const auto& app : apps) {
-    for (const CohMode mode : {CohMode::kPT, CohMode::kRaCCD}) {
-      RunSpec s;
-      s.app = app;
-      s.size = opts.size;
-      s.mode = mode;
-      s.paper_machine = opts.paper_machine;
-      specs.push_back(s);
-    }
-  }
-  const auto results = run_all(specs, opts.run);
+  const auto results = bench::run_logged(Grid()
+                                             .paper_apps()
+                                             .set_params(opts.params)
+                                             .size(opts.size)
+                                             .modes({CohMode::kPT, CohMode::kRaCCD})
+                                             .paper_machine(opts.paper_machine)
+                                             .specs(),
+                                         opts);
 
   std::printf("Fig. 2 — Percentage of non-coherent cache blocks (1:1 directory)\n");
   TextTable table({"app", "problem", "PT %", "RaCCD %", "RaCCD/PT"});
@@ -36,7 +33,10 @@ int main(int argc, char** argv) {
     const SimStats& rc = results[a * 2 + 1];
     pt_vals.push_back(100.0 * pt.noncoherent_block_fraction);
     raccd_vals.push_back(100.0 * rc.noncoherent_block_fraction);
-    const auto app_obj = make_app(apps[a], AppConfig{opts.size, 42});
+    const auto app_obj = make_app(
+        apps[a], AppConfig{opts.size, 42,
+                           WorkloadRegistry::instance().supported_params(
+                               apps[a], opts.params)});
     table.add_row({apps[a], app_obj->problem(), strprintf("%.1f", pt_vals.back()),
                    strprintf("%.1f", raccd_vals.back()),
                    pt_vals.back() > 0.0

@@ -11,7 +11,7 @@ using namespace raccd::bench;
 
 int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
-  const Grid g = run_grid(opts);
+  const PaperGrid g = run_grid(opts);
   print_figure(
       g, "Fig. 7a — Directory accesses (normalized to FullCoh 1:1)",
       "normalized directory accesses",

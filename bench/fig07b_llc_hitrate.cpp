@@ -11,7 +11,7 @@ using namespace raccd::bench;
 
 int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
-  const Grid g = run_grid(opts);
+  const PaperGrid g = run_grid(opts);
   print_figure(
       g, "Fig. 7b — LLC hit ratio (%) by directory size",
       "LLC hit ratio in percent",

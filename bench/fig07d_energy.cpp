@@ -13,7 +13,7 @@ using namespace raccd::bench;
 
 int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
-  const Grid g = run_grid(opts);
+  const PaperGrid g = run_grid(opts);
   print_figure(
       g, "Fig. 7d — Directory dynamic energy (normalized to FullCoh 1:1)",
       "normalized directory dynamic energy",

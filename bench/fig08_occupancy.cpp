@@ -11,19 +11,15 @@ using namespace raccd;
 
 int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
-  std::vector<RunSpec> specs;
   const auto& apps = paper_app_names();
-  for (const auto& app : apps) {
-    for (const CohMode mode : kAllModes) {
-      RunSpec s;
-      s.app = app;
-      s.size = opts.size;
-      s.mode = mode;
-      s.paper_machine = opts.paper_machine;
-      specs.push_back(s);
-    }
-  }
-  const auto results = run_all(specs, opts.run);
+  const auto results = bench::run_logged(Grid()
+                                             .paper_apps()
+                                             .set_params(opts.params)
+                                             .size(opts.size)
+                                             .modes(kAllModes)
+                                             .paper_machine(opts.paper_machine)
+                                             .specs(),
+                                         opts);
 
   std::printf("Fig. 8 — Average directory occupancy (%%, 1:1 directory)\n");
   TextTable table({"app", "FullCoh", "PT", "RaCCD"});

@@ -13,34 +13,37 @@ using namespace raccd;
 int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
   const auto& apps = paper_app_names();
-  std::vector<RunSpec> specs;
-  for (const auto& app : apps) {
-    for (int variant = 0; variant < 4; ++variant) {
-      RunSpec s;
-      s.app = app;
-      s.size = opts.size;
-      s.paper_machine = opts.paper_machine;
-      s.mode = variant == 0   ? CohMode::kFullCoh
-               : variant == 1 ? CohMode::kPT
-                              : CohMode::kRaCCD;
-      s.adr = (variant == 3);
-      specs.push_back(s);
-    }
-  }
-  const auto results = run_all(specs, opts.run);
+  // The 3 static systems plus RaCCD+ADR: a product grid over modes x adr
+  // would waste FullCoh/PT+ADR runs, so two grids are appended instead.
+  Grid base = Grid()
+                  .paper_apps()
+                  .set_params(opts.params)
+                  .size(opts.size)
+                  .paper_machine(opts.paper_machine);
+  std::vector<RunSpec> specs = Grid(base).modes(kAllModes).specs();
+  const std::vector<RunSpec> adr_specs =
+      Grid(base).mode(CohMode::kRaCCD).adr(true).specs();
+  specs.insert(specs.end(), adr_specs.begin(), adr_specs.end());
+  const ResultSet rs = bench::run_logged(std::move(specs), opts);
+  const auto variant = [&rs](const std::string& app, int v) -> const SimStats& {
+    const CohMode mode = v == 0   ? CohMode::kFullCoh
+                         : v == 1 ? CohMode::kPT
+                                  : CohMode::kRaCCD;
+    return rs.at(app, mode, 1, /*adr=*/v == 3);
+  };
 
   std::printf("Fig. 9 — Normalized performance with ADR (FullCoh 1:1 = 1.0)\n");
   TextTable table({"app", "FullCoh", "PT", "RaCCD", "RaCCD+ADR", "reconfigs"});
   std::vector<double> sums(4, 0.0);
   for (std::size_t a = 0; a < apps.size(); ++a) {
-    const double base = static_cast<double>(results[a * 4].cycles);
+    const double base = static_cast<double>(variant(apps[a], 0).cycles);
     std::vector<std::string> row{apps[a]};
     for (int v = 0; v < 4; ++v) {
-      const double norm = static_cast<double>(results[a * 4 + v].cycles) / base;
+      const double norm = static_cast<double>(variant(apps[a], v).cycles) / base;
       sums[v] += norm;
       row.push_back(strprintf("%.3f", norm));
     }
-    const auto& adr = results[a * 4 + 3].adr;
+    const auto& adr = variant(apps[a], 3).adr;
     row.push_back(strprintf("%llu", static_cast<unsigned long long>(adr.grows + adr.shrinks)));
     table.add_row(std::move(row));
   }

@@ -13,21 +13,22 @@ using namespace raccd;
 int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
   const auto& apps = paper_app_names();
-  std::vector<RunSpec> specs;
-  for (const auto& app : apps) {
-    for (int variant = 0; variant < 4; ++variant) {
-      RunSpec s;
-      s.app = app;
-      s.size = opts.size;
-      s.paper_machine = opts.paper_machine;
-      s.mode = variant == 0   ? CohMode::kFullCoh
-               : variant == 1 ? CohMode::kPT
-                              : CohMode::kRaCCD;
-      s.adr = (variant == 3);
-      specs.push_back(s);
-    }
-  }
-  const auto results = run_all(specs, opts.run);
+  Grid base = Grid()
+                  .paper_apps()
+                  .set_params(opts.params)
+                  .size(opts.size)
+                  .paper_machine(opts.paper_machine);
+  std::vector<RunSpec> specs = Grid(base).modes(kAllModes).specs();
+  const std::vector<RunSpec> adr_specs =
+      Grid(base).mode(CohMode::kRaCCD).adr(true).specs();
+  specs.insert(specs.end(), adr_specs.begin(), adr_specs.end());
+  const ResultSet rs = bench::run_logged(std::move(specs), opts);
+  const auto variant = [&rs](const std::string& app, int v) -> const SimStats& {
+    const CohMode mode = v == 0   ? CohMode::kFullCoh
+                         : v == 1 ? CohMode::kPT
+                                  : CohMode::kRaCCD;
+    return rs.at(app, mode, 1, /*adr=*/v == 3);
+  };
 
   std::printf("Fig. 10 — Normalized directory dynamic energy with ADR "
               "(FullCoh 1:1 = 1.0)\n");
@@ -36,21 +37,21 @@ int main(int argc, char** argv) {
   double save_vs_raccd = 0.0;
   unsigned save_samples = 0;
   for (std::size_t a = 0; a < apps.size(); ++a) {
-    const double base = results[a * 4].dir_dyn_energy_pj;
+    const double base = variant(apps[a], 0).dir_dyn_energy_pj;
     std::vector<std::string> row{apps[a]};
     for (int v = 0; v < 4; ++v) {
-      const double norm = results[a * 4 + v].dir_dyn_energy_pj / base;
+      const double norm = variant(apps[a], v).dir_dyn_energy_pj / base;
       sums[v] += norm;
       row.push_back(strprintf("%.3f", norm));
     }
     // Fully-annotated apps can have zero directory energy under RaCCD;
     // the relative ADR saving is only defined where the base is nonzero.
-    if (results[a * 4 + 2].dir_dyn_energy_pj > 0.0) {
-      save_vs_raccd += 1.0 - results[a * 4 + 3].dir_dyn_energy_pj /
-                                 results[a * 4 + 2].dir_dyn_energy_pj;
+    if (variant(apps[a], 2).dir_dyn_energy_pj > 0.0) {
+      save_vs_raccd += 1.0 - variant(apps[a], 3).dir_dyn_energy_pj /
+                                 variant(apps[a], 2).dir_dyn_energy_pj;
       ++save_samples;
     }
-    row.push_back(strprintf("%.1f", 100.0 * results[a * 4 + 3].avg_dir_active_frac));
+    row.push_back(strprintf("%.1f", 100.0 * variant(apps[a], 3).avg_dir_active_frac));
     table.add_row(std::move(row));
   }
   table.add_separator();

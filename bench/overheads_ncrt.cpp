@@ -13,19 +13,16 @@ int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
   const auto& apps = paper_app_names();
   const Cycle latencies[] = {0, 1, 2, 3, 5, 10};
-  std::vector<RunSpec> specs;
-  for (const auto& app : apps) {
-    for (const Cycle lat : latencies) {
-      RunSpec s;
-      s.app = app;
-      s.size = opts.size;
-      s.mode = CohMode::kRaCCD;
-      s.paper_machine = opts.paper_machine;
-      s.ncrt_latency = lat;
-      specs.push_back(s);
-    }
-  }
-  const auto results = run_all(specs, opts.run);
+  const auto results =
+      bench::run_logged(Grid()
+                            .paper_apps()
+                            .set_params(opts.params)
+                            .size(opts.size)
+                            .mode(CohMode::kRaCCD)
+                            .ncrt_latencies({0, 1, 2, 3, 5, 10})
+                            .paper_machine(opts.paper_machine)
+                            .specs(),
+                        opts);
 
   std::printf("Sec. V-C — NCRT lookup latency sensitivity (RaCCD 1:1, overhead %% "
               "vs ideal 0-cycle NCRT)\n");

@@ -1,27 +1,28 @@
-// Adaptive Directory Reduction demo: runs one application with and without
-// ADR and shows the resizing activity, the powered fraction of the directory
+// Adaptive Directory Reduction demo: runs one workload with and without ADR
+// and shows the resizing activity, the powered fraction of the directory
 // and the dynamic-energy saving (paper §III-D, Fig. 9/10 mechanism).
+//
+// Usage: adr_demo [workload[:k=v,...]] (default cg)
 #include <cstdio>
 #include <string>
 
 #include "raccd/common/format.hpp"
-#include "raccd/harness/experiment.hpp"
+#include "raccd/harness/grid.hpp"
 
 using namespace raccd;
 
 int main(int argc, char** argv) {
-  const std::string app = argc > 1 ? argv[1] : "cg";
+  const std::string ref = argc > 1 ? argv[1] : "cg";
 
-  RunSpec base;
-  base.app = app;
-  base.size = SizeClass::kSmall;
-  base.mode = CohMode::kRaCCD;
-  RunSpec adr = base;
-  adr.adr = true;
-
-  std::printf("running '%s' under RaCCD 1:1 with and without ADR...\n\n", app.c_str());
-  const SimStats without = run_one(base);
-  const SimStats with = run_one(adr);
+  std::printf("running '%s' under RaCCD 1:1 with and without ADR...\n\n", ref.c_str());
+  const ResultSet rs = Grid()
+                           .workload(ref)
+                           .size(SizeClass::kSmall)
+                           .mode(CohMode::kRaCCD)
+                           .adr_values({false, true})
+                           .run();
+  const SimStats& without = rs.at(ref, CohMode::kRaCCD, 1, /*adr=*/false);
+  const SimStats& with = rs.at(ref, CohMode::kRaCCD, 1, /*adr=*/true);
 
   std::printf("                          RaCCD 1:1      RaCCD+ADR\n");
   std::printf("cycles                %12s  %12s  (%.2fx)\n",

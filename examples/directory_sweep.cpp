@@ -1,50 +1,45 @@
-// Sweep the directory size for one application across the three system types
+// Sweep the directory size for one workload across the three paper systems
 // and print how execution time, LLC hit rate and directory pressure react —
-// a single-app view of the paper's Fig. 6/7 experiment.
+// a single-workload view of the paper's Fig. 6/7 experiment.
 //
-// Usage: directory_sweep [app] (default jacobi; any of the nine paper apps)
+// Usage: directory_sweep [workload[:k=v,...]] (default jacobi; any
+// registered workload — see `simulate --list`)
 #include <cstdio>
 #include <string>
 
 #include "raccd/common/format.hpp"
-#include "raccd/harness/experiment.hpp"
+#include "raccd/harness/grid.hpp"
 #include "raccd/harness/table.hpp"
 
 using namespace raccd;
 
 int main(int argc, char** argv) {
-  const std::string app = argc > 1 ? argv[1] : "jacobi";
+  const std::string ref = argc > 1 ? argv[1] : "jacobi";
 
-  std::vector<RunSpec> specs;
-  for (const CohMode mode : kAllModes) {
-    for (const std::uint32_t ratio : kDirRatios) {
-      RunSpec s;
-      s.app = app;
-      s.size = SizeClass::kSmall;
-      s.mode = mode;
-      s.dir_ratio = ratio;
-      specs.push_back(s);
-    }
-  }
+  const std::vector<RunSpec> specs = Grid()
+                                         .workload(ref)
+                                         .size(SizeClass::kSmall)
+                                         .modes(kAllModes)
+                                         .dir_ratios(kDirRatios)
+                                         .specs();
   std::printf("sweeping %zu configurations of '%s' (this runs and verifies each)...\n",
-              specs.size(), app.c_str());
-  const auto results = run_all(specs);
+              specs.size(), ref.c_str());
+  const ResultSet rs = ResultSet::run(specs);
 
-  const Cycle base = results[0].cycles;  // FullCoh 1:1
+  const Cycle base = rs.at(ref, CohMode::kFullCoh, 1).cycles;
   TextTable table({"system", "dir", "norm.cycles", "LLC hit%", "dir accesses",
                    "NoC flit-hops", "dir energy (nJ)"});
-  std::size_t i = 0;
   for (const CohMode mode : kAllModes) {
     if (mode != CohMode::kFullCoh) table.add_separator();
     for (const std::uint32_t ratio : kDirRatios) {
-      const SimStats& s = results[i++];
+      const SimStats& s = rs.at(ref, mode, ratio);
       table.add_row({to_string(mode), strprintf("1:%u", ratio),
-                     strprintf("%.3f", static_cast<double>(s.cycles) / base),
+                     strprintf("%.3f", static_cast<double>(s.cycles) /
+                                           static_cast<double>(base)),
                      strprintf("%.1f", 100.0 * s.llc_hit_ratio()),
                      format_count(s.fabric.dir_accesses),
                      format_count(s.noc.total_flit_hops()),
                      strprintf("%.1f", s.dir_dyn_energy_pj / 1e3)});
-      (void)mode;
     }
   }
   table.print();

@@ -1,38 +1,52 @@
-// Run every paper benchmark once under all four coherence backends —
-// FullCoh, PT, RaCCD, and the WbNC software-coherence baseline — at the 1:1
-// directory and print a side-by-side comparison: a one-screen tour of what
-// the library measures.
+// Run workloads once under all four coherence backends — FullCoh, PT, RaCCD,
+// and the WbNC software-coherence baseline — at the 1:1 directory and print
+// a side-by-side comparison: a one-screen tour of what the library measures.
+//
+// By default the nine paper benchmarks run; pass registry references to
+// compare anything else, e.g.
+//   mode_compare 'synthetic:shape=pipeline,width=32' tracereplay jacobi
+// Results also merge into results/BENCH_grid.json (machine-readable).
 #include <cstdio>
+#include <cstring>
 
+#include "raccd/apps/registry.hpp"
 #include "raccd/common/format.hpp"
-#include "raccd/harness/experiment.hpp"
+#include "raccd/harness/grid.hpp"
 #include "raccd/harness/table.hpp"
 
 using namespace raccd;
 
 int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
-  std::vector<RunSpec> specs;
-  for (const auto& app : paper_app_names()) {
-    for (const CohMode mode : kAllBackends) {
-      RunSpec s;
-      s.app = app;
-      s.size = SizeClass::kTiny;  // quick tour by default
-      s.mode = mode;
-      s.paper_machine = opts.paper_machine;
-      specs.push_back(s);
+  std::vector<std::string> refs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--set") == 0) {  // its value is not a workload
+      ++i;
+      continue;
     }
+    if (argv[i][0] != '-') refs.emplace_back(argv[i]);
   }
-  const auto results = run_all(specs, opts.run);
+  if (refs.empty()) refs = paper_app_names();
 
-  TextTable table({"app", "system", "cycles", "NC blocks %", "dir accesses",
+  const ResultSet rs = Grid()
+                           .workloads(refs)
+                           .set_params(opts.params)
+                           .size(SizeClass::kTiny)  // quick tour by default
+                           .modes(kAllBackends)
+                           .paper_machine(opts.paper_machine)
+                           .run(opts.run);
+  if (!rs.append_bench_json("results/BENCH_grid.json")) {
+    std::fprintf(stderr, "warning: could not update results/BENCH_grid.json\n");
+  }
+
+  TextTable table({"workload", "system", "cycles", "NC blocks %", "dir accesses",
                    "dir occupancy %"});
   std::size_t i = 0;
-  for (const auto& app : paper_app_names()) {
+  for (const auto& ref : refs) {
     if (i != 0) table.add_separator();
     for (std::size_t m = 0; m < kAllBackends.size(); ++m) {
-      const SimStats& s = results[i++];
-      table.add_row({app, to_string(s.mode), format_count(s.cycles),
+      const SimStats& s = rs[i++];
+      table.add_row({ref, to_string(s.mode), format_count(s.cycles),
                      strprintf("%.1f", 100.0 * s.noncoherent_block_fraction),
                      format_count(s.fabric.dir_accesses),
                      strprintf("%.1f", 100.0 * s.avg_dir_occupancy)});
@@ -40,5 +54,6 @@ int main(int argc, char** argv) {
   }
   table.print();
   std::puts("\nAll runs functionally verified (run_one aborts on corruption).");
+  std::puts("Machine-readable results merged into results/BENCH_grid.json.");
   return 0;
 }

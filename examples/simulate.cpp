@@ -1,19 +1,25 @@
-// General-purpose simulator driver: run any benchmark under any system
-// configuration and print the full report — the tool a downstream user
-// reaches for first.
+// General-purpose simulator driver: run any registered workload under any
+// system configuration and print the full report — the tool a downstream
+// user reaches for first.
 //
 // Usage:
-//   simulate [app] [--mode=fullcoh|pt|raccd|wbnc] [--size=tiny|small|paper]
+//   simulate [workload[:k=v,...]] [--set key=value ...]
+//            [--mode=fullcoh|pt|raccd|wbnc] [--size=tiny|small|paper]
 //            [--dir-ratio=N] [--adr] [--paper] [--sched=fifo|lifo|worksteal]
 //            [--ncrt-entries=N] [--ncrt-latency=N] [--fragmented] [--seed=N]
-//            [--dot=FILE]
+//            [--dot=FILE] [--record-trace=FILE] [--list]
+//
+// The workload list and per-workload parameter help are derived from the
+// WorkloadRegistry (`simulate --list`), so a newly registered workload shows
+// up here with zero CLI changes.
 #include <cstdio>
 #include <cstring>
-#include <filesystem>
 #include <fstream>
+#include <optional>
 #include <string>
 
-#include "raccd/apps/app.hpp"
+#include "raccd/apps/registry.hpp"
+#include "raccd/apps/trace_capture.hpp"
 #include "raccd/harness/experiment.hpp"
 #include "raccd/sim/report.hpp"
 
@@ -22,11 +28,18 @@ using namespace raccd;
 namespace {
 
 void usage() {
-  std::puts(
-      "usage: simulate [app] [options]\n"
-      "  apps: cg gauss histo jacobi jpeg kmeans knn md5 redblack cholesky\n"
+  std::string apps;
+  for (const std::string& n : WorkloadRegistry::instance().names()) {
+    if (!apps.empty()) apps += ' ';
+    apps += n;
+  }
+  std::printf(
+      "usage: simulate [workload[:k=v,...]] [options]\n"
+      "  workloads: %s\n"
+      "  --list                    describe every workload and its parameters\n"
+      "  --set key=value           override one workload parameter (repeatable)\n"
       "  --mode=fullcoh|pt|raccd|wbnc   coherence system (default raccd)\n"
-      "  --size=tiny|small|paper   problem size (default small)\n"
+      "  --size=tiny|small|paper   problem size baseline (default small)\n"
       "  --dir-ratio=N             directory 1:N of LLC lines (default 1)\n"
       "  --adr                     enable Adaptive Directory Reduction\n"
       "  --paper                   paper Table I machine (32 MB LLC)\n"
@@ -34,7 +47,24 @@ void usage() {
       "  --ncrt-entries=N --ncrt-latency=N\n"
       "  --fragmented              randomized physical frame allocation\n"
       "  --seed=N                  workload seed\n"
-      "  --dot=FILE                export the task dependence graph");
+      "  --dot=FILE                export the task dependence graph\n"
+      "  --record-trace=FILE       save the run as a replayable raccd-trace\n",
+      apps.c_str());
+}
+
+void list_workloads() {
+  const WorkloadRegistry& reg = WorkloadRegistry::instance();
+  for (const std::string& family : reg.families()) {
+    std::printf("[%s]\n", family.c_str());
+    for (const std::string& name : reg.names(family)) {
+      const WorkloadInfo* w = reg.find(name);
+      std::printf("  %-12s %s\n", w->name.c_str(), w->description.c_str());
+      const std::string params = w->schema.describe("      ");
+      if (!params.empty()) std::printf("%s", params.c_str());
+    }
+  }
+  std::printf("\nrun one with: simulate <name> [--set key=value ...] "
+              "or simulate '<name>:k=v,...'\n");
 }
 
 }  // namespace
@@ -43,12 +73,31 @@ int main(int argc, char** argv) {
   RunSpec spec;
   spec.app = "jacobi";
   spec.mode = CohMode::kRaCCD;
+  WorkloadParams params;
   std::string dot_path;
+  std::string trace_path;
+  const auto apply_set = [&params](const char* text) {
+    WorkloadParams p;
+    const std::string err = WorkloadParams::parse(text, p);
+    if (!err.empty()) {
+      std::fprintf(stderr, "--set %s: %s\n", text, err.c_str());
+      return false;
+    }
+    for (const auto& e : p.entries()) params.set(e.key, e.value);
+    return true;
+  };
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
       usage();
       return 0;
+    } else if (std::strcmp(a, "--list") == 0) {
+      list_workloads();
+      return 0;
+    } else if (std::strncmp(a, "--set=", 6) == 0) {
+      if (!apply_set(a + 6)) return 1;
+    } else if (std::strcmp(a, "--set") == 0 && i + 1 < argc) {
+      if (!apply_set(argv[++i])) return 1;
     } else if (std::strncmp(a, "--mode=", 7) == 0) {
       const std::string m = a + 7;
       if (m == "fullcoh") spec.mode = CohMode::kFullCoh;
@@ -84,23 +133,52 @@ int main(int argc, char** argv) {
       spec.seed = std::strtoull(a + 7, nullptr, 10);
     } else if (std::strncmp(a, "--dot=", 6) == 0) {
       dot_path = a + 6;
+    } else if (std::strncmp(a, "--record-trace=", 15) == 0) {
+      trace_path = a + 15;
     } else if (a[0] != '-') {
-      spec.app = a;
+      if (const std::string err = spec.set_workload_ref(a); !err.empty()) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        return 1;
+      }
     } else {
       usage();
       return 1;
     }
   }
+  // Merge --set overrides under any ref-inline params ("jacobi:n=256" wins).
+  if (!params.empty()) {
+    WorkloadParams own;
+    (void)WorkloadParams::parse(spec.params, own);
+    for (const auto& e : own.entries()) params.set(e.key, e.value);
+    spec.params = params.canonical();
+  }
+
+  AppConfig acfg;
+  acfg.size = spec.size;
+  acfg.seed = spec.seed;
+  if (const std::string err = WorkloadParams::parse(spec.params, acfg.params);
+      !err.empty()) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 1;
+  }
+  std::string err;
+  auto app = WorkloadRegistry::instance().create(spec.app, acfg, &err);
+  if (app == nullptr) {
+    std::fprintf(stderr, "%s\n(see `simulate --list` for workload parameters)\n",
+                 err.c_str());
+    return 1;
+  }
 
   const SimConfig cfg = config_for(spec);
   print_config(cfg);
   Machine machine(cfg);
-  auto app = make_app(spec.app, AppConfig{spec.size, spec.seed});
+  std::optional<TraceCapture> capture;
+  if (!trace_path.empty()) capture.emplace(machine);
   std::printf("\napp: %s — %s (scheduler: %s)\n", std::string(app->name()).c_str(),
               app->problem().c_str(), to_string(spec.sched));
   app->run(machine);
-  const std::string err = app->verify(machine);
-  std::printf("verification: %s\n", err.empty() ? "PASS" : err.c_str());
+  const std::string verr = app->verify(machine);
+  std::printf("verification: %s\n", verr.empty() ? "PASS" : verr.c_str());
   std::printf("TDG: %zu tasks, %llu edges, critical path %zu (avg parallelism %.1f)\n\n",
               machine.runtime().task_count(),
               static_cast<unsigned long long>(machine.runtime().tdg().edge_count()),
@@ -112,7 +190,20 @@ int main(int argc, char** argv) {
     out << machine.runtime().tdg().to_dot();
     std::printf("TDG exported to %s\n", dot_path.c_str());
   }
+  if (capture.has_value()) {
+    TraceFile tf;
+    std::string terr = capture->finish(tf);
+    if (terr.empty()) terr = tf.save(trace_path);
+    if (terr.empty()) {
+      std::printf("trace recorded to %s (%zu regions, %zu tasks) — replay with "
+                  "`simulate tracereplay --set file=%s`\n",
+                  trace_path.c_str(), tf.regions.size(), tf.tasks.size(),
+                  trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "trace recording failed: %s\n", terr.c_str());
+    }
+  }
   const SimStats stats = machine.collect();
   print_report(stats);
-  return err.empty() ? 0 : 1;
+  return verr.empty() ? 0 : 1;
 }

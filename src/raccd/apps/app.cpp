@@ -1,7 +1,8 @@
 #include "raccd/apps/app.hpp"
 
-#include "raccd/apps/app_factories.hpp"
-#include "raccd/common/assert.hpp"
+#include <cstdio>
+
+#include "raccd/apps/registry.hpp"
 
 namespace raccd {
 
@@ -12,18 +13,10 @@ const std::vector<std::string>& paper_app_names() {
 }
 
 std::unique_ptr<App> make_app(std::string_view name, const AppConfig& cfg) {
-  if (name == "cg") return apps::make_cg(cfg);
-  if (name == "gauss") return apps::make_gauss(cfg);
-  if (name == "histo") return apps::make_histogram(cfg);
-  if (name == "jacobi") return apps::make_jacobi(cfg);
-  if (name == "jpeg") return apps::make_jpeg(cfg);
-  if (name == "kmeans") return apps::make_kmeans(cfg);
-  if (name == "knn") return apps::make_knn(cfg);
-  if (name == "md5") return apps::make_md5(cfg);
-  if (name == "redblack") return apps::make_redblack(cfg);
-  if (name == "cholesky") return apps::make_cholesky(cfg);
-  RACCD_ASSERT(false, "unknown application name");
-  return nullptr;
+  std::string error;
+  auto app = WorkloadRegistry::instance().create(name, cfg, &error);
+  if (app == nullptr) std::fprintf(stderr, "%s\n", error.c_str());
+  return app;
 }
 
 }  // namespace raccd

@@ -18,6 +18,7 @@
 #include <string_view>
 #include <vector>
 
+#include "raccd/apps/workload_params.hpp"
 #include "raccd/sim/machine.hpp"
 
 namespace raccd {
@@ -34,8 +35,15 @@ enum class SizeClass : std::uint8_t { kTiny, kSmall, kPaper };
 }
 
 struct AppConfig {
+  AppConfig() = default;
+  AppConfig(SizeClass s, std::uint64_t sd, WorkloadParams p = {})
+      : size(s), seed(sd), params(std::move(p)) {}
+
   SizeClass size = SizeClass::kSmall;
   std::uint64_t seed = 0xA99DA7A;
+  /// Explicit knob overrides; the size class supplies the baseline values
+  /// and each override replaces one knob (validated by the workload schema).
+  WorkloadParams params;
 };
 
 class App {
@@ -53,10 +61,13 @@ class App {
   [[nodiscard]] virtual std::string verify(Machine& m) = 0;
 };
 
-/// The nine paper benchmarks, in the paper's order.
+/// The nine paper benchmarks, in the paper's order (a fixed fact of the
+/// paper; the full dynamic workload list lives in WorkloadRegistry).
 [[nodiscard]] const std::vector<std::string>& paper_app_names();
 
-/// Factory; also accepts "cholesky". Asserts on unknown names.
+/// Convenience front end over WorkloadRegistry::create: on an unknown name
+/// or invalid parameters, prints the error (listing registered workloads /
+/// valid knobs) to stderr and returns nullptr — it no longer asserts.
 [[nodiscard]] std::unique_ptr<App> make_app(std::string_view name,
                                             const AppConfig& cfg = {});
 

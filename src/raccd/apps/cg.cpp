@@ -7,11 +7,12 @@
 // sequential reduce task writing the alpha/beta scalars, AXPY tasks gated on
 // the scalar line, and the p-update. Vectors migrate across cores every
 // phase — the temporally-private pattern RaCCD captures and PT does not.
+#include <algorithm>
 #include <cstring>
 #include <string>
 #include <vector>
 
-#include "raccd/apps/app_factories.hpp"
+#include "raccd/apps/registry.hpp"
 #include "raccd/common/format.hpp"
 #include "raccd/common/rng.hpp"
 
@@ -24,13 +25,17 @@ struct CgParams {
   std::uint32_t blocks;
 };
 
-[[nodiscard]] CgParams params_for(SizeClass size) {
-  switch (size) {
-    case SizeClass::kTiny: return {8, 2, 8};
-    case SizeClass::kSmall: return {32, 3, 32};
-    case SizeClass::kPaper: return {96, 3, 64};  // N^3 = 884736
+[[nodiscard]] CgParams params_for(const AppConfig& cfg) {
+  CgParams p{32, 3, 32};
+  switch (cfg.size) {
+    case SizeClass::kTiny: p = {8, 2, 8}; break;
+    case SizeClass::kSmall: p = {32, 3, 32}; break;
+    case SizeClass::kPaper: p = {96, 3, 64}; break;  // N^3 = 884736
   }
-  return {};
+  p.n = cfg.params.get_u32("n", p.n);
+  p.iters = cfg.params.get_u32("iters", p.iters);
+  p.blocks = std::min(cfg.params.get_u32("blocks", p.blocks), p.n * p.n * p.n);
+  return p;
 }
 
 /// Host-side CSR of the 7-point Laplacian (diag 6, neighbours -1).
@@ -77,7 +82,7 @@ constexpr std::uint32_t kBeta = 8;
 
 class CgApp final : public App {
  public:
-  explicit CgApp(const AppConfig& cfg) : p_(params_for(cfg.size)), seed_(cfg.seed) {}
+  explicit CgApp(const AppConfig& cfg) : p_(params_for(cfg)), seed_(cfg.seed) {}
 
   [[nodiscard]] std::string_view name() const override { return "cg"; }
   [[nodiscard]] std::string problem() const override {
@@ -363,10 +368,18 @@ class CgApp final : public App {
   VAddr x_ = 0, b_ = 0, r_ = 0, pv_ = 0, q_ = 0, partials_ = 0, scalars_ = 0;
 };
 
+const WorkloadRegistrar kRegistrar{{
+    "cg",
+    "conjugate gradient on a 7-point Laplacian CSR matrix (paper Table II)",
+    "paper",
+    ParamSchema()
+        .add_int("n", 32, "grid edge; matrix rows = n^3", 2, 192)
+        .add_int("iters", 3, "CG iterations", 1, 256)
+        .add_int("blocks", 32, "row blocks per SpMV (clamped to rows)", 1, 8192),
+    [](const AppConfig& cfg) -> std::unique_ptr<App> {
+      return std::make_unique<CgApp>(cfg);
+    },
+}};
+
 }  // namespace
-
-std::unique_ptr<App> make_cg(const AppConfig& cfg) {
-  return std::make_unique<CgApp>(cfg);
-}
-
 }  // namespace raccd::apps

@@ -10,7 +10,7 @@
 #include <string>
 #include <vector>
 
-#include "raccd/apps/app_factories.hpp"
+#include "raccd/apps/registry.hpp"
 #include "raccd/common/format.hpp"
 #include "raccd/common/rng.hpp"
 
@@ -22,18 +22,21 @@ struct CholParams {
   std::uint32_t tile_dim;   ///< T: tile edge
 };
 
-[[nodiscard]] CholParams params_for(SizeClass size) {
-  switch (size) {
-    case SizeClass::kTiny: return {4, 16};
-    case SizeClass::kSmall: return {8, 32};
-    case SizeClass::kPaper: return {16, 64};
+[[nodiscard]] CholParams params_for(const AppConfig& cfg) {
+  CholParams p{8, 32};
+  switch (cfg.size) {
+    case SizeClass::kTiny: p = {4, 16}; break;
+    case SizeClass::kSmall: p = {8, 32}; break;
+    case SizeClass::kPaper: p = {16, 64}; break;
   }
-  return {};
+  p.tiles = cfg.params.get_u32("tiles", p.tiles);
+  p.tile_dim = cfg.params.get_u32("tile_dim", p.tile_dim);
+  return p;
 }
 
 class CholeskyApp final : public App {
  public:
-  explicit CholeskyApp(const AppConfig& cfg) : p_(params_for(cfg.size)), seed_(cfg.seed) {}
+  explicit CholeskyApp(const AppConfig& cfg) : p_(params_for(cfg)), seed_(cfg.seed) {}
 
   [[nodiscard]] std::string_view name() const override { return "cholesky"; }
   [[nodiscard]] std::string problem() const override {
@@ -279,10 +282,17 @@ class CholeskyApp final : public App {
   std::vector<double> original_;
 };
 
+const WorkloadRegistrar kRegistrar{{
+    "cholesky",
+    "tiled Cholesky factorization, the paper's Fig. 1 running example",
+    "paper",
+    ParamSchema()
+        .add_int("tiles", 8, "tile grid dimension G (G x G tiles)", 2, 64)
+        .add_int("tile_dim", 32, "tile edge T (T x T doubles per tile)", 4, 256),
+    [](const AppConfig& cfg) -> std::unique_ptr<App> {
+      return std::make_unique<CholeskyApp>(cfg);
+    },
+}};
+
 }  // namespace
-
-std::unique_ptr<App> make_cholesky(const AppConfig& cfg) {
-  return std::make_unique<CholeskyApp>(cfg);
-}
-
 }  // namespace raccd::apps

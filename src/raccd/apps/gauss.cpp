@@ -6,9 +6,10 @@
 // written by block b-1 of the *same* iteration) and the halo row below (in —
 // still holding block b+1's values from iteration k-1). The dependence
 // registry derives the classic Gauss-Seidel wavefront from these ranges.
+#include <algorithm>
 #include <string>
 
-#include "raccd/apps/app_factories.hpp"
+#include "raccd/apps/registry.hpp"
 #include "raccd/apps/stencil_common.hpp"
 #include "raccd/common/format.hpp"
 
@@ -21,18 +22,22 @@ struct GaussParams {
   std::uint32_t blocks;
 };
 
-[[nodiscard]] GaussParams params_for(SizeClass size) {
-  switch (size) {
-    case SizeClass::kTiny: return {64, 3, 8};
-    case SizeClass::kSmall: return {512, 10, 32};
-    case SizeClass::kPaper: return {1536, 10, 64};
+[[nodiscard]] GaussParams params_for(const AppConfig& cfg) {
+  GaussParams p{512, 10, 32};
+  switch (cfg.size) {
+    case SizeClass::kTiny: p = {64, 3, 8}; break;
+    case SizeClass::kSmall: p = {512, 10, 32}; break;
+    case SizeClass::kPaper: p = {1536, 10, 64}; break;
   }
-  return {};
+  p.n = cfg.params.get_u32("n", p.n);
+  p.iters = cfg.params.get_u32("iters", p.iters);
+  p.blocks = std::min(cfg.params.get_u32("blocks", p.blocks), p.n);
+  return p;
 }
 
 class GaussApp final : public App {
  public:
-  explicit GaussApp(const AppConfig& cfg) : p_(params_for(cfg.size)), seed_(cfg.seed) {}
+  explicit GaussApp(const AppConfig& cfg) : p_(params_for(cfg)), seed_(cfg.seed) {}
 
   [[nodiscard]] std::string_view name() const override { return "gauss"; }
   [[nodiscard]] std::string problem() const override {
@@ -125,10 +130,18 @@ class GaussApp final : public App {
   VAddr grid_ = 0;
 };
 
+const WorkloadRegistrar kRegistrar{{
+    "gauss",
+    "in-place Gauss-Seidel stencil with wavefront dependences (paper Table II)",
+    "paper",
+    ParamSchema()
+        .add_int("n", 512, "grid edge (N x N floats)", 8, 8192)
+        .add_int("iters", 10, "Gauss-Seidel iterations", 1, 1024)
+        .add_int("blocks", 32, "row blocks per iteration (clamped to n)", 1, 8192),
+    [](const AppConfig& cfg) -> std::unique_ptr<App> {
+      return std::make_unique<GaussApp>(cfg);
+    },
+}};
+
 }  // namespace
-
-std::unique_ptr<App> make_gauss(const AppConfig& cfg) {
-  return std::make_unique<GaussApp>(cfg);
-}
-
 }  // namespace raccd::apps

@@ -7,9 +7,10 @@
 // different cores every round — temporally-private data that PT permanently
 // reclassifies as shared but RaCCD keeps non-coherent.
 #include <string>
+#include <algorithm>
 #include <vector>
 
-#include "raccd/apps/app_factories.hpp"
+#include "raccd/apps/registry.hpp"
 #include "raccd/common/format.hpp"
 #include "raccd/common/rng.hpp"
 
@@ -28,18 +29,23 @@ struct HistoParams {
   std::uint32_t rounds;
 };
 
-[[nodiscard]] HistoParams params_for(SizeClass size) {
-  switch (size) {
-    case SizeClass::kTiny: return {64, 64, 8, 2};
-    case SizeClass::kSmall: return {1024, 1024, 32, 3};
-    case SizeClass::kPaper: return {1000, 1000, 64, 3};
+[[nodiscard]] HistoParams params_for(const AppConfig& cfg) {
+  HistoParams p{1024, 1024, 32, 3};
+  switch (cfg.size) {
+    case SizeClass::kTiny: p = {64, 64, 8, 2}; break;
+    case SizeClass::kSmall: p = {1024, 1024, 32, 3}; break;
+    case SizeClass::kPaper: p = {1000, 1000, 64, 3}; break;
   }
-  return {};
+  p.width = cfg.params.get_u32("width", p.width);
+  p.height = cfg.params.get_u32("height", p.height);
+  p.strips = std::min(cfg.params.get_u32("strips", p.strips), p.height);
+  p.rounds = cfg.params.get_u32("rounds", p.rounds);
+  return p;
 }
 
 class HistoApp final : public App {
  public:
-  explicit HistoApp(const AppConfig& cfg) : p_(params_for(cfg.size)), seed_(cfg.seed) {}
+  explicit HistoApp(const AppConfig& cfg) : p_(params_for(cfg)), seed_(cfg.seed) {}
 
   [[nodiscard]] std::string_view name() const override { return "histo"; }
   [[nodiscard]] std::string problem() const override {
@@ -184,10 +190,19 @@ class HistoApp final : public App {
   VAddr image_ = 0, hists_ = 0, finals_ = 0;
 };
 
+const WorkloadRegistrar kRegistrar{{
+    "histo",
+    "image histogram with a fan-in-8 merge tree of partial histograms",
+    "paper",
+    ParamSchema()
+        .add_int("width", 1024, "image width in pixels", 8, 16384)
+        .add_int("height", 1024, "image height in pixels", 8, 16384)
+        .add_int("strips", 32, "leaf strips (clamped to height)", 1, 4096)
+        .add_int("rounds", 3, "repeated histogram rounds", 1, 64),
+    [](const AppConfig& cfg) -> std::unique_ptr<App> {
+      return std::make_unique<HistoApp>(cfg);
+    },
+}};
+
 }  // namespace
-
-std::unique_ptr<App> make_histogram(const AppConfig& cfg) {
-  return std::make_unique<HistoApp>(cfg);
-}
-
 }  // namespace raccd::apps

@@ -6,9 +6,10 @@
 // All iterations are created up front and executed at one taskwait, so the
 // TDG pipelines across iterations and blocks migrate between cores — the
 // temporally-private pattern PT misclassifies and RaCCD tracks precisely.
+#include <algorithm>
 #include <string>
 
-#include "raccd/apps/app_factories.hpp"
+#include "raccd/apps/registry.hpp"
 #include "raccd/apps/stencil_common.hpp"
 #include "raccd/common/format.hpp"
 
@@ -21,18 +22,22 @@ struct JacobiParams {
   std::uint32_t blocks;
 };
 
-[[nodiscard]] JacobiParams params_for(SizeClass size) {
-  switch (size) {
-    case SizeClass::kTiny: return {64, 3, 8};
-    case SizeClass::kSmall: return {512, 10, 32};
-    case SizeClass::kPaper: return {1536, 10, 64};  // N^2 = 2359296
+[[nodiscard]] JacobiParams params_for(const AppConfig& cfg) {
+  JacobiParams p{512, 10, 32};
+  switch (cfg.size) {
+    case SizeClass::kTiny: p = {64, 3, 8}; break;
+    case SizeClass::kSmall: p = {512, 10, 32}; break;
+    case SizeClass::kPaper: p = {1536, 10, 64}; break;  // N^2 = 2359296
   }
-  return {};
+  p.n = cfg.params.get_u32("n", p.n);
+  p.iters = cfg.params.get_u32("iters", p.iters);
+  p.blocks = std::min(cfg.params.get_u32("blocks", p.blocks), p.n);
+  return p;
 }
 
 class JacobiApp final : public App {
  public:
-  explicit JacobiApp(const AppConfig& cfg) : p_(params_for(cfg.size)), seed_(cfg.seed) {}
+  explicit JacobiApp(const AppConfig& cfg) : p_(params_for(cfg)), seed_(cfg.seed) {}
 
   [[nodiscard]] std::string_view name() const override { return "jacobi"; }
   [[nodiscard]] std::string problem() const override {
@@ -146,10 +151,18 @@ class JacobiApp final : public App {
   VAddr a_ = 0, b_ = 0, final_ = 0;
 };
 
+const WorkloadRegistrar kRegistrar{{
+    "jacobi",
+    "5-point Jacobi stencil over ping-pong grids (paper Table II)",
+    "paper",
+    ParamSchema()
+        .add_int("n", 512, "grid edge (N x N floats)", 8, 8192)
+        .add_int("iters", 10, "Jacobi iterations", 1, 1024)
+        .add_int("blocks", 32, "row blocks per iteration (clamped to n)", 1, 8192),
+    [](const AppConfig& cfg) -> std::unique_ptr<App> {
+      return std::make_unique<JacobiApp>(cfg);
+    },
+}};
+
 }  // namespace
-
-std::unique_ptr<App> make_jacobi(const AppConfig& cfg) {
-  return std::make_unique<JacobiApp>(cfg);
-}
-
 }  // namespace raccd::apps

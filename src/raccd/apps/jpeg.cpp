@@ -16,7 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "raccd/apps/app_factories.hpp"
+#include "raccd/apps/registry.hpp"
 #include "raccd/apps/jpeg_dct.hpp"
 #include "raccd/common/format.hpp"
 #include "raccd/common/rng.hpp"
@@ -29,13 +29,17 @@ struct JpegParams {
   std::uint32_t height;  // multiple of 16
 };
 
-[[nodiscard]] JpegParams params_for(SizeClass size) {
-  switch (size) {
-    case SizeClass::kTiny: return {64, 64};
-    case SizeClass::kSmall: return {320, 320};
-    case SizeClass::kPaper: return {2992, 2000};  // rounded to MCU: 2992x2000
+[[nodiscard]] JpegParams params_for(const AppConfig& cfg) {
+  JpegParams p{320, 320};
+  switch (cfg.size) {
+    case SizeClass::kTiny: p = {64, 64}; break;
+    case SizeClass::kSmall: p = {320, 320}; break;
+    case SizeClass::kPaper: p = {2992, 2000}; break;  // rounded to MCU: 2992x2000
   }
-  return {};
+  // Overrides are rounded down to whole 16x16 MCUs.
+  p.width = cfg.params.get_u32("width", p.width) / 16 * 16;
+  p.height = cfg.params.get_u32("height", p.height) / 16 * 16;
+  return p;
 }
 
 /// Coefficient stream layout: per MCU, 6 blocks x 64 int16 (4 Y, Cb, Cr),
@@ -44,7 +48,7 @@ constexpr std::uint32_t kMcuCoeffBytes = 6 * 64 * 2;
 
 class JpegApp final : public App {
  public:
-  explicit JpegApp(const AppConfig& cfg) : p_(params_for(cfg.size)), seed_(cfg.seed) {}
+  explicit JpegApp(const AppConfig& cfg) : p_(params_for(cfg)), seed_(cfg.seed) {}
 
   [[nodiscard]] std::string_view name() const override { return "jpeg"; }
   [[nodiscard]] std::string problem() const override {
@@ -237,10 +241,17 @@ class JpegApp final : public App {
   std::vector<float> source_rgb_;
 };
 
+const WorkloadRegistrar kRegistrar{{
+    "jpeg",
+    "JPEG IDCT + color conversion; tasks without annotations (paper worst case)",
+    "paper",
+    ParamSchema()
+        .add_int("width", 320, "image width in pixels (rounded down to x16)", 16, 8192)
+        .add_int("height", 320, "image height in pixels (rounded down to x16)", 16, 8192),
+    [](const AppConfig& cfg) -> std::unique_ptr<App> {
+      return std::make_unique<JpegApp>(cfg);
+    },
+}};
+
 }  // namespace
-
-std::unique_ptr<App> make_jpeg(const AppConfig& cfg) {
-  return std::make_unique<JpegApp>(cfg);
-}
-
 }  // namespace raccd::apps

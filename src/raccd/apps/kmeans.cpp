@@ -7,11 +7,12 @@
 // k*(dims+1) floats: per-cluster coordinate sums plus a count (stored as
 // float — exact below 2^24). The many small tasks whose NC lines are flushed
 // at task end make Kmeans the paper's recovery-cost outlier (Fig. 6/9).
+#include <algorithm>
 #include <cstring>
 #include <string>
 #include <vector>
 
-#include "raccd/apps/app_factories.hpp"
+#include "raccd/apps/registry.hpp"
 #include "raccd/common/format.hpp"
 #include "raccd/common/rng.hpp"
 
@@ -28,18 +29,24 @@ struct KmeansParams {
   std::uint32_t blocks;
 };
 
-[[nodiscard]] KmeansParams params_for(SizeClass size) {
-  switch (size) {
-    case SizeClass::kTiny: return {512, 8, 4, 2, 8};
-    case SizeClass::kSmall: return {32768, 16, 6, 3, 32};
-    case SizeClass::kPaper: return {150000, 30, 6, 3, 64};
+[[nodiscard]] KmeansParams params_for(const AppConfig& cfg) {
+  KmeansParams p{32768, 16, 6, 3, 32};
+  switch (cfg.size) {
+    case SizeClass::kTiny: p = {512, 8, 4, 2, 8}; break;
+    case SizeClass::kSmall: p = {32768, 16, 6, 3, 32}; break;
+    case SizeClass::kPaper: p = {150000, 30, 6, 3, 64}; break;
   }
-  return {};
+  p.points = cfg.params.get_u32("points", p.points);
+  p.dims = cfg.params.get_u32("dims", p.dims);
+  p.clusters = std::min(cfg.params.get_u32("clusters", p.clusters), p.points);
+  p.iters = cfg.params.get_u32("iters", p.iters);
+  p.blocks = std::min(cfg.params.get_u32("blocks", p.blocks), p.points);
+  return p;
 }
 
 class KmeansApp final : public App {
  public:
-  explicit KmeansApp(const AppConfig& cfg) : p_(params_for(cfg.size)), seed_(cfg.seed) {}
+  explicit KmeansApp(const AppConfig& cfg) : p_(params_for(cfg)), seed_(cfg.seed) {}
 
   [[nodiscard]] std::string_view name() const override { return "kmeans"; }
   [[nodiscard]] std::string problem() const override {
@@ -308,10 +315,20 @@ class KmeansApp final : public App {
   VAddr points_ = 0, labels_ = 0, centroids_ = 0, partials_ = 0;
 };
 
+const WorkloadRegistrar kRegistrar{{
+    "kmeans",
+    "k-means clustering with blocked assignment and a merge tree of partials",
+    "paper",
+    ParamSchema()
+        .add_int("points", 32768, "points to cluster", 16, 1000000)
+        .add_int("dims", 16, "dimensions per point", 1, 128)
+        .add_int("clusters", 6, "clusters k (clamped to points)", 2, 64)
+        .add_int("iters", 3, "Lloyd iterations", 1, 64)
+        .add_int("blocks", 32, "point blocks (clamped to points)", 1, 4096),
+    [](const AppConfig& cfg) -> std::unique_ptr<App> {
+      return std::make_unique<KmeansApp>(cfg);
+    },
+}};
+
 }  // namespace
-
-std::unique_ptr<App> make_kmeans(const AppConfig& cfg) {
-  return std::make_unique<KmeansApp>(cfg);
-}
-
 }  // namespace raccd::apps

@@ -7,10 +7,11 @@
 // cached; the paper notes PT slightly beats RaCCD here). The kernel streams
 // the training set once per task, maintaining per-query k-best heaps.
 #include <cstring>
+#include <algorithm>
 #include <string>
 #include <vector>
 
-#include "raccd/apps/app_factories.hpp"
+#include "raccd/apps/registry.hpp"
 #include "raccd/common/format.hpp"
 #include "raccd/common/rng.hpp"
 
@@ -26,13 +27,23 @@ struct KnnParams {
   std::uint32_t blocks;
 };
 
-[[nodiscard]] KnnParams params_for(SizeClass size) {
-  switch (size) {
-    case SizeClass::kTiny: return {256, 128, 4, 4, 4, 4};
-    case SizeClass::kSmall: return {4096, 2048, 4, 4, 4, 16};
-    case SizeClass::kPaper: return {16384, 8192, 4, 4, 4, 64};
+[[nodiscard]] KnnParams params_for(const AppConfig& cfg) {
+  KnnParams p{4096, 2048, 4, 4, 4, 16};
+  switch (cfg.size) {
+    case SizeClass::kTiny: p = {256, 128, 4, 4, 4, 4}; break;
+    case SizeClass::kSmall: p = {4096, 2048, 4, 4, 4, 16}; break;
+    case SizeClass::kPaper: p = {16384, 8192, 4, 4, 4, 64}; break;
   }
-  return {};
+  p.train = cfg.params.get_u32("train", p.train);
+  p.queries = cfg.params.get_u32("queries", p.queries);
+  p.dims = cfg.params.get_u32("dims", p.dims);
+  p.classes = cfg.params.get_u32("classes", p.classes);
+  // k beyond half a class's training points degenerates toward majority
+  // voting across blobs, which the accuracy verification rightly rejects.
+  p.k = std::min(cfg.params.get_u32("k", p.k),
+                 std::max(1u, p.train / (p.classes * 2)));
+  p.blocks = std::min(cfg.params.get_u32("blocks", p.blocks), p.queries);
+  return p;
 }
 
 /// Insert (d2, label) into a fixed-size max-of-k nearest list.
@@ -50,7 +61,7 @@ inline void kbest_insert(float* dist, std::int32_t* lab, std::uint32_t k, float 
 
 class KnnApp final : public App {
  public:
-  explicit KnnApp(const AppConfig& cfg) : p_(params_for(cfg.size)), seed_(cfg.seed) {}
+  explicit KnnApp(const AppConfig& cfg) : p_(params_for(cfg)), seed_(cfg.seed) {}
 
   [[nodiscard]] std::string_view name() const override { return "knn"; }
   [[nodiscard]] std::string problem() const override {
@@ -202,10 +213,21 @@ class KnnApp final : public App {
   std::vector<std::int32_t> expected_class_;
 };
 
+const WorkloadRegistrar kRegistrar{{
+    "knn",
+    "k-nearest-neighbour classification over a shared training set",
+    "paper",
+    ParamSchema()
+        .add_int("train", 4096, "training points", 16, 262144)
+        .add_int("queries", 2048, "points to classify", 16, 262144)
+        .add_int("dims", 4, "dimensions per point", 1, 64)
+        .add_int("classes", 4, "label classes", 2, 64)
+        .add_int("k", 4, "neighbours considered (clamped to train/(2*classes))", 1, 64)
+        .add_int("blocks", 16, "query blocks (clamped to queries)", 1, 4096),
+    [](const AppConfig& cfg) -> std::unique_ptr<App> {
+      return std::make_unique<KnnApp>(cfg);
+    },
+}};
+
 }  // namespace
-
-std::unique_ptr<App> make_knn(const AppConfig& cfg) {
-  return std::make_unique<KnnApp>(cfg);
-}
-
 }  // namespace raccd::apps

@@ -6,10 +6,11 @@
 // PT and RaCCD perform similarly (every block is touched once, so
 // classification accuracy matters little) and where LLC hit rate stays flat
 // across directory sizes (compulsory misses dominate).
+#include <algorithm>
 #include <array>
 #include <string>
 
-#include "raccd/apps/app_factories.hpp"
+#include "raccd/apps/registry.hpp"
 #include "raccd/apps/md5_core.hpp"
 #include "raccd/common/format.hpp"
 #include "raccd/common/rng.hpp"
@@ -22,18 +23,23 @@ struct Md5Params {
   std::uint32_t buffer_bytes;  // multiple of 64
 };
 
-[[nodiscard]] Md5Params params_for(SizeClass size) {
-  switch (size) {
-    case SizeClass::kTiny: return {4, 8 * 1024};
-    case SizeClass::kSmall: return {48, 64 * 1024};
-    case SizeClass::kPaper: return {128, 512 * 1024};
+[[nodiscard]] Md5Params params_for(const AppConfig& cfg) {
+  Md5Params p{48, 64 * 1024};
+  switch (cfg.size) {
+    case SizeClass::kTiny: p = {4, 8 * 1024}; break;
+    case SizeClass::kSmall: p = {48, 64 * 1024}; break;
+    case SizeClass::kPaper: p = {128, 512 * 1024}; break;
   }
-  return {};
+  p.buffers = cfg.params.get_u32("buffers", p.buffers);
+  // MD5 consumes whole 64-byte chunks; overrides are rounded down to one.
+  p.buffer_bytes = std::max(cfg.params.get_u32("buffer_bytes", p.buffer_bytes) / 64 * 64,
+                            64u);
+  return p;
 }
 
 class Md5App final : public App {
  public:
-  explicit Md5App(const AppConfig& cfg) : p_(params_for(cfg.size)), seed_(cfg.seed) {}
+  explicit Md5App(const AppConfig& cfg) : p_(params_for(cfg)), seed_(cfg.seed) {}
 
   [[nodiscard]] std::string_view name() const override { return "md5"; }
   [[nodiscard]] std::string problem() const override {
@@ -104,10 +110,18 @@ class Md5App final : public App {
   VAddr buffers_ = 0, digests_ = 0;
 };
 
+const WorkloadRegistrar kRegistrar{{
+    "md5",
+    "per-buffer MD5 digests; streaming, compulsory-miss dominated",
+    "paper",
+    ParamSchema()
+        .add_int("buffers", 48, "independent buffers to hash", 1, 4096)
+        .add_int("buffer_bytes", 64 * 1024, "bytes per buffer (rounded down to x64)",
+                 64, 16 * 1024 * 1024),
+    [](const AppConfig& cfg) -> std::unique_ptr<App> {
+      return std::make_unique<Md5App>(cfg);
+    },
+}};
+
 }  // namespace
-
-std::unique_ptr<App> make_md5(const AppConfig& cfg) {
-  return std::make_unique<Md5App>(cfg);
-}
-
 }  // namespace raccd::apps

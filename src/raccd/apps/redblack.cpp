@@ -6,9 +6,10 @@
 // Phase tasks carry inout on their rows and in on the halo rows, which
 // serializes red(k) -> black(k) -> red(k+1) per neighbourhood while allowing
 // full parallelism within a phase.
+#include <algorithm>
 #include <string>
 
-#include "raccd/apps/app_factories.hpp"
+#include "raccd/apps/registry.hpp"
 #include "raccd/apps/stencil_common.hpp"
 #include "raccd/common/format.hpp"
 
@@ -21,18 +22,22 @@ struct RbParams {
   std::uint32_t blocks;
 };
 
-[[nodiscard]] RbParams params_for(SizeClass size) {
-  switch (size) {
-    case SizeClass::kTiny: return {64, 3, 8};
-    case SizeClass::kSmall: return {512, 10, 32};
-    case SizeClass::kPaper: return {1536, 10, 64};
+[[nodiscard]] RbParams params_for(const AppConfig& cfg) {
+  RbParams p{512, 10, 32};
+  switch (cfg.size) {
+    case SizeClass::kTiny: p = {64, 3, 8}; break;
+    case SizeClass::kSmall: p = {512, 10, 32}; break;
+    case SizeClass::kPaper: p = {1536, 10, 64}; break;
   }
-  return {};
+  p.n = cfg.params.get_u32("n", p.n);
+  p.iters = cfg.params.get_u32("iters", p.iters);
+  p.blocks = std::min(cfg.params.get_u32("blocks", p.blocks), p.n);
+  return p;
 }
 
 class RedBlackApp final : public App {
  public:
-  explicit RedBlackApp(const AppConfig& cfg) : p_(params_for(cfg.size)), seed_(cfg.seed) {}
+  explicit RedBlackApp(const AppConfig& cfg) : p_(params_for(cfg)), seed_(cfg.seed) {}
 
   [[nodiscard]] std::string_view name() const override { return "redblack"; }
   [[nodiscard]] std::string problem() const override {
@@ -131,10 +136,18 @@ class RedBlackApp final : public App {
   VAddr grid_ = 0;
 };
 
+const WorkloadRegistrar kRegistrar{{
+    "redblack",
+    "red-black checkerboard stencil, two phases per iteration (paper Table II)",
+    "paper",
+    ParamSchema()
+        .add_int("n", 512, "grid edge (N x N floats)", 8, 8192)
+        .add_int("iters", 10, "iterations (red + black phase each)", 1, 1024)
+        .add_int("blocks", 32, "row blocks per phase (clamped to n)", 1, 8192),
+    [](const AppConfig& cfg) -> std::unique_ptr<App> {
+      return std::make_unique<RedBlackApp>(cfg);
+    },
+}};
+
 }  // namespace
-
-std::unique_ptr<App> make_redblack(const AppConfig& cfg) {
-  return std::make_unique<RedBlackApp>(cfg);
-}
-
 }  // namespace raccd::apps

@@ -1,0 +1,109 @@
+#include "raccd/apps/registry.hpp"
+
+#include <algorithm>
+
+#include "raccd/common/format.hpp"
+
+namespace raccd {
+
+WorkloadRegistry& WorkloadRegistry::instance() {
+  static WorkloadRegistry registry;
+  return registry;
+}
+
+bool WorkloadRegistry::add(WorkloadInfo info) {
+  if (info.name.empty() || info.factory == nullptr) return false;
+  const auto it = std::lower_bound(
+      workloads_.begin(), workloads_.end(), info.name,
+      [](const WorkloadInfo& w, const std::string& n) { return w.name < n; });
+  if (it != workloads_.end() && it->name == info.name) return false;
+  workloads_.insert(it, std::move(info));
+  return true;
+}
+
+const WorkloadInfo* WorkloadRegistry::find(std::string_view name) const {
+  const auto it = std::lower_bound(
+      workloads_.begin(), workloads_.end(), name,
+      [](const WorkloadInfo& w, std::string_view n) { return w.name < n; });
+  if (it != workloads_.end() && it->name == name) return &*it;
+  return nullptr;
+}
+
+std::vector<std::string> WorkloadRegistry::names(std::string_view family) const {
+  std::vector<std::string> out;
+  for (const WorkloadInfo& w : workloads_) {
+    if (family.empty() || w.family == family) out.push_back(w.name);
+  }
+  return out;
+}
+
+std::vector<std::string> WorkloadRegistry::families() const {
+  std::vector<std::string> out;
+  for (const WorkloadInfo& w : workloads_) {
+    if (std::find(out.begin(), out.end(), w.family) == out.end()) {
+      out.push_back(w.family);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string WorkloadRegistry::unknown_name_message(std::string_view name) const {
+  std::string known;
+  for (const WorkloadInfo& w : workloads_) {
+    if (!known.empty()) known += ", ";
+    known += w.name;
+  }
+  return strprintf("unknown workload '%.*s' (registered: %s)",
+                   static_cast<int>(name.size()), name.data(),
+                   known.empty() ? "none" : known.c_str());
+}
+
+WorkloadParams WorkloadRegistry::supported_params(std::string_view name,
+                                                  const WorkloadParams& params) const {
+  const WorkloadInfo* w = find(name);
+  if (w == nullptr) return params;
+  WorkloadParams out;
+  for (const auto& e : params.entries()) {
+    if (w->schema.find(e.key) != nullptr) out.set(e.key, e.value);
+  }
+  return out;
+}
+
+std::unique_ptr<App> WorkloadRegistry::create(std::string_view name,
+                                              const AppConfig& cfg,
+                                              std::string* error) const {
+  const WorkloadInfo* w = find(name);
+  if (w == nullptr) {
+    if (error != nullptr) *error = unknown_name_message(name);
+    return nullptr;
+  }
+  const std::string verr = w->schema.validate(cfg.params);
+  if (!verr.empty()) {
+    if (error != nullptr) {
+      *error = strprintf("workload '%s': %s", w->name.c_str(), verr.c_str());
+    }
+    return nullptr;
+  }
+  return w->factory(cfg);
+}
+
+std::string parse_workload_ref(std::string_view ref, std::string& name,
+                               WorkloadParams& params) {
+  const std::size_t colon = ref.find(':');
+  name = std::string(ref.substr(0, colon));
+  if (name.empty()) return "empty workload name";
+  if (colon == std::string_view::npos) return {};
+  return WorkloadParams::parse(ref.substr(colon + 1), params);
+}
+
+std::string format_workload_ref(std::string_view name, const WorkloadParams& params) {
+  std::string out(name);
+  if (!params.empty()) {
+    out += ':';
+    out += params.canonical();
+  }
+  return out;
+}
+
+}  // namespace raccd

@@ -1,0 +1,87 @@
+// Self-registering workload registry (the Workload SDK's front door).
+//
+// Each workload translation unit declares a WorkloadInfo — name, one-line
+// description, family, typed parameter schema, factory — and registers it at
+// static-init time through a WorkloadRegistrar object, so adding a workload
+// is one new .cpp file and zero edits elsewhere (the apps library is linked
+// as CMake OBJECT files precisely so the linker cannot drop an unreferenced
+// registration). Lookup failures return nullptr with an error message that
+// lists every registered workload; parameter errors name the valid knobs.
+//
+// Workload references combine a name with overrides: "jacobi:n=512,iters=16"
+// — parse_workload_ref splits them, the schema validates them.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "raccd/apps/app.hpp"
+#include "raccd/apps/workload_params.hpp"
+
+namespace raccd {
+
+struct WorkloadInfo {
+  std::string name;
+  std::string description;
+  /// Coarse grouping used by CI smoke enumeration and `simulate --list`:
+  /// "paper" (Table II benchmarks), "synthetic", "trace".
+  std::string family;
+  ParamSchema schema;
+  std::function<std::unique_ptr<App>(const AppConfig&)> factory;
+};
+
+class WorkloadRegistry {
+ public:
+  /// Process-wide instance (function-local static; safe during static init).
+  [[nodiscard]] static WorkloadRegistry& instance();
+
+  /// Register a workload. Returns false (and changes nothing) when the name
+  /// is already taken or the info is incomplete (empty name / null factory).
+  bool add(WorkloadInfo info);
+
+  [[nodiscard]] const WorkloadInfo* find(std::string_view name) const;
+
+  /// All names, sorted; optionally restricted to one family.
+  [[nodiscard]] std::vector<std::string> names(std::string_view family = {}) const;
+  /// Distinct families, sorted.
+  [[nodiscard]] std::vector<std::string> families() const;
+
+  /// Validate `cfg.params` against the schema and construct the workload.
+  /// On failure returns nullptr and, when `error` is non-null, an
+  /// explanation (unknown names list all registered workloads).
+  [[nodiscard]] std::unique_ptr<App> create(std::string_view name, const AppConfig& cfg,
+                                            std::string* error = nullptr) const;
+
+  /// "unknown workload 'x' (registered: a, b, c, ...)".
+  [[nodiscard]] std::string unknown_name_message(std::string_view name) const;
+
+  /// The subset of `params` whose keys `name`'s schema declares — how
+  /// grid-wide --set overrides apply to multi-workload grids without
+  /// tripping schema validation on workloads that lack a knob. Unknown
+  /// names pass `params` through (the error surfaces at creation).
+  [[nodiscard]] WorkloadParams supported_params(std::string_view name,
+                                               const WorkloadParams& params) const;
+
+ private:
+  std::vector<WorkloadInfo> workloads_;  // sorted by name
+};
+
+/// Static-init registration hook: `const WorkloadRegistrar reg{{...}};`.
+struct WorkloadRegistrar {
+  explicit WorkloadRegistrar(WorkloadInfo info) {
+    WorkloadRegistry::instance().add(std::move(info));
+  }
+};
+
+/// Split "name[:k=v,...]" into name + params. Returns "" or an error.
+[[nodiscard]] std::string parse_workload_ref(std::string_view ref, std::string& name,
+                                             WorkloadParams& params);
+
+/// Render name + params back to the "name[:k=v,...]" form.
+[[nodiscard]] std::string format_workload_ref(std::string_view name,
+                                              const WorkloadParams& params);
+
+}  // namespace raccd

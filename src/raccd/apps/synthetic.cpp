@@ -1,0 +1,297 @@
+// Synthetic task-graph generator: parameterized workload families beyond the
+// paper's nine fixed benchmarks (DESIGN.md substitution #6).
+//
+// Three shapes, all built from the same plan/kernel machinery:
+//  * forkjoin  — `depth` rounds of `width` independent per-lane workers
+//    followed by a reduction task touching every lane (barrier-style apps);
+//  * pipeline  — `depth` stages over `width` lanes with a neighbour probe,
+//    so blocks migrate producer->consumer between cores (the temporally-
+//    private pattern PT misclassifies and RaCCD tracks);
+//  * randomdag — `width*depth` tasks, each rewriting one lane and probing
+//    `fanin` pseudo-randomly chosen other lanes (irregular dependence
+//    structure, seed-controlled).
+//
+// `footprint_kb` sets the per-lane region size and `reuse` declares a
+// read-shared region re-read by every task — the high inter-task-reuse
+// stress case where RaCCD's end-of-task invalidation costs L1/LLC locality
+// that FullCoh keeps, a corner the paper's apps never exercise.
+//
+// The task plan is built once (seed-deterministic) and drives both run()
+// and the host-side mirror in verify(), so every coherence mode must
+// deliver byte-identical functional results.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "raccd/apps/registry.hpp"
+#include "raccd/common/format.hpp"
+#include "raccd/common/rng.hpp"
+
+namespace raccd::apps {
+namespace {
+
+struct SynParams {
+  std::string shape;
+  std::uint32_t width;
+  std::uint32_t depth;
+  std::uint32_t footprint_kb;
+  double reuse;
+  std::uint32_t compute;
+  std::uint32_t fanin;
+};
+
+[[nodiscard]] SynParams params_for(const AppConfig& cfg) {
+  SynParams p{"forkjoin", 16, 8, 64, 0.25, 4, 3};
+  switch (cfg.size) {
+    case SizeClass::kTiny: p = {"forkjoin", 4, 3, 8, 0.25, 4, 2}; break;
+    case SizeClass::kSmall: p = {"forkjoin", 16, 8, 64, 0.25, 4, 3}; break;
+    case SizeClass::kPaper: p = {"forkjoin", 64, 16, 256, 0.25, 4, 4}; break;
+  }
+  p.shape = cfg.params.get_string("shape", p.shape);
+  p.width = cfg.params.get_u32("width", p.width);
+  p.depth = cfg.params.get_u32("depth", p.depth);
+  p.footprint_kb = cfg.params.get_u32("footprint_kb", p.footprint_kb);
+  p.reuse = cfg.params.get_double("reuse", p.reuse);
+  p.compute = cfg.params.get_u32("compute", p.compute);
+  p.fanin = std::min(cfg.params.get_u32("fanin", p.fanin), p.width - 1);
+  return p;
+}
+
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 29;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 32;
+  return x;
+}
+
+/// One planned task: probe element 0 of some buffers, then either fold into
+/// the accumulator (join) or stream-rewrite one buffer from a source.
+struct PlannedTask {
+  std::string name;
+  std::uint32_t write = 0;                ///< buffer index written (non-join)
+  std::uint32_t src = 0;                  ///< buffer streamed as input
+  std::vector<std::uint32_t> probes;      ///< buffers probed at element 0
+  std::uint64_t c = 0;                    ///< task constant
+  bool is_join = false;
+  bool inout = true;  ///< write==src as one inout range (else in src + out write)
+};
+
+class SyntheticApp final : public App {
+ public:
+  explicit SyntheticApp(const AppConfig& cfg) : p_(params_for(cfg)), seed_(cfg.seed) {
+    elems_ = std::max<std::uint64_t>(p_.footprint_kb * 1024 / 8, 8);
+    shared_elems_ = static_cast<std::uint64_t>(p_.reuse * static_cast<double>(elems_));
+    buffers_n_ = p_.shape == "pipeline" ? 2 * p_.width : p_.width;
+    build_plan();
+  }
+
+  [[nodiscard]] std::string_view name() const override { return "synthetic"; }
+  [[nodiscard]] std::string problem() const override {
+    return strprintf("%s: %u lanes x %u rounds, %u KB/lane, reuse %.0f%%, %zu tasks",
+                     p_.shape.c_str(), p_.width, p_.depth, p_.footprint_kb,
+                     100.0 * p_.reuse, plan_.size());
+  }
+
+  void run(Machine& m) override {
+    buf_.clear();
+    for (std::uint32_t b = 0; b < buffers_n_; ++b) {
+      buf_.push_back(m.mem().alloc_array<std::uint64_t>(elems_, strprintf("syn.b%u", b)));
+    }
+    shared_ = m.mem().alloc_array<std::uint64_t>(std::max<std::uint64_t>(shared_elems_, 1),
+                                                 "syn.shared");
+    accum_ = m.mem().alloc_array<std::uint64_t>(8, "syn.accum");
+    init_memory(m);
+
+    const std::uint64_t bytes = elems_ * 8;
+    for (const PlannedTask& pt : plan_) {
+      TaskDesc t;
+      t.name = pt.name;
+      if (pt.is_join) {
+        for (const std::uint32_t b : pt.probes) t.deps.push_back({buf_[b], 8, DepKind::kIn});
+        t.deps.push_back({accum_, 8, DepKind::kInout});
+      } else {
+        if (pt.inout) {
+          t.deps.push_back({buf_[pt.write], bytes, DepKind::kInout});
+        } else {
+          t.deps.push_back({buf_[pt.src], bytes, DepKind::kIn});
+          t.deps.push_back({buf_[pt.write], bytes, DepKind::kOut});
+        }
+        for (const std::uint32_t b : pt.probes) t.deps.push_back({buf_[b], 8, DepKind::kIn});
+      }
+      if (shared_elems_ > 0) t.deps.push_back({shared_, shared_elems_ * 8, DepKind::kIn});
+
+      const PlannedTask* task = &pt;
+      t.body = [this, task](TaskContext& ctx) {
+        const auto load = [&ctx](VAddr base, std::uint64_t j) {
+          return ctx.load<std::uint64_t>(base + j * 8);
+        };
+        std::uint64_t acc = task->c;
+        for (const std::uint32_t b : task->probes) acc += load(buf_[b], 0);
+        for (std::uint64_t j = 0; j < shared_elems_; ++j) acc += load(shared_, j);
+        if (task->is_join) {
+          ctx.store<std::uint64_t>(accum_, mix64(load(accum_, 0) + acc));
+          return;
+        }
+        for (std::uint64_t j = 0; j < elems_; ++j) {
+          const std::uint64_t v = load(buf_[task->src], j);
+          if (j % 8 == 0) ctx.compute(p_.compute);
+          ctx.store<std::uint64_t>(buf_[task->write] + j * 8, mix64(v + acc));
+        }
+      };
+      m.spawn(std::move(t));
+    }
+    m.taskwait();
+  }
+
+  [[nodiscard]] std::string verify(Machine& m) override {
+    // Host mirror: identical init + plan replay in creation order (the
+    // dependence annotations order every conflicting pair the same way).
+    std::vector<std::vector<std::uint64_t>> ref(buffers_n_,
+                                                std::vector<std::uint64_t>(elems_, 0));
+    std::vector<std::uint64_t> ref_shared(std::max<std::uint64_t>(shared_elems_, 1), 0);
+    std::uint64_t ref_accum = 0;
+    mirror_init(ref, ref_shared);
+    for (const PlannedTask& pt : plan_) {
+      std::uint64_t acc = pt.c;
+      for (const std::uint32_t b : pt.probes) acc += ref[b][0];
+      for (std::uint64_t j = 0; j < shared_elems_; ++j) acc += ref_shared[j];
+      if (pt.is_join) {
+        ref_accum = mix64(ref_accum + acc);
+        continue;
+      }
+      for (std::uint64_t j = 0; j < elems_; ++j) {
+        ref[pt.write][j] = mix64(ref[pt.src][j] + acc);
+      }
+    }
+
+    std::vector<std::uint64_t> got(elems_);
+    for (std::uint32_t b = 0; b < buffers_n_; ++b) {
+      m.mem().copy_out(buf_[b], got.data(), elems_ * 8);
+      for (std::uint64_t j = 0; j < elems_; ++j) {
+        if (got[j] != ref[b][j]) {
+          return strprintf("synthetic mismatch: buffer %u elem %llu got %llx want %llx",
+                           b, static_cast<unsigned long long>(j),
+                           static_cast<unsigned long long>(got[j]),
+                           static_cast<unsigned long long>(ref[b][j]));
+        }
+      }
+    }
+    const auto got_accum = m.mem().read<std::uint64_t>(accum_);
+    if (got_accum != ref_accum) {
+      return strprintf("synthetic accumulator mismatch: got %llx want %llx",
+                       static_cast<unsigned long long>(got_accum),
+                       static_cast<unsigned long long>(ref_accum));
+    }
+    return {};
+  }
+
+ private:
+  void build_plan() {
+    if (p_.shape == "pipeline") {
+      for (std::uint32_t s = 0; s < p_.depth; ++s) {
+        const std::uint32_t prev_row = (s % 2) * p_.width;
+        const std::uint32_t cur_row = ((s + 1) % 2) * p_.width;
+        for (std::uint32_t i = 0; i < p_.width; ++i) {
+          PlannedTask t;
+          t.name = strprintf("pipe(s%u,l%u)", s, i);
+          t.src = prev_row + i;
+          t.write = cur_row + i;
+          t.inout = false;
+          if (i > 0) t.probes.push_back(prev_row + i - 1);
+          t.c = mix64((static_cast<std::uint64_t>(s) << 32) | i);
+          plan_.push_back(std::move(t));
+        }
+      }
+    } else if (p_.shape == "randomdag") {
+      Rng rng(seed_ ^ 0xDA61DA61ULL);
+      const std::uint64_t tasks = static_cast<std::uint64_t>(p_.width) * p_.depth;
+      for (std::uint64_t n = 0; n < tasks; ++n) {
+        PlannedTask t;
+        t.name = strprintf("dag(%llu)", static_cast<unsigned long long>(n));
+        t.write = t.src = static_cast<std::uint32_t>(n % p_.width);
+        for (std::uint32_t f = 0; f < p_.fanin && p_.width > 1; ++f) {
+          std::uint32_t pick = static_cast<std::uint32_t>(rng.next_below(p_.width - 1));
+          if (pick >= t.write) ++pick;  // never probe the written lane
+          if (std::find(t.probes.begin(), t.probes.end(), pick) == t.probes.end()) {
+            t.probes.push_back(pick);
+          }
+        }
+        t.c = mix64(n);
+        plan_.push_back(std::move(t));
+      }
+    } else {  // forkjoin
+      for (std::uint32_t r = 0; r < p_.depth; ++r) {
+        for (std::uint32_t i = 0; i < p_.width; ++i) {
+          PlannedTask t;
+          t.name = strprintf("fork(r%u,l%u)", r, i);
+          t.write = t.src = i;
+          t.c = mix64((static_cast<std::uint64_t>(r) << 32) | i);
+          plan_.push_back(std::move(t));
+        }
+        PlannedTask j;
+        j.name = strprintf("join(r%u)", r);
+        j.is_join = true;
+        for (std::uint32_t i = 0; i < p_.width; ++i) j.probes.push_back(i);
+        j.c = mix64(0xA150000ULL + r);
+        plan_.push_back(std::move(j));
+      }
+    }
+  }
+
+  void init_memory(Machine& m) {
+    Rng rng(seed_);
+    for (std::uint64_t j = 0; j < shared_elems_; ++j) {
+      m.mem().write<std::uint64_t>(shared_ + j * 8, rng.next_u64());
+    }
+    // Pipeline starts from row 0 only; the other row is written before read.
+    const std::uint32_t init_n = p_.shape == "pipeline" ? p_.width : buffers_n_;
+    for (std::uint32_t b = 0; b < init_n; ++b) {
+      for (std::uint64_t j = 0; j < elems_; ++j) {
+        m.mem().write<std::uint64_t>(buf_[b] + j * 8, rng.next_u64());
+      }
+    }
+  }
+
+  void mirror_init(std::vector<std::vector<std::uint64_t>>& ref,
+                   std::vector<std::uint64_t>& ref_shared) const {
+    Rng rng(seed_);
+    for (std::uint64_t j = 0; j < shared_elems_; ++j) ref_shared[j] = rng.next_u64();
+    const std::uint32_t init_n = p_.shape == "pipeline" ? p_.width : buffers_n_;
+    for (std::uint32_t b = 0; b < init_n; ++b) {
+      for (std::uint64_t j = 0; j < elems_; ++j) ref[b][j] = rng.next_u64();
+    }
+  }
+
+  SynParams p_;
+  std::uint64_t seed_;
+  std::uint64_t elems_ = 0;
+  std::uint64_t shared_elems_ = 0;
+  std::uint32_t buffers_n_ = 0;
+  std::vector<PlannedTask> plan_;
+  std::vector<VAddr> buf_;
+  VAddr shared_ = 0, accum_ = 0;
+};
+
+const WorkloadRegistrar kRegistrar{{
+    "synthetic",
+    "parameterized task-graph generator: fork-join, pipeline or random DAG",
+    "synthetic",
+    ParamSchema()
+        .add_enum("shape", "forkjoin", "task-graph family",
+                  {"forkjoin", "pipeline", "randomdag"})
+        .add_int("width", 16, "parallel lanes (tasks per round)", 1, 256)
+        .add_int("depth", 8, "rounds / pipeline stages / DAG layers", 1, 256)
+        .add_int("footprint_kb", 64, "per-lane region size in KB", 1, 4096)
+        .add_double("reuse", 0.25,
+                    "read-shared region fraction re-read by every task", 0.0, 1.0)
+        .add_int("compute", 4, "annotated compute cycles per 8 elements", 0, 1024)
+        .add_int("fanin", 3, "randomdag: probed input lanes per task", 0, 16),
+    [](const AppConfig& cfg) -> std::unique_ptr<App> {
+      return std::make_unique<SyntheticApp>(cfg);
+    },
+}};
+
+}  // namespace
+}  // namespace raccd::apps

@@ -1,0 +1,100 @@
+#include "raccd/apps/trace_capture.hpp"
+
+#include <algorithm>
+
+#include "raccd/apps/registry.hpp"
+#include "raccd/common/format.hpp"
+
+namespace raccd {
+
+TraceCapture::~TraceCapture() { m_.set_trace_sink({}); }
+
+TraceCapture::TraceCapture(Machine& m) : m_(m) {
+  m_.set_trace_sink([this](const TaskNode& node, const AccessTrace& trace) {
+    RawTask t;
+    t.id = node.id;
+    t.name = node.name;
+    t.deps = node.deps;
+    t.records = trace.records();
+    t.trailing_compute = trace.trailing_compute();
+    tasks_.push_back(std::move(t));
+  });
+}
+
+std::string TraceCapture::finish(TraceFile& out) {
+  out = TraceFile{};
+  const auto& allocs = m_.mem().allocations();
+  for (std::size_t i = 0; i < allocs.size(); ++i) {
+    TraceRegion r;
+    r.name = allocs[i].label.empty() ? strprintf("region%zu", i) : allocs[i].label;
+    // Labels become whitespace-free tokens in the text format.
+    std::replace(r.name.begin(), r.name.end(), ' ', '_');
+    r.bytes = allocs[i].bytes;
+    out.regions.push_back(std::move(r));
+  }
+  const auto locate = [&allocs](VAddr va, std::uint32_t& region,
+                                std::uint64_t& offset) {
+    for (std::size_t i = 0; i < allocs.size(); ++i) {
+      if (va >= allocs[i].base && va < allocs[i].base + allocs[i].bytes) {
+        region = static_cast<std::uint32_t>(i);
+        offset = va - allocs[i].base;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  std::sort(tasks_.begin(), tasks_.end(),
+            [](const RawTask& a, const RawTask& b) { return a.id < b.id; });
+  for (const RawTask& rt : tasks_) {
+    TraceTask t;
+    t.name = rt.name;
+    std::replace(t.name.begin(), t.name.end(), ' ', '_');
+    t.trailing_compute = rt.trailing_compute;
+    for (const DepSpec& d : rt.deps) {
+      TraceDep td;
+      if (!locate(d.addr, td.region, td.offset)) {
+        return strprintf("dependence of task '%s' outside any named allocation",
+                         rt.name.c_str());
+      }
+      td.size = d.size;
+      td.kind = d.kind;
+      if (td.offset + td.size > out.regions[td.region].bytes) {
+        return strprintf("dependence of task '%s' spans allocations", rt.name.c_str());
+      }
+      t.deps.push_back(td);
+    }
+    for (const AccessRecord& r : rt.records) {
+      TraceAccess a;
+      if (!locate(r.vaddr, a.region, a.offset)) {
+        return strprintf("access of task '%s' outside any named allocation",
+                         rt.name.c_str());
+      }
+      a.size = r.size;
+      a.repeat = r.repeat;
+      a.is_write = r.is_write != 0;
+      a.compute_gap = r.compute_gap;
+      t.accesses.push_back(a);
+    }
+    out.tasks.push_back(std::move(t));
+  }
+  return {};
+}
+
+std::string capture_workload_trace(const std::string& workload_ref, const AppConfig& cfg,
+                                   const SimConfig& mcfg, TraceFile& out) {
+  std::string name;
+  AppConfig acfg = cfg;
+  std::string err = parse_workload_ref(workload_ref, name, acfg.params);
+  if (!err.empty()) return err;
+  auto app = WorkloadRegistry::instance().create(name, acfg, &err);
+  if (app == nullptr) return err;
+  Machine machine(mcfg);
+  TraceCapture capture(machine);
+  app->run(machine);
+  err = app->verify(machine);
+  if (!err.empty()) return strprintf("workload failed verification: %s", err.c_str());
+  return capture.finish(out);
+}
+
+}  // namespace raccd

@@ -1,0 +1,50 @@
+// Capture a workload's task program as a portable TraceFile: attach a
+// TraceCapture to a Machine before running any workload, run it, then
+// finish() to get regions (from the machine's named allocations), per-task
+// dependence annotations and the recorded access streams — ready for the
+// `tracereplay` workload to re-execute under any coherence mode.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "raccd/apps/app.hpp"
+#include "raccd/runtime/trace_file.hpp"
+#include "raccd/sim/machine.hpp"
+
+namespace raccd {
+
+class TraceCapture {
+ public:
+  /// Installs the machine's trace sink (replacing any previous sink).
+  explicit TraceCapture(Machine& m);
+  /// Uninstalls the sink — the machine must not outlive a dangling capture.
+  ~TraceCapture();
+  TraceCapture(const TraceCapture&) = delete;
+  TraceCapture& operator=(const TraceCapture&) = delete;
+
+  /// Build the TraceFile: tasks sorted by creation id, every address mapped
+  /// to (allocation, offset). Returns "" on success; an error when an access
+  /// or dependence falls outside every named allocation.
+  [[nodiscard]] std::string finish(TraceFile& out);
+
+ private:
+  struct RawTask {
+    TaskId id = kNoTask;
+    std::string name;
+    std::vector<DepSpec> deps;
+    std::vector<AccessRecord> records;
+    std::uint64_t trailing_compute = 0;
+  };
+
+  Machine& m_;
+  std::vector<RawTask> tasks_;
+};
+
+/// One-call convenience: run `workload_ref` (name[:k=v,...]) at `cfg` on a
+/// machine built from `mcfg` and capture its trace. Returns "" on success.
+[[nodiscard]] std::string capture_workload_trace(const std::string& workload_ref,
+                                                 const AppConfig& cfg,
+                                                 const SimConfig& mcfg, TraceFile& out);
+
+}  // namespace raccd

@@ -1,0 +1,257 @@
+#include "raccd/apps/workload_params.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+
+#include "raccd/common/format.hpp"
+
+namespace raccd {
+
+bool parse_int_text(std::string_view text, std::int64_t& out) {
+  if (text.empty()) return false;
+  const std::string buf(text);
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (errno != 0 || end == buf.c_str() || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+bool parse_double_text(std::string_view text, double& out) {
+  if (text.empty()) return false;
+  const std::string buf(text);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end == buf.c_str() || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+std::string WorkloadParams::parse(std::string_view text, WorkloadParams& out) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string_view::npos) comma = text.size();
+    const std::string_view item = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;  // tolerate "a=1,,b=2" and trailing commas
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return strprintf("malformed parameter '%.*s' (expected key=value)",
+                       static_cast<int>(item.size()), item.data());
+    }
+    out.set(std::string(item.substr(0, eq)), std::string(item.substr(eq + 1)));
+  }
+  return {};
+}
+
+void WorkloadParams::set(std::string key, std::string value) {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& e, const std::string& k) { return e.key < k; });
+  if (it != entries_.end() && it->key == key) {
+    it->value = std::move(value);
+    return;
+  }
+  entries_.insert(it, Entry{std::move(key), std::move(value)});
+}
+
+bool WorkloadParams::has(std::string_view key) const noexcept {
+  return raw(key) != nullptr;
+}
+
+const std::string* WorkloadParams::raw(std::string_view key) const noexcept {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& e, std::string_view k) { return e.key < k; });
+  if (it != entries_.end() && it->key == key) return &it->value;
+  return nullptr;
+}
+
+std::int64_t WorkloadParams::get_int(std::string_view key, std::int64_t fallback) const {
+  const std::string* v = raw(key);
+  std::int64_t out = 0;
+  if (v != nullptr && parse_int_text(*v, out)) return out;
+  return fallback;
+}
+
+std::uint32_t WorkloadParams::get_u32(std::string_view key, std::uint32_t fallback) const {
+  const std::int64_t v = get_int(key, static_cast<std::int64_t>(fallback));
+  if (v < 0 || v > 0xffffffffll) return fallback;
+  return static_cast<std::uint32_t>(v);
+}
+
+double WorkloadParams::get_double(std::string_view key, double fallback) const {
+  const std::string* v = raw(key);
+  double out = 0.0;
+  if (v != nullptr && parse_double_text(*v, out)) return out;
+  return fallback;
+}
+
+std::string WorkloadParams::get_string(std::string_view key,
+                                       std::string_view fallback) const {
+  const std::string* v = raw(key);
+  return v != nullptr ? *v : std::string(fallback);
+}
+
+std::string WorkloadParams::canonical() const {
+  std::string out;
+  for (const Entry& e : entries_) {
+    if (!out.empty()) out += ',';
+    out += e.key;
+    out += '=';
+    out += e.value;
+  }
+  return out;
+}
+
+ParamSchema& ParamSchema::add_int(std::string key, std::int64_t small_default,
+                                  std::string help, std::int64_t min, std::int64_t max) {
+  ParamSpec s;
+  s.key = std::move(key);
+  s.type = ParamType::kInt;
+  s.default_text = strprintf("%lld", static_cast<long long>(small_default));
+  s.help = std::move(help);
+  s.min_int = min;
+  s.max_int = max;
+  specs_.push_back(std::move(s));
+  return *this;
+}
+
+ParamSchema& ParamSchema::add_double(std::string key, double small_default,
+                                     std::string help, double min, double max) {
+  ParamSpec s;
+  s.key = std::move(key);
+  s.type = ParamType::kDouble;
+  s.default_text = strprintf("%g", small_default);
+  s.help = std::move(help);
+  s.min_double = min;
+  s.max_double = max;
+  specs_.push_back(std::move(s));
+  return *this;
+}
+
+ParamSchema& ParamSchema::add_string(std::string key, std::string small_default,
+                                     std::string help) {
+  ParamSpec s;
+  s.key = std::move(key);
+  s.type = ParamType::kString;
+  s.default_text = std::move(small_default);
+  s.help = std::move(help);
+  specs_.push_back(std::move(s));
+  return *this;
+}
+
+ParamSchema& ParamSchema::add_enum(std::string key, std::string small_default,
+                                   std::string help, std::vector<std::string> choices) {
+  add_string(std::move(key), std::move(small_default), std::move(help));
+  specs_.back().choices = std::move(choices);
+  return *this;
+}
+
+const ParamSpec* ParamSchema::find(std::string_view key) const noexcept {
+  for (const ParamSpec& s : specs_) {
+    if (s.key == key) return &s;
+  }
+  return nullptr;
+}
+
+std::string ParamSchema::validate(const WorkloadParams& p) const {
+  for (const auto& e : p.entries()) {
+    const ParamSpec* spec = find(e.key);
+    if (spec == nullptr) {
+      std::string known;
+      for (const ParamSpec& s : specs_) {
+        if (!known.empty()) known += ", ";
+        known += s.key;
+      }
+      return strprintf("unknown parameter '%s' (valid: %s)", e.key.c_str(),
+                       known.empty() ? "none — this workload has no parameters"
+                                     : known.c_str());
+    }
+    switch (spec->type) {
+      case ParamType::kInt: {
+        std::int64_t v = 0;
+        if (!parse_int_text(e.value, v)) {
+          return strprintf("parameter '%s': '%s' is not an integer", e.key.c_str(),
+                           e.value.c_str());
+        }
+        if (!(spec->min_int == 0 && spec->max_int == 0) &&
+            (v < spec->min_int || v > spec->max_int)) {
+          return strprintf("parameter '%s': %lld out of range [%lld, %lld]",
+                           e.key.c_str(), static_cast<long long>(v),
+                           static_cast<long long>(spec->min_int),
+                           static_cast<long long>(spec->max_int));
+        }
+        break;
+      }
+      case ParamType::kDouble: {
+        double v = 0.0;
+        if (!parse_double_text(e.value, v)) {
+          return strprintf("parameter '%s': '%s' is not a number", e.key.c_str(),
+                           e.value.c_str());
+        }
+        if (!(spec->min_double == 0.0 && spec->max_double == 0.0) &&
+            (v < spec->min_double || v > spec->max_double)) {
+          return strprintf("parameter '%s': %g out of range [%g, %g]", e.key.c_str(), v,
+                           spec->min_double, spec->max_double);
+        }
+        break;
+      }
+      case ParamType::kString: {
+        if (!spec->choices.empty() &&
+            std::find(spec->choices.begin(), spec->choices.end(), e.value) ==
+                spec->choices.end()) {
+          std::string allowed;
+          for (const std::string& c : spec->choices) {
+            if (!allowed.empty()) allowed += "|";
+            allowed += c;
+          }
+          return strprintf("parameter '%s': '%s' is not one of %s", e.key.c_str(),
+                           e.value.c_str(), allowed.c_str());
+        }
+        break;
+      }
+    }
+  }
+  return {};
+}
+
+WorkloadParams ParamSchema::resolve(const WorkloadParams& overrides) const {
+  WorkloadParams out;
+  for (const ParamSpec& s : specs_) {
+    const std::string* v = overrides.raw(s.key);
+    out.set(s.key, v != nullptr ? *v : s.default_text);
+  }
+  return out;
+}
+
+std::string ParamSchema::describe(std::string_view indent) const {
+  std::string out;
+  for (const ParamSpec& s : specs_) {
+    out += indent;
+    out += strprintf("%s=%s (%s)  %s", s.key.c_str(), s.default_text.c_str(),
+                     to_string(s.type), s.help.c_str());
+    if (s.type == ParamType::kInt && !(s.min_int == 0 && s.max_int == 0)) {
+      out += strprintf(" [%lld..%lld]", static_cast<long long>(s.min_int),
+                       static_cast<long long>(s.max_int));
+    } else if (s.type == ParamType::kDouble &&
+               !(s.min_double == 0.0 && s.max_double == 0.0)) {
+      out += strprintf(" [%g..%g]", s.min_double, s.max_double);
+    } else if (s.type == ParamType::kString && !s.choices.empty()) {
+      out += " [";
+      for (std::size_t i = 0; i < s.choices.size(); ++i) {
+        if (i != 0) out += '|';
+        out += s.choices[i];
+      }
+      out += ']';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace raccd

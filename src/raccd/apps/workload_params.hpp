@@ -1,0 +1,118 @@
+// Typed workload parameters (the Workload SDK's knob vocabulary).
+//
+// A workload declares a ParamSchema — named int/double/string knobs with
+// defaults, help text and (for numbers) bounds. Callers override knobs with
+// `key=value` text (CLI `--set n=512`, or the `jacobi:n=512,iters=16` ref
+// syntax); WorkloadParams holds the overrides as strings, the schema
+// validates and types them, and canonical() renders a sorted, stable text
+// form that participates in RunSpec cache keys. The SizeClass baseline
+// (tiny/small/paper) supplies per-size default values; schema defaults
+// document the `small` baseline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace raccd {
+
+enum class ParamType : std::uint8_t { kInt, kDouble, kString };
+
+[[nodiscard]] constexpr const char* to_string(ParamType t) noexcept {
+  switch (t) {
+    case ParamType::kInt: return "int";
+    case ParamType::kDouble: return "double";
+    case ParamType::kString: return "string";
+  }
+  return "?";
+}
+
+/// Ordered key→value overrides, stored as text; typed access goes through
+/// the getters (values are validated against a ParamSchema before use).
+class WorkloadParams {
+ public:
+  struct Entry {
+    std::string key;
+    std::string value;
+  };
+
+  /// Parse "k=v,k2=v2" (empty text is valid and yields no entries).
+  /// Returns an error message, or "" on success.
+  [[nodiscard]] static std::string parse(std::string_view text, WorkloadParams& out);
+
+  /// Set/overwrite one key.
+  void set(std::string key, std::string value);
+
+  [[nodiscard]] bool has(std::string_view key) const noexcept;
+  /// Raw text for `key`, or nullptr when unset.
+  [[nodiscard]] const std::string* raw(std::string_view key) const noexcept;
+
+  // Typed getters: `fallback` when the key is unset. Values are assumed
+  // schema-validated; unparseable text falls back (validate() reports it).
+  [[nodiscard]] std::int64_t get_int(std::string_view key, std::int64_t fallback) const;
+  [[nodiscard]] std::uint32_t get_u32(std::string_view key, std::uint32_t fallback) const;
+  [[nodiscard]] double get_double(std::string_view key, double fallback) const;
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string_view fallback) const;
+
+  /// Sorted "k=v,k2=v2" text — the stable cache-key fragment. Empty string
+  /// when no overrides are set (legacy cache keys stay unchanged).
+  [[nodiscard]] std::string canonical() const;
+
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;  // kept sorted by key (set() inserts in place)
+};
+
+/// Parse helpers shared with the schema (full-string, base-10/float).
+[[nodiscard]] bool parse_int_text(std::string_view text, std::int64_t& out);
+[[nodiscard]] bool parse_double_text(std::string_view text, double& out);
+
+struct ParamSpec {
+  std::string key;
+  ParamType type = ParamType::kInt;
+  std::string default_text;  ///< the `small` baseline, for --list/usage
+  std::string help;
+  std::int64_t min_int = 0;
+  std::int64_t max_int = 0;  ///< inclusive; min==max==0 means unbounded
+  double min_double = 0.0;
+  double max_double = 0.0;  ///< inclusive; min==max==0 means unbounded
+  std::vector<std::string> choices;  ///< kString only: allowed values (empty = any)
+};
+
+/// A workload's declared knobs. validate() is the single gate between user
+/// text and app code: unknown keys, untypeable values and out-of-bounds
+/// numbers are rejected with messages that name the valid alternatives.
+class ParamSchema {
+ public:
+  ParamSchema& add_int(std::string key, std::int64_t small_default, std::string help,
+                       std::int64_t min, std::int64_t max);
+  ParamSchema& add_double(std::string key, double small_default, std::string help,
+                          double min, double max);
+  ParamSchema& add_string(std::string key, std::string small_default, std::string help);
+  /// String knob restricted to a closed set of values.
+  ParamSchema& add_enum(std::string key, std::string small_default, std::string help,
+                        std::vector<std::string> choices);
+
+  [[nodiscard]] const ParamSpec* find(std::string_view key) const noexcept;
+  [[nodiscard]] const std::vector<ParamSpec>& specs() const noexcept { return specs_; }
+
+  /// "" when every entry in `p` names a declared key and carries a value of
+  /// the declared type within bounds; an explanatory error otherwise.
+  [[nodiscard]] std::string validate(const WorkloadParams& p) const;
+
+  /// Schema defaults overlaid with `overrides` — every declared key present.
+  [[nodiscard]] WorkloadParams resolve(const WorkloadParams& overrides) const;
+
+  /// One-per-line "key=default (type) help [bounds]" description for usage.
+  [[nodiscard]] std::string describe(std::string_view indent = "  ") const;
+
+ private:
+  std::vector<ParamSpec> specs_;
+};
+
+}  // namespace raccd

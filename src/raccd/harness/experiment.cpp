@@ -3,23 +3,82 @@
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 
+#include "raccd/apps/registry.hpp"
 #include "raccd/common/assert.hpp"
 #include "raccd/common/format.hpp"
 #include "raccd/harness/sweep_cache.hpp"
 
 namespace raccd {
+namespace {
+
+/// A `file` workload param names external content the spec identity must
+/// reflect: hash the bytes so re-recording a trace to the same path cannot
+/// reuse a stale cache entry. Unreadable files hash to a fixed marker.
+/// Memoized per path for the life of the process — key() sits on the
+/// executor's hot path and sweeps call it several times per spec.
+[[nodiscard]] std::string file_param_fingerprint(const std::string& params) {
+  WorkloadParams p;
+  if (!WorkloadParams::parse(params, p).empty()) return {};
+  const std::string* path = p.raw("file");
+  if (path == nullptr || path->empty()) return {};
+
+  static std::mutex memo_mutex;
+  static std::unordered_map<std::string, std::string> memo;
+  {
+    const std::lock_guard<std::mutex> lock(memo_mutex);
+    if (const auto it = memo.find(*path); it != memo.end()) return it->second;
+  }
+  std::string fp = "-fh0";
+  if (std::FILE* f = std::fopen(path->c_str(), "rb"); f != nullptr) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    unsigned char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+      for (std::size_t i = 0; i < n; ++i) h = (h ^ buf[i]) * 0x100000001b3ULL;
+    }
+    std::fclose(f);
+    fp = strprintf("-fh%016llx", static_cast<unsigned long long>(h));
+  }
+  const std::lock_guard<std::mutex> lock(memo_mutex);
+  memo.emplace(*path, fp);
+  return fp;
+}
+
+}  // namespace
+
+std::string RunSpec::workload_ref() const {
+  return params.empty() ? app : app + ":" + params;
+}
+
+std::string RunSpec::set_workload_ref(std::string_view ref) {
+  WorkloadParams p;
+  const std::string err = parse_workload_ref(ref, app, p);
+  if (err.empty()) params = p.canonical();
+  return err;
+}
 
 std::string RunSpec::key() const {
-  return strprintf("%s-%s-%s-d%u%s%s-s%llu-nl%u-ne%u-%s-%s-v%u", app.c_str(),
-                   to_string(size), to_string(mode), dir_ratio, adr ? "-adr" : "",
-                   paper_machine ? "-paperm" : "", static_cast<unsigned long long>(seed),
-                   static_cast<unsigned>(ncrt_latency), ncrt_entries,
-                   alloc == AllocPolicy::kContiguous ? "cont" : "frag",
-                   to_string(sched), kStatsFormatVersion);
+  std::string k =
+      strprintf("%s-%s-%s-d%u%s%s-s%llu-nl%u-ne%u-%s-%s-v%u", app.c_str(),
+                to_string(size), to_string(mode), dir_ratio, adr ? "-adr" : "",
+                paper_machine ? "-paperm" : "", static_cast<unsigned long long>(seed),
+                static_cast<unsigned>(ncrt_latency), ncrt_entries,
+                alloc == AllocPolicy::kContiguous ? "cont" : "frag",
+                to_string(sched), kStatsFormatVersion);
+  // Only non-default extensions append, so legacy cache keys stay valid.
+  if (adr_theta_inc != 0.80 || adr_theta_dec != 0.20) {
+    k += strprintf("-ti%g-td%g", adr_theta_inc, adr_theta_dec);
+  }
+  if (!params.empty()) {
+    k += strprintf("-p{%s}", params.c_str());
+    k += file_param_fingerprint(params);
+  }
+  return k;
 }
 
 SimConfig config_for(const RunSpec& spec) {
@@ -27,6 +86,8 @@ SimConfig config_for(const RunSpec& spec) {
       spec.paper_machine ? SimConfig::paper(spec.mode) : SimConfig::scaled(spec.mode);
   cfg.set_dir_ratio(spec.dir_ratio);
   cfg.adr.enabled = spec.adr;
+  cfg.adr.theta_inc = spec.adr_theta_inc;
+  cfg.adr.theta_dec = spec.adr_theta_dec;
   cfg.timing.ncrt_lookup_cycles = spec.ncrt_latency;
   cfg.raccd.ncrt_entries = spec.ncrt_entries;
   cfg.alloc_policy = spec.alloc;
@@ -37,9 +98,20 @@ SimConfig config_for(const RunSpec& spec) {
 
 SimStats run_one(const RunSpec& spec) {
   Machine machine(config_for(spec));
-  auto app = make_app(spec.app, AppConfig{spec.size, spec.seed});
+  AppConfig acfg;
+  acfg.size = spec.size;
+  acfg.seed = spec.seed;
+  std::string err = WorkloadParams::parse(spec.params, acfg.params);
+  std::unique_ptr<App> app;
+  if (err.empty()) {
+    app = WorkloadRegistry::instance().create(spec.app, acfg, &err);
+  }
+  if (app == nullptr) {
+    std::fprintf(stderr, "cannot run %s: %s\n", spec.key().c_str(), err.c_str());
+    RACCD_ASSERT(false, "unknown workload or invalid parameters");
+  }
   app->run(machine);
-  const std::string err = app->verify(machine);
+  err = app->verify(machine);
   if (!err.empty()) {
     std::fprintf(stderr, "verification failed for %s: %s\n", spec.key().c_str(),
                  err.c_str());
@@ -112,6 +184,17 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
   if (const char* env = std::getenv("RACCD_THREADS")) {
     o.run.threads = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
   }
+  const auto apply_set = [&o](const char* text) {
+    WorkloadParams p;
+    const std::string err = WorkloadParams::parse(text, p);
+    if (!err.empty()) {
+      // Running a whole sweep with silently-dropped overrides would be far
+      // worse than refusing to start.
+      std::fprintf(stderr, "--set %s: %s\n", text, err.c_str());
+      std::exit(2);
+    }
+    for (const auto& e : p.entries()) o.params.set(e.key, e.value);
+  };
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strncmp(a, "--size=", 7) == 0) apply_size(a + 7);
@@ -120,6 +203,10 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
     else if (std::strcmp(a, "--verbose") == 0) o.run.verbose = true;
     else if (std::strncmp(a, "--threads=", 10) == 0) {
       o.run.threads = static_cast<unsigned>(std::strtoul(a + 10, nullptr, 10));
+    } else if (std::strncmp(a, "--set=", 6) == 0) {
+      apply_set(a + 6);
+    } else if (std::strcmp(a, "--set") == 0 && i + 1 < argc) {
+      apply_set(argv[++i]);
     }
   }
   return o;

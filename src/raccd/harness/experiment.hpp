@@ -17,10 +17,17 @@ namespace raccd {
 
 struct RunSpec {
   std::string app = "jacobi";
+  /// Workload knob overrides in canonical "k=v,k2=v2" form (see
+  /// WorkloadParams::canonical()); empty = size-class defaults only, which
+  /// keeps legacy cache keys unchanged.
+  std::string params;
   SizeClass size = SizeClass::kSmall;
   CohMode mode = CohMode::kFullCoh;
   std::uint32_t dir_ratio = 1;
   bool adr = false;
+  // ADR hysteresis band; only non-default values enter the key.
+  double adr_theta_inc = 0.80;
+  double adr_theta_dec = 0.20;
   bool paper_machine = false;
   std::uint64_t seed = 42;
   // Overheads / ablation knobs.
@@ -28,6 +35,11 @@ struct RunSpec {
   std::uint32_t ncrt_entries = 32;
   AllocPolicy alloc = AllocPolicy::kContiguous;
   SchedPolicy sched = SchedPolicy::kFifo;
+
+  /// "name" or "name:k=v,...": the registry reference this spec runs.
+  [[nodiscard]] std::string workload_ref() const;
+  /// Set app + params from a registry reference; returns "" or an error.
+  [[nodiscard]] std::string set_workload_ref(std::string_view ref);
 
   /// Stable identity string (cache key and log label).
   [[nodiscard]] std::string key() const;
@@ -53,11 +65,14 @@ struct RunOptions {
                                             const RunOptions& opts = {});
 
 /// Common CLI/env options for the bench binaries: --size=tiny|small|paper,
-/// --paper (machine preset), --no-cache, --threads=N, --verbose
+/// --paper (machine preset), --no-cache, --threads=N, --verbose, and
+/// repeatable --set key=value workload-parameter passthrough
 /// (env: RACCD_SIZE, RACCD_PAPER, RACCD_NO_CACHE, RACCD_THREADS).
 struct BenchOptions {
   SizeClass size = SizeClass::kSmall;
   bool paper_machine = false;
+  /// --set overrides, applied to every workload of the binary's grid.
+  WorkloadParams params;
   RunOptions run{};
 
   static BenchOptions parse(int argc, char** argv);

@@ -1,0 +1,349 @@
+#include "raccd/harness/grid.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+
+#include "raccd/apps/registry.hpp"
+#include "raccd/common/assert.hpp"
+#include "raccd/common/format.hpp"
+
+namespace raccd {
+namespace {
+
+[[nodiscard]] std::string json_escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (const char c : in) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// The metric payload shared by write_json and the BENCH log.
+[[nodiscard]] std::string metrics_json(const SimStats& s) {
+  return strprintf(
+      "\"cycles\": %llu, \"dir_accesses\": %llu, \"llc_hit_rate\": %.6f, "
+      "\"noc_flit_hops\": %llu, \"dir_dyn_energy_pj\": %.3f, "
+      "\"llc_dyn_energy_pj\": %.3f, \"noc_dyn_energy_pj\": %.3f, "
+      "\"dir_leak_energy_pj\": %.3f, \"nc_block_fraction\": %.6f, "
+      "\"avg_dir_occupancy\": %.6f, \"tasks\": %llu",
+      static_cast<unsigned long long>(s.cycles),
+      static_cast<unsigned long long>(s.fabric.dir_accesses), s.llc_hit_ratio(),
+      static_cast<unsigned long long>(s.noc.total_flit_hops()), s.dir_dyn_energy_pj,
+      s.llc_dyn_energy_pj, s.noc_dyn_energy_pj, s.dir_leak_energy_pj,
+      s.noncoherent_block_fraction, s.avg_dir_occupancy,
+      static_cast<unsigned long long>(s.tasks));
+}
+
+[[nodiscard]] bool write_text_file(const std::string& path, const std::string& text) {
+  if (const auto dir = std::filesystem::path(path).parent_path(); !dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+  }
+  // Write-to-temp + rename: concurrent bench binaries (the fig grid runs
+  // them side by side) never see a truncated file. Lost-update races merely
+  // drop the loser's merge, which the next run of that binary repairs.
+  const std::string tmp =
+      strprintf("%s.tmp.%llu", path.c_str(),
+                static_cast<unsigned long long>(
+                    std::hash<std::thread::id>{}(std::this_thread::get_id())));
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << text;
+    if (!out) return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ResultSet ResultSet::run(std::vector<RunSpec> specs, const RunOptions& opts) {
+  auto results = run_all(specs, opts);
+  return ResultSet(std::move(specs), std::move(results));
+}
+
+const SimStats& ResultSet::at(std::string_view workload_ref, CohMode mode,
+                              std::uint32_t dir_ratio, bool adr) const {
+  // Canonicalize the reference so parameter order/spelling cannot miss. A
+  // bare name (no ':') matches any parameterization of that workload, so
+  // grid-wide --set overrides don't break name-addressed lookups.
+  RunSpec ref;
+  std::string canonical(workload_ref);
+  if (ref.set_workload_ref(workload_ref).empty()) canonical = ref.workload_ref();
+  const bool exact = canonical.find(':') != std::string::npos;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const RunSpec& s = specs_[i];
+    if (s.mode == mode && s.dir_ratio == dir_ratio && s.adr == adr &&
+        (exact ? s.workload_ref() == canonical : s.app == canonical)) {
+      return results_[i];
+    }
+  }
+  std::fprintf(stderr, "ResultSet::at: no result for %.*s/%s/1:%u%s\n",
+               static_cast<int>(workload_ref.size()), workload_ref.data(),
+               to_string(mode), dir_ratio, adr ? "/adr" : "");
+  RACCD_ASSERT(false, "spec not present in result set");
+  return results_.front();
+}
+
+ResultSet& ResultSet::append(ResultSet other) {
+  specs_.insert(specs_.end(), std::make_move_iterator(other.specs_.begin()),
+                std::make_move_iterator(other.specs_.end()));
+  results_.insert(results_.end(), std::make_move_iterator(other.results_.begin()),
+                  std::make_move_iterator(other.results_.end()));
+  return *this;
+}
+
+bool ResultSet::write_csv(const std::string& path) const {
+  std::string text =
+      "key,app,params,size,mode,dir_ratio,adr,seed,sched,cycles,dir_accesses,"
+      "llc_hit_rate,noc_flit_hops,dir_dyn_energy_pj,nc_block_fraction,"
+      "avg_dir_occupancy,tasks\n";
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const RunSpec& sp = specs_[i];
+    const SimStats& st = results_[i];
+    // key and params can contain commas (multi-knob overrides) — quote them.
+    text += strprintf(
+        "\"%s\",%s,\"%s\",%s,%s,%u,%d,%llu,%s,%llu,%llu,%.6f,%llu,%.3f,%.6f,%.6f,%llu\n",
+        sp.key().c_str(), sp.app.c_str(), sp.params.c_str(), to_string(sp.size),
+        to_string(sp.mode), sp.dir_ratio, sp.adr ? 1 : 0,
+        static_cast<unsigned long long>(sp.seed), to_string(sp.sched),
+        static_cast<unsigned long long>(st.cycles),
+        static_cast<unsigned long long>(st.fabric.dir_accesses), st.llc_hit_ratio(),
+        static_cast<unsigned long long>(st.noc.total_flit_hops()),
+        st.dir_dyn_energy_pj, st.noncoherent_block_fraction, st.avg_dir_occupancy,
+        static_cast<unsigned long long>(st.tasks));
+  }
+  return write_text_file(path, text);
+}
+
+bool ResultSet::write_json(const std::string& path) const {
+  std::string text = "[\n";
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const RunSpec& sp = specs_[i];
+    text += strprintf(
+        "  {\"key\": \"%s\", \"app\": \"%s\", \"params\": \"%s\", "
+        "\"size\": \"%s\", \"mode\": \"%s\", \"dir_ratio\": %u, \"adr\": %s, "
+        "\"seed\": %llu, \"sched\": \"%s\", %s}%s\n",
+        json_escape(sp.key()).c_str(), json_escape(sp.app).c_str(),
+        json_escape(sp.params).c_str(), to_string(sp.size), to_string(sp.mode),
+        sp.dir_ratio, sp.adr ? "true" : "false",
+        static_cast<unsigned long long>(sp.seed), to_string(sp.sched),
+        metrics_json(results_[i]).c_str(), i + 1 < specs_.size() ? "," : "");
+  }
+  text += "]\n";
+  return write_text_file(path, text);
+}
+
+bool ResultSet::append_bench_json(const std::string& path) const {
+  // Collect existing entries (one `  "key": {...}` line each — the format
+  // this emitter writes; foreign files are rewritten from scratch).
+  std::map<std::string, std::string> entries;
+  if (std::ifstream in(path); in) {
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::size_t kq0 = line.find('"');
+      if (kq0 == std::string::npos) continue;
+      const std::size_t kq1 = line.find('"', kq0 + 1);
+      const std::size_t brace0 = line.find('{', kq1);
+      const std::size_t brace1 = line.rfind('}');
+      if (kq1 == std::string::npos || brace0 == std::string::npos ||
+          brace1 == std::string::npos || brace1 <= brace0) {
+        continue;
+      }
+      entries[line.substr(kq0 + 1, kq1 - kq0 - 1)] =
+          line.substr(brace0, brace1 - brace0 + 1);
+    }
+  }
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    // Keys are written (and re-parsed) unescaped, one line each: neutralize
+    // the two characters that would break that framing.
+    std::string key = specs_[i].key();
+    for (char& c : key) {
+      if (c == '"' || c == '\\') c = '_';
+    }
+    entries[key] = strprintf("{%s}", metrics_json(results_[i]).c_str());
+  }
+  std::string text = "{\n";
+  std::size_t n = 0;
+  for (const auto& [key, payload] : entries) {
+    text += strprintf("  \"%s\": %s%s\n", key.c_str(), payload.c_str(),
+                      ++n < entries.size() ? "," : "");
+  }
+  text += "}\n";
+  return write_text_file(path, text);
+}
+
+// -- Grid ---------------------------------------------------------------------
+
+Grid& Grid::workload(std::string ref) {
+  workloads_.push_back(std::move(ref));
+  return *this;
+}
+
+Grid& Grid::workloads(const std::vector<std::string>& refs) {
+  workloads_.insert(workloads_.end(), refs.begin(), refs.end());
+  return *this;
+}
+
+Grid& Grid::paper_apps() { return workloads(paper_app_names()); }
+
+Grid& Grid::set(std::string key, std::string value) {
+  common_params_.set(std::move(key), std::move(value));
+  return *this;
+}
+
+Grid& Grid::set_params(const WorkloadParams& params) {
+  for (const auto& e : params.entries()) common_params_.set(e.key, e.value);
+  return *this;
+}
+
+Grid& Grid::size(SizeClass s) { return sizes({s}); }
+Grid& Grid::sizes(std::vector<SizeClass> v) {
+  sizes_ = std::move(v);
+  return *this;
+}
+Grid& Grid::mode(CohMode m) { return modes(std::vector<CohMode>{m}); }
+Grid& Grid::modes(std::vector<CohMode> v) {
+  modes_ = std::move(v);
+  return *this;
+}
+Grid& Grid::dir_ratio(std::uint32_t r) { return dir_ratios(std::vector<std::uint32_t>{r}); }
+Grid& Grid::dir_ratios(std::vector<std::uint32_t> v) {
+  dir_ratios_ = std::move(v);
+  return *this;
+}
+Grid& Grid::adr(bool enabled) { return adr_values({enabled}); }
+Grid& Grid::adr_values(std::vector<bool> v) {
+  adr_ = std::move(v);
+  return *this;
+}
+Grid& Grid::adr_bands(std::vector<std::pair<double, double>> v) {
+  adr_bands_ = std::move(v);
+  return *this;
+}
+Grid& Grid::seed(std::uint64_t s) { return seeds({s}); }
+Grid& Grid::seeds(std::vector<std::uint64_t> v) {
+  seeds_ = std::move(v);
+  return *this;
+}
+Grid& Grid::ncrt_latency(Cycle c) { return ncrt_latencies({c}); }
+Grid& Grid::ncrt_latencies(std::vector<Cycle> v) {
+  ncrt_latencies_ = std::move(v);
+  return *this;
+}
+Grid& Grid::ncrt_entry_counts(std::vector<std::uint32_t> v) {
+  ncrt_entries_ = std::move(v);
+  return *this;
+}
+Grid& Grid::alloc(AllocPolicy p) { return allocs({p}); }
+Grid& Grid::allocs(std::vector<AllocPolicy> v) {
+  allocs_ = std::move(v);
+  return *this;
+}
+Grid& Grid::sched(SchedPolicy p) { return scheds({p}); }
+Grid& Grid::scheds(std::vector<SchedPolicy> v) {
+  scheds_ = std::move(v);
+  return *this;
+}
+Grid& Grid::paper_machine(bool on) {
+  paper_machine_ = on;
+  return *this;
+}
+
+std::vector<RunSpec> Grid::specs() const {
+  RACCD_ASSERT(!workloads_.empty(), "Grid has no workloads");
+  // A grid-wide override that no workload of this grid declares would be
+  // silently dropped by the per-schema filtering below — refuse instead.
+  for (const auto& e : common_params_.entries()) {
+    bool declared = false;
+    for (const std::string& ref : workloads_) {
+      std::string name;
+      WorkloadParams ignore;
+      if (!parse_workload_ref(ref, name, ignore).empty()) continue;
+      const WorkloadInfo* w = WorkloadRegistry::instance().find(name);
+      if (w == nullptr || w->schema.find(e.key) != nullptr) {  // unknown name errors later
+        declared = true;
+        break;
+      }
+    }
+    if (!declared) {
+      std::fprintf(stderr,
+                   "grid override '%s=%s': no workload in this grid declares a "
+                   "'%s' parameter\n",
+                   e.key.c_str(), e.value.c_str(), e.key.c_str());
+      RACCD_ASSERT(false, "grid-wide parameter unknown to every workload");
+    }
+  }
+  std::vector<RunSpec> out;
+  for (const std::string& ref : workloads_) {
+    RunSpec base;
+    const std::string err = base.set_workload_ref(ref);
+    if (!err.empty()) {
+      std::fprintf(stderr, "Grid workload '%s': %s\n", ref.c_str(), err.c_str());
+      RACCD_ASSERT(false, "malformed workload reference");
+    }
+    if (!common_params_.empty()) {
+      // Per-ref params win over grid-wide --set overrides, and grid-wide
+      // keys only apply to workloads whose schema declares them (so one
+      // --set can target a multi-workload grid).
+      WorkloadParams merged =
+          WorkloadRegistry::instance().supported_params(base.app, common_params_);
+      WorkloadParams own;
+      (void)WorkloadParams::parse(base.params, own);
+      for (const auto& e : own.entries()) merged.set(e.key, e.value);
+      base.params = merged.canonical();
+    }
+    base.paper_machine = paper_machine_;
+    for (const SizeClass size : sizes_) {
+      for (const CohMode mode : modes_) {
+        for (const std::uint32_t ratio : dir_ratios_) {
+          for (const bool adr : adr_) {
+            for (const auto& [ti, td] : adr_bands_) {
+              for (const std::uint64_t seed : seeds_) {
+                for (const Cycle lat : ncrt_latencies_) {
+                  for (const std::uint32_t entries : ncrt_entries_) {
+                    for (const AllocPolicy alloc : allocs_) {
+                      for (const SchedPolicy sched : scheds_) {
+                        RunSpec s = base;
+                        s.size = size;
+                        s.mode = mode;
+                        s.dir_ratio = ratio;
+                        s.adr = adr;
+                        s.adr_theta_inc = ti;
+                        s.adr_theta_dec = td;
+                        s.seed = seed;
+                        s.ncrt_latency = lat;
+                        s.ncrt_entries = entries;
+                        s.alloc = alloc;
+                        s.sched = sched;
+                        out.push_back(std::move(s));
+                      }
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+ResultSet Grid::run(const RunOptions& opts) const { return ResultSet::run(specs(), opts); }
+
+}  // namespace raccd

@@ -1,0 +1,133 @@
+// Declarative experiment grids.
+//
+// Grid is a fluent builder over every RunSpec axis: workloads (registry
+// references like "synthetic:shape=pipeline,width=64"), problem sizes,
+// coherence modes, directory ratios, ADR on/off (and thresholds), seeds and
+// the overhead/ablation knobs. specs() expands the cartesian product in a
+// fixed nesting order — workloads, sizes, modes, dir_ratios, adr, adr_bands,
+// seeds, ncrt_latencies, ncrt_entries, allocs, scheds, outermost to
+// innermost — so axis-major index arithmetic on the results stays valid.
+//
+// ResultSet pairs the expanded specs with their stats (run through the
+// cache-aware parallel executor) and adds spec-addressed lookup plus
+// machine-readable emitters: CSV, JSON, and the cumulative BENCH_grid.json
+// perf log keyed by RunSpec::key().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "raccd/harness/experiment.hpp"
+
+namespace raccd {
+
+class ResultSet {
+ public:
+  ResultSet() = default;
+  ResultSet(std::vector<RunSpec> specs, std::vector<SimStats> results)
+      : specs_(std::move(specs)), results_(std::move(results)) {}
+
+  /// Execute `specs` (cache-aware, host-parallel) and bundle the results.
+  [[nodiscard]] static ResultSet run(std::vector<RunSpec> specs,
+                                     const RunOptions& opts = {});
+
+  [[nodiscard]] std::size_t size() const noexcept { return specs_.size(); }
+  [[nodiscard]] const std::vector<RunSpec>& specs() const noexcept { return specs_; }
+  [[nodiscard]] const RunSpec& spec(std::size_t i) const { return specs_.at(i); }
+  [[nodiscard]] const SimStats& operator[](std::size_t i) const { return results_.at(i); }
+
+  /// First result whose spec matches workload ref + mode + ratio + adr
+  /// (params in `workload_ref` are part of the match). Aborts when absent.
+  [[nodiscard]] const SimStats& at(std::string_view workload_ref, CohMode mode,
+                                   std::uint32_t dir_ratio = 1, bool adr = false) const;
+  /// First result whose spec satisfies `pred`; nullptr when none does.
+  template <typename Pred>
+  [[nodiscard]] const SimStats* find(Pred&& pred) const {
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+      if (pred(specs_[i])) return &results_[i];
+    }
+    return nullptr;
+  }
+
+  /// Concatenate another set (spec order preserved).
+  ResultSet& append(ResultSet other);
+
+  /// One row per spec: identity columns + headline metrics.
+  [[nodiscard]] bool write_csv(const std::string& path) const;
+  /// JSON array of per-spec objects (same fields as the CSV).
+  [[nodiscard]] bool write_json(const std::string& path) const;
+  /// Merge into the cumulative benchmark log at `path`: a JSON object
+  /// mapping RunSpec::key() to {cycles, dir_accesses, llc_hit_rate,
+  /// noc_flit_hops, dir_dyn_energy_pj, ...}. Existing keys are overwritten,
+  /// other keys are preserved, the key order is sorted.
+  [[nodiscard]] bool append_bench_json(const std::string& path) const;
+
+ private:
+  std::vector<RunSpec> specs_;
+  std::vector<SimStats> results_;
+};
+
+class Grid {
+ public:
+  // -- Workloads --------------------------------------------------------------
+  Grid& workload(std::string ref);
+  Grid& workloads(const std::vector<std::string>& refs);
+  /// The nine paper benchmarks, in the paper's order.
+  Grid& paper_apps();
+  /// Apply one `key=value` override to every workload of the grid.
+  Grid& set(std::string key, std::string value);
+  Grid& set_params(const WorkloadParams& params);
+
+  // -- Axes (each replaces its axis; single-value helpers wrap a vector) ------
+  Grid& size(SizeClass s);
+  Grid& sizes(std::vector<SizeClass> v);
+  Grid& mode(CohMode m);
+  Grid& modes(std::vector<CohMode> v);
+  template <typename Container>
+  Grid& modes(const Container& c) {
+    return modes(std::vector<CohMode>(std::begin(c), std::end(c)));
+  }
+  Grid& dir_ratio(std::uint32_t r);
+  Grid& dir_ratios(std::vector<std::uint32_t> v);
+  template <typename Container>
+  Grid& dir_ratios(const Container& c) {
+    return dir_ratios(std::vector<std::uint32_t>(std::begin(c), std::end(c)));
+  }
+  Grid& adr(bool enabled);
+  Grid& adr_values(std::vector<bool> v);
+  /// ADR hysteresis bands (theta_inc, theta_dec); default {0.80, 0.20}.
+  Grid& adr_bands(std::vector<std::pair<double, double>> v);
+  Grid& seed(std::uint64_t s);
+  Grid& seeds(std::vector<std::uint64_t> v);
+  Grid& ncrt_latency(Cycle c);
+  Grid& ncrt_latencies(std::vector<Cycle> v);
+  Grid& ncrt_entry_counts(std::vector<std::uint32_t> v);
+  Grid& alloc(AllocPolicy p);
+  Grid& allocs(std::vector<AllocPolicy> v);
+  Grid& sched(SchedPolicy p);
+  Grid& scheds(std::vector<SchedPolicy> v);
+  Grid& paper_machine(bool on);
+
+  /// Expand to the cartesian product (nesting order documented above).
+  [[nodiscard]] std::vector<RunSpec> specs() const;
+  /// Expand and execute.
+  [[nodiscard]] ResultSet run(const RunOptions& opts = {}) const;
+
+ private:
+  std::vector<std::string> workloads_;
+  WorkloadParams common_params_;
+  std::vector<SizeClass> sizes_{SizeClass::kSmall};
+  std::vector<CohMode> modes_{CohMode::kRaCCD};
+  std::vector<std::uint32_t> dir_ratios_{1};
+  std::vector<bool> adr_{false};
+  std::vector<std::pair<double, double>> adr_bands_{{0.80, 0.20}};
+  std::vector<std::uint64_t> seeds_{42};
+  std::vector<Cycle> ncrt_latencies_{1};
+  std::vector<std::uint32_t> ncrt_entries_{32};
+  std::vector<AllocPolicy> allocs_{AllocPolicy::kContiguous};
+  std::vector<SchedPolicy> scheds_{SchedPolicy::kFifo};
+  bool paper_machine_ = false;
+};
+
+}  // namespace raccd

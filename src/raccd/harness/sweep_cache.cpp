@@ -261,9 +261,27 @@ std::optional<SimStats> stats_from_text(const std::string& text) {
   return s;
 }
 
+namespace {
+
+// Cache keys become single filenames: map path separators and other
+// filesystem-hostile characters to '_' (identity for legacy keys, which
+// only contain [A-Za-z0-9.{}=,:-]).
+[[nodiscard]] std::string key_filename(const std::string& key) {
+  std::string out = key;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '{' || c == '}' ||
+                    c == '=' || c == ',' || c == ':' || c == '-' || c == '_';
+    if (!ok) c = '_';
+  }
+  return out + ".stats";
+}
+
+}  // namespace
+
 std::optional<SimStats> cache_load(const std::string& dir, const std::string& key) {
   std::error_code ec;
-  const std::filesystem::path path = std::filesystem::path(dir) / (key + ".stats");
+  const std::filesystem::path path = std::filesystem::path(dir) / key_filename(key);
   if (!std::filesystem::exists(path, ec)) return std::nullopt;
   std::ifstream in(path);
   if (!in) return std::nullopt;
@@ -274,7 +292,7 @@ std::optional<SimStats> cache_load(const std::string& dir, const std::string& ke
 void cache_store(const std::string& dir, const std::string& key, const SimStats& s) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
-  const std::filesystem::path path = std::filesystem::path(dir) / (key + ".stats");
+  const std::filesystem::path path = std::filesystem::path(dir) / key_filename(key);
   std::ofstream out(path);
   if (!out) return;
   out << stats_to_text(s);

@@ -1,0 +1,154 @@
+#include "raccd/runtime/trace_file.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "raccd/common/format.hpp"
+
+namespace raccd {
+namespace {
+
+[[nodiscard]] const char* dep_kind_text(DepKind k) noexcept { return to_string(k); }
+
+[[nodiscard]] bool parse_dep_kind(const std::string& text, DepKind& out) {
+  if (text == "in") out = DepKind::kIn;
+  else if (text == "out") out = DepKind::kOut;
+  else if (text == "inout") out = DepKind::kInout;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+std::string TraceFile::to_text() const {
+  std::string out = "raccd-trace 1\n";
+  for (const TraceRegion& r : regions) {
+    out += strprintf("region %s %llu\n", r.name.c_str(),
+                     static_cast<unsigned long long>(r.bytes));
+  }
+  for (const TraceTask& t : tasks) {
+    out += strprintf("task %s\n", t.name.empty() ? "-" : t.name.c_str());
+    for (const TraceDep& d : t.deps) {
+      out += strprintf("dep %s %u %llu %llu\n", dep_kind_text(d.kind), d.region,
+                       static_cast<unsigned long long>(d.offset),
+                       static_cast<unsigned long long>(d.size));
+    }
+    for (const TraceAccess& a : t.accesses) {
+      out += strprintf("a %c %u %llu %u %u %llu\n", a.is_write ? 'w' : 'r', a.region,
+                       static_cast<unsigned long long>(a.offset), a.size, a.repeat,
+                       static_cast<unsigned long long>(a.compute_gap));
+    }
+    if (t.trailing_compute > 0) {
+      out += strprintf("tc %llu\n", static_cast<unsigned long long>(t.trailing_compute));
+    }
+    out += "end\n";
+  }
+  return out;
+}
+
+std::string TraceFile::from_text(const std::string& text, TraceFile& out) {
+  out = TraceFile{};
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  bool seen_magic = false;
+  TraceTask* cur = nullptr;
+  const auto err = [&lineno](const char* what) {
+    return strprintf("trace line %zu: %s", lineno, what);
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string word;
+    ls >> word;
+    if (!seen_magic) {
+      unsigned version = 0;
+      if (word != "raccd-trace" || !(ls >> version) || version != 1) {
+        return err("expected header 'raccd-trace 1'");
+      }
+      seen_magic = true;
+      continue;
+    }
+    if (word == "region") {
+      if (cur != nullptr) return err("'region' inside a task");
+      TraceRegion r;
+      if (!(ls >> r.name >> r.bytes) || r.bytes == 0) return err("bad region line");
+      out.regions.push_back(std::move(r));
+    } else if (word == "task") {
+      if (cur != nullptr) return err("missing 'end' before 'task'");
+      TraceTask t;
+      ls >> t.name;
+      if (t.name == "-") t.name.clear();
+      out.tasks.push_back(std::move(t));
+      cur = &out.tasks.back();
+    } else if (word == "dep") {
+      if (cur == nullptr) return err("'dep' outside a task");
+      TraceDep d;
+      std::string kind;
+      if (!(ls >> kind >> d.region >> d.offset >> d.size) ||
+          !parse_dep_kind(kind, d.kind)) {
+        return err("bad dep line");
+      }
+      if (d.region >= out.regions.size()) return err("dep region index out of range");
+      const std::uint64_t dregion_bytes = out.regions[d.region].bytes;
+      if (d.offset > dregion_bytes || d.size > dregion_bytes - d.offset) {
+        return err("dep range exceeds region");
+      }
+      cur->deps.push_back(d);
+    } else if (word == "a") {
+      if (cur == nullptr) return err("'a' outside a task");
+      TraceAccess a;
+      std::string rw;
+      if (!(ls >> rw >> a.region >> a.offset >> a.size >> a.repeat >> a.compute_gap) ||
+          (rw != "r" && rw != "w")) {
+        return err("bad access line");
+      }
+      a.is_write = rw == "w";
+      if (a.region >= out.regions.size()) return err("access region index out of range");
+      if (a.size != 1 && a.size != 2 && a.size != 4 && a.size != 8) {
+        return err("access size must be 1, 2, 4 or 8");
+      }
+      if (a.offset % a.size != 0) return err("access offset not size-aligned");
+      const std::uint64_t aregion_bytes = out.regions[a.region].bytes;
+      if (a.offset > aregion_bytes || a.size > aregion_bytes - a.offset) {
+        return err("access exceeds region");
+      }
+      if (a.repeat == 0) return err("access repeat must be >= 1");
+      cur->accesses.push_back(a);
+    } else if (word == "tc") {
+      if (cur == nullptr) return err("'tc' outside a task");
+      if (!(ls >> cur->trailing_compute)) return err("bad tc line");
+    } else if (word == "end") {
+      if (cur == nullptr) return err("'end' outside a task");
+      cur = nullptr;
+    } else {
+      return err("unknown directive");
+    }
+  }
+  if (!seen_magic) return "empty trace (missing 'raccd-trace 1' header)";
+  if (cur != nullptr) return "unterminated task (missing 'end')";
+  return {};
+}
+
+std::string TraceFile::save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return strprintf("cannot open '%s' for writing", path.c_str());
+  const std::string text = to_text();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  return ok ? std::string{} : strprintf("short write to '%s'", path.c_str());
+}
+
+std::string TraceFile::load(const std::string& path, TraceFile& out) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return strprintf("cannot open trace file '%s'", path.c_str());
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return from_text(text, out);
+}
+
+}  // namespace raccd

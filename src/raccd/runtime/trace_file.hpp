@@ -1,0 +1,67 @@
+// Portable task-trace file format ("raccd-trace v1"): a recorded task
+// program — named regions, per-task dependence annotations and the memory
+// access stream — that the `tracereplay` workload re-executes through any
+// coherence mode. Addresses are region-relative, so a trace recorded on one
+// machine configuration replays on any other.
+//
+// Text format (line-oriented, '#' comments):
+//   raccd-trace 1
+//   region <name> <bytes>
+//   task <name>
+//   dep <in|out|inout> <region_idx> <offset> <size>
+//   a <r|w> <region_idx> <offset> <size> <repeat> <compute_gap>
+//   tc <cycles>              # trailing compute (optional, once per task)
+//   end
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "raccd/runtime/task.hpp"
+
+namespace raccd {
+
+struct TraceRegion {
+  std::string name;
+  std::uint64_t bytes = 0;
+};
+
+struct TraceDep {
+  std::uint32_t region = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  DepKind kind = DepKind::kIn;
+};
+
+struct TraceAccess {
+  std::uint32_t region = 0;
+  std::uint64_t offset = 0;
+  std::uint32_t size = 0;    ///< 1, 2, 4 or 8 bytes; offset must be size-aligned
+  std::uint32_t repeat = 1;  ///< consecutive same-line repeats
+  bool is_write = false;
+  std::uint64_t compute_gap = 0;  ///< compute cycles charged before this access
+};
+
+struct TraceTask {
+  std::string name;
+  std::vector<TraceDep> deps;
+  std::vector<TraceAccess> accesses;
+  std::uint64_t trailing_compute = 0;
+};
+
+struct TraceFile {
+  std::vector<TraceRegion> regions;
+  std::vector<TraceTask> tasks;
+
+  [[nodiscard]] std::string to_text() const;
+  /// Parse + validate (region indices, access alignment/bounds, sizes).
+  /// Returns "" on success, an error message otherwise.
+  [[nodiscard]] static std::string from_text(const std::string& text, TraceFile& out);
+
+  /// File IO; returns "" on success.
+  [[nodiscard]] std::string save(const std::string& path) const;
+  [[nodiscard]] static std::string load(const std::string& path, TraceFile& out);
+};
+
+}  // namespace raccd

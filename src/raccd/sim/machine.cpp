@@ -153,6 +153,7 @@ void Machine::replay_record(CoreId c) {
 
 void Machine::finish_task(CoreId c) {
   CoreState& cs = cores_[c];
+  if (trace_sink_) trace_sink_(rt_.task(cs.current), cs.trace);
   const Cycle trailing = cs.trace.trailing_compute();
   cs.clock += trailing;
   cs.busy_cycles += trailing;

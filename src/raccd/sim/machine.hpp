@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -56,6 +57,12 @@ class Machine {
   [[nodiscard]] CoherenceChecker* checker() noexcept {
     return cfg_.enable_checker ? &checker_ : nullptr;
   }
+
+  /// Observer invoked as each task finishes, with the task's node (deps,
+  /// name) and its recorded access trace — the hook trace capture
+  /// (`apps/trace_capture.hpp`) uses to serialize whole workloads.
+  using TraceSink = std::function<void(const TaskNode&, const AccessTrace&)>;
+  void set_trace_sink(TraceSink sink) { trace_sink_ = std::move(sink); }
 
  private:
   struct CoreState {
@@ -97,6 +104,7 @@ class Machine {
   std::uint64_t flushed_nc_wbs_ = 0;
   std::uint64_t accesses_replayed_ = 0;
   bool collected_ = false;
+  TraceSink trace_sink_;
 
   /// Constructed last (it references fabric/mem/tlbs), destroyed first.
   std::unique_ptr<CoherenceBackend> backend_;

@@ -4,19 +4,25 @@
 // corrupts data.
 #include <gtest/gtest.h>
 
-#include "raccd/apps/app.hpp"
+#include <cctype>
+
+#include "raccd/apps/registry.hpp"
 #include "raccd/coherence/checker.hpp"
 
 namespace raccd {
 namespace {
 
 struct Case {
-  std::string app;
+  std::string ref;  ///< registry reference, params allowed
   CohMode mode;
 };
 
 std::string case_name(const ::testing::TestParamInfo<Case>& info) {
-  return info.param.app + "_" + to_string(info.param.mode);
+  std::string n = info.param.ref + "_" + to_string(info.param.mode);
+  for (char& c : n) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) != 0)) c = '_';
+  }
+  return n;
 }
 
 class AppModeTest : public ::testing::TestWithParam<Case> {};
@@ -26,7 +32,12 @@ TEST_P(AppModeTest, RunsAndVerifies) {
   SimConfig cfg = SimConfig::scaled(c.mode);
   cfg.enable_checker = true;
   Machine m(cfg);
-  auto app = make_app(c.app, AppConfig{SizeClass::kTiny, 0xBEEF});
+  AppConfig acfg{SizeClass::kTiny, 0xBEEF};
+  std::string name;
+  ASSERT_EQ(parse_workload_ref(c.ref, name, acfg.params), "");
+  std::string error;
+  auto app = WorkloadRegistry::instance().create(name, acfg, &error);
+  ASSERT_NE(app, nullptr) << error;
   app->run(m);
   EXPECT_EQ(app->verify(m), "");
   const auto violations = CoherenceChecker::scan(m.fabric());
@@ -38,12 +49,20 @@ TEST_P(AppModeTest, RunsAndVerifies) {
 
 std::vector<Case> all_cases() {
   std::vector<Case> cases;
-  auto names = paper_app_names();
-  names.push_back("cholesky");
-  for (const auto& app : names) {
+  auto refs = paper_app_names();
+  refs.push_back("cholesky");
+  for (const auto& ref : refs) {
     for (const CohMode mode : kAllModes) {
-      cases.push_back(Case{app, mode});
+      cases.push_back(Case{ref, mode});
     }
+  }
+  // The SDK families run under every backend, including WbNC, with the
+  // registry's parameterized references.
+  for (const CohMode mode : kAllBackends) {
+    cases.push_back(Case{"synthetic:shape=forkjoin,width=4,depth=2", mode});
+    cases.push_back(Case{"synthetic:shape=pipeline,width=4,depth=3", mode});
+    cases.push_back(Case{"synthetic:shape=randomdag,width=6,depth=3,reuse=0.5", mode});
+    cases.push_back(Case{"tracereplay", mode});
   }
   return cases;
 }

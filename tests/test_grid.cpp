@@ -1,0 +1,163 @@
+// Grid builder + ResultSet tests: cartesian expansion order, parameter
+// merging, spec-addressed lookup, cache-key extensions, and the
+// machine-readable emitters (CSV / JSON / cumulative BENCH_grid.json).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "raccd/harness/grid.hpp"
+
+namespace raccd {
+namespace {
+
+[[nodiscard]] std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(GridBuilder, ExpandsCartesianProductInDocumentedOrder) {
+  const auto specs = Grid()
+                         .workloads({"jacobi", "histo"})
+                         .size(SizeClass::kTiny)
+                         .modes({CohMode::kPT, CohMode::kRaCCD})
+                         .dir_ratios({1, 4})
+                         .specs();
+  ASSERT_EQ(specs.size(), 2u * 2u * 2u);
+  // workload outer, then mode, then ratio (innermost).
+  EXPECT_EQ(specs[0].app, "jacobi");
+  EXPECT_EQ(specs[0].mode, CohMode::kPT);
+  EXPECT_EQ(specs[0].dir_ratio, 1u);
+  EXPECT_EQ(specs[1].dir_ratio, 4u);
+  EXPECT_EQ(specs[2].mode, CohMode::kRaCCD);
+  EXPECT_EQ(specs[4].app, "histo");
+  for (const auto& s : specs) EXPECT_EQ(s.size, SizeClass::kTiny);
+}
+
+TEST(GridBuilder, PaperAppsAndDirRatioContainers) {
+  const auto specs =
+      Grid().paper_apps().modes(kAllBackends).dir_ratios(kDirRatios).specs();
+  EXPECT_EQ(specs.size(), 9u * 4u * 7u);  // the paper's full grid
+  EXPECT_EQ(specs.front().app, "cg");
+  EXPECT_EQ(specs.back().app, "redblack");
+  EXPECT_EQ(specs.back().dir_ratio, 256u);
+}
+
+TEST(GridBuilder, ParamsMergeWithPerRefPrecedence) {
+  const auto specs = Grid()
+                         .workload("synthetic:width=8")
+                         .set("width", "32")  // per-ref value must win
+                         .set("depth", "2")
+                         .specs();
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].params, "depth=2,width=8");
+  EXPECT_EQ(specs[0].workload_ref(), "synthetic:depth=2,width=8");
+}
+
+TEST(GridBuilder, AdrBandsBecomeSpecThetas) {
+  const auto specs = Grid()
+                         .workload("cg")
+                         .adr(true)
+                         .adr_bands({{0.9, 0.1}, {0.8, 0.2}})
+                         .specs();
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_DOUBLE_EQ(specs[0].adr_theta_inc, 0.9);
+  EXPECT_DOUBLE_EQ(specs[1].adr_theta_inc, 0.8);
+  // Only the non-default band extends the cache key.
+  EXPECT_NE(specs[0].key().find("-ti0.9"), std::string::npos);
+  EXPECT_EQ(specs[1].key().find("-ti"), std::string::npos);
+}
+
+TEST(RunSpecKey, StableForDefaultsExtendedByParams) {
+  RunSpec legacy;
+  legacy.app = "jacobi";
+  legacy.size = SizeClass::kSmall;
+  legacy.mode = CohMode::kFullCoh;
+  // The pre-SDK key format: params/theta extensions must not disturb it.
+  EXPECT_EQ(legacy.key(), "jacobi-small-FullCoh-d1-s42-nl1-ne32-cont-fifo-v5");
+  RunSpec with_params = legacy;
+  ASSERT_EQ(with_params.set_workload_ref("jacobi:n=128"), "");
+  EXPECT_EQ(with_params.key(),
+            "jacobi-small-FullCoh-d1-s42-nl1-ne32-cont-fifo-v5-p{n=128}");
+  EXPECT_NE(with_params.key(), legacy.key());
+  // Equivalent refs in different spellings share one cache key.
+  RunSpec reordered = legacy;
+  ASSERT_EQ(reordered.set_workload_ref("jacobi:iters=2,n=128"), "");
+  RunSpec sorted = legacy;
+  ASSERT_EQ(sorted.set_workload_ref("jacobi:n=128,iters=2"), "");
+  EXPECT_EQ(reordered.key(), sorted.key());
+}
+
+TEST(ResultSetTest, RunLookupAndEmitters) {
+  const std::string dir = "test_grid_tmp";
+  std::filesystem::remove_all(dir);
+  RunOptions opts;
+  opts.cache_dir = dir + "/cache";
+  ResultSet rs = Grid()
+                     .workload("histo")
+                     .size(SizeClass::kTiny)
+                     .modes({CohMode::kFullCoh, CohMode::kRaCCD})
+                     .run(opts);
+  ASSERT_EQ(rs.size(), 2u);
+  const SimStats& full = rs.at("histo", CohMode::kFullCoh);
+  const SimStats& raccd = rs.at("histo", CohMode::kRaCCD);
+  EXPECT_GT(full.cycles, 0u);
+  EXPECT_GT(raccd.cycles, 0u);
+  EXPECT_EQ(&rs.at("histo", CohMode::kRaCCD), &rs[1]);
+  EXPECT_EQ(rs.find([](const RunSpec& s) { return s.mode == CohMode::kPT; }), nullptr);
+  ASSERT_NE(rs.find([](const RunSpec& s) { return s.mode == CohMode::kRaCCD; }),
+            nullptr);
+
+  // CSV: header + one row per spec, key first.
+  ASSERT_TRUE(rs.write_csv(dir + "/out.csv"));
+  const std::string csv = slurp(dir + "/out.csv");
+  EXPECT_NE(csv.find("key,app,params"), std::string::npos);
+  EXPECT_NE(csv.find(rs.spec(0).key()), std::string::npos);
+
+  // JSON array with per-spec objects.
+  ASSERT_TRUE(rs.write_json(dir + "/out.json"));
+  const std::string json = slurp(dir + "/out.json");
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"mode\": \"RaCCD\""), std::string::npos);
+  EXPECT_NE(json.find("\"cycles\":"), std::string::npos);
+
+  // BENCH log: cumulative merge preserves foreign keys, overwrites own.
+  const std::string bench = dir + "/BENCH_grid.json";
+  {
+    std::ofstream seed_file(bench);
+    seed_file << "{\n  \"preexisting-key\": {\"cycles\": 1}\n}\n";
+  }
+  ASSERT_TRUE(rs.append_bench_json(bench));
+  ASSERT_TRUE(rs.append_bench_json(bench));  // idempotent re-merge
+  const std::string merged = slurp(bench);
+  EXPECT_NE(merged.find("\"preexisting-key\""), std::string::npos);
+  EXPECT_NE(merged.find(rs.spec(0).key()), std::string::npos);
+  EXPECT_NE(merged.find(rs.spec(1).key()), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultSetTest, AppendConcatenates) {
+  RunOptions opts;
+  opts.cache_dir = "test_grid_append_tmp";
+  std::filesystem::remove_all(opts.cache_dir);
+  ResultSet a = Grid().workload("histo").size(SizeClass::kTiny).run(opts);
+  ResultSet b =
+      Grid().workload("histo").size(SizeClass::kTiny).mode(CohMode::kWbNC).run(opts);
+  a.append(std::move(b));
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.spec(1).mode, CohMode::kWbNC);
+  EXPECT_GT(a.at("histo", CohMode::kWbNC).cycles, 0u);
+  std::filesystem::remove_all(opts.cache_dir);
+}
+
+TEST(BenchOptionsSet, ParsesWorkloadParamOverrides) {
+  const char* argv[] = {"bench", "--set", "width=8", "--set=depth=2,reuse=0.5"};
+  const auto o = BenchOptions::parse(4, const_cast<char**>(argv));
+  EXPECT_EQ(o.params.get_int("width", 0), 8);
+  EXPECT_EQ(o.params.get_int("depth", 0), 2);
+  EXPECT_DOUBLE_EQ(o.params.get_double("reuse", 0), 0.5);
+}
+
+}  // namespace
+}  // namespace raccd
