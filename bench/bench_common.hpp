@@ -55,6 +55,7 @@ inline PaperGrid run_grid(const BenchOptions& opts) {
                                          .set_params(opts.params)
                                          .size(opts.size)
                                          .modes(kAllBackends)
+                                         .topology(opts.topo)  // --topology=...
                                          // Every mode sweeps every ratio — even
                                          // WbNC, whose *dynamic* stats are
                                          // ratio-invariant: the powered (leaking)

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
                            .set_params(opts.params)
                            .size(SizeClass::kTiny)  // quick tour by default
                            .modes(kAllBackends)
+                           .topology(opts.topo)  // --topology=flat|cmesh|numaS[xC]
                            .paper_machine(opts.paper_machine)
                            .run(opts.run);
   if (!rs.append_bench_json("results/BENCH_grid.json")) {

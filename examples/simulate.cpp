@@ -5,6 +5,7 @@
 // Usage:
 //   simulate [workload[:k=v,...]] [--set key=value ...]
 //            [--mode=fullcoh|pt|raccd|wbnc] [--size=tiny|small|paper]
+//            [--topology=flat|cmesh[K]|numaS[xC]] [--alloc=POLICY]
 //            [--dir-ratio=N] [--adr] [--paper] [--sched=fifo|lifo|worksteal]
 //            [--ncrt-entries=N] [--ncrt-latency=N] [--fragmented] [--seed=N]
 //            [--dot=FILE] [--record-trace=FILE] [--list]
@@ -40,6 +41,10 @@ void usage() {
       "  --set key=value           override one workload parameter (repeatable)\n"
       "  --mode=fullcoh|pt|raccd|wbnc   coherence system (default raccd)\n"
       "  --size=tiny|small|paper   problem size baseline (default small)\n"
+      "  --topology=T              machine shape: flat (default), cmesh[K]\n"
+      "                            (K cores/router), numaS (S sockets) or\n"
+      "                            numaSxC (S sockets of C cores each)\n"
+      "  --alloc=cont|frag|firsttouch|interleave   page placement policy\n"
       "  --dir-ratio=N             directory 1:N of LLC lines (default 1)\n"
       "  --adr                     enable Adaptive Directory Reduction\n"
       "  --paper                   paper Table I machine (32 MB LLC)\n"
@@ -129,6 +134,15 @@ int main(int argc, char** argv) {
       spec.ncrt_latency = std::strtoul(a + 15, nullptr, 10);
     } else if (std::strcmp(a, "--fragmented") == 0) {
       spec.alloc = AllocPolicy::kFragmented;
+    } else if (std::strncmp(a, "--topology=", 11) == 0) {
+      spec.topo = a + 11;
+    } else if (std::strncmp(a, "--alloc=", 8) == 0) {
+      const std::string p = a + 8;
+      if (p == "cont" || p == "contiguous") spec.alloc = AllocPolicy::kContiguous;
+      else if (p == "frag" || p == "fragmented") spec.alloc = AllocPolicy::kFragmented;
+      else if (p == "ft" || p == "firsttouch") spec.alloc = AllocPolicy::kFirstTouch;
+      else if (p == "il" || p == "interleave") spec.alloc = AllocPolicy::kInterleave;
+      else { usage(); return 1; }
     } else if (std::strncmp(a, "--seed=", 7) == 0) {
       spec.seed = std::strtoull(a + 7, nullptr, 10);
     } else if (std::strncmp(a, "--dot=", 6) == 0) {
@@ -151,6 +165,15 @@ int main(int argc, char** argv) {
     (void)WorkloadParams::parse(spec.params, own);
     for (const auto& e : own.entries()) params.set(e.key, e.value);
     spec.params = params.canonical();
+  }
+
+  // Validate the topology token before config_for() would abort on it.
+  {
+    SimConfig probe = SimConfig::scaled(spec.mode);
+    if (const std::string terr = probe.apply_topology(spec.topo); !terr.empty()) {
+      std::fprintf(stderr, "--topology=%s: %s\n", spec.topo.c_str(), terr.c_str());
+      return 1;
+    }
   }
 
   AppConfig acfg;

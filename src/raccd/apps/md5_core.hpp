@@ -84,7 +84,8 @@ inline void md5_transform(Md5State& st, const std::uint32_t m[16]) noexcept {
 [[nodiscard]] inline std::array<std::uint8_t, 16> md5_finalize(
     Md5State st, std::uint64_t total_len, std::span<const std::uint8_t> tail) noexcept {
   std::uint8_t pad[128] = {};
-  std::memcpy(pad, tail.data(), tail.size());
+  // An empty span's data() may be null, which memcpy must never see.
+  if (!tail.empty()) std::memcpy(pad, tail.data(), tail.size());
   pad[tail.size()] = 0x80;
   const std::size_t pad_blocks = tail.size() + 9 <= 64 ? 1 : 2;
   const std::uint64_t bit_len = total_len * 8;

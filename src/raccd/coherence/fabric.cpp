@@ -55,6 +55,8 @@ void FabricStats::add(const FabricStats& o) noexcept {
   nc_reads += o.nc_reads;
   nc_writes += o.nc_writes;
   owner_probes += o.owner_probes;
+  dir_reqs_cross_socket += o.dir_reqs_cross_socket;
+  nc_reqs_cross_socket += o.nc_reqs_cross_socket;
   mem_reads += o.mem_reads;
   mem_writes += o.mem_writes;
   e_dir_pj += o.e_dir_pj;
@@ -93,7 +95,8 @@ double BlockClassifier::noncoherent_fraction() const noexcept {
 // ---------------------------------------------------------------------------
 
 Fabric::Fabric(const FabricConfig& cfg, CoherenceChecker* checker)
-    : cfg_(cfg), energy_(cfg.energy), mesh_(cfg.mesh), checker_(checker) {
+    : cfg_(cfg), energy_(cfg.energy), mesh_(cfg.mesh, cfg.topo, cfg.cores),
+      checker_(checker) {
   RACCD_ASSERT(is_pow2(cfg_.cores), "core count must be a power of two");
   RACCD_ASSERT(cfg_.cores <= 64, "sharer vector limited to 64 cores");
   RACCD_ASSERT(mesh_.node_count() == cfg_.cores, "mesh geometry must match core count");
@@ -118,10 +121,15 @@ Fabric::Fabric(const FabricConfig& cfg, CoherenceChecker* checker)
 // ---------------------------------------------------------------------------
 
 Cycle Fabric::msg(std::uint32_t from, std::uint32_t to, MsgClass cls) {
-  const std::uint32_t hops = mesh_.hops(from, to);
+  const Route r = topology().route(from, to);
   const std::uint32_t flits = mesh_.flits_for(cls);
-  stats_.e_noc_pj += static_cast<double>(hops) * flits * energy_.noc_flit_hop_pj();
-  return mesh_.transfer(from, to, cls);
+  // Inter-socket hops burn `socket_hop_energy_scale` times the on-chip
+  // per-flit-hop energy (off-package SerDes links).
+  const double hop_cost =
+      static_cast<double>(r.link_hops) +
+      static_cast<double>(r.socket_hops) * topology().config().socket_hop_energy_scale;
+  stats_.e_noc_pj += hop_cost * flits * energy_.noc_flit_hop_pj();
+  return mesh_.transfer(r, cls);
 }
 
 Cycle Fabric::bank_service(Cycle& busy_until, Cycle arrive, Cycle service) noexcept {
@@ -143,7 +151,7 @@ void Fabric::count_llc_touch(BankId b) {
 
 void Fabric::mark_dir_dirty(BankId b, Cycle now) {
   dir_[b]->occupancy_tick(now);
-  dir_dirty_mask_ |= (1u << b);
+  dir_dirty_mask_ |= (1ULL << b);
 }
 
 std::uint64_t Fabric::mem_version(LineAddr line) const noexcept {
@@ -307,6 +315,7 @@ void Fabric::handle_l1_victim(CoreId c, const L1Line& victim, Cycle now) {
 
 Fabric::MissResult Fabric::coherent_miss(CoreId c, LineAddr line, bool is_write, Cycle now) {
   const BankId b = home_of(line);
+  if (topology().cross_socket(c, b)) ++stats_.dir_reqs_cross_socket;
   MissResult r;
   r.latency += msg(c, b, MsgClass::kRequest);
   // The home node looks up directory and LLC tags in parallel.
@@ -452,6 +461,7 @@ Fabric::MissResult Fabric::coherent_miss(CoreId c, LineAddr line, bool is_write,
 
 Fabric::MissResult Fabric::nc_miss(CoreId c, LineAddr line, bool is_write, Cycle now) {
   const BankId b = home_of(line);
+  if (topology().cross_socket(c, b)) ++stats_.nc_reqs_cross_socket;
   MissResult r;
   r.grant = Mesi::kInvalid;
   r.latency += msg(c, b, MsgClass::kRequest);
@@ -494,6 +504,7 @@ Fabric::MissResult Fabric::nc_miss(CoreId c, LineAddr line, bool is_write, Cycle
 
 Cycle Fabric::upgrade_to_m(CoreId c, LineAddr line, Cycle now) {
   const BankId b = home_of(line);
+  if (topology().cross_socket(c, b)) ++stats_.dir_reqs_cross_socket;
   Cycle lat = msg(c, b, MsgClass::kRequest);
   lat += bank_service(dir_busy_[b], now + lat, cfg_.dir_cycles);
   count_dir_access(b);
@@ -695,6 +706,17 @@ Fabric::ResizeOutcome Fabric::resize_dir_bank(BankId b, std::uint32_t new_active
 
 void Fabric::finalize(Cycle end_time) {
   for (auto& d : dir_) d->occupancy_tick(end_time);
+}
+
+double Fabric::socket_dir_occupancy(std::uint32_t socket) const noexcept {
+  const Topology& topo = topology();
+  std::uint64_t valid = 0, active = 0;
+  for (BankId b = socket * topo.cores_per_socket();
+       b < (socket + 1) * topo.cores_per_socket(); ++b) {
+    valid += dir_[b]->valid_entries();
+    active += dir_[b]->active_entries();
+  }
+  return active == 0 ? 0.0 : static_cast<double>(valid) / static_cast<double>(active);
 }
 
 double Fabric::avg_dir_occupancy(Cycle end_time) const noexcept {

@@ -40,6 +40,9 @@ struct FabricConfig {
   LlcGeometry llc{};
   DirGeometry dir{};
   MeshConfig mesh{};
+  /// Machine shape (flat mesh by default; flat grid dims and link timing are
+  /// reconciled from `mesh` so the two configs cannot drift).
+  TopologyConfig topo{};
   Cycle l1_hit_cycles = 2;
   Cycle llc_cycles = 15;
   Cycle dir_cycles = 15;
@@ -107,10 +110,11 @@ class Fabric {
   /// called from inside access() (the sim loop runs ADR between accesses).
   ResizeOutcome resize_dir_bank(BankId b, std::uint32_t new_active_sets, Cycle now);
 
-  /// Banks whose directory occupancy changed since the last call (bitmask);
-  /// reading clears the mask. The ADR monitor polls this between accesses.
-  [[nodiscard]] std::uint32_t take_dir_occupancy_dirty_mask() noexcept {
-    const std::uint32_t m = dir_dirty_mask_;
+  /// Banks whose directory occupancy changed since the last call (bitmask,
+  /// one bit per bank, up to the 64-core limit); reading clears the mask.
+  /// The ADR monitor polls this between accesses.
+  [[nodiscard]] std::uint64_t take_dir_occupancy_dirty_mask() noexcept {
+    const std::uint64_t m = dir_dirty_mask_;
     dir_dirty_mask_ = 0;
     return m;
   }
@@ -120,9 +124,14 @@ class Fabric {
 
   // -- Accessors ----------------------------------------------------------------
   [[nodiscard]] const FabricConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const Topology& topology() const noexcept { return mesh_.topology(); }
+  /// Home LLC/directory bank of a line — owned by the topology (socket-local
+  /// interleave on NUMA; the legacy `line & (cores-1)` on one socket).
   [[nodiscard]] BankId home_of(LineAddr line) const noexcept {
-    return static_cast<BankId>(line & (cfg_.cores - 1));
+    return topology().home_bank(line);
   }
+  /// Instantaneous valid/active directory occupancy across `socket`'s banks.
+  [[nodiscard]] double socket_dir_occupancy(std::uint32_t socket) const noexcept;
   [[nodiscard]] L1Cache& l1(CoreId c) noexcept { return *l1_[c]; }
   [[nodiscard]] const L1Cache& l1(CoreId c) const noexcept { return *l1_[c]; }
   [[nodiscard]] LlcBank& llc(BankId b) noexcept { return *llc_[b]; }
@@ -194,7 +203,7 @@ class Fabric {
   BlockClassifier classifier_;
   CoherenceChecker* checker_;
   std::uint64_t version_counter_ = 0;
-  std::uint32_t dir_dirty_mask_ = 0;
+  std::uint64_t dir_dirty_mask_ = 0;
 };
 
 }  // namespace raccd

@@ -45,6 +45,11 @@ struct FabricStats {
   std::uint64_t nc_reads = 0, nc_writes = 0;
   std::uint64_t owner_probes = 0;
 
+  // Socket locality (always zero on single-socket topologies): transactions
+  // whose requesting core and home bank sit on different sockets.
+  std::uint64_t dir_reqs_cross_socket = 0;  ///< coherent misses + upgrades
+  std::uint64_t nc_reqs_cross_socket = 0;   ///< directory-bypassing NC requests
+
   // Memory
   std::uint64_t mem_reads = 0, mem_writes = 0;
 

@@ -1,6 +1,7 @@
 #include "raccd/core/adr.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "raccd/common/assert.hpp"
 
@@ -15,7 +16,7 @@ AdrController::AdrController(Fabric& fabric, const AdrConfig& cfg)
 
 void AdrController::poll(Cycle now) {
   if (!cfg_.enabled) return;
-  std::uint32_t mask = fabric_.take_dir_occupancy_dirty_mask();
+  std::uint64_t mask = fabric_.take_dir_occupancy_dirty_mask();
   if (mask == 0) return;
   ++stats_.polls;
   while (mask != 0) {
@@ -45,6 +46,16 @@ void AdrController::consider_bank(BankId b, Cycle now) {
     stats_.entries_displaced += out.displaced;
     stats_.blocked_cycles += out.blocked_cycles;
   } else if (valid <= cfg_.theta_dec * active && bank.active_sets() > min_sets_) {
+    // Multi-socket damper: a bank's working set tracks its socket's pages
+    // (home banks are socket-local), so while the socket as a whole sits at
+    // the grow threshold, powering this bank down would bounce straight
+    // back — skip the shrink. Single-socket machines keep the pure per-bank
+    // hysteresis of the paper.
+    const Topology& topo = fabric_.topology();
+    if (topo.sockets() > 1 &&
+        fabric_.socket_dir_occupancy(topo.socket_of(b)) >= cfg_.theta_inc) {
+      return;
+    }
     const auto out = fabric_.resize_dir_bank(b, bank.active_sets() / 2, now);
     ++stats_.shrinks;
     stats_.entries_moved += out.moved;

@@ -8,6 +8,12 @@
 // occupancy ratio lands between the thresholds). Reconfiguration re-indexes
 // entries, recalls conflict overflow and blocks the bank (cost modelled in
 // Fabric::resize_dir_bank); Gated-Vdd leakage of powered-off sets is zero.
+//
+// On multi-socket topologies the monitor also consults the bank's *socket*
+// occupancy (home banks are socket-local, so per-socket working sets are
+// correlated): a bank never powers down while its socket sits at the grow
+// threshold, damping shrink/grow bounce. Single-socket machines keep the
+// paper's pure per-bank hysteresis.
 #pragma once
 
 #include <cstdint>

@@ -67,13 +67,13 @@ std::string RunSpec::key() const {
       strprintf("%s-%s-%s-d%u%s%s-s%llu-nl%u-ne%u-%s-%s-v%u", app.c_str(),
                 to_string(size), to_string(mode), dir_ratio, adr ? "-adr" : "",
                 paper_machine ? "-paperm" : "", static_cast<unsigned long long>(seed),
-                static_cast<unsigned>(ncrt_latency), ncrt_entries,
-                alloc == AllocPolicy::kContiguous ? "cont" : "frag",
+                static_cast<unsigned>(ncrt_latency), ncrt_entries, to_string(alloc),
                 to_string(sched), kStatsFormatVersion);
   // Only non-default extensions append, so legacy cache keys stay valid.
   if (adr_theta_inc != 0.80 || adr_theta_dec != 0.20) {
     k += strprintf("-ti%g-td%g", adr_theta_inc, adr_theta_dec);
   }
+  if (topo != "flat") k += strprintf("-t%s", topo.c_str());
   if (!params.empty()) {
     k += strprintf("-p{%s}", params.c_str());
     k += file_param_fingerprint(params);
@@ -84,6 +84,10 @@ std::string RunSpec::key() const {
 SimConfig config_for(const RunSpec& spec) {
   SimConfig cfg =
       spec.paper_machine ? SimConfig::paper(spec.mode) : SimConfig::scaled(spec.mode);
+  if (const std::string err = cfg.apply_topology(spec.topo); !err.empty()) {
+    std::fprintf(stderr, "topology '%s': %s\n", spec.topo.c_str(), err.c_str());
+    RACCD_ASSERT(false, "malformed topology token");
+  }
   cfg.set_dir_ratio(spec.dir_ratio);
   cfg.adr.enabled = spec.adr;
   cfg.adr.theta_inc = spec.adr_theta_inc;
@@ -155,7 +159,11 @@ std::vector<SimStats> run_all(const std::vector<RunSpec>& specs, const RunOption
         if (slot >= todo.size()) return;
         const std::size_t i = todo[slot];
         results[i] = run_one(specs[i]);
-        if (opts.use_cache) cache_store(opts.cache_dir, specs[i].key(), results[i]);
+        if (opts.use_cache && !cache_store(opts.cache_dir, specs[i].key(), results[i]) &&
+            opts.verbose) {
+          std::fprintf(stderr, "warning: could not store cache entry '%s' under %s\n",
+                       specs[i].key().c_str(), opts.cache_dir.c_str());
+        }
         const std::size_t d = done.fetch_add(1) + 1;
         if (opts.verbose) {
           std::fprintf(stderr, "[%zu/%zu] %s\n", d, todo.size(), specs[i].key().c_str());
@@ -198,6 +206,7 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strncmp(a, "--size=", 7) == 0) apply_size(a + 7);
+    else if (std::strncmp(a, "--topology=", 11) == 0) o.topo = a + 11;
     else if (std::strcmp(a, "--paper") == 0) o.paper_machine = true;
     else if (std::strcmp(a, "--no-cache") == 0) o.run.use_cache = false;
     else if (std::strcmp(a, "--verbose") == 0) o.run.verbose = true;

@@ -35,6 +35,9 @@ struct RunSpec {
   std::uint32_t ncrt_entries = 32;
   AllocPolicy alloc = AllocPolicy::kContiguous;
   SchedPolicy sched = SchedPolicy::kFifo;
+  /// Machine-shape token (topo/topology.hpp): "flat" (default, legacy cache
+  /// keys unchanged), "cmesh[<K>]", "numa<S>" or "numa<S>x<C>".
+  std::string topo = "flat";
 
   /// "name" or "name:k=v,...": the registry reference this spec runs.
   [[nodiscard]] std::string workload_ref() const;
@@ -65,12 +68,14 @@ struct RunOptions {
                                             const RunOptions& opts = {});
 
 /// Common CLI/env options for the bench binaries: --size=tiny|small|paper,
-/// --paper (machine preset), --no-cache, --threads=N, --verbose, and
-/// repeatable --set key=value workload-parameter passthrough
+/// --paper (machine preset), --topology=T, --no-cache, --threads=N,
+/// --verbose, and repeatable --set key=value workload-parameter passthrough
 /// (env: RACCD_SIZE, RACCD_PAPER, RACCD_NO_CACHE, RACCD_THREADS).
 struct BenchOptions {
   SizeClass size = SizeClass::kSmall;
   bool paper_machine = false;
+  /// Machine-shape token for every run of the binary's grid (default flat).
+  std::string topo = "flat";
   /// --set overrides, applied to every workload of the binary's grid.
   WorkloadParams params;
   RunOptions run{};

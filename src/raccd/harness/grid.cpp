@@ -1,5 +1,7 @@
 #include "raccd/harness/grid.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -29,15 +31,20 @@ namespace {
 [[nodiscard]] std::string metrics_json(const SimStats& s) {
   return strprintf(
       "\"cycles\": %llu, \"dir_accesses\": %llu, \"llc_hit_rate\": %.6f, "
-      "\"noc_flit_hops\": %llu, \"dir_dyn_energy_pj\": %.3f, "
+      "\"noc_flit_hops\": %llu, \"noc_on_socket_flit_hops\": %llu, "
+      "\"noc_cross_socket_flit_hops\": %llu, \"dir_reqs_cross_socket\": %llu, "
+      "\"dir_dyn_energy_pj\": %.3f, "
       "\"llc_dyn_energy_pj\": %.3f, \"noc_dyn_energy_pj\": %.3f, "
       "\"dir_leak_energy_pj\": %.3f, \"nc_block_fraction\": %.6f, "
       "\"avg_dir_occupancy\": %.6f, \"tasks\": %llu",
       static_cast<unsigned long long>(s.cycles),
       static_cast<unsigned long long>(s.fabric.dir_accesses), s.llc_hit_ratio(),
-      static_cast<unsigned long long>(s.noc.total_flit_hops()), s.dir_dyn_energy_pj,
-      s.llc_dyn_energy_pj, s.noc_dyn_energy_pj, s.dir_leak_energy_pj,
-      s.noncoherent_block_fraction, s.avg_dir_occupancy,
+      static_cast<unsigned long long>(s.noc.total_flit_hops()),
+      static_cast<unsigned long long>(s.noc.on_socket_flit_hops()),
+      static_cast<unsigned long long>(s.noc.cross_socket.flit_hops),
+      static_cast<unsigned long long>(s.fabric.dir_reqs_cross_socket),
+      s.dir_dyn_energy_pj, s.llc_dyn_energy_pj, s.noc_dyn_energy_pj,
+      s.dir_leak_energy_pj, s.noncoherent_block_fraction, s.avg_dir_occupancy,
       static_cast<unsigned long long>(s.tasks));
 }
 
@@ -48,9 +55,11 @@ namespace {
   }
   // Write-to-temp + rename: concurrent bench binaries (the fig grid runs
   // them side by side) never see a truncated file. Lost-update races merely
-  // drop the loser's merge, which the next run of that binary repairs.
+  // drop the loser's merge, which the next run of that binary repairs. The
+  // pid keeps tmp names distinct across processes (thread-id hashes alone
+  // can collide).
   const std::string tmp =
-      strprintf("%s.tmp.%llu", path.c_str(),
+      strprintf("%s.tmp.%ld.%llu", path.c_str(), static_cast<long>(::getpid()),
                 static_cast<unsigned long long>(
                     std::hash<std::thread::id>{}(std::this_thread::get_id())));
   {
@@ -91,9 +100,33 @@ const SimStats& ResultSet::at(std::string_view workload_ref, CohMode mode,
       return results_[i];
     }
   }
+  // Not found: make grid-indexing bugs diagnosable — echo the requested key
+  // and the nearest available spec keys before aborting.
   std::fprintf(stderr, "ResultSet::at: no result for %.*s/%s/1:%u%s\n",
                static_cast<int>(workload_ref.size()), workload_ref.data(),
                to_string(mode), dir_ratio, adr ? "/adr" : "");
+  if (specs_.empty()) {
+    std::fprintf(stderr, "  (the result set is empty)\n");
+  } else {
+    std::vector<std::size_t> order(specs_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    const auto score = [&](const RunSpec& s) {
+      int v = 0;
+      if (s.app == canonical || s.workload_ref() == canonical) v += 4;
+      if (s.mode == mode) v += 2;
+      if (s.dir_ratio == dir_ratio) v += 1;
+      if (s.adr == adr) v += 1;
+      return v;
+    };
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return score(specs_[a]) > score(specs_[b]);
+    });
+    const std::size_t show = std::min<std::size_t>(5, order.size());
+    std::fprintf(stderr, "  nearest of %zu available specs:\n", specs_.size());
+    for (std::size_t i = 0; i < show; ++i) {
+      std::fprintf(stderr, "    %s\n", specs_[order[i]].key().c_str());
+    }
+  }
   RACCD_ASSERT(false, "spec not present in result set");
   return results_.front();
 }
@@ -108,21 +141,23 @@ ResultSet& ResultSet::append(ResultSet other) {
 
 bool ResultSet::write_csv(const std::string& path) const {
   std::string text =
-      "key,app,params,size,mode,dir_ratio,adr,seed,sched,cycles,dir_accesses,"
-      "llc_hit_rate,noc_flit_hops,dir_dyn_energy_pj,nc_block_fraction,"
-      "avg_dir_occupancy,tasks\n";
+      "key,app,params,size,mode,dir_ratio,adr,seed,sched,topo,cycles,dir_accesses,"
+      "llc_hit_rate,noc_flit_hops,cross_socket_flit_hops,dir_dyn_energy_pj,"
+      "nc_block_fraction,avg_dir_occupancy,tasks\n";
   for (std::size_t i = 0; i < specs_.size(); ++i) {
     const RunSpec& sp = specs_[i];
     const SimStats& st = results_[i];
     // key and params can contain commas (multi-knob overrides) — quote them.
     text += strprintf(
-        "\"%s\",%s,\"%s\",%s,%s,%u,%d,%llu,%s,%llu,%llu,%.6f,%llu,%.3f,%.6f,%.6f,%llu\n",
+        "\"%s\",%s,\"%s\",%s,%s,%u,%d,%llu,%s,%s,%llu,%llu,%.6f,%llu,%llu,%.3f,%.6f,"
+        "%.6f,%llu\n",
         sp.key().c_str(), sp.app.c_str(), sp.params.c_str(), to_string(sp.size),
         to_string(sp.mode), sp.dir_ratio, sp.adr ? 1 : 0,
-        static_cast<unsigned long long>(sp.seed), to_string(sp.sched),
+        static_cast<unsigned long long>(sp.seed), to_string(sp.sched), sp.topo.c_str(),
         static_cast<unsigned long long>(st.cycles),
         static_cast<unsigned long long>(st.fabric.dir_accesses), st.llc_hit_ratio(),
         static_cast<unsigned long long>(st.noc.total_flit_hops()),
+        static_cast<unsigned long long>(st.noc.cross_socket.flit_hops),
         st.dir_dyn_energy_pj, st.noncoherent_block_fraction, st.avg_dir_occupancy,
         static_cast<unsigned long long>(st.tasks));
   }
@@ -136,12 +171,13 @@ bool ResultSet::write_json(const std::string& path) const {
     text += strprintf(
         "  {\"key\": \"%s\", \"app\": \"%s\", \"params\": \"%s\", "
         "\"size\": \"%s\", \"mode\": \"%s\", \"dir_ratio\": %u, \"adr\": %s, "
-        "\"seed\": %llu, \"sched\": \"%s\", %s}%s\n",
+        "\"seed\": %llu, \"sched\": \"%s\", \"topo\": \"%s\", %s}%s\n",
         json_escape(sp.key()).c_str(), json_escape(sp.app).c_str(),
         json_escape(sp.params).c_str(), to_string(sp.size), to_string(sp.mode),
         sp.dir_ratio, sp.adr ? "true" : "false",
         static_cast<unsigned long long>(sp.seed), to_string(sp.sched),
-        metrics_json(results_[i]).c_str(), i + 1 < specs_.size() ? "," : "");
+        json_escape(sp.topo).c_str(), metrics_json(results_[i]).c_str(),
+        i + 1 < specs_.size() ? "," : "");
   }
   text += "]\n";
   return write_text_file(path, text);
@@ -258,6 +294,11 @@ Grid& Grid::scheds(std::vector<SchedPolicy> v) {
   scheds_ = std::move(v);
   return *this;
 }
+Grid& Grid::topology(std::string t) { return topologies({std::move(t)}); }
+Grid& Grid::topologies(std::vector<std::string> v) {
+  topologies_ = std::move(v);
+  return *this;
+}
 Grid& Grid::paper_machine(bool on) {
   paper_machine_ = on;
   return *this;
@@ -317,19 +358,22 @@ std::vector<RunSpec> Grid::specs() const {
                   for (const std::uint32_t entries : ncrt_entries_) {
                     for (const AllocPolicy alloc : allocs_) {
                       for (const SchedPolicy sched : scheds_) {
-                        RunSpec s = base;
-                        s.size = size;
-                        s.mode = mode;
-                        s.dir_ratio = ratio;
-                        s.adr = adr;
-                        s.adr_theta_inc = ti;
-                        s.adr_theta_dec = td;
-                        s.seed = seed;
-                        s.ncrt_latency = lat;
-                        s.ncrt_entries = entries;
-                        s.alloc = alloc;
-                        s.sched = sched;
-                        out.push_back(std::move(s));
+                        for (const std::string& topo : topologies_) {
+                          RunSpec s = base;
+                          s.size = size;
+                          s.mode = mode;
+                          s.dir_ratio = ratio;
+                          s.adr = adr;
+                          s.adr_theta_inc = ti;
+                          s.adr_theta_dec = td;
+                          s.seed = seed;
+                          s.ncrt_latency = lat;
+                          s.ncrt_entries = entries;
+                          s.alloc = alloc;
+                          s.sched = sched;
+                          s.topo = topo;
+                          out.push_back(std::move(s));
+                        }
                       }
                     }
                   }

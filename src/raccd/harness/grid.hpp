@@ -2,11 +2,12 @@
 //
 // Grid is a fluent builder over every RunSpec axis: workloads (registry
 // references like "synthetic:shape=pipeline,width=64"), problem sizes,
-// coherence modes, directory ratios, ADR on/off (and thresholds), seeds and
-// the overhead/ablation knobs. specs() expands the cartesian product in a
-// fixed nesting order — workloads, sizes, modes, dir_ratios, adr, adr_bands,
-// seeds, ncrt_latencies, ncrt_entries, allocs, scheds, outermost to
-// innermost — so axis-major index arithmetic on the results stays valid.
+// coherence modes, directory ratios, machine topologies, ADR on/off (and
+// thresholds), seeds and the overhead/ablation knobs. specs() expands the
+// cartesian product in a fixed nesting order — workloads, sizes, modes,
+// dir_ratios, adr, adr_bands, seeds, ncrt_latencies, ncrt_entries, allocs,
+// scheds, topologies, outermost to innermost — so axis-major index
+// arithmetic on the results stays valid.
 //
 // ResultSet pairs the expanded specs with their stats (run through the
 // cache-aware parallel executor) and adds spec-addressed lookup plus
@@ -107,6 +108,9 @@ class Grid {
   Grid& allocs(std::vector<AllocPolicy> v);
   Grid& sched(SchedPolicy p);
   Grid& scheds(std::vector<SchedPolicy> v);
+  /// Machine-shape tokens ("flat", "cmesh[<K>]", "numa<S>[x<C>]").
+  Grid& topology(std::string t);
+  Grid& topologies(std::vector<std::string> v);
   Grid& paper_machine(bool on);
 
   /// Expand to the cartesian product (nesting order documented above).
@@ -127,6 +131,7 @@ class Grid {
   std::vector<std::uint32_t> ncrt_entries_{32};
   std::vector<AllocPolicy> allocs_{AllocPolicy::kContiguous};
   std::vector<SchedPolicy> scheds_{SchedPolicy::kFifo};
+  std::vector<std::string> topologies_{"flat"};
   bool paper_machine_ = false;
 };
 

@@ -1,10 +1,14 @@
 #include "raccd/harness/sweep_cache.hpp"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <sstream>
+#include <thread>
 
 #include "raccd/common/format.hpp"
 
@@ -75,6 +79,8 @@ void pack(const SimStats& s, Fields& f) {
   f.put_u("nc_reads", fb.nc_reads);
   f.put_u("nc_writes", fb.nc_writes);
   f.put_u("owner_probes", fb.owner_probes);
+  f.put_u("dir_reqs_cross_socket", fb.dir_reqs_cross_socket);
+  f.put_u("nc_reqs_cross_socket", fb.nc_reqs_cross_socket);
   f.put_u("mem_reads", fb.mem_reads);
   f.put_u("mem_writes", fb.mem_writes);
   f.put_d("e_dir_pj", fb.e_dir_pj);
@@ -88,6 +94,10 @@ void pack(const SimStats& s, Fields& f) {
     f.put_u(strprintf("noc%zu_flits", c), pc.flits);
     f.put_u(strprintf("noc%zu_flit_hops", c), pc.flit_hops);
   }
+  f.put_u("noc_cross_messages", s.noc.cross_socket.messages);
+  f.put_u("noc_cross_flits", s.noc.cross_socket.flits);
+  f.put_u("noc_cross_flit_hops", s.noc.cross_socket.flit_hops);
+  f.put_u("noc_socket_link_flits", s.noc.socket_link_flits);
   f.put_u("ncrt_lookups", s.ncrt.lookups);
   f.put_u("ncrt_hits", s.ncrt.hits);
   f.put_u("ncrt_inserts", s.ncrt.inserts);
@@ -175,6 +185,8 @@ void unpack(const Fields& f, SimStats& s) {
   fb.nc_reads = f.get_u("nc_reads");
   fb.nc_writes = f.get_u("nc_writes");
   fb.owner_probes = f.get_u("owner_probes");
+  fb.dir_reqs_cross_socket = f.get_u("dir_reqs_cross_socket");
+  fb.nc_reqs_cross_socket = f.get_u("nc_reqs_cross_socket");
   fb.mem_reads = f.get_u("mem_reads");
   fb.mem_writes = f.get_u("mem_writes");
   fb.e_dir_pj = f.get_d("e_dir_pj");
@@ -188,6 +200,10 @@ void unpack(const Fields& f, SimStats& s) {
     pc.flits = f.get_u(strprintf("noc%zu_flits", c));
     pc.flit_hops = f.get_u(strprintf("noc%zu_flit_hops", c));
   }
+  s.noc.cross_socket.messages = f.get_u("noc_cross_messages");
+  s.noc.cross_socket.flits = f.get_u("noc_cross_flits");
+  s.noc.cross_socket.flit_hops = f.get_u("noc_cross_flit_hops");
+  s.noc.socket_link_flits = f.get_u("noc_socket_link_flits");
   s.ncrt.lookups = f.get_u("ncrt_lookups");
   s.ncrt.hits = f.get_u("ncrt_hits");
   s.ncrt.inserts = f.get_u("ncrt_inserts");
@@ -289,13 +305,35 @@ std::optional<SimStats> cache_load(const std::string& dir, const std::string& ke
   return stats_from_text(text);
 }
 
-void cache_store(const std::string& dir, const std::string& key, const SimStats& s) {
+bool cache_store(const std::string& dir, const std::string& key, const SimStats& s) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
+  if (ec) return false;
+  if (!std::filesystem::is_directory(dir, ec)) return false;
+  // Write-to-temp + rename so concurrent executor threads (or bench
+  // binaries sharing one cache) never observe a truncated entry. The tmp
+  // name needs the pid: thread-id hashes can collide across processes.
   const std::filesystem::path path = std::filesystem::path(dir) / key_filename(key);
-  std::ofstream out(path);
-  if (!out) return;
-  out << stats_to_text(s);
+  const std::filesystem::path tmp =
+      path.string() + strprintf(".tmp.%ld.%llu", static_cast<long>(::getpid()),
+                                static_cast<unsigned long long>(
+                                    std::hash<std::thread::id>{}(std::this_thread::get_id())));
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << stats_to_text(s);
+    if (!out) {
+      out.close();
+      std::filesystem::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
 }
 
 }  // namespace raccd

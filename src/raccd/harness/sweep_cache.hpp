@@ -22,7 +22,9 @@ inline constexpr unsigned kStatsFormatVersion = 5;
 /// Load a cached result for `key` from `dir` (nullopt on miss/corruption).
 [[nodiscard]] std::optional<SimStats> cache_load(const std::string& dir,
                                                  const std::string& key);
-/// Store a result (best-effort; failures are silent).
-void cache_store(const std::string& dir, const std::string& key, const SimStats& s);
+/// Store a result under `dir` (nested directories are created as needed).
+/// Returns false when the directory cannot be created or the write fails —
+/// callers decide whether to report (run_all does, under --verbose).
+bool cache_store(const std::string& dir, const std::string& key, const SimStats& s);
 
 }  // namespace raccd

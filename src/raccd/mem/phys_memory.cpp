@@ -6,9 +6,13 @@
 
 namespace raccd {
 
-PhysMemory::PhysMemory(std::uint64_t frames, AllocPolicy policy, std::uint64_t seed)
-    : frames_(frames), policy_(policy), rng_(seed) {
+PhysMemory::PhysMemory(std::uint64_t frames, AllocPolicy policy, std::uint64_t seed,
+                       std::uint32_t sockets)
+    : frames_(frames), policy_(policy), sockets_(sockets), rng_(seed) {
   RACCD_ASSERT(frames > 0, "physical memory needs at least one frame");
+  RACCD_ASSERT(sockets_ > 0 && frames_ >= sockets_,
+               "physical memory needs at least one frame per socket");
+  socket_next_.assign(sockets_, 0);
   if (policy_ == AllocPolicy::kFragmented) {
     shuffled_.resize(frames_);
     std::iota(shuffled_.begin(), shuffled_.end(), PageNum{0});
@@ -20,10 +24,39 @@ PhysMemory::PhysMemory(std::uint64_t frames, AllocPolicy policy, std::uint64_t s
   }
 }
 
+std::uint32_t PhysMemory::socket_of_frame(PageNum frame) const noexcept {
+  if (sockets_ == 1) return 0;
+  const std::uint64_t s = frame / frames_per_socket();
+  return static_cast<std::uint32_t>(s < sockets_ ? s : sockets_ - 1);
+}
+
 PageNum PhysMemory::alloc_frame() {
+  if (policy_ == AllocPolicy::kInterleave && sockets_ > 1) {
+    const std::uint32_t s = rr_socket_;
+    rr_socket_ = (rr_socket_ + 1) % sockets_;
+    return alloc_frame_on(s);
+  }
   RACCD_ASSERT(next_ < frames_, "simulated physical memory exhausted");
+  ++allocated_;
   const std::uint64_t idx = next_++;
-  return policy_ == AllocPolicy::kContiguous ? PageNum{idx} : shuffled_[idx];
+  return policy_ == AllocPolicy::kFragmented ? shuffled_[idx] : PageNum{idx};
+}
+
+PageNum PhysMemory::alloc_frame_on(std::uint32_t socket) {
+  RACCD_ASSERT(socket < sockets_, "socket out of range");
+  RACCD_ASSERT(allocated_ < frames_, "simulated physical memory exhausted");
+  const std::uint64_t fps = frames_per_socket();
+  for (std::uint32_t probe = 0; probe < sockets_; ++probe) {
+    const std::uint32_t s = (socket + probe) % sockets_;
+    // The last socket's range absorbs the division remainder.
+    const std::uint64_t range = s + 1 == sockets_ ? frames_ - fps * (sockets_ - 1) : fps;
+    if (socket_next_[s] < range) {
+      ++allocated_;
+      return PageNum{s * fps + socket_next_[s]++};
+    }
+  }
+  RACCD_ASSERT(false, "simulated physical memory exhausted");
+  return PageNum{0};
 }
 
 }  // namespace raccd

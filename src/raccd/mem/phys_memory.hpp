@@ -5,6 +5,17 @@
 // range collapsing is highly effective. We model that as the default
 // Contiguous policy and provide a Fragmented policy (random frame order) to
 // stress NCRT capacity in tests and ablations.
+//
+// Multi-socket topologies (topo/topology.hpp) divide the frame space into
+// per-socket contiguous ranges (one memory controller's range per socket)
+// and add two socket-aware policies:
+//  * FirstTouch  — a page's frame comes from the socket of the core that
+//    first touches it (mapping is deferred to that touch; Linux default).
+//  * Interleave  — successive pages round-robin across the sockets'
+//    ranges (numactl --interleave).
+// Contiguous on a multi-socket machine fills socket 0's range first — the
+// NUMA-oblivious worst case every cross-socket measurement is judged
+// against.
 #pragma once
 
 #include <cstdint>
@@ -18,25 +29,58 @@ namespace raccd {
 enum class AllocPolicy {
   kContiguous,  ///< frames handed out in increasing order (Linux-like for our workloads)
   kFragmented,  ///< frames handed out in pseudo-random order
+  kFirstTouch,  ///< frame from the socket of the first-touching core (lazy mapping)
+  kInterleave,  ///< successive pages round-robin across the sockets
 };
+
+[[nodiscard]] constexpr const char* to_string(AllocPolicy p) noexcept {
+  switch (p) {
+    case AllocPolicy::kContiguous: return "cont";
+    case AllocPolicy::kFragmented: return "frag";
+    case AllocPolicy::kFirstTouch: return "ft";
+    case AllocPolicy::kInterleave: return "il";
+  }
+  return "?";
+}
 
 class PhysMemory {
  public:
-  /// @param frames total number of physical page frames available.
-  PhysMemory(std::uint64_t frames, AllocPolicy policy, std::uint64_t seed = 0x9acc5eedULL);
+  /// @param frames  total number of physical page frames available.
+  /// @param sockets memory sockets; frames split into per-socket contiguous
+  ///                ranges (must match the machine topology's socket count).
+  PhysMemory(std::uint64_t frames, AllocPolicy policy, std::uint64_t seed = 0x9acc5eedULL,
+             std::uint32_t sockets = 1);
 
-  /// Allocate one physical frame. Asserts if physical memory is exhausted.
+  /// Allocate one physical frame with no placement preference (Contiguous/
+  /// Fragmented order; Interleave round-robins sockets). Asserts if physical
+  /// memory is exhausted.
   [[nodiscard]] PageNum alloc_frame();
 
+  /// Allocate the next free frame owned by `socket` (FirstTouch). Falls back
+  /// to the nearest socket with free frames when `socket`'s range is full.
+  [[nodiscard]] PageNum alloc_frame_on(std::uint32_t socket);
+
+  /// Memory socket owning `frame` (per-socket contiguous ranges).
+  [[nodiscard]] std::uint32_t socket_of_frame(PageNum frame) const noexcept;
+
   [[nodiscard]] std::uint64_t frames_total() const noexcept { return frames_; }
-  [[nodiscard]] std::uint64_t frames_allocated() const noexcept { return next_; }
+  [[nodiscard]] std::uint64_t frames_allocated() const noexcept { return allocated_; }
   [[nodiscard]] AllocPolicy policy() const noexcept { return policy_; }
+  [[nodiscard]] std::uint32_t sockets() const noexcept { return sockets_; }
 
  private:
+  [[nodiscard]] std::uint64_t frames_per_socket() const noexcept {
+    return frames_ / sockets_;
+  }
+
   std::uint64_t frames_;
   AllocPolicy policy_;
-  std::uint64_t next_ = 0;         // frames handed out so far
-  std::vector<PageNum> shuffled_;  // lazily built permutation (Fragmented only)
+  std::uint32_t sockets_;
+  std::uint64_t allocated_ = 0;            // frames handed out so far
+  std::uint64_t next_ = 0;                 // global cursor (Contiguous/Fragmented)
+  std::uint32_t rr_socket_ = 0;            // Interleave cursor
+  std::vector<std::uint64_t> socket_next_; // per-socket cursor into its range
+  std::vector<PageNum> shuffled_;          // lazily built permutation (Fragmented only)
   Rng rng_;
 };
 

@@ -6,8 +6,9 @@
 
 namespace raccd {
 
-SimMemory::SimMemory(std::uint64_t phys_frames, AllocPolicy policy, std::uint64_t seed)
-    : phys_(phys_frames, policy, seed) {}
+SimMemory::SimMemory(std::uint64_t phys_frames, AllocPolicy policy, std::uint64_t seed,
+                     std::uint32_t sockets)
+    : phys_(phys_frames, policy, seed, sockets) {}
 
 VAddr SimMemory::alloc(std::uint64_t bytes, std::uint64_t align, std::string label) {
   RACCD_ASSERT(bytes > 0, "zero-byte allocation");
@@ -17,9 +18,13 @@ VAddr SimMemory::alloc(std::uint64_t bytes, std::uint64_t align, std::string lab
   ensure_backing(next_);
   // Map every page of the allocation eagerly (the paper's workloads touch
   // their whole footprint; eager mapping also keeps translation latency out
-  // of the first-touch timing path, which gem5 full-system pays at warmup).
-  for (PageNum vp = page_of(base); vp <= page_of(next_ - 1); ++vp) {
-    if (!page_table_.mapped(vp)) page_table_.map(vp, phys_.alloc_frame());
+  // of the timing path, which gem5 full-system pays at warmup) — except
+  // under first-touch placement, where the machine maps each page on its
+  // first timed access so the toucher's socket decides the frame.
+  if (!lazy_mapping()) {
+    for (PageNum vp = page_of(base); vp <= page_of(next_ - 1); ++vp) {
+      if (!page_table_.mapped(vp)) page_table_.map(vp, phys_.alloc_frame());
+    }
   }
   allocations_.push_back(Allocation{std::move(label), base, bytes});
   return base;

@@ -26,7 +26,7 @@ class SimMemory {
   static constexpr VAddr kArenaBase = kPageBytes;
 
   SimMemory(std::uint64_t phys_frames, AllocPolicy policy,
-            std::uint64_t seed = 0x9acc5eedULL);
+            std::uint64_t seed = 0x9acc5eedULL, std::uint32_t sockets = 1);
 
   /// Allocate `bytes` with the given alignment (>= 8, power of two). Returns
   /// the simulated virtual address. The backing bytes are zero-initialized.
@@ -55,6 +55,17 @@ class SimMemory {
   void copy_in(VAddr va, const void* src, std::uint64_t n);
 
   // -- Address-space queries --------------------------------------------------
+  /// First-touch allocation defers physical placement: alloc() skips the
+  /// eager page mapping and the machine maps each page on its first timed
+  /// access via map_on_touch().
+  [[nodiscard]] bool lazy_mapping() const noexcept {
+    return phys_.policy() == AllocPolicy::kFirstTouch;
+  }
+  /// Map `vpage` to a frame on `socket` if it is not mapped yet (first
+  /// touch wins; later touches from other sockets are no-ops).
+  void map_on_touch(PageNum vpage, std::uint32_t socket) {
+    if (!page_table_.mapped(vpage)) page_table_.map(vpage, phys_.alloc_frame_on(socket));
+  }
   [[nodiscard]] const PageTable& page_table() const noexcept { return page_table_; }
   [[nodiscard]] PAddr translate(VAddr va) const { return page_table_.translate(va); }
   [[nodiscard]] std::uint64_t bytes_allocated() const noexcept { return next_ - kArenaBase; }

@@ -1,10 +1,35 @@
 #include "raccd/noc/mesh.hpp"
 
-#include <cstdlib>
-
 #include "raccd/common/assert.hpp"
 
 namespace raccd {
+namespace {
+
+[[nodiscard]] TopologyConfig flat_topo_from(const MeshConfig& cfg) {
+  TopologyConfig t;
+  t.kind = TopologyKind::kFlatMesh;
+  t.sockets = 1;
+  t.width = cfg.width;
+  t.height = cfg.height;
+  t.link_cycles = cfg.link_cycles;
+  t.router_cycles = cfg.router_cycles;
+  return t;
+}
+
+/// Geometry/timing authority is the topology; mirror the mesh's link timing
+/// into it (and, for flat meshes, the grid dims) so one config cannot drift
+/// from the other.
+[[nodiscard]] TopologyConfig reconciled(const MeshConfig& cfg, TopologyConfig t) {
+  t.link_cycles = cfg.link_cycles;
+  t.router_cycles = cfg.router_cycles;
+  if (t.kind == TopologyKind::kFlatMesh) {
+    t.width = cfg.width;
+    t.height = cfg.height;
+  }
+  return t;
+}
+
+}  // namespace
 
 std::uint64_t NocStats::total_messages() const noexcept {
   std::uint64_t sum = 0;
@@ -27,24 +52,21 @@ void NocStats::add(const NocStats& o) noexcept {
     per_class[i].flits += o.per_class[i].flits;
     per_class[i].flit_hops += o.per_class[i].flit_hops;
   }
+  cross_socket.messages += o.cross_socket.messages;
+  cross_socket.flits += o.cross_socket.flits;
+  cross_socket.flit_hops += o.cross_socket.flit_hops;
+  socket_link_flits += o.socket_link_flits;
 }
 
-Mesh::Mesh(const MeshConfig& cfg) : cfg_(cfg) {
+Mesh::Mesh(const MeshConfig& cfg)
+    : cfg_(cfg), topo_(flat_topo_from(cfg), cfg.width * cfg.height) {
   RACCD_ASSERT(cfg_.width > 0 && cfg_.height > 0, "empty mesh");
   RACCD_ASSERT(cfg_.flit_bytes > 0, "flit size must be positive");
-  const std::uint32_t w = cfg_.width;
-  const std::uint32_t h = cfg_.height;
-  corners_ = {0, w - 1, (h - 1) * w, h * w - 1};
 }
 
-std::uint32_t Mesh::hops(std::uint32_t from, std::uint32_t to) const noexcept {
-  const auto xy = [this](std::uint32_t n) {
-    return std::pair<int, int>{static_cast<int>(n % cfg_.width),
-                               static_cast<int>(n / cfg_.width)};
-  };
-  const auto [fx, fy] = xy(from);
-  const auto [tx, ty] = xy(to);
-  return static_cast<std::uint32_t>(std::abs(fx - tx) + std::abs(fy - ty));
+Mesh::Mesh(const MeshConfig& cfg, const TopologyConfig& topo, std::uint32_t cores)
+    : cfg_(cfg), topo_(reconciled(cfg, topo), cores) {
+  RACCD_ASSERT(cfg_.flit_bytes > 0, "flit size must be positive");
 }
 
 std::uint32_t Mesh::flits_for(MsgClass cls) const noexcept {
@@ -55,34 +77,26 @@ std::uint32_t Mesh::flits_for(MsgClass cls) const noexcept {
 }
 
 Cycle Mesh::latency(std::uint32_t from, std::uint32_t to, MsgClass cls) const noexcept {
-  const std::uint32_t h = hops(from, to);
-  if (h == 0) return 0;  // same tile: bank is local, no network traversal
-  const Cycle per_hop = cfg_.link_cycles + cfg_.router_cycles;
+  const Route r = topo_.route(from, to);
+  if (r.total_hops() == 0) return 0;  // same tile: bank is local, no network traversal
   // Wormhole pipeline: head flit pays the route, body flits stream behind.
-  return per_hop * h + (flits_for(cls) - 1);
+  return r.latency + (flits_for(cls) - 1);
 }
 
-Cycle Mesh::transfer(std::uint32_t from, std::uint32_t to, MsgClass cls) noexcept {
-  const std::uint32_t h = hops(from, to);
+Cycle Mesh::transfer(const Route& r, MsgClass cls) noexcept {
   const std::uint32_t flits = flits_for(cls);
   auto& pc = stats_.per_class[static_cast<std::size_t>(cls)];
   ++pc.messages;
   pc.flits += flits;
-  pc.flit_hops += static_cast<std::uint64_t>(flits) * h;
-  return latency(from, to, cls);
-}
-
-std::uint32_t Mesh::nearest_memory_controller(std::uint32_t node) const noexcept {
-  std::uint32_t best = corners_[0];
-  std::uint32_t best_hops = hops(node, best);
-  for (std::size_t i = 1; i < corners_.size(); ++i) {
-    const std::uint32_t h = hops(node, corners_[i]);
-    if (h < best_hops) {
-      best_hops = h;
-      best = corners_[i];
-    }
+  pc.flit_hops += static_cast<std::uint64_t>(flits) * r.total_hops();
+  if (r.socket_hops > 0) {
+    ++stats_.cross_socket.messages;
+    stats_.cross_socket.flits += flits;
+    stats_.cross_socket.flit_hops += static_cast<std::uint64_t>(flits) * r.total_hops();
+    stats_.socket_link_flits += static_cast<std::uint64_t>(flits) * r.socket_hops;
   }
-  return best;
+  if (r.total_hops() == 0) return 0;
+  return r.latency + (flits - 1);
 }
 
 }  // namespace raccd

@@ -1,9 +1,12 @@
-// 2D mesh Network-on-Chip model (paper Table I: 4x4 mesh, 1-cycle links,
-// 1-cycle routers, XY dimension-ordered routing).
+// Network-on-Chip model (paper Table I: 4x4 mesh, 1-cycle links, 1-cycle
+// routers, XY dimension-ordered routing), generalized over a Topology
+// (topo/topology.hpp): flat mesh (the default), concentrated mesh, or a
+// multi-socket NUMA machine with distinct inter-socket links.
 //
 // The atomic-transaction protocol engine asks the mesh for the latency of
 // each message leg and the mesh accounts traffic (messages, flits and
-// flit-hops) per message class. Flit-hops (flits x links traversed) is the
+// flit-hops) per message class, with an on-socket vs cross-socket breakdown.
+// Flit-hops (flits x links traversed, inter-socket links included) is the
 // figure-of-merit reported as "NoC traffic" (paper Fig. 7c) and the basis of
 // NoC dynamic energy.
 #pragma once
@@ -12,6 +15,7 @@
 #include <cstdint>
 
 #include "raccd/common/types.hpp"
+#include "raccd/topo/topology.hpp"
 
 namespace raccd {
 
@@ -53,32 +57,55 @@ struct NocStats {
     std::uint64_t flit_hops = 0;
   };
   std::array<PerClass, kMsgClassCount> per_class{};
+  /// Subset of the above that traversed an inter-socket link (all zero on
+  /// single-socket topologies).
+  PerClass cross_socket{};
+  /// Flits carried over the inter-socket links themselves (the off-package
+  /// bandwidth demand, as opposed to cross-socket messages' total hops).
+  std::uint64_t socket_link_flits = 0;
 
   [[nodiscard]] std::uint64_t total_messages() const noexcept;
   [[nodiscard]] std::uint64_t total_flits() const noexcept;
   [[nodiscard]] std::uint64_t total_flit_hops() const noexcept;
+  [[nodiscard]] std::uint64_t on_socket_flit_hops() const noexcept {
+    return total_flit_hops() - cross_socket.flit_hops;
+  }
   void add(const NocStats& o) noexcept;
 };
 
 class Mesh {
  public:
+  /// Legacy single-socket construction: a flat mesh of cfg.width x cfg.height.
   explicit Mesh(const MeshConfig& cfg);
+  /// Topology-driven construction (cfg supplies flit sizing; geometry and
+  /// link timing come from `topo`).
+  Mesh(const MeshConfig& cfg, const TopologyConfig& topo, std::uint32_t cores);
 
-  [[nodiscard]] std::uint32_t node_count() const noexcept { return cfg_.width * cfg_.height; }
+  [[nodiscard]] std::uint32_t node_count() const noexcept { return topo_.cores(); }
+  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
 
-  /// Manhattan hop count between two nodes under XY routing.
-  [[nodiscard]] std::uint32_t hops(std::uint32_t from, std::uint32_t to) const noexcept;
+  /// Links traversed between two nodes (inter-socket links included).
+  [[nodiscard]] std::uint32_t hops(std::uint32_t from, std::uint32_t to) const noexcept {
+    return topo_.route(from, to).total_hops();
+  }
 
-  /// Head-flit latency of a message: per-hop link+router delay plus
+  /// Head-flit latency of a message: the topology's route latency plus
   /// serialization of the remaining flits at the destination.
   [[nodiscard]] Cycle latency(std::uint32_t from, std::uint32_t to, MsgClass cls) const noexcept;
 
   /// Record a message in the stats and return its latency.
-  Cycle transfer(std::uint32_t from, std::uint32_t to, MsgClass cls) noexcept;
+  Cycle transfer(std::uint32_t from, std::uint32_t to, MsgClass cls) noexcept {
+    return transfer(topo_.route(from, to), cls);
+  }
+  /// Same, for a route the caller already resolved (saves the recompute on
+  /// the fabric's hot path).
+  Cycle transfer(const Route& r, MsgClass cls) noexcept;
 
   /// Node id of the memory controller closest to `node` (controllers sit at
-  /// the four mesh corners, as in common tiled-CMP floorplans).
-  [[nodiscard]] std::uint32_t nearest_memory_controller(std::uint32_t node) const noexcept;
+  /// the grid corners of the node's socket, as in common tiled floorplans).
+  [[nodiscard]] std::uint32_t nearest_memory_controller(std::uint32_t node) const noexcept {
+    return topo_.mem_controller(node);
+  }
 
   [[nodiscard]] std::uint32_t flits_for(MsgClass cls) const noexcept;
   [[nodiscard]] const NocStats& stats() const noexcept { return stats_; }
@@ -87,7 +114,7 @@ class Mesh {
 
  private:
   MeshConfig cfg_;
-  std::array<std::uint32_t, 4> corners_;
+  Topology topo_;
   NocStats stats_;
 };
 

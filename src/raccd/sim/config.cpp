@@ -2,6 +2,7 @@
 
 #include "raccd/common/assert.hpp"
 #include "raccd/common/bits.hpp"
+#include "raccd/topo/topology.hpp"
 
 namespace raccd {
 
@@ -28,6 +29,21 @@ SimConfig SimConfig::paper(CohMode mode) {
   cfg.fabric.energy.llc_ref_lines = 32768;
   cfg.phys_mb = 4096;
   return cfg;
+}
+
+std::string SimConfig::apply_topology(std::string_view token) {
+  TopologyConfig tc = fabric.topo;
+  std::uint32_t total_cores = 0;
+  const std::string err = parse_topology(token, tc, total_cores);
+  if (!err.empty()) return err;
+  if (total_cores != 0) fabric.cores = total_cores;
+  if (fabric.cores > 64) return "core count limited to 64 (sharer bit-vector)";
+  if (tc.sockets > fabric.cores) return "more sockets than cores";
+  if (tc.kind == TopologyKind::kCMesh && tc.cluster_size > fabric.cores) {
+    return "cmesh cluster larger than the core count";
+  }
+  fabric.topo = tc;
+  return {};
 }
 
 void SimConfig::set_dir_ratio(std::uint32_t n) {

@@ -15,6 +15,8 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
+#include <string_view>
 
 #include "raccd/coherence/fabric.hpp"
 #include "raccd/core/adr_config.hpp"
@@ -67,6 +69,12 @@ struct SimConfig {
 
   /// Shrink the directory to 1:N of the LLC line count (paper Fig. 6/7).
   void set_dir_ratio(std::uint32_t n);
+
+  /// Apply a machine-shape token ("flat", "cmesh[<K>]", "numa<S>" or
+  /// "numa<S>x<C>") to fabric.topo; numa<S>x<C> also rescales the core count
+  /// (per-bank LLC/directory sizes stay fixed, so totals scale with cores).
+  /// Returns "" on success or an error message.
+  [[nodiscard]] std::string apply_topology(std::string_view token);
 
   [[nodiscard]] std::uint32_t dir_ratio() const noexcept {
     return fabric.llc.lines_per_bank / fabric.dir.entries_per_bank;

@@ -1,19 +1,29 @@
 #include "raccd/sim/machine.hpp"
 
 #include <algorithm>
-#include <limits>
 
 #include "raccd/common/assert.hpp"
 
 namespace raccd {
+namespace {
+
+/// The topology's per-socket memory ranges must describe the same frame
+/// space PhysMemory allocates from — derive them from one place.
+[[nodiscard]] SimConfig finalized(SimConfig cfg) {
+  cfg.fabric.topo.phys_frames = cfg.phys_mb * (1024 * 1024 / kPageBytes);
+  return cfg;
+}
+
+}  // namespace
 
 Machine::Machine(const SimConfig& cfg)
-    : cfg_(cfg),
+    : cfg_(finalized(cfg)),
       checker_(/*strict=*/true),
-      fabric_(cfg.fabric, cfg.enable_checker ? &checker_ : nullptr),
-      adr_(fabric_, cfg.adr),
-      mem_(cfg.phys_mb * (1024 * 1024 / kPageBytes), cfg.alloc_policy, cfg.seed),
-      rt_(cfg.sched, cfg.fabric.cores) {
+      fabric_(cfg_.fabric, cfg_.enable_checker ? &checker_ : nullptr),
+      adr_(fabric_, cfg_.adr),
+      mem_(cfg_.fabric.topo.phys_frames, cfg_.alloc_policy, cfg_.seed,
+           cfg_.fabric.topo.sockets),
+      rt_(cfg_.sched, cfg_.fabric.cores) {
   for (std::uint32_t c = 0; c < cfg_.fabric.cores; ++c) {
     tlbs_.emplace_back(cfg_.tlb_entries);
   }
@@ -29,39 +39,40 @@ TaskId Machine::spawn(TaskDesc desc) {
   return rt_.create_task(std::move(desc));
 }
 
-CoreId Machine::pick_min_clock_core() const noexcept {
-  CoreId best = kNoCore;
-  Cycle best_clock = std::numeric_limits<Cycle>::max();
-  for (CoreId c = 0; c < cores_.size(); ++c) {
+CoreId Machine::pop_min_clock_core() {
+  while (!run_heap_.empty()) {
+    const auto [clock, c] = run_heap_.top();
+    run_heap_.pop();
     const CoreState& cs = cores_[c];
-    if (cs.sleeping) continue;
-    if (cs.clock < best_clock) {
-      best_clock = cs.clock;
-      best = c;
-    }
+    if (!cs.sleeping && cs.clock == clock) return c;
   }
-  return best;
+  return kNoCore;
 }
 
 void Machine::wake_sleepers(Cycle at) {
-  for (auto& cs : cores_) {
+  for (CoreId c = 0; c < cores_.size(); ++c) {
+    CoreState& cs = cores_[c];
     if (cs.sleeping) {
       cs.sleeping = false;
       cs.clock = std::max(cs.clock, at);
+      run_heap_.emplace(cs.clock, c);
     }
   }
 }
 
 void Machine::taskwait() {
   const Cycle phase_start = main_clock_;
-  for (auto& cs : cores_) {
-    cs.clock = phase_start;
-    cs.sleeping = false;
+  run_heap_ = {};
+  for (CoreId c = 0; c < cores_.size(); ++c) {
+    cores_[c].clock = phase_start;
+    cores_[c].sleeping = false;
+    run_heap_.emplace(phase_start, c);
   }
   while (!rt_.all_finished()) {
-    const CoreId c = pick_min_clock_core();
+    const CoreId c = pop_min_clock_core();
     RACCD_ASSERT(c != kNoCore, "deadlock: all cores asleep with unfinished tasks");
     step(c);
+    if (!cores_[c].sleeping) run_heap_.emplace(cores_[c].clock, c);
   }
   Cycle end = phase_start;
   for (const auto& cs : cores_) end = std::max(end, cs.clock);
@@ -95,6 +106,19 @@ void Machine::start_task(CoreId c, TaskId t) {
   cs.cursor = 0;
   TaskNode& node = rt_.task(t);
 
+  // First-touch placement: the scheduled core's socket claims the frames of
+  // this task's dependence pages before anything translates them (RaCCD's
+  // raccd_register below walks these pages through the TLB).
+  if (mem_.lazy_mapping()) {
+    const std::uint32_t socket = fabric_.topology().socket_of(c);
+    for (const DepSpec& d : node.deps) {
+      if (d.size == 0) continue;
+      for (PageNum vp = page_of(d.addr); vp <= page_of(d.addr + d.size - 1); ++vp) {
+        mem_.map_on_touch(vp, socket);
+      }
+    }
+  }
+
   // Mode-specific setup (e.g. RaCCD's raccd_register per dependence), and
   // the per-access classification hook for this task, resolved once.
   const Cycle setup = backend_->on_task_start(c, node);
@@ -118,6 +142,10 @@ void Machine::replay_record(CoreId c) {
 
   // Address translation (VIPT-style: only walks cost extra time).
   const PageNum vpage = page_of(r.vaddr);
+  if (mem_.lazy_mapping() && !mem_.page_table().mapped(vpage)) {
+    // Accesses outside the declared dependence ranges first-touch here.
+    mem_.map_on_touch(vpage, fabric_.topology().socket_of(c));
+  }
   const auto tr = tlbs_[c].access(vpage, mem_.page_table());
   Cycle extra = 0;
   if (!tr.hit) extra += cfg_.timing.tlb_walk_cycles;

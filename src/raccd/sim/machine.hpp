@@ -20,6 +20,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <queue>
+#include <utility>
 #include <vector>
 
 #include "raccd/coherence/checker.hpp"
@@ -76,7 +78,11 @@ class Machine {
     ClassifierView classify{};
   };
 
-  [[nodiscard]] CoreId pick_min_clock_core() const noexcept;
+  /// Pop the awake core with the lowest (clock, id) from the run heap
+  /// (kNoCore when every core sleeps). O(log cores) per step instead of the
+  /// old O(cores) scan — the heap is what keeps the DES loop cheap at the
+  /// 64-core counts multi-socket topologies reach.
+  [[nodiscard]] CoreId pop_min_clock_core();
   /// Advance core c by one step (fetch a task, replay one record, or finish).
   void step(CoreId c);
   void start_task(CoreId c, TaskId t);
@@ -93,6 +99,15 @@ class Machine {
   std::vector<Tlb> tlbs_;
   std::vector<CoreState> cores_;
   Cycle main_clock_ = 0;
+
+  /// Min-heap over (local clock, core id) of awake cores. Invariant: every
+  /// awake core has exactly one live entry at its current clock (entries go
+  /// stale only if a core slept after its entry was consumed — the pop
+  /// validates before returning). Lexicographic order reproduces the legacy
+  /// linear scan's tie-break exactly (lowest clock, then lowest core id).
+  using ClockEntry = std::pair<Cycle, CoreId>;
+  std::priority_queue<ClockEntry, std::vector<ClockEntry>, std::greater<ClockEntry>>
+      run_heap_;
 
   // accumulated runtime-cost stats
   Cycle create_cycles_ = 0;

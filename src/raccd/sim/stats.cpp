@@ -26,6 +26,17 @@ std::string SimStats::summary() const {
                    static_cast<unsigned long long>(noc.total_flit_hops()),
                    static_cast<unsigned long long>(fabric.mem_reads),
                    static_cast<unsigned long long>(fabric.mem_writes));
+  if (noc.cross_socket.messages > 0) {
+    out += strprintf(
+        "  cross-socket: %llu flit-hops (%.1f%% of traffic), %llu dir reqs, "
+        "%llu nc reqs, %llu link flits\n",
+        static_cast<unsigned long long>(noc.cross_socket.flit_hops),
+        percent(static_cast<double>(noc.cross_socket.flit_hops),
+                static_cast<double>(noc.total_flit_hops())),
+        static_cast<unsigned long long>(fabric.dir_reqs_cross_socket),
+        static_cast<unsigned long long>(fabric.nc_reqs_cross_socket),
+        static_cast<unsigned long long>(noc.socket_link_flits));
+  }
   out += strprintf("  non-coherent blocks: %.1f%% (%llu / %llu)\n",
                    100.0 * noncoherent_block_fraction,
                    static_cast<unsigned long long>(blocks_noncoherent),

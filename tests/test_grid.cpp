@@ -137,6 +137,45 @@ TEST(ResultSetTest, RunLookupAndEmitters) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(ResultSetTest, BenchJsonMergeSemantics) {
+  const std::string dir = "test_grid_merge_tmp";
+  std::filesystem::remove_all(dir);
+  RunOptions opts;
+  opts.cache_dir = dir + "/cache";
+  const ResultSet rs =
+      Grid().workload("histo").size(SizeClass::kTiny).mode(CohMode::kRaCCD).run(opts);
+  ASSERT_EQ(rs.size(), 1u);
+  const std::string own_key = rs.spec(0).key();
+  const std::string bench = dir + "/BENCH_grid.json";
+  // Seed with a stale value under our own key plus two foreign keys that
+  // sort on either side of it.
+  {
+    std::ofstream seed_file(bench);
+    seed_file << "{\n"
+              << "  \"zzz-last-key\": {\"cycles\": 2}\n"
+              << "  \"" << own_key << "\": {\"cycles\": 1}\n"
+              << "  \"aaa-first-key\": {\"cycles\": 3}\n"
+              << "}\n";
+  }
+  ASSERT_TRUE(rs.append_bench_json(bench));
+  const std::string merged = slurp(bench);
+  // Existing key overwritten with the fresh metrics...
+  EXPECT_EQ(merged.find("{\"cycles\": 1}"), std::string::npos);
+  EXPECT_NE(merged.find(own_key), std::string::npos);
+  // ...foreign keys preserved...
+  EXPECT_NE(merged.find("\"aaa-first-key\": {\"cycles\": 3}"), std::string::npos);
+  EXPECT_NE(merged.find("\"zzz-last-key\": {\"cycles\": 2}"), std::string::npos);
+  // ...and keys emitted in sorted order.
+  const std::size_t first = merged.find("aaa-first-key");
+  const std::size_t own = merged.find(own_key);
+  const std::size_t last = merged.find("zzz-last-key");
+  EXPECT_LT(first, own);
+  EXPECT_LT(own, last);
+  // The payload carries the cross-socket traffic split.
+  EXPECT_NE(merged.find("noc_cross_socket_flit_hops"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(ResultSetTest, AppendConcatenates) {
   RunOptions opts;
   opts.cache_dir = "test_grid_append_tmp";
