@@ -39,8 +39,9 @@ int main(int argc, char** argv) {
                      bands[b].first == 0.80 ? " (paper)" : ""),
            format_count(s.adr.grows + s.adr.shrinks),
            format_count(s.adr.entries_displaced),
-           strprintf("%.1f", 100.0 * s.avg_dir_active_frac),
-           strprintf("%.1f", s.dir_dyn_energy_pj / 1e3), format_count(s.cycles)});
+           strprintf("%.1f", 100.0 * metric_value(s, "dir.avg_active_frac")),
+           strprintf("%.1f", metric_value(s, "energy.dir_dyn_pj") / 1e3),
+           format_count(s.cycles)});
     }
   }
   table.print();

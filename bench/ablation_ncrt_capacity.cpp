@@ -10,13 +10,14 @@ using namespace raccd;
 int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
   const auto& apps = paper_app_names();
-  const std::uint32_t capacities[] = {2, 4, 8, 16, 32, 64};
+  // One list drives both the grid and the table stride, so they cannot drift.
+  const std::vector<std::uint32_t> capacities{2, 4, 8, 16, 32, 64};
   const auto results = bench::run_logged(Grid()
                                              .paper_apps()
                                              .set_params(opts.params)
                                              .size(opts.size)
                                              .mode(CohMode::kRaCCD)
-                                             .ncrt_entry_counts({2, 4, 8, 16, 32, 64})
+                                             .ncrt_entry_counts(capacities)
                                              .paper_machine(opts.paper_machine)
                                              .specs(),
                                          opts);
@@ -28,10 +29,10 @@ int main(int argc, char** argv) {
   TextTable table(headers);
   for (std::size_t a = 0; a < apps.size(); ++a) {
     std::vector<std::string> row{apps[a]};
-    for (std::size_t ci = 0; ci < std::size(capacities); ++ci) {
-      const SimStats& s = results[a * std::size(capacities) + ci];
+    for (std::size_t ci = 0; ci < capacities.size(); ++ci) {
+      const SimStats& s = results[a * capacities.size() + ci];
       row.push_back(strprintf("%.1f%% (%llu ovf)",
-                              100.0 * s.noncoherent_block_fraction,
+                              100.0 * metric_value(s, "blocks.nc_fraction"),
                               static_cast<unsigned long long>(s.ncrt.overflows)));
     }
     table.add_row(std::move(row));

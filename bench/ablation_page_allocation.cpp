@@ -11,14 +11,17 @@ using namespace raccd;
 
 int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
-  const auto& apps = paper_app_names;
+  // One list drives both the grid and the table stride, so they cannot drift.
+  const std::vector<AllocPolicy> policies{AllocPolicy::kContiguous,
+                                          AllocPolicy::kFragmented};
+  const auto apps = paper_app_names();
   const auto results = bench::run_logged(
       Grid()
           .paper_apps()
           .set_params(opts.params)
           .size(opts.size)
           .mode(CohMode::kRaCCD)
-          .allocs({AllocPolicy::kContiguous, AllocPolicy::kFragmented})
+          .allocs(policies)
           .paper_machine(opts.paper_machine)
           .specs(),
       opts);
@@ -26,13 +29,13 @@ int main(int argc, char** argv) {
   std::printf("Ablation — physical allocation policy under RaCCD\n");
   TextTable table({"app", "policy", "NCRT inserts", "overflows", "NC blocks %",
                    "register cycles", "norm.cycles"});
-  for (std::size_t a = 0; a < apps().size(); ++a) {
-    const double base = static_cast<double>(results[a * 2].cycles);
-    for (int p = 0; p < 2; ++p) {
-      const SimStats& s = results[a * 2 + p];
-      table.add_row({apps()[a], p == 0 ? "contiguous" : "fragmented",
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    const double base = static_cast<double>(results[a * policies.size()].cycles);
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      const SimStats& s = results[a * policies.size() + p];
+      table.add_row({apps[a], to_string(policies[p]),
                      format_count(s.ncrt.inserts), format_count(s.ncrt.overflows),
-                     strprintf("%.1f", 100.0 * s.noncoherent_block_fraction),
+                     strprintf("%.1f", 100.0 * metric_value(s, "blocks.nc_fraction")),
                      format_count(s.register_cycles),
                      strprintf("%.3f", static_cast<double>(s.cycles) / base)});
     }

@@ -13,15 +13,17 @@ using namespace raccd;
 int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
   const std::vector<std::string> apps{"jacobi", "gauss", "histo", "kmeans"};
-  const SchedPolicy policies[] = {SchedPolicy::kFifo, SchedPolicy::kLifo,
-                                  SchedPolicy::kWorkSteal};
+  // These two lists drive both the grid and the index arithmetic below.
+  const std::vector<CohMode> modes{CohMode::kPT, CohMode::kRaCCD};
+  const std::vector<SchedPolicy> policies{SchedPolicy::kFifo, SchedPolicy::kLifo,
+                                          SchedPolicy::kWorkSteal};
   const ResultSet rs = bench::run_logged(
       Grid()
           .workloads(apps)
           .set_params(opts.params)
           .size(opts.size)
-          .modes({CohMode::kPT, CohMode::kRaCCD})
-          .scheds({SchedPolicy::kFifo, SchedPolicy::kLifo, SchedPolicy::kWorkSteal})
+          .modes(modes)
+          .scheds(policies)
           .paper_machine(opts.paper_machine)
           .specs(),
       opts);
@@ -30,15 +32,15 @@ int main(int argc, char** argv) {
   TextTable table({"app", "scheduler", "PT NC blocks %", "PT transitions",
                    "RaCCD NC blocks %", "PT cycles / RaCCD cycles"});
   for (std::size_t a = 0; a < apps.size(); ++a) {
-    for (std::size_t p = 0; p < std::size(policies); ++p) {
+    for (std::size_t p = 0; p < policies.size(); ++p) {
       const SchedPolicy pol = policies[p];
       // Expansion order: app (outer), mode, sched (inner).
-      const SimStats& pt = rs[(a * 2 + 0) * std::size(policies) + p];
-      const SimStats& rc = rs[(a * 2 + 1) * std::size(policies) + p];
+      const SimStats& pt = rs[(a * modes.size() + 0) * policies.size() + p];
+      const SimStats& rc = rs[(a * modes.size() + 1) * policies.size() + p];
       table.add_row({apps[a], to_string(pol),
-                     strprintf("%.1f", 100.0 * pt.noncoherent_block_fraction),
+                     strprintf("%.1f", 100.0 * metric_value(pt, "blocks.nc_fraction")),
                      format_count(pt.pt.transitions),
-                     strprintf("%.1f", 100.0 * rc.noncoherent_block_fraction),
+                     strprintf("%.1f", 100.0 * metric_value(rc, "blocks.nc_fraction")),
                      strprintf("%.3f", static_cast<double>(pt.cycles) /
                                            static_cast<double>(rc.cycles))});
     }

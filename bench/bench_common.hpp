@@ -16,10 +16,22 @@
 #include "raccd/common/math.hpp"
 #include "raccd/harness/grid.hpp"
 #include "raccd/harness/table.hpp"
+#include "raccd/metrics/metric_schema.hpp"
 
 namespace raccd::bench {
 
 inline constexpr const char* kBenchJsonPath = "results/BENCH_grid.json";
+
+/// Sampling period for occupancy-vs-time series, scaled to the problem size
+/// (a few hundred points per run).
+[[nodiscard]] inline Cycle series_interval_for(SizeClass size) {
+  switch (size) {
+    case SizeClass::kTiny: return 2000;
+    case SizeClass::kSmall: return 20000;
+    case SizeClass::kPaper: return 200000;
+  }
+  return 20000;
+}
 
 /// Execute specs (cache-aware, host-parallel) and merge the results into the
 /// cumulative BENCH_grid.json perf log. Every bench binary runs through this.

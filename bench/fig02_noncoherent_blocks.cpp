@@ -16,11 +16,12 @@ using namespace raccd;
 int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
   const auto& apps = paper_app_names();
+  const std::vector<CohMode> modes{CohMode::kPT, CohMode::kRaCCD};
   const auto results = bench::run_logged(Grid()
                                              .paper_apps()
                                              .set_params(opts.params)
                                              .size(opts.size)
-                                             .modes({CohMode::kPT, CohMode::kRaCCD})
+                                             .modes(modes)
                                              .paper_machine(opts.paper_machine)
                                              .specs(),
                                          opts);
@@ -29,10 +30,11 @@ int main(int argc, char** argv) {
   TextTable table({"app", "problem", "PT %", "RaCCD %", "RaCCD/PT"});
   std::vector<double> pt_vals, raccd_vals;
   for (std::size_t a = 0; a < apps.size(); ++a) {
-    const SimStats& pt = results[a * 2];
-    const SimStats& rc = results[a * 2 + 1];
-    pt_vals.push_back(100.0 * pt.noncoherent_block_fraction);
-    raccd_vals.push_back(100.0 * rc.noncoherent_block_fraction);
+    // Spec-addressed lookup: adding a mode to the grid cannot misattribute.
+    const SimStats& pt = results.at(apps[a], CohMode::kPT);
+    const SimStats& rc = results.at(apps[a], CohMode::kRaCCD);
+    pt_vals.push_back(100.0 * metric_value(pt, "blocks.nc_fraction"));
+    raccd_vals.push_back(100.0 * metric_value(rc, "blocks.nc_fraction"));
     const auto app_obj = make_app(
         apps[a], AppConfig{opts.size, 42,
                            WorkloadRegistry::instance().supported_params(

@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
       g, "Fig. 6 — Normalized cycles by directory size (FullCoh 1:1 = 1.0)",
       "normalized execution cycles",
       [](const SimStats& s, const SimStats& base) {
-        return static_cast<double>(s.cycles) / static_cast<double>(base.cycles);
+        return metric_value(s, "cycles") / metric_value(base, "cycles");
       },
       "results/fig06_performance.csv");
   std::printf("paper: FullCoh avg 1.22 @1:2 and 1.71 @1:256; RaCCD 1.009 @1:8, "

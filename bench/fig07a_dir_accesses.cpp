@@ -16,8 +16,8 @@ int main(int argc, char** argv) {
       g, "Fig. 7a — Directory accesses (normalized to FullCoh 1:1)",
       "normalized directory accesses",
       [](const SimStats& s, const SimStats& base) {
-        return static_cast<double>(s.fabric.dir_accesses) /
-               static_cast<double>(base.fabric.dir_accesses);
+        return metric_value(s, "fabric.dir_accesses") /
+               metric_value(base, "fabric.dir_accesses");
       },
       "results/fig07a_dir_accesses.csv");
   std::printf("paper: RaCCD ~0.26 of FullCoh at 1:1 on average; JPEG is the outlier\n");

@@ -15,7 +15,9 @@ int main(int argc, char** argv) {
   print_figure(
       g, "Fig. 7b — LLC hit ratio (%) by directory size",
       "LLC hit ratio in percent",
-      [](const SimStats& s, const SimStats&) { return 100.0 * s.llc_hit_ratio(); },
+      [](const SimStats& s, const SimStats&) {
+        return 100.0 * metric_value(s, "fabric.llc_hit_rate");
+      },
       "results/fig07b_llc_hitrate.csv");
   std::printf("paper: FullCoh avg 56%%@1:1 -> 24%%@1:256; RaCCD 55%% -> 51%%; "
               "MD5 flat at 16-20%%\n");

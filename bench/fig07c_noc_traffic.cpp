@@ -16,8 +16,8 @@ int main(int argc, char** argv) {
       g, "Fig. 7c — NoC traffic in flit-hops (normalized to FullCoh 1:1)",
       "normalized NoC flit-hops",
       [](const SimStats& s, const SimStats& base) {
-        return static_cast<double>(s.noc.total_flit_hops()) /
-               static_cast<double>(base.noc.total_flit_hops());
+        return metric_value(s, "noc.flit_hops") /
+               metric_value(base, "noc.flit_hops");
       },
       "results/fig07c_noc_traffic.csv");
   std::printf("paper: growth 1:1 -> 1:256 is +91%% (FullCoh), +19%% (PT), +15%% (RaCCD)\n");

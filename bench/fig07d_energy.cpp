@@ -18,7 +18,8 @@ int main(int argc, char** argv) {
       g, "Fig. 7d — Directory dynamic energy (normalized to FullCoh 1:1)",
       "normalized directory dynamic energy",
       [](const SimStats& s, const SimStats& base) {
-        return s.dir_dyn_energy_pj / base.dir_dyn_energy_pj;
+        return metric_value(s, "energy.dir_dyn_pj") /
+               metric_value(base, "energy.dir_dyn_pj");
       },
       "results/fig07d_energy.csv");
 

@@ -36,10 +36,10 @@ int main(int argc, char** argv) {
   TextTable table({"app", "FullCoh", "PT", "RaCCD", "RaCCD+ADR", "reconfigs"});
   std::vector<double> sums(4, 0.0);
   for (std::size_t a = 0; a < apps.size(); ++a) {
-    const double base = static_cast<double>(variant(apps[a], 0).cycles);
+    const double base = metric_value(variant(apps[a], 0), "cycles");
     std::vector<std::string> row{apps[a]};
     for (int v = 0; v < 4; ++v) {
-      const double norm = static_cast<double>(variant(apps[a], v).cycles) / base;
+      const double norm = metric_value(variant(apps[a], v), "cycles") / base;
       sums[v] += norm;
       row.push_back(strprintf("%.3f", norm));
     }

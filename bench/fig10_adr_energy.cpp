@@ -51,7 +51,8 @@ int main(int argc, char** argv) {
                                  variant(apps[a], 2).dir_dyn_energy_pj;
       ++save_samples;
     }
-    row.push_back(strprintf("%.1f", 100.0 * variant(apps[a], 3).avg_dir_active_frac));
+    row.push_back(strprintf(
+        "%.1f", 100.0 * metric_value(variant(apps[a], 3), "dir.avg_active_frac")));
     table.add_row(std::move(row));
   }
   table.add_separator();

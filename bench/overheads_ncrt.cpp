@@ -12,14 +12,15 @@ using namespace raccd;
 int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
   const auto& apps = paper_app_names();
-  const Cycle latencies[] = {0, 1, 2, 3, 5, 10};
+  // One list drives both the grid and the table stride, so they cannot drift.
+  const std::vector<Cycle> latencies{0, 1, 2, 3, 5, 10};
   const auto results =
       bench::run_logged(Grid()
                             .paper_apps()
                             .set_params(opts.params)
                             .size(opts.size)
                             .mode(CohMode::kRaCCD)
-                            .ncrt_latencies({0, 1, 2, 3, 5, 10})
+                            .ncrt_latencies(latencies)
                             .paper_machine(opts.paper_machine)
                             .specs(),
                         opts);
@@ -27,15 +28,17 @@ int main(int argc, char** argv) {
   std::printf("Sec. V-C — NCRT lookup latency sensitivity (RaCCD 1:1, overhead %% "
               "vs ideal 0-cycle NCRT)\n");
   std::vector<std::string> headers{"app"};
-  for (const Cycle lat : latencies) headers.push_back(strprintf("%u cyc", static_cast<unsigned>(lat)));
+  for (const Cycle lat : latencies) {
+    headers.push_back(strprintf("%u cyc", static_cast<unsigned>(lat)));
+  }
   TextTable table(headers);
-  std::vector<double> sums(std::size(latencies), 0.0);
+  std::vector<double> sums(latencies.size(), 0.0);
   for (std::size_t a = 0; a < apps.size(); ++a) {
-    const double base = static_cast<double>(results[a * std::size(latencies)].cycles);
+    const double base = static_cast<double>(results[a * latencies.size()].cycles);
     std::vector<std::string> row{apps[a]};
-    for (std::size_t l = 0; l < std::size(latencies); ++l) {
+    for (std::size_t l = 0; l < latencies.size(); ++l) {
       const double over =
-          100.0 * (static_cast<double>(results[a * std::size(latencies) + l].cycles) /
+          100.0 * (static_cast<double>(results[a * latencies.size() + l].cycles) /
                        base -
                    1.0);
       sums[l] += over;
@@ -45,7 +48,7 @@ int main(int argc, char** argv) {
   }
   table.add_separator();
   std::vector<std::string> avg{"AVG"};
-  for (std::size_t l = 0; l < std::size(latencies); ++l) {
+  for (std::size_t l = 0; l < latencies.size(); ++l) {
     avg.push_back(strprintf("%.2f", sums[l] / apps.size()));
   }
   table.add_row(std::move(avg));

@@ -8,6 +8,7 @@
 
 #include "raccd/common/format.hpp"
 #include "raccd/harness/grid.hpp"
+#include "raccd/metrics/metric_schema.hpp"
 
 using namespace raccd;
 
@@ -38,9 +39,11 @@ int main(int argc, char** argv) {
                 without.dir_dyn_energy_pj / 1e3, with.dir_dyn_energy_pj / 1e3);
   }
   std::printf("avg powered fraction  %11.1f%%  %11.1f%%\n",
-              100.0 * without.avg_dir_active_frac, 100.0 * with.avg_dir_active_frac);
+              100.0 * metric_value(without, "dir.avg_active_frac"),
+              100.0 * metric_value(with, "dir.avg_active_frac"));
   std::printf("avg occupancy         %11.1f%%  %11.1f%%\n",
-              100.0 * without.avg_dir_occupancy, 100.0 * with.avg_dir_occupancy);
+              100.0 * metric_value(without, "dir.avg_occupancy"),
+              100.0 * metric_value(with, "dir.avg_occupancy"));
   std::printf("\nADR activity: %llu grows, %llu shrinks, %llu entries moved, "
               "%llu displaced, %s bank-blocked cycles\n",
               static_cast<unsigned long long>(with.adr.grows),

@@ -13,6 +13,7 @@
 #include "raccd/common/format.hpp"
 #include "raccd/harness/grid.hpp"
 #include "raccd/harness/table.hpp"
+#include "raccd/metrics/metric_schema.hpp"
 
 using namespace raccd;
 
@@ -47,10 +48,11 @@ int main(int argc, char** argv) {
     if (i != 0) table.add_separator();
     for (std::size_t m = 0; m < kAllBackends.size(); ++m) {
       const SimStats& s = rs[i++];
+      // Columns select what they plot by schema name (metrics/metric_schema.hpp).
       table.add_row({ref, to_string(s.mode), format_count(s.cycles),
-                     strprintf("%.1f", 100.0 * s.noncoherent_block_fraction),
+                     strprintf("%.1f", 100.0 * metric_value(s, "blocks.nc_fraction")),
                      format_count(s.fabric.dir_accesses),
-                     strprintf("%.1f", 100.0 * s.avg_dir_occupancy)});
+                     strprintf("%.1f", 100.0 * metric_value(s, "dir.avg_occupancy"))});
     }
   }
   table.print();

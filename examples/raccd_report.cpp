@@ -1,0 +1,116 @@
+// raccd-report: the metrics/diff CLI.
+//
+//   raccd-report metrics [--markdown]
+//       Print the self-describing metric schema (every name the emitters,
+//       series sampler and diff tolerances are driven by).
+//
+//   raccd-report show FILE [substring]
+//       List a BENCH_grid.json log (optionally filtered by spec-key
+//       substring) as a markdown table of the headline metrics.
+//
+//   raccd-report diff BASELINE CANDIDATE [options]
+//       Join two BENCH_grid.json logs on RunSpec::key(), compare every
+//       metric under per-kind tolerances and exit nonzero on regression —
+//       the primitive the CI perf gate runs on.
+//         --tol-cycles=PCT    cycle-total tolerance in percent (default 2)
+//         --tol-energy=PCT    energy tolerance in percent (default 2)
+//         --tol-counters=PCT  counter tolerance in percent (default 0: exact)
+//         --tol-ratio=ABS     absolute band for ratios (default 0.02)
+//         --markdown          markdown report (for CI artifacts / PR comments)
+//         --out=FILE          also write the report to FILE
+//
+// Exit codes: 0 ok, 1 regression detected, 2 usage/load error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "raccd/metrics/diff.hpp"
+#include "raccd/metrics/metric_schema.hpp"
+
+using namespace raccd;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: raccd-report metrics [--markdown]\n"
+               "       raccd-report show FILE [substring]\n"
+               "       raccd-report diff BASELINE CANDIDATE [--tol-cycles=PCT]\n"
+               "                    [--tol-energy=PCT] [--tol-counters=PCT]\n"
+               "                    [--tol-ratio=ABS] [--markdown] [--out=FILE]\n");
+  return 2;
+}
+
+int cmd_metrics(int argc, char** argv) {
+  bool markdown = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--markdown") == 0) markdown = true;
+    else return usage();
+  }
+  std::fputs(MetricSchema::instance().describe(markdown).c_str(), stdout);
+  return 0;
+}
+
+int cmd_show(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string filter = argc > 3 ? argv[3] : "";
+  BenchLog log;
+  if (const std::string err = load_bench_json(argv[2], log); !err.empty()) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 2;
+  }
+  std::printf("| spec | metric | value |\n|---|---|---|\n");
+  for (const auto& [key, metrics] : log) {
+    if (!filter.empty() && key.find(filter) == std::string::npos) continue;
+    for (const auto& [metric, value] : metrics) {
+      std::printf("| `%s` | %s | %g |\n", key.c_str(), metric.c_str(), value);
+    }
+  }
+  return 0;
+}
+
+int cmd_diff(int argc, char** argv) {
+  if (argc < 4) return usage();
+  DiffTolerances tol;
+  bool markdown = false;
+  std::string out_path;
+  for (int i = 4; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--tol-cycles=", 13) == 0) tol.cycles_pct = std::atof(a + 13);
+    else if (std::strncmp(a, "--tol-energy=", 13) == 0) tol.energy_pct = std::atof(a + 13);
+    else if (std::strncmp(a, "--tol-counters=", 15) == 0) tol.counter_pct = std::atof(a + 15);
+    else if (std::strncmp(a, "--tol-ratio=", 12) == 0) tol.ratio_abs = std::atof(a + 12);
+    else if (std::strcmp(a, "--markdown") == 0) markdown = true;
+    else if (std::strncmp(a, "--out=", 6) == 0) out_path = a + 6;
+    else return usage();
+  }
+  BenchLog base, cand;
+  if (const std::string err = load_bench_json(argv[2], base); !err.empty()) {
+    std::fprintf(stderr, "baseline: %s\n", err.c_str());
+    return 2;
+  }
+  if (const std::string err = load_bench_json(argv[3], cand); !err.empty()) {
+    std::fprintf(stderr, "candidate: %s\n", err.c_str());
+    return 2;
+  }
+  const BenchDiff d = diff_bench_logs(base, cand, tol);
+  const std::string report = d.report(markdown);
+  std::fputs(report.c_str(), stdout);
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << report;
+    if (!out) std::fprintf(stderr, "warning: could not write %s\n", out_path.c_str());
+  }
+  return d.regressions() == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  if (std::strcmp(argv[1], "metrics") == 0) return cmd_metrics(argc, argv);
+  if (std::strcmp(argv[1], "show") == 0) return cmd_show(argc, argv);
+  if (std::strcmp(argv[1], "diff") == 0) return cmd_diff(argc, argv);
+  return usage();
+}

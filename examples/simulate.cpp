@@ -9,6 +9,8 @@
 //            [--dir-ratio=N] [--adr] [--paper] [--sched=fifo|lifo|worksteal]
 //            [--ncrt-entries=N] [--ncrt-latency=N] [--fragmented] [--seed=N]
 //            [--dot=FILE] [--record-trace=FILE] [--list]
+//            [--series=FILE] [--series-interval=N] [--series-metrics=a,b,c]
+//            [--metrics=a,b,c]
 //
 // The workload list and per-workload parameter help are derived from the
 // WorkloadRegistry (`simulate --list`), so a newly registered workload shows
@@ -22,11 +24,15 @@
 #include "raccd/apps/registry.hpp"
 #include "raccd/apps/trace_capture.hpp"
 #include "raccd/harness/experiment.hpp"
+#include "raccd/metrics/series.hpp"
 #include "raccd/sim/report.hpp"
 
 using namespace raccd;
 
 namespace {
+
+/// Default sampling period: a few hundred points on the small problem sizes.
+constexpr raccd::Cycle kDefaultSeriesInterval = 10000;
 
 void usage() {
   std::string apps;
@@ -53,8 +59,15 @@ void usage() {
       "  --fragmented              randomized physical frame allocation\n"
       "  --seed=N                  workload seed\n"
       "  --dot=FILE                export the task dependence graph\n"
-      "  --record-trace=FILE       save the run as a replayable raccd-trace\n",
-      apps.c_str());
+      "  --record-trace=FILE       save the run as a replayable raccd-trace\n"
+      "  --series=FILE             write a metric time-series (occupancy vs\n"
+      "                            time etc.) as JSON; see --series-metrics\n"
+      "  --series-interval=N       sampling period in cycles (default %llu)\n"
+      "  --series-metrics=a,b,c    metrics to sample (default: directory\n"
+      "                            occupancy and its drivers)\n"
+      "  --metrics=a,b,c           print selected metrics after the report\n"
+      "                            (names: `raccd-report metrics`)\n",
+      apps.c_str(), static_cast<unsigned long long>(kDefaultSeriesInterval));
 }
 
 void list_workloads() {
@@ -81,6 +94,8 @@ int main(int argc, char** argv) {
   WorkloadParams params;
   std::string dot_path;
   std::string trace_path;
+  std::string series_path;
+  std::string metrics_list;
   const auto apply_set = [&params](const char* text) {
     WorkloadParams p;
     const std::string err = WorkloadParams::parse(text, p);
@@ -149,6 +164,21 @@ int main(int argc, char** argv) {
       dot_path = a + 6;
     } else if (std::strncmp(a, "--record-trace=", 15) == 0) {
       trace_path = a + 15;
+    } else if (std::strncmp(a, "--series=", 9) == 0) {
+      series_path = a + 9;
+    } else if (std::strncmp(a, "--series-interval=", 18) == 0) {
+      char* end = nullptr;
+      spec.series_interval = std::strtoull(a + 18, &end, 10);
+      // strtoull wraps negatives to huge values — reject the sign up front.
+      if (a[18] == '-' || end == a + 18 || *end != '\0' || spec.series_interval == 0) {
+        std::fprintf(stderr, "--series-interval: '%s' is not a positive cycle count\n",
+                     a + 18);
+        return 1;
+      }
+    } else if (std::strncmp(a, "--series-metrics=", 17) == 0) {
+      spec.series_metrics = a + 17;
+    } else if (std::strncmp(a, "--metrics=", 10) == 0) {
+      metrics_list = a + 10;
     } else if (a[0] != '-') {
       if (const std::string err = spec.set_workload_ref(a); !err.empty()) {
         std::fprintf(stderr, "%s\n", err.c_str());
@@ -172,6 +202,35 @@ int main(int argc, char** argv) {
     SimConfig probe = SimConfig::scaled(spec.mode);
     if (const std::string terr = probe.apply_topology(spec.topo); !terr.empty()) {
       std::fprintf(stderr, "--topology=%s: %s\n", spec.topo.c_str(), terr.c_str());
+      return 1;
+    }
+  }
+
+  // Validate metric selections up front (the sampler would abort later).
+  if (series_path.empty() &&
+      (spec.series_interval != 0 || !spec.series_metrics.empty())) {
+    std::fprintf(stderr,
+                 "--series-interval/--series-metrics have no effect without "
+                 "--series=FILE\n");
+    return 1;
+  }
+  if (!series_path.empty() && spec.series_interval == 0) {
+    spec.series_interval = kDefaultSeriesInterval;
+  }
+  std::vector<const MetricDesc*> selection;
+  if (!spec.series_metrics.empty()) {
+    if (const std::string merr =
+            MetricSchema::instance().parse_selection(spec.series_metrics, selection);
+        !merr.empty()) {
+      std::fprintf(stderr, "--series-metrics: %s\n", merr.c_str());
+      return 1;
+    }
+  }
+  if (!metrics_list.empty()) {
+    if (const std::string merr =
+            MetricSchema::instance().parse_selection(metrics_list, selection);
+        !merr.empty()) {
+      std::fprintf(stderr, "--metrics: %s\n", merr.c_str());
       return 1;
     }
   }
@@ -228,5 +287,22 @@ int main(int argc, char** argv) {
   }
   const SimStats stats = machine.collect();
   print_report(stats);
+  if (!metrics_list.empty()) {
+    std::printf("\nmetrics:\n");
+    print_metrics(stats, selection);
+  }
+  if (!series_path.empty() && machine.series() != nullptr) {
+    std::ofstream out(series_path);
+    const std::pair<std::string, const Series*> entry{spec.key(), machine.series()};
+    out << series_map_json({&entry, 1});
+    if (out) {
+      std::printf("series: %zu samples every %llu cycles written to %s\n",
+                  machine.series()->samples().size(),
+                  static_cast<unsigned long long>(machine.series()->interval()),
+                  series_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not write %s\n", series_path.c_str());
+    }
+  }
   return verr.empty() ? 0 : 1;
 }

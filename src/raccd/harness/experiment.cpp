@@ -97,10 +97,12 @@ SimConfig config_for(const RunSpec& spec) {
   cfg.alloc_policy = spec.alloc;
   cfg.sched = spec.sched;
   cfg.seed = spec.seed;
+  cfg.series.interval = spec.series_interval;
+  cfg.series.metrics = spec.series_metrics;
   return cfg;
 }
 
-SimStats run_one(const RunSpec& spec) {
+SimStats run_one(const RunSpec& spec, Series* series_out) {
   Machine machine(config_for(spec));
   AppConfig acfg;
   acfg.size = spec.size;
@@ -121,15 +123,29 @@ SimStats run_one(const RunSpec& spec) {
                  err.c_str());
     RACCD_ASSERT(false, "application verification failed");
   }
-  return machine.collect();
+  SimStats stats = machine.collect();
+  if (series_out != nullptr && machine.series() != nullptr) {
+    *series_out = *machine.series();
+  }
+  return stats;
 }
 
-std::vector<SimStats> run_all(const std::vector<RunSpec>& specs, const RunOptions& opts) {
+std::vector<SimStats> run_all(const std::vector<RunSpec>& specs, const RunOptions& opts,
+                              std::vector<Series>* series_out) {
   std::vector<SimStats> results(specs.size());
   std::vector<std::uint8_t> pending(specs.size(), 1);
+  if (series_out != nullptr) {
+    series_out->assign(specs.size(), Series{});
+  }
+  const auto samples = [&](std::size_t i) {
+    return series_out != nullptr && specs[i].series_interval > 0;
+  };
 
   if (opts.use_cache) {
     for (std::size_t i = 0; i < specs.size(); ++i) {
+      // A cached SimStats cannot satisfy a sampling spec: the series only
+      // exists if the simulation actually runs.
+      if (samples(i)) continue;
       if (auto cached = cache_load(opts.cache_dir, specs[i].key())) {
         results[i] = *cached;
         pending[i] = 0;
@@ -139,12 +155,23 @@ std::vector<SimStats> run_all(const std::vector<RunSpec>& specs, const RunOption
 
   // Identical specs (same cache key) are simulated once and copied, so
   // callers may pass spec lists with repeats without paying for them.
+  // Sampling variants dedup separately: series params are deliberately not
+  // part of the cache key (they don't change the stats).
+  const auto dedup_key = [&](std::size_t i) {
+    std::string k = specs[i].key();
+    if (samples(i)) {
+      k += strprintf("+series%llu:%s",
+                     static_cast<unsigned long long>(specs[i].series_interval),
+                     specs[i].series_metrics.c_str());
+    }
+    return k;
+  };
   std::vector<std::size_t> todo;
   std::unordered_map<std::string, std::size_t> first_with_key;
   std::vector<std::pair<std::size_t, std::size_t>> dup;  // (dst, src) indices
   for (std::size_t i = 0; i < specs.size(); ++i) {
     if (pending[i] == 0) continue;
-    const auto [it, inserted] = first_with_key.try_emplace(specs[i].key(), i);
+    const auto [it, inserted] = first_with_key.try_emplace(dedup_key(i), i);
     if (inserted) todo.push_back(i);
     else dup.emplace_back(i, it->second);
   }
@@ -158,7 +185,7 @@ std::vector<SimStats> run_all(const std::vector<RunSpec>& specs, const RunOption
         const std::size_t slot = next.fetch_add(1);
         if (slot >= todo.size()) return;
         const std::size_t i = todo[slot];
-        results[i] = run_one(specs[i]);
+        results[i] = run_one(specs[i], samples(i) ? &(*series_out)[i] : nullptr);
         if (opts.use_cache && !cache_store(opts.cache_dir, specs[i].key(), results[i]) &&
             opts.verbose) {
           std::fprintf(stderr, "warning: could not store cache entry '%s' under %s\n",
@@ -175,7 +202,10 @@ std::vector<SimStats> run_all(const std::vector<RunSpec>& specs, const RunOption
     for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
     for (auto& th : pool) th.join();
   }
-  for (const auto& [dst, src] : dup) results[dst] = results[src];
+  for (const auto& [dst, src] : dup) {
+    results[dst] = results[src];
+    if (series_out != nullptr && samples(dst)) (*series_out)[dst] = (*series_out)[src];
+  }
   return results;
 }
 

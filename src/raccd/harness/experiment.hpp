@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "raccd/apps/app.hpp"
+#include "raccd/metrics/series.hpp"
 #include "raccd/sim/config.hpp"
 #include "raccd/sim/stats.hpp"
 
@@ -38,6 +39,13 @@ struct RunSpec {
   /// Machine-shape token (topo/topology.hpp): "flat" (default, legacy cache
   /// keys unchanged), "cmesh[<K>]", "numa<S>" or "numa<S>x<C>".
   std::string topo = "flat";
+  /// Phase-resolved sampling (metrics/series.hpp): sample the selected
+  /// metrics every `series_interval` cycles (0 = off; empty selection =
+  /// default subset). Sampling never perturbs the simulation, so the cache
+  /// key is unchanged — the executor instead refuses to satisfy a sampling
+  /// spec from the stats cache (a cached SimStats carries no series).
+  Cycle series_interval = 0;
+  std::string series_metrics;
 
   /// "name" or "name:k=v,...": the registry reference this spec runs.
   [[nodiscard]] std::string workload_ref() const;
@@ -53,8 +61,10 @@ struct RunSpec {
 
 /// Run one simulation: build machine, run app, *verify the functional
 /// result* (aborts on corruption — every benchmark run is also an
-/// end-to-end correctness test), and collect stats.
-[[nodiscard]] SimStats run_one(const RunSpec& spec);
+/// end-to-end correctness test), and collect stats. When the spec samples a
+/// series and `series_out` is non-null, the recorded Series is copied there
+/// (cheap next to the simulation: at most max_samples rows).
+[[nodiscard]] SimStats run_one(const RunSpec& spec, Series* series_out = nullptr);
 
 struct RunOptions {
   unsigned threads = 0;     ///< 0 = hardware concurrency
@@ -64,8 +74,12 @@ struct RunOptions {
 };
 
 /// Run all specs (cache-aware, host-parallel); results align with specs.
+/// `series_out`, when non-null, is resized to specs.size(); entries for
+/// sampling specs hold their series (others stay empty). Sampling specs
+/// never load from the stats cache — they must execute to record.
 [[nodiscard]] std::vector<SimStats> run_all(const std::vector<RunSpec>& specs,
-                                            const RunOptions& opts = {});
+                                            const RunOptions& opts = {},
+                                            std::vector<Series>* series_out = nullptr);
 
 /// Common CLI/env options for the bench binaries: --size=tiny|small|paper,
 /// --paper (machine preset), --topology=T, --no-cache, --threads=N,

@@ -13,39 +13,20 @@
 #include "raccd/apps/registry.hpp"
 #include "raccd/common/assert.hpp"
 #include "raccd/common/format.hpp"
+#include "raccd/metrics/emit.hpp"
 
 namespace raccd {
 namespace {
 
-[[nodiscard]] std::string json_escape(const std::string& in) {
-  std::string out;
-  out.reserve(in.size());
-  for (const char c : in) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  return out;
-}
-
-/// The metric payload shared by write_json and the BENCH log.
-[[nodiscard]] std::string metrics_json(const SimStats& s) {
-  return strprintf(
-      "\"cycles\": %llu, \"dir_accesses\": %llu, \"llc_hit_rate\": %.6f, "
-      "\"noc_flit_hops\": %llu, \"noc_on_socket_flit_hops\": %llu, "
-      "\"noc_cross_socket_flit_hops\": %llu, \"dir_reqs_cross_socket\": %llu, "
-      "\"dir_dyn_energy_pj\": %.3f, "
-      "\"llc_dyn_energy_pj\": %.3f, \"noc_dyn_energy_pj\": %.3f, "
-      "\"dir_leak_energy_pj\": %.3f, \"nc_block_fraction\": %.6f, "
-      "\"avg_dir_occupancy\": %.6f, \"tasks\": %llu",
-      static_cast<unsigned long long>(s.cycles),
-      static_cast<unsigned long long>(s.fabric.dir_accesses), s.llc_hit_ratio(),
-      static_cast<unsigned long long>(s.noc.total_flit_hops()),
-      static_cast<unsigned long long>(s.noc.on_socket_flit_hops()),
-      static_cast<unsigned long long>(s.noc.cross_socket.flit_hops),
-      static_cast<unsigned long long>(s.fabric.dir_reqs_cross_socket),
-      s.dir_dyn_energy_pj, s.llc_dyn_energy_pj, s.noc_dyn_energy_pj,
-      s.dir_leak_energy_pj, s.noncoherent_block_fraction, s.avg_dir_occupancy,
-      static_cast<unsigned long long>(s.tasks));
+/// The ResultSet CSV/JSON headline selection, resolved once.
+[[nodiscard]] const std::vector<const MetricDesc*>& csv_selection() {
+  static const std::vector<const MetricDesc*> sel = [] {
+    const MetricSchema& schema = MetricSchema::instance();
+    std::vector<const MetricDesc*> v;
+    for (const char* key : csv_metric_keys()) v.push_back(&schema.get(key));
+    return v;
+  }();
+  return sel;
 }
 
 [[nodiscard]] bool write_text_file(const std::string& path, const std::string& text) {
@@ -80,8 +61,15 @@ namespace {
 }  // namespace
 
 ResultSet ResultSet::run(std::vector<RunSpec> specs, const RunOptions& opts) {
-  auto results = run_all(specs, opts);
-  return ResultSet(std::move(specs), std::move(results));
+  bool any_series = false;
+  for (const RunSpec& s : specs) any_series = any_series || s.series_interval > 0;
+  if (!any_series) {
+    auto results = run_all(specs, opts);
+    return ResultSet(std::move(specs), std::move(results));
+  }
+  std::vector<Series> series;
+  auto results = run_all(specs, opts, &series);
+  return ResultSet(std::move(specs), std::move(results), std::move(series));
 }
 
 const SimStats& ResultSet::at(std::string_view workload_ref, CohMode mode,
@@ -132,6 +120,14 @@ const SimStats& ResultSet::at(std::string_view workload_ref, CohMode mode,
 }
 
 ResultSet& ResultSet::append(ResultSet other) {
+  // Series alignment: if either side carries series, the merged set carries
+  // one (empty) Series per spec so indices keep lining up.
+  if (has_series() || other.has_series()) {
+    series_.resize(specs_.size());
+    other.series_.resize(other.specs_.size());
+    series_.insert(series_.end(), std::make_move_iterator(other.series_.begin()),
+                   std::make_move_iterator(other.series_.end()));
+  }
   specs_.insert(specs_.end(), std::make_move_iterator(other.specs_.begin()),
                 std::make_move_iterator(other.specs_.end()));
   results_.insert(results_.end(), std::make_move_iterator(other.results_.begin()),
@@ -140,26 +136,19 @@ ResultSet& ResultSet::append(ResultSet other) {
 }
 
 bool ResultSet::write_csv(const std::string& path) const {
-  std::string text =
-      "key,app,params,size,mode,dir_ratio,adr,seed,sched,topo,cycles,dir_accesses,"
-      "llc_hit_rate,noc_flit_hops,cross_socket_flit_hops,dir_dyn_energy_pj,"
-      "nc_block_fraction,avg_dir_occupancy,tasks\n";
+  std::string text = "key,app,params,size,mode,dir_ratio,adr,seed,sched,topo," +
+                     metrics_csv_header(csv_selection()) + "\n";
   for (std::size_t i = 0; i < specs_.size(); ++i) {
     const RunSpec& sp = specs_[i];
-    const SimStats& st = results_[i];
-    // key and params can contain commas (multi-knob overrides) — quote them.
+    // key and params can contain commas (multi-knob overrides) — always
+    // quoted; the remaining identity cells quote themselves when needed.
     text += strprintf(
-        "\"%s\",%s,\"%s\",%s,%s,%u,%d,%llu,%s,%s,%llu,%llu,%.6f,%llu,%llu,%.3f,%.6f,"
-        "%.6f,%llu\n",
-        sp.key().c_str(), sp.app.c_str(), sp.params.c_str(), to_string(sp.size),
-        to_string(sp.mode), sp.dir_ratio, sp.adr ? 1 : 0,
-        static_cast<unsigned long long>(sp.seed), to_string(sp.sched), sp.topo.c_str(),
-        static_cast<unsigned long long>(st.cycles),
-        static_cast<unsigned long long>(st.fabric.dir_accesses), st.llc_hit_ratio(),
-        static_cast<unsigned long long>(st.noc.total_flit_hops()),
-        static_cast<unsigned long long>(st.noc.cross_socket.flit_hops),
-        st.dir_dyn_energy_pj, st.noncoherent_block_fraction, st.avg_dir_occupancy,
-        static_cast<unsigned long long>(st.tasks));
+        "%s,%s,%s,%s,%s,%u,%d,%llu,%s,%s,%s\n", csv_cell(sp.key(), true).c_str(),
+        csv_cell(sp.app).c_str(), csv_cell(sp.params, true).c_str(),
+        to_string(sp.size), to_string(sp.mode), sp.dir_ratio, sp.adr ? 1 : 0,
+        static_cast<unsigned long long>(sp.seed), to_string(sp.sched),
+        csv_cell(sp.topo).c_str(),
+        metrics_csv_cells(csv_selection(), results_[i]).c_str());
   }
   return write_text_file(path, text);
 }
@@ -176,7 +165,7 @@ bool ResultSet::write_json(const std::string& path) const {
         json_escape(sp.params).c_str(), to_string(sp.size), to_string(sp.mode),
         sp.dir_ratio, sp.adr ? "true" : "false",
         static_cast<unsigned long long>(sp.seed), to_string(sp.sched),
-        json_escape(sp.topo).c_str(), metrics_json(results_[i]).c_str(),
+        json_escape(sp.topo).c_str(), bench_metrics_json(results_[i]).c_str(),
         i + 1 < specs_.size() ? "," : "");
   }
   text += "]\n";
@@ -210,7 +199,7 @@ bool ResultSet::append_bench_json(const std::string& path) const {
     for (char& c : key) {
       if (c == '"' || c == '\\') c = '_';
     }
-    entries[key] = strprintf("{%s}", metrics_json(results_[i]).c_str());
+    entries[key] = strprintf("{%s}", bench_metrics_json(results_[i]).c_str());
   }
   std::string text = "{\n";
   std::size_t n = 0;
@@ -303,6 +292,11 @@ Grid& Grid::paper_machine(bool on) {
   paper_machine_ = on;
   return *this;
 }
+Grid& Grid::sample_series(Cycle interval, std::string metrics) {
+  series_interval_ = interval;
+  series_metrics_ = std::move(metrics);
+  return *this;
+}
 
 std::vector<RunSpec> Grid::specs() const {
   RACCD_ASSERT(!workloads_.empty(), "Grid has no workloads");
@@ -348,6 +342,8 @@ std::vector<RunSpec> Grid::specs() const {
       base.params = merged.canonical();
     }
     base.paper_machine = paper_machine_;
+    base.series_interval = series_interval_;
+    base.series_metrics = series_metrics_;
     for (const SizeClass size : sizes_) {
       for (const CohMode mode : modes_) {
         for (const std::uint32_t ratio : dir_ratios_) {

@@ -12,7 +12,10 @@
 // ResultSet pairs the expanded specs with their stats (run through the
 // cache-aware parallel executor) and adds spec-addressed lookup plus
 // machine-readable emitters: CSV, JSON, and the cumulative BENCH_grid.json
-// perf log keyed by RunSpec::key().
+// perf log keyed by RunSpec::key(). All metric output flows through the
+// MetricSchema emitters (metrics/emit.hpp) — the selections live in
+// metric_schema.cpp, so emitters and schema cannot drift. Grids with
+// sampling enabled (sample_series) also carry one Series per spec.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +31,11 @@ class ResultSet {
   ResultSet() = default;
   ResultSet(std::vector<RunSpec> specs, std::vector<SimStats> results)
       : specs_(std::move(specs)), results_(std::move(results)) {}
+  ResultSet(std::vector<RunSpec> specs, std::vector<SimStats> results,
+            std::vector<Series> series)
+      : specs_(std::move(specs)),
+        results_(std::move(results)),
+        series_(std::move(series)) {}
 
   /// Execute `specs` (cache-aware, host-parallel) and bundle the results.
   [[nodiscard]] static ResultSet run(std::vector<RunSpec> specs,
@@ -51,6 +59,10 @@ class ResultSet {
     return nullptr;
   }
 
+  /// Per-spec metric time-series; empty Series for specs without sampling.
+  [[nodiscard]] bool has_series() const noexcept { return !series_.empty(); }
+  [[nodiscard]] const Series& series(std::size_t i) const { return series_.at(i); }
+
   /// Concatenate another set (spec order preserved).
   ResultSet& append(ResultSet other);
 
@@ -67,6 +79,7 @@ class ResultSet {
  private:
   std::vector<RunSpec> specs_;
   std::vector<SimStats> results_;
+  std::vector<Series> series_;  ///< empty, or one per spec
 };
 
 class Grid {
@@ -112,6 +125,9 @@ class Grid {
   Grid& topology(std::string t);
   Grid& topologies(std::vector<std::string> v);
   Grid& paper_machine(bool on);
+  /// Sample `metrics` (comma-separated names; "" = default subset) every
+  /// `interval` cycles on every run of the grid — ResultSet::series(i).
+  Grid& sample_series(Cycle interval, std::string metrics = "");
 
   /// Expand to the cartesian product (nesting order documented above).
   [[nodiscard]] std::vector<RunSpec> specs() const;
@@ -133,6 +149,8 @@ class Grid {
   std::vector<SchedPolicy> scheds_{SchedPolicy::kFifo};
   std::vector<std::string> topologies_{"flat"};
   bool paper_machine_ = false;
+  Cycle series_interval_ = 0;
+  std::string series_metrics_;
 };
 
 }  // namespace raccd

@@ -1,0 +1,303 @@
+#include "raccd/metrics/diff.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+
+#include "raccd/common/format.hpp"
+#include "raccd/metrics/metric_schema.hpp"
+
+namespace raccd {
+namespace {
+
+// Minimal recursive-descent JSON reader for the object-of-objects-of-numbers
+// shape our emitters write. Tolerant of whitespace and of values we don't
+// need (arrays / nested objects are skipped structurally).
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  [[nodiscard]] bool fail(const std::string& msg) {
+    if (error.empty()) error = strprintf("%s at offset %zu", msg.c_str(), pos);
+    return false;
+  }
+  void skip_ws() {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t' ||
+                                 text[pos] == '\n' || text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  [[nodiscard]] bool expect(char c) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != c) {
+      return fail(strprintf("expected '%c'", c));
+    }
+    ++pos;
+    return true;
+  }
+  [[nodiscard]] bool peek_is(char c) {
+    skip_ws();
+    return pos < text.size() && text[pos] == c;
+  }
+
+  [[nodiscard]] bool parse_string(std::string& out) {
+    if (!expect('"')) return false;
+    out.clear();
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c == '\\' && pos < text.size()) {
+        const char e = text[pos++];
+        switch (e) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u': {
+            // \uXXXX: decode latin-1 range, else keep a placeholder.
+            if (pos + 4 > text.size()) return fail("truncated \\u escape");
+            const unsigned v = static_cast<unsigned>(
+                std::strtoul(std::string(text.substr(pos, 4)).c_str(), nullptr, 16));
+            pos += 4;
+            c = v < 0x100 ? static_cast<char>(v) : '?';
+            break;
+          }
+          default: c = e;
+        }
+      }
+      out += c;
+    }
+    if (pos >= text.size()) return fail("unterminated string");
+    ++pos;  // closing quote
+    return true;
+  }
+
+  [[nodiscard]] bool parse_number(double& out) {
+    skip_ws();
+    // strtod needs NUL termination the view cannot promise: copy the bounded
+    // numeric token (JSON numbers are short) into a local buffer first.
+    char buf[48];
+    std::size_t n = 0;
+    while (pos + n < text.size() && n + 1 < sizeof buf) {
+      const char c = text[pos + n];
+      const bool numeric = (c >= '0' && c <= '9') || c == '-' || c == '+' ||
+                           c == '.' || c == 'e' || c == 'E';
+      if (!numeric) break;
+      buf[n++] = c;
+    }
+    buf[n] = '\0';
+    char* end = nullptr;
+    out = std::strtod(buf, &end);
+    if (end == buf) return fail("expected a number");
+    pos += static_cast<std::size_t>(end - buf);
+    return true;
+  }
+
+  /// Skip any JSON value (used for nested structures we don't collect).
+  [[nodiscard]] bool skip_value() {
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    if (c == '"') {
+      std::string ignored;
+      return parse_string(ignored);
+    }
+    if (c == '{' || c == '[') {
+      const char close = c == '{' ? '}' : ']';
+      ++pos;
+      skip_ws();
+      if (peek_is(close)) {
+        ++pos;
+        return true;
+      }
+      for (;;) {
+        if (c == '{') {
+          std::string ignored;
+          if (!parse_string(ignored) || !expect(':')) return false;
+        }
+        if (!skip_value()) return false;
+        skip_ws();
+        if (peek_is(',')) {
+          ++pos;
+          continue;
+        }
+        return expect(close);
+      }
+    }
+    if (text.compare(pos, 4, "true") == 0) { pos += 4; return true; }
+    if (text.compare(pos, 5, "false") == 0) { pos += 5; return true; }
+    if (text.compare(pos, 4, "null") == 0) { pos += 4; return true; }
+    double ignored = 0;
+    return parse_number(ignored);
+  }
+
+  [[nodiscard]] bool parse_metric_map(MetricMap& out) {
+    if (!expect('{')) return false;
+    if (peek_is('}')) { ++pos; return true; }
+    for (;;) {
+      std::string name;
+      if (!parse_string(name) || !expect(':')) return false;
+      skip_ws();
+      if (text.compare(pos, 4, "null") == 0) {
+        pos += 4;
+        out[name] = std::numeric_limits<double>::quiet_NaN();
+      } else if (peek_is('{') || peek_is('[') || peek_is('"')) {
+        if (!skip_value()) return false;  // non-numeric field: ignore
+      } else if (text.compare(pos, 4, "true") == 0) {
+        pos += 4;
+        out[name] = 1.0;
+      } else if (text.compare(pos, 5, "false") == 0) {
+        pos += 5;
+        out[name] = 0.0;
+      } else {
+        double v = 0;
+        if (!parse_number(v)) return false;
+        out[name] = v;
+      }
+      if (peek_is(',')) { ++pos; continue; }
+      return expect('}');
+    }
+  }
+};
+
+[[nodiscard]] double tolerance_pct_for(const std::string& key,
+                                       const DiffTolerances& tol, bool& absolute,
+                                       double& abs_band) {
+  absolute = false;
+  abs_band = 0.0;
+  const MetricDesc* m = MetricSchema::instance().find(key);
+  if (m == nullptr) return tol.default_pct;
+  switch (m->kind) {
+    case MetricKind::kCounter: return tol.counter_pct;
+    case MetricKind::kCycles: return tol.cycles_pct;
+    case MetricKind::kEnergy: return tol.energy_pct;
+    case MetricKind::kRatio:
+      absolute = true;
+      abs_band = tol.ratio_abs;
+      return 0.0;
+  }
+  return tol.default_pct;
+}
+
+}  // namespace
+
+std::string parse_bench_json(std::string_view text, BenchLog& out) {
+  out.clear();
+  Parser p{text, 0, {}};
+  if (!p.expect('{')) return p.error;
+  if (p.peek_is('}')) return "";
+  for (;;) {
+    std::string key;
+    if (!p.parse_string(key) || !p.expect(':')) return p.error;
+    MetricMap metrics;
+    if (!p.parse_metric_map(metrics)) return p.error;
+    out[key] = std::move(metrics);
+    if (p.peek_is(',')) { ++p.pos; continue; }
+    if (!p.expect('}')) return p.error;
+    return "";
+  }
+}
+
+std::string load_bench_json(const std::string& path, BenchLog& out) {
+  std::ifstream in(path);
+  if (!in) return strprintf("cannot open %s", path.c_str());
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  const std::string err = parse_bench_json(text, out);
+  if (!err.empty()) return strprintf("%s: %s", path.c_str(), err.c_str());
+  return "";
+}
+
+BenchDiff diff_bench_logs(const BenchLog& base, const BenchLog& cand,
+                          const DiffTolerances& tol) {
+  BenchDiff d;
+  for (const auto& [key, base_metrics] : base) {
+    const auto cit = cand.find(key);
+    if (cit == cand.end()) {
+      d.only_in_base.push_back(key);
+      continue;
+    }
+    ++d.keys_compared;
+    for (const auto& [metric, bval] : base_metrics) {
+      const auto mit = cit->second.find(metric);
+      DiffEntry e{key, metric, bval, 0.0, 0.0, false};
+      if (mit == cit->second.end()) {
+        // Candidate dropped a metric the baseline had: schema shrank.
+        e.cand = std::numeric_limits<double>::quiet_NaN();
+        e.out_of_tolerance = true;
+        d.exceeded.push_back(std::move(e));
+        continue;
+      }
+      ++d.metrics_compared;
+      e.cand = mit->second;
+      const bool bnan = std::isnan(bval), cnan = std::isnan(e.cand);
+      if (bnan || cnan) {
+        e.out_of_tolerance = bnan != cnan;  // null vs value is a change
+      } else {
+        e.delta_pct = bval == 0.0
+                          ? (e.cand == 0.0 ? 0.0 : std::numeric_limits<double>::infinity())
+                          : 100.0 * (e.cand - bval) / bval;
+        bool absolute = false;
+        double abs_band = 0.0;
+        const double pct = tolerance_pct_for(metric, tol, absolute, abs_band);
+        if (absolute) {
+          e.out_of_tolerance = std::fabs(e.cand - bval) > abs_band;
+        } else {
+          e.out_of_tolerance = std::fabs(e.delta_pct) > pct;
+        }
+      }
+      if (e.out_of_tolerance) d.exceeded.push_back(std::move(e));
+    }
+  }
+  for (const auto& [key, metrics] : cand) {
+    (void)metrics;
+    if (base.find(key) == base.end()) d.only_in_candidate.push_back(key);
+  }
+  return d;
+}
+
+std::string BenchDiff::report(bool markdown) const {
+  std::string out;
+  const bool ok = regressions() == 0;
+  if (markdown) {
+    out += strprintf("%s **perf gate %s** — %zu spec keys, %zu metrics compared, "
+                     "%zu out of tolerance, %zu baseline keys missing, %zu new keys\n\n",
+                     ok ? "✅" : "❌", ok ? "PASS" : "FAIL", keys_compared,
+                     metrics_compared, exceeded.size(), only_in_base.size(),
+                     only_in_candidate.size());
+  } else {
+    out += strprintf("perf gate %s: %zu spec keys, %zu metrics compared, %zu out of "
+                     "tolerance, %zu baseline keys missing, %zu new keys\n",
+                     ok ? "PASS" : "FAIL", keys_compared, metrics_compared,
+                     exceeded.size(), only_in_base.size(), only_in_candidate.size());
+  }
+  if (!exceeded.empty()) {
+    if (markdown) {
+      out += "| spec | metric | baseline | candidate | delta |\n|---|---|---|---|---|\n";
+      for (const DiffEntry& e : exceeded) {
+        out += strprintf("| `%s` | %s | %g | %g | %+.3f%% |\n", e.key.c_str(),
+                         e.metric.c_str(), e.base, e.cand, e.delta_pct);
+      }
+    } else {
+      for (const DiffEntry& e : exceeded) {
+        out += strprintf("  %-70s %-28s %14g -> %14g (%+.3f%%)\n", e.key.c_str(),
+                         e.metric.c_str(), e.base, e.cand, e.delta_pct);
+      }
+    }
+  }
+  for (const std::string& k : only_in_base) {
+    out += strprintf(markdown ? "- missing from candidate: `%s`\n"
+                              : "  missing from candidate: %s\n",
+                     k.c_str());
+  }
+  for (const std::string& k : only_in_candidate) {
+    out += strprintf(markdown ? "- new in candidate: `%s`\n"
+                              : "  new in candidate: %s\n",
+                     k.c_str());
+  }
+  return out;
+}
+
+}  // namespace raccd

@@ -1,0 +1,65 @@
+// Baseline-diff over benchmark logs: load two BENCH_grid.json files
+// (baseline vs candidate), join them on RunSpec::key(), compare each metric
+// under a per-kind tolerance, and report every out-of-tolerance delta — the
+// primitive the CI perf gate (and `raccd-report diff`) runs on.
+//
+// Tolerance classes come from the MetricSchema kind of each flat key:
+// counters are exact by default (the simulator is deterministic), cycle and
+// energy totals get a percent band, ratios an absolute band. Spec keys
+// present only in the baseline count as regressions (coverage loss); keys
+// only in the candidate are reported but don't fail the gate.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace raccd {
+
+/// One run's metrics; JSON null parses as NaN.
+using MetricMap = std::map<std::string, double>;
+/// RunSpec::key() -> metrics, as BENCH_grid.json stores them.
+using BenchLog = std::map<std::string, MetricMap>;
+
+/// Parse a BENCH_grid.json document. Returns "" or an error message.
+[[nodiscard]] std::string parse_bench_json(std::string_view text, BenchLog& out);
+/// Load + parse a file. Returns "" or an error message.
+[[nodiscard]] std::string load_bench_json(const std::string& path, BenchLog& out);
+
+struct DiffTolerances {
+  double counter_pct = 0.0;  ///< exact: determinism is part of the contract
+  double cycles_pct = 2.0;
+  double energy_pct = 2.0;
+  double ratio_abs = 0.02;   ///< absolute band for [0,1] ratios
+  double default_pct = 2.0;  ///< metrics the schema doesn't know
+};
+
+struct DiffEntry {
+  std::string key;     ///< RunSpec::key()
+  std::string metric;  ///< flat metric key
+  double base = 0.0;
+  double cand = 0.0;
+  double delta_pct = 0.0;  ///< 100*(cand-base)/base; 0 when both are 0
+  bool out_of_tolerance = false;
+};
+
+struct BenchDiff {
+  std::size_t keys_compared = 0;
+  std::size_t metrics_compared = 0;
+  std::vector<DiffEntry> exceeded;             ///< out-of-tolerance deltas only
+  std::vector<std::string> only_in_base;       ///< coverage lost -> regression
+  std::vector<std::string> only_in_candidate;  ///< new runs -> informational
+
+  /// Out-of-tolerance deltas plus baseline keys the candidate dropped.
+  [[nodiscard]] std::size_t regressions() const noexcept {
+    return exceeded.size() + only_in_base.size();
+  }
+  /// Human (or markdown) report: verdict line, totals, every exceeded delta.
+  [[nodiscard]] std::string report(bool markdown = false) const;
+};
+
+[[nodiscard]] BenchDiff diff_bench_logs(const BenchLog& base, const BenchLog& cand,
+                                        const DiffTolerances& tol = {});
+
+}  // namespace raccd

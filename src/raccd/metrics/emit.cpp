@@ -1,0 +1,111 @@
+#include "raccd/metrics/emit.hpp"
+
+#include <cmath>
+
+#include "raccd/common/assert.hpp"
+#include "raccd/common/format.hpp"
+
+namespace raccd {
+
+std::string csv_cell(std::string_view cell, bool force_quote) {
+  const bool needs_quote =
+      force_quote || cell.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(cell);
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out += '"';
+  for (const char c : cell) {
+    if (c == '"') out += '"';  // RFC 4180: double the inner quote
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_escape(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (const char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strprintf("\\u%04x", static_cast<unsigned>(c));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(const MetricDesc& m, const SimStats& s) {
+  const MetricValue v = m.value(s);
+  if (!v.is_int && !std::isfinite(v.d)) return "null";
+  return m.format(s);
+}
+
+std::string metrics_csv_header(std::span<const MetricDesc* const> sel) {
+  std::string out;
+  for (const MetricDesc* m : sel) {
+    if (!out.empty()) out += ',';
+    out += csv_cell(m->key);
+  }
+  return out;
+}
+
+std::string metrics_csv_cells(std::span<const MetricDesc* const> sel,
+                              const SimStats& s) {
+  std::string out;
+  for (const MetricDesc* m : sel) {
+    if (!out.empty()) out += ',';
+    out += m->format(s);  // numeric: never needs quoting
+  }
+  return out;
+}
+
+std::string metrics_json_fields(std::span<const MetricDesc* const> sel,
+                                const SimStats& s) {
+  std::string out;
+  for (const MetricDesc* m : sel) {
+    if (!out.empty()) out += ", ";
+    out += strprintf("\"%s\": %s", m->key, json_number(*m, s).c_str());
+  }
+  return out;
+}
+
+std::string bench_metrics_json(const SimStats& s) {
+  static const std::vector<const MetricDesc*> sel = [] {
+    const MetricSchema& schema = MetricSchema::instance();
+    std::vector<const MetricDesc*> v;
+    for (const char* key : bench_metric_keys()) v.push_back(&schema.get(key));
+    return v;
+  }();
+  return metrics_json_fields(sel, s);
+}
+
+std::string metrics_markdown_table(std::span<const std::string> row_labels,
+                                   std::span<const MetricDesc* const> sel,
+                                   std::span<const SimStats* const> runs) {
+  RACCD_ASSERT(row_labels.size() == runs.size(),
+               "one label per run required for a markdown table");
+  std::string out = "| run |";
+  for (const MetricDesc* m : sel) out += strprintf(" %s |", m->name);
+  out += "\n|---|";
+  for (std::size_t i = 0; i < sel.size(); ++i) out += "---|";
+  out += "\n";
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    out += strprintf("| %s |", row_labels[r].c_str());
+    for (const MetricDesc* m : sel) out += strprintf(" %s |", m->format(*runs[r]).c_str());
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace raccd

@@ -1,0 +1,52 @@
+// Schema-driven emitters: CSV / JSON / Markdown over a metric selection,
+// with hardened escaping. These replace the hand-rolled format strings the
+// ResultSet emitters and bench tables used to carry — output flows from
+// MetricSchema descriptors, so the formats cannot drift from the schema.
+//
+// Escaping rules:
+//  * CSV cells are quoted (and inner quotes doubled) whenever they contain a
+//    comma, quote, or newline — workload refs like
+//    "synthetic:shape=pipeline,width=64" round-trip through any CSV reader.
+//  * JSON strings escape quotes, backslashes and all control characters.
+//  * Non-finite doubles (NaN/inf) emit as JSON null, never as bare tokens
+//    that would break the document.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "raccd/metrics/metric_schema.hpp"
+
+namespace raccd {
+
+/// Escape one CSV cell: quoted iff it needs quoting (or `force_quote`).
+[[nodiscard]] std::string csv_cell(std::string_view cell, bool force_quote = false);
+
+/// JSON string contents (no surrounding quotes): ", \, and control chars.
+[[nodiscard]] std::string json_escape(std::string_view in);
+
+/// A JSON number: integers as-is, doubles via `fmt`, NaN/inf as null.
+[[nodiscard]] std::string json_number(const MetricDesc& m, const SimStats& s);
+
+/// Comma-joined CSV header cells for a selection (flat keys).
+[[nodiscard]] std::string metrics_csv_header(std::span<const MetricDesc* const> sel);
+/// Comma-joined CSV value cells for one run.
+[[nodiscard]] std::string metrics_csv_cells(std::span<const MetricDesc* const> sel,
+                                            const SimStats& s);
+
+/// `"key": value, ...` JSON object fields (no braces) for a selection.
+[[nodiscard]] std::string metrics_json_fields(std::span<const MetricDesc* const> sel,
+                                              const SimStats& s);
+
+/// The results/BENCH_grid.json payload for one run — the historical field
+/// list and formatting, byte-for-byte (verified by the round-trip test).
+[[nodiscard]] std::string bench_metrics_json(const SimStats& s);
+
+/// One markdown table over several runs: first column from `row_labels`,
+/// one column per selected metric.
+[[nodiscard]] std::string metrics_markdown_table(
+    std::span<const std::string> row_labels, std::span<const MetricDesc* const> sel,
+    std::span<const SimStats* const> runs);
+
+}  // namespace raccd

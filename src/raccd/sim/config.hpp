@@ -46,6 +46,18 @@ struct TimingConfig {
   double miss_overlap = 3.0;
 };
 
+/// Phase-resolved stat sampling (metrics/series.hpp): every `interval`
+/// cycles the machine snapshots the selected metrics into a bounded Series.
+/// Defined here (not in the metrics layer) so SimConfig can carry it without
+/// inverting the layering; the sampler itself lives above in metrics/.
+struct SeriesConfig {
+  Cycle interval = 0;    ///< sampling period in cycles; 0 = disabled
+  std::string metrics;   ///< comma-separated metric names; empty = default subset
+  /// Ring bound: reaching it drops every second sample and doubles the
+  /// effective interval, so memory stays O(max_samples) for any run length.
+  std::uint32_t max_samples = 4096;
+};
+
 struct SimConfig {
   CohMode mode = CohMode::kRaCCD;
   FabricConfig fabric{};
@@ -58,6 +70,7 @@ struct SimConfig {
   SchedPolicy sched = SchedPolicy::kFifo;
   std::uint64_t seed = 42;
   bool enable_checker = false;
+  SeriesConfig series{};  ///< phase-resolved sampling (off by default)
 
   /// Default machine: 16 cores, 32 KB 2-way L1s, 2 MB LLC (128 KB/bank),
   /// directory 1:1 (2048 entries/bank).

@@ -29,6 +29,10 @@ Machine::Machine(const SimConfig& cfg)
   }
   cores_.resize(cfg_.fabric.cores);
   backend_ = make_backend(BackendContext{cfg_, fabric_, mem_, tlbs_});
+  if (cfg_.series.interval > 0) {
+    sampler_ = std::make_unique<StatSampler>(
+        cfg_.series, [this](Cycle at, SimStats& s) { snapshot_stats(at, s); });
+  }
 }
 
 TaskId Machine::spawn(TaskDesc desc) {
@@ -71,6 +75,9 @@ void Machine::taskwait() {
   while (!rt_.all_finished()) {
     const CoreId c = pop_min_clock_core();
     RACCD_ASSERT(c != kNoCore, "deadlock: all cores asleep with unfinished tasks");
+    // The popped core holds the globally minimal clock, so sample times are
+    // non-decreasing — the series is a consistent global timeline.
+    if (sampler_) sampler_->observe(cores_[c].clock);
     step(c);
     if (!cores_[c].sleeping) run_heap_.emplace(cores_[c].clock, c);
   }
@@ -206,22 +213,20 @@ void Machine::finish_task(CoreId c) {
   if (new_ready) wake_sleepers(cs.clock);
 }
 
-SimStats Machine::collect() {
-  RACCD_ASSERT(!collected_, "collect() must be called once");
-  RACCD_ASSERT(rt_.all_finished(), "collect() before all tasks finished");
-  collected_ = true;
-  fabric_.finalize(main_clock_);
-
-  SimStats s;
+void Machine::snapshot_stats(Cycle at, SimStats& s) const {
+  // Fills a default-constructed SimStats with the machine's state as of
+  // `at`. Counters are exact; the occupancy fields are *instantaneous*
+  // (valid entries vs capacity, powered sets vs total right now) — the
+  // quantity a Fig. 8-style occupancy-over-time trace plots. collect()
+  // overwrites them with the run's time-weighted averages.
   s.mode = cfg_.mode;
   s.dir_ratio = cfg_.dir_ratio();
   s.adr_enabled = cfg_.adr.enabled;
-  s.cycles = main_clock_;
+  s.cycles = at;
   for (const auto& cs : cores_) s.busy_cycles += cs.busy_cycles;
-  s.core_utilization =
-      main_clock_ == 0 ? 0.0
-                       : static_cast<double>(s.busy_cycles) /
-                             (static_cast<double>(main_clock_) * cores_.size());
+  s.core_utilization = at == 0 ? 0.0
+                               : static_cast<double>(s.busy_cycles) /
+                                     (static_cast<double>(at) * cores_.size());
   s.fabric = fabric_.stats();
   s.noc = fabric_.mesh().stats();
   backend_->accumulate(s);  // mode-private stats (NCRT, PT classifier)
@@ -247,7 +252,44 @@ SimStats Machine::collect() {
   s.blocks_touched = fabric_.classifier().touched_blocks();
   s.blocks_noncoherent = fabric_.classifier().noncoherent_blocks();
   s.noncoherent_block_fraction = fabric_.classifier().noncoherent_fraction();
+  double occ_sum = 0.0, active_sum = 0.0;
+  for (BankId b = 0; b < cfg_.fabric.cores; ++b) {
+    const auto& d = fabric_.dir(b);
+    occ_sum += static_cast<double>(d.valid_entries()) /
+               (static_cast<double>(d.total_sets()) * d.ways());
+    active_sum += static_cast<double>(d.active_sets()) / d.total_sets();
+  }
+  s.avg_dir_occupancy = occ_sum / cfg_.fabric.cores;
+  s.avg_dir_active_frac = active_sum / cfg_.fabric.cores;
+  s.dir_dyn_energy_pj = s.fabric.e_dir_pj;
+  s.llc_dyn_energy_pj = s.fabric.e_llc_pj;
+  s.noc_dyn_energy_pj = s.fabric.e_noc_pj;
+  s.mem_dyn_energy_pj = s.fabric.e_mem_pj;
+  s.l1_dyn_energy_pj = s.fabric.e_l1_pj;
+  // Leakage over the powered entry-cycles accumulated so far.
+  double leak = 0.0;
+  for (BankId b = 0; b < cfg_.fabric.cores; ++b) {
+    const double entry_cycles = fabric_.dir(b).active_integral();
+    leak += fabric_.energy().dir_leakage_pj(1, 1) * entry_cycles;
+  }
+  s.dir_leak_energy_pj = leak;
+}
+
+SimStats Machine::collect() {
+  RACCD_ASSERT(!collected_, "collect() must be called once");
+  RACCD_ASSERT(rt_.all_finished(), "collect() before all tasks finished");
+  collected_ = true;
+  // Finalize before the last series point so integral-derived metrics
+  // (e.g. energy.dir_leak_pj) include the tail window up to main_clock_.
+  fabric_.finalize(main_clock_);
+  if (sampler_) sampler_->finish(main_clock_);
+
+  SimStats s;
+  snapshot_stats(main_clock_, s);
+  // End-of-run reports use the time-weighted averages (paper Fig. 8's
+  // per-app numbers), not the final instantaneous occupancy.
   s.avg_dir_occupancy = fabric_.avg_dir_occupancy(main_clock_);
+  s.avg_dir_active_frac = 0.0;
   if (main_clock_ > 0) {
     double active_sum = 0.0;
     for (BankId b = 0; b < cfg_.fabric.cores; ++b) {
@@ -257,18 +299,6 @@ SimStats Machine::collect() {
     }
     s.avg_dir_active_frac = active_sum / cfg_.fabric.cores;
   }
-  s.dir_dyn_energy_pj = s.fabric.e_dir_pj;
-  s.llc_dyn_energy_pj = s.fabric.e_llc_pj;
-  s.noc_dyn_energy_pj = s.fabric.e_noc_pj;
-  s.mem_dyn_energy_pj = s.fabric.e_mem_pj;
-  s.l1_dyn_energy_pj = s.fabric.e_l1_pj;
-  // Leakage over the run, integrated over the powered entry count.
-  double leak = 0.0;
-  for (BankId b = 0; b < cfg_.fabric.cores; ++b) {
-    const double entry_cycles = fabric_.dir(b).active_integral();
-    leak += fabric_.energy().dir_leakage_pj(1, 1) * entry_cycles;
-  }
-  s.dir_leak_energy_pj = leak;
   return s;
 }
 

@@ -28,6 +28,7 @@
 #include "raccd/coherence/fabric.hpp"
 #include "raccd/core/adr.hpp"
 #include "raccd/mem/sim_memory.hpp"
+#include "raccd/metrics/series.hpp"
 #include "raccd/modes/coherence_backend.hpp"
 #include "raccd/runtime/runtime.hpp"
 #include "raccd/sim/config.hpp"
@@ -66,6 +67,12 @@ class Machine {
   using TraceSink = std::function<void(const TaskNode&, const AccessTrace&)>;
   void set_trace_sink(TraceSink sink) { trace_sink_ = std::move(sink); }
 
+  /// Phase-resolved metric series (cfg.series.interval > 0); nullptr when
+  /// sampling is disabled. Final sample lands when collect() runs.
+  [[nodiscard]] const Series* series() const noexcept {
+    return sampler_ ? &sampler_->series() : nullptr;
+  }
+
  private:
   struct CoreState {
     Cycle clock = 0;
@@ -89,6 +96,10 @@ class Machine {
   void replay_record(CoreId c);
   void finish_task(CoreId c);
   void wake_sleepers(Cycle at);
+  /// Live stats snapshot for the series sampler: counters as-of-now,
+  /// occupancy fields *instantaneous* (valid entries vs capacity right now)
+  /// rather than the time-averaged integrals collect() reports.
+  void snapshot_stats(Cycle at, SimStats& s) const;
 
   SimConfig cfg_;
   CoherenceChecker checker_;
@@ -120,6 +131,7 @@ class Machine {
   std::uint64_t accesses_replayed_ = 0;
   bool collected_ = false;
   TraceSink trace_sink_;
+  std::unique_ptr<StatSampler> sampler_;  ///< non-null iff series enabled
 
   /// Constructed last (it references fabric/mem/tlbs), destroyed first.
   std::unique_ptr<CoherenceBackend> backend_;

@@ -1,5 +1,8 @@
 #include "raccd/sim/report.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "raccd/common/format.hpp"
 #include "raccd/energy/area_model.hpp"
 #include "raccd/modes/coherence_backend.hpp"
@@ -51,6 +54,24 @@ void print_report(const SimStats& s, std::FILE* out) {
                  static_cast<unsigned long long>(s.adr.shrinks),
                  static_cast<unsigned long long>(s.adr.entries_moved),
                  format_count(s.adr.blocked_cycles).c_str());
+  }
+}
+
+void print_metrics(const SimStats& s, std::span<const MetricDesc* const> selection,
+                   std::FILE* out) {
+  std::size_t name_w = 0, val_w = 0;
+  std::vector<std::string> values;
+  values.reserve(selection.size());
+  for (const MetricDesc* m : selection) {
+    name_w = std::max(name_w, std::string(m->name).size());
+    values.push_back(m->format(s));
+    val_w = std::max(val_w, values.back().size());
+  }
+  for (std::size_t i = 0; i < selection.size(); ++i) {
+    const MetricDesc* m = selection[i];
+    std::fprintf(out, "  %-*s  %*s%s%s  # %s\n", static_cast<int>(name_w), m->name,
+                 static_cast<int>(val_w), values[i].c_str(),
+                 m->unit[0] != '\0' ? " " : "", m->unit, m->doc);
   }
 }
 

@@ -2,7 +2,10 @@
 #pragma once
 
 #include <cstdio>
+#include <span>
+#include <string>
 
+#include "raccd/metrics/metric_schema.hpp"
 #include "raccd/sim/config.hpp"
 #include "raccd/sim/stats.hpp"
 
@@ -13,5 +16,11 @@ void print_report(const SimStats& s, std::FILE* out = stdout);
 
 /// Print the machine configuration header (paper Table I analogue).
 void print_config(const SimConfig& cfg, std::FILE* out = stdout);
+
+/// Schema-driven metric listing: one aligned `name  value unit  # doc` line
+/// per selected metric (simulate --metrics=a,b,c; every name comes from
+/// MetricSchema, so there is no hand-maintained format string to drift).
+void print_metrics(const SimStats& s, std::span<const MetricDesc* const> selection,
+                   std::FILE* out = stdout);
 
 }  // namespace raccd
