@@ -68,6 +68,7 @@ inline PaperGrid run_grid(const BenchOptions& opts) {
                                          .size(opts.size)
                                          .modes(kAllBackends)
                                          .topology(opts.topo)  // --topology=...
+                                         .dram(opts.dram)      // --dram=...
                                          // Every mode sweeps every ratio — even
                                          // WbNC, whose *dynamic* stats are
                                          // ratio-invariant: the powered (leaking)

@@ -37,5 +37,25 @@ int main(int argc, char** argv) {
               "(paper 35%%), LLC: %.1f%% (paper 19%%)\n",
               noc_save, llc_save);
   std::printf("paper: RaCCD -71%% vs FullCoh @1:1, -80%% @1:256\n");
+
+  // Memory-side energy with its DRAM per-op split (activate / read / write /
+  // precharge; all zero under the default --dram=simple flat model, where
+  // the memory total is the flat per-access energy).
+  std::printf("\nMemory dynamic energy at 1:1 (act/rd/wr/pre split, --dram=%s):\n",
+              opts.dram.c_str());
+  for (const CohMode mode : kAllBackends) {
+    double mem = 0.0, act = 0.0, rd = 0.0, wr = 0.0, pre = 0.0;
+    for (std::size_t a = 0; a < g.apps.size(); ++a) {
+      const SimStats& s = g.at(a, mode, 1);
+      mem += metric_value(s, "energy.mem_dyn_pj");
+      act += metric_value(s, "energy.mem_act_pj");
+      rd += metric_value(s, "energy.mem_rd_pj");
+      wr += metric_value(s, "energy.mem_wr_pj");
+      pre += metric_value(s, "energy.mem_pre_pj");
+    }
+    std::printf("  %-7s total %10.1f nJ = act %10.1f + rd %10.1f + wr %10.1f "
+                "+ pre %10.1f nJ\n",
+                to_string(mode), mem / 1e3, act / 1e3, rd / 1e3, wr / 1e3, pre / 1e3);
+  }
   return 0;
 }

@@ -7,6 +7,7 @@
 #include "raccd/coherence/fabric.hpp"
 #include "raccd/common/rng.hpp"
 #include "raccd/core/ncrt.hpp"
+#include "raccd/dram/dram.hpp"
 #include "raccd/interval/interval_set.hpp"
 #include "raccd/mem/page_table.hpp"
 #include "raccd/runtime/dep_registry.hpp"
@@ -73,6 +74,44 @@ void BM_FabricMissStream(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FabricMissStream);
+
+void BM_DramReadStream(benchmark::State& state) {
+  // Sequential lines: mostly row hits, periodic activates — the fast path of
+  // the queue/bank structures behind every simulated LLC miss.
+  DramConfig cfg;
+  cfg.model = DramModel::kDdr;
+  DramController dc(cfg);
+  Cycle t = 0;
+  LineAddr l = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dc.read(l++, t));
+    t += 4;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramReadStream);
+
+void BM_DramMixedRandom(benchmark::State& state) {
+  // Random reads + writebacks: row conflicts plus queue-slot management
+  // (erase/min scans) — the worst case of the closed-form DRAM model.
+  DramConfig cfg;
+  cfg.model = DramModel::kDdr;
+  cfg.channels = 2;
+  DramController dc(cfg);
+  Rng rng(6);
+  Cycle t = 0;
+  for (auto _ : state) {
+    const LineAddr l = rng.next_below(1 << 16);
+    if ((l & 3) == 0) {
+      benchmark::DoNotOptimize(dc.write(l, t));
+    } else {
+      benchmark::DoNotOptimize(dc.read(l, t));
+    }
+    t += 2;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramMixedRandom);
 
 void BM_DepRegistryRegister(benchmark::State& state) {
   DepRegistry reg;

@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
                            .size(SizeClass::kTiny)  // quick tour by default
                            .modes(kAllBackends)
                            .topology(opts.topo)  // --topology=flat|cmesh|numaS[xC]
+                           .dram(opts.dram)      // --dram=simple|ddr[-...]
                            .paper_machine(opts.paper_machine)
                            .run(opts.run);
   if (!rs.append_bench_json("results/BENCH_grid.json")) {

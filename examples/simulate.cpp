@@ -50,6 +50,11 @@ void usage() {
       "  --topology=T              machine shape: flat (default), cmesh[K]\n"
       "                            (K cores/router), numaS (S sockets) or\n"
       "                            numaSxC (S sockets of C cores each)\n"
+      "  --dram=D                  memory system: simple (default, flat\n"
+      "                            latency) or ddr with '-' modifiers —\n"
+      "                            open|closed (page policy), fcfs|frfcfs\n"
+      "                            (scheduler), chN (channels), bkN (banks),\n"
+      "                            e.g. ddr-closed-fcfs-ch2\n"
       "  --alloc=cont|frag|firsttouch|interleave   page placement policy\n"
       "  --dir-ratio=N             directory 1:N of LLC lines (default 1)\n"
       "  --adr                     enable Adaptive Directory Reduction\n"
@@ -151,6 +156,8 @@ int main(int argc, char** argv) {
       spec.alloc = AllocPolicy::kFragmented;
     } else if (std::strncmp(a, "--topology=", 11) == 0) {
       spec.topo = a + 11;
+    } else if (std::strncmp(a, "--dram=", 7) == 0) {
+      spec.dram = a + 7;
     } else if (std::strncmp(a, "--alloc=", 8) == 0) {
       const std::string p = a + 8;
       if (p == "cont" || p == "contiguous") spec.alloc = AllocPolicy::kContiguous;
@@ -197,11 +204,15 @@ int main(int argc, char** argv) {
     spec.params = params.canonical();
   }
 
-  // Validate the topology token before config_for() would abort on it.
+  // Validate the topology/DRAM tokens before config_for() would abort on them.
   {
     SimConfig probe = SimConfig::scaled(spec.mode);
     if (const std::string terr = probe.apply_topology(spec.topo); !terr.empty()) {
       std::fprintf(stderr, "--topology=%s: %s\n", spec.topo.c_str(), terr.c_str());
+      return 1;
+    }
+    if (const std::string derr = probe.apply_dram(spec.dram); !derr.empty()) {
+      std::fprintf(stderr, "--dram=%s: %s\n", spec.dram.c_str(), derr.c_str());
       return 1;
     }
   }

@@ -59,11 +59,20 @@ void FabricStats::add(const FabricStats& o) noexcept {
   nc_reqs_cross_socket += o.nc_reqs_cross_socket;
   mem_reads += o.mem_reads;
   mem_writes += o.mem_writes;
+  mem_wb_wait_cycles += o.mem_wb_wait_cycles;
+  dram_row_hits += o.dram_row_hits;
+  dram_row_misses += o.dram_row_misses;
+  dram_row_conflicts += o.dram_row_conflicts;
+  dram_queue_wait_cycles += o.dram_queue_wait_cycles;
   e_dir_pj += o.e_dir_pj;
   e_llc_pj += o.e_llc_pj;
   e_l1_pj += o.e_l1_pj;
   e_noc_pj += o.e_noc_pj;
   e_mem_pj += o.e_mem_pj;
+  e_mem_act_pj += o.e_mem_act_pj;
+  e_mem_rd_pj += o.e_mem_rd_pj;
+  e_mem_wr_pj += o.e_mem_wr_pj;
+  e_mem_pre_pj += o.e_mem_pre_pj;
 }
 
 void BlockClassifier::record(LineAddr line, bool nc) {
@@ -113,7 +122,28 @@ Fabric::Fabric(const FabricConfig& cfg, CoherenceChecker* checker)
   }
   dir_busy_.assign(cfg_.cores, 0);
   llc_busy_.assign(cfg_.cores, 0);
-  mem_version_.reserve(4096);
+  if (cfg_.dram.model != DramModel::kSimple) {
+    // One DramController per distinct memory-controller tile (NUMA sockets
+    // each get their own); mc_of_ resolves a controller node to its index.
+    mc_of_.assign(cfg_.cores, 0);
+    std::unordered_map<std::uint32_t, std::uint32_t> index;
+    for (std::uint32_t n = 0; n < cfg_.cores; ++n) {
+      const std::uint32_t mc = mesh_.nearest_memory_controller(n);
+      const auto [it, inserted] =
+          index.try_emplace(mc, static_cast<std::uint32_t>(dram_.size()));
+      if (inserted) dram_.emplace_back(cfg_.dram);
+      mc_of_[mc] = it->second;
+    }
+  }
+  // Bounded pre-size: writeback versions are keyed by physical line, and
+  // rehashing an unbounded map mid-run is what the hint avoids. Cap at a
+  // multiple of the machine's total LLC lines — the scale of plausible
+  // writeback working sets — so multi-GB phys spaces don't make every
+  // (possibly tiny) Machine pay a megabytes-large bucket array up front.
+  const std::uint64_t cap = std::max<std::uint64_t>(
+      4096, 8ull * cfg_.llc.lines_per_bank * cfg_.cores);
+  mem_version_.reserve(static_cast<std::size_t>(
+      std::min(std::max<std::uint64_t>(cfg_.phys_lines_hint, 4096), cap)));
 }
 
 // ---------------------------------------------------------------------------
@@ -204,14 +234,14 @@ Cycle Fabric::recall_sharers(BankId b, DirEntry& e, CoreId skip, Cycle now) {
   return slowest;
 }
 
-Cycle Fabric::drop_llc_line(BankId b, LineAddr line, bool due_to_dir) {
+Cycle Fabric::drop_llc_line(BankId b, LineAddr line, bool due_to_dir, Cycle now) {
   const LlcLine dead = llc_[b]->invalidate(line);
   RACCD_ASSERT(dead.valid, "dropping a non-resident LLC line");
   count_llc_touch(b);
   if (due_to_dir) ++stats_.llc_inval_by_dir;
   Cycle lat = 0;
   if (dead.dirty) {
-    mem_writeback(b, line, dead.version);
+    mem_writeback(b, line, dead.version, now);
     ++stats_.llc_wb_mem;
     lat += 0;  // writeback drains off the critical path
   }
@@ -221,7 +251,7 @@ Cycle Fabric::drop_llc_line(BankId b, LineAddr line, bool due_to_dir) {
 Cycle Fabric::evict_dir_entry(BankId b, const DirEntry& victim, Cycle now) {
   DirEntry copy = victim;
   Cycle lat = recall_sharers(b, copy, kNoCore, now);
-  lat += drop_llc_line(b, victim.line, /*due_to_dir=*/true);
+  lat += drop_llc_line(b, victim.line, /*due_to_dir=*/true, now + lat);
   mark_dir_dirty(b, now);
   const bool removed = dir_[b]->remove(victim.line);
   RACCD_ASSERT(removed, "directory victim vanished during recall");
@@ -244,7 +274,7 @@ Cycle Fabric::llc_fill(BankId b, LineAddr line, bool nc, bool dirty, std::uint64
       lat += evict_dir_entry(b, *ve, now);
     } else {
       // NC line or untracked coherent line: plain eviction.
-      lat += drop_llc_line(b, victim.line, /*due_to_dir=*/false);
+      lat += drop_llc_line(b, victim.line, /*due_to_dir=*/false, now + lat);
     }
   }
   llc_[b]->fill(line, nc, dirty, version);
@@ -253,22 +283,64 @@ Cycle Fabric::llc_fill(BankId b, LineAddr line, bool nc, bool dirty, std::uint64
   return lat;
 }
 
-Cycle Fabric::mem_fetch(BankId b, LineAddr line, std::uint64_t& version) {
+DramController& Fabric::dram_at(std::uint32_t mc) {
+  RACCD_DEBUG_ASSERT(!dram_.empty(), "DRAM model disabled");
+  return dram_[mc_of_[mc]];
+}
+
+void Fabric::account_dram(const DramOutcome& out, bool is_write) {
+  switch (out.row) {
+    case DramOutcome::Row::kHit: ++stats_.dram_row_hits; break;
+    case DramOutcome::Row::kEmpty: ++stats_.dram_row_misses; break;
+    case DramOutcome::Row::kConflict: ++stats_.dram_row_conflicts; break;
+  }
+  double pj = is_write ? energy_.dram_write_pj() : energy_.dram_read_pj();
+  (is_write ? stats_.e_mem_wr_pj : stats_.e_mem_rd_pj) += pj;
+  if (out.activated) {
+    stats_.e_mem_act_pj += energy_.dram_activate_pj();
+    pj += energy_.dram_activate_pj();
+  }
+  if (out.precharged) {
+    stats_.e_mem_pre_pj += energy_.dram_precharge_pj();
+    pj += energy_.dram_precharge_pj();
+  }
+  stats_.e_mem_pj += pj;  // e_mem_pj stays the memory total under both models
+}
+
+Cycle Fabric::mem_fetch(BankId b, LineAddr line, std::uint64_t& version, Cycle now) {
   const std::uint32_t mc = mesh_.nearest_memory_controller(b);
   Cycle lat = msg(b, mc, MsgClass::kRequest);
-  lat += cfg_.mem_cycles;
+  if (cfg_.dram.model == DramModel::kSimple) {
+    lat += cfg_.mem_cycles;
+    stats_.e_mem_pj += energy_.mem_access_pj();
+  } else {
+    const DramOutcome out = dram_at(mc).read(line, now + lat);
+    lat += out.total();
+    stats_.dram_queue_wait_cycles += out.wait;
+    account_dram(out, /*is_write=*/false);
+  }
   lat += msg(mc, b, MsgClass::kResponseData);
   ++stats_.mem_reads;
-  stats_.e_mem_pj += energy_.mem_access_pj();
   version = mem_version(line);
   return lat;
 }
 
-void Fabric::mem_writeback(BankId b, LineAddr line, std::uint64_t version) {
+void Fabric::mem_writeback(BankId b, LineAddr line, std::uint64_t version, Cycle now) {
   const std::uint32_t mc = mesh_.nearest_memory_controller(b);
-  (void)msg(b, mc, MsgClass::kWriteback);
+  // Posted write: the requester never waits. Under kDdr the delivery leg
+  // and write-queue wait are accounted (mem_wb_wait_cycles) instead of
+  // dropped, and the write occupies a queue slot that backpressures later
+  // reads; kSimple keeps the legacy fire-and-forget stats byte-identical
+  // (warm pre-DRAM cache entries stay consistent with fresh runs).
+  const Cycle leg = msg(b, mc, MsgClass::kWriteback);
   ++stats_.mem_writes;
-  stats_.e_mem_pj += energy_.mem_access_pj();
+  if (cfg_.dram.model == DramModel::kSimple) {
+    stats_.e_mem_pj += energy_.mem_access_pj();
+  } else {
+    const DramOutcome out = dram_at(mc).write(line, now + leg);
+    stats_.mem_wb_wait_cycles += leg + out.wait;
+    account_dram(out, /*is_write=*/true);
+  }
   mem_version_[line] = version;
 }
 
@@ -287,7 +359,7 @@ void Fabric::handle_l1_victim(CoreId c, const L1Line& victim, Cycle now) {
       ll->dirty = true;
       ll->version = victim.version;
     } else {
-      mem_writeback(b, victim.line, victim.version);
+      mem_writeback(b, victim.line, victim.version, now);
       ++stats_.llc_wb_mem;
     }
   } else {
@@ -306,7 +378,6 @@ void Fabric::handle_l1_victim(CoreId c, const L1Line& victim, Cycle now) {
     ll->dirty = true;
     ll->version = victim.version;
   }
-  (void)now;
 }
 
 // ---------------------------------------------------------------------------
@@ -447,7 +518,7 @@ Fabric::MissResult Fabric::coherent_miss(CoreId c, LineAddr line, bool is_write,
       r.version = ll->version;
     } else {
       ++stats_.llc_misses;
-      r.latency += mem_fetch(b, line, r.version);
+      r.latency += mem_fetch(b, line, r.version, now + r.latency);
       r.latency += llc_fill(b, line, /*nc=*/false, /*dirty=*/false, r.version,
                             now + r.latency);
     }
@@ -493,7 +564,7 @@ Fabric::MissResult Fabric::nc_miss(CoreId c, LineAddr line, bool is_write, Cycle
     r.version = ll->version;
   } else {
     ++stats_.llc_misses;
-    r.latency += mem_fetch(b, line, r.version);
+    r.latency += mem_fetch(b, line, r.version, now + r.latency);
     r.latency += llc_fill(b, line, /*nc=*/true, /*dirty=*/false, r.version,
                           now + r.latency);
   }
@@ -628,12 +699,11 @@ Fabric::FlushOutcome Fabric::flush_nc_lines(CoreId c, Cycle now) {
         ll->dirty = true;
         ll->version = old.version;
       } else {
-        mem_writeback(b, line, old.version);
+        mem_writeback(b, line, old.version, now + out.cycles);
         ++stats_.llc_wb_mem;
       }
     }
   }
-  (void)now;
   return out;
 }
 
@@ -661,7 +731,7 @@ Fabric::FlushOutcome Fabric::flush_page_lines(CoreId c, PageNum frame, Cycle now
           ll->dirty = true;
           ll->version = old.version;
         } else {
-          mem_writeback(b, line, old.version);
+          mem_writeback(b, line, old.version, now + out.cycles);
           ++stats_.llc_wb_mem;
         }
       } else {
@@ -680,7 +750,6 @@ Fabric::FlushOutcome Fabric::flush_page_lines(CoreId c, PageNum frame, Cycle now
       }
     }
   }
-  (void)now;
   return out;
 }
 
@@ -694,7 +763,7 @@ Fabric::ResizeOutcome Fabric::resize_dir_bank(BankId b, std::uint32_t new_active
   for (DirEntry& e : displaced) {
     // Conflict overflow under the new indexing: recall like an eviction.
     (void)recall_sharers(b, e, kNoCore, now);
-    (void)drop_llc_line(b, e.line, /*due_to_dir=*/true);
+    (void)drop_llc_line(b, e.line, /*due_to_dir=*/true, now);
     ++stats_.dir_evictions;
   }
   // The reconfiguration blocks the bank while entries move (paper §III-D).

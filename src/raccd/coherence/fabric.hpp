@@ -1,5 +1,7 @@
 // The coherence fabric: private L1s + banked shared LLC + banked sparse
-// directory + mesh NoC + memory controllers, driven as atomic transactions.
+// directory + mesh NoC + memory controllers (optionally backed by the
+// channel/bank/row-buffer DRAM model of dram/dram.hpp), driven as atomic
+// transactions.
 //
 // Every memory access runs to completion in protocol order ("now" values are
 // globally non-decreasing because the simulation advances the core with the
@@ -27,6 +29,7 @@
 #include "raccd/coherence/directory.hpp"
 #include "raccd/coherence/fabric_stats.hpp"
 #include "raccd/common/types.hpp"
+#include "raccd/dram/dram.hpp"
 #include "raccd/energy/energy_model.hpp"
 #include "raccd/noc/mesh.hpp"
 
@@ -50,7 +53,11 @@ struct FabricConfig {
   Cycle invalidate_walk_cycles_per_line = 1;  ///< raccd_invalidate L1 walk cost
   bool model_bank_contention = true;
   EnergyConfig energy{};
-  /// Pre-size for the Fig. 2 block-classification table (lines).
+  /// Memory system behind the controllers (dram/dram.hpp). The default
+  /// kSimple model reproduces the flat mem_cycles latency byte-identically.
+  DramConfig dram{};
+  /// Physical line-count hint: pre-sizes the memory version map (and bounds
+  /// its rehashing on large runs). 0 = small default.
   std::uint64_t phys_lines_hint = 0;
 };
 
@@ -174,15 +181,21 @@ class Fabric {
   /// inval/ack leg (invals run in parallel).
   Cycle recall_sharers(BankId b, DirEntry& e, CoreId skip, Cycle now);
   /// Remove the LLC line (writing it back to memory if dirty).
-  Cycle drop_llc_line(BankId b, LineAddr line, bool due_to_dir);
+  Cycle drop_llc_line(BankId b, LineAddr line, bool due_to_dir, Cycle now);
   /// Evict a directory entry: recall sharers, drop the LLC line, remove.
   Cycle evict_dir_entry(BankId b, const DirEntry& victim, Cycle now);
   /// Fill `line` into its home LLC bank, evicting a victim if needed.
   Cycle llc_fill(BankId b, LineAddr line, bool nc, bool dirty, std::uint64_t version,
                  Cycle now);
-  /// Memory fetch legs from home bank b; returns latency, sets version.
-  Cycle mem_fetch(BankId b, LineAddr line, std::uint64_t& version);
-  void mem_writeback(BankId b, LineAddr line, std::uint64_t version);
+  /// Memory fetch legs from home bank b, arriving at the controller as of
+  /// `now` + the request leg; returns latency, sets version.
+  Cycle mem_fetch(BankId b, LineAddr line, std::uint64_t& version, Cycle now);
+  /// Posted writeback to memory: occupies a controller write-queue slot
+  /// (kDdr) and accounts the delivery latency into mem_wb_wait_cycles.
+  void mem_writeback(BankId b, LineAddr line, std::uint64_t version, Cycle now);
+  /// DRAM controller serving node `mc` (kDdr model only).
+  [[nodiscard]] DramController& dram_at(std::uint32_t mc);
+  void account_dram(const DramOutcome& out, bool is_write);
 
   void handle_l1_victim(CoreId c, const L1Line& victim, Cycle now);
   void mark_dir_dirty(BankId b, Cycle now);
@@ -197,6 +210,10 @@ class Fabric {
   std::vector<std::unique_ptr<DirectoryBank>> dir_;
   std::vector<Cycle> dir_busy_;
   std::vector<Cycle> llc_busy_;
+  /// One controller per distinct memory-controller tile (per socket on
+  /// NUMA); empty under the kSimple model. mc_of_[node] indexes dram_.
+  std::vector<DramController> dram_;
+  std::vector<std::uint32_t> mc_of_;
   std::unordered_map<LineAddr, std::uint64_t> mem_version_;
   std::vector<double> dir_access_pj_;  ///< cached per-bank per-access energy
   FabricStats stats_;

@@ -52,14 +52,31 @@ struct FabricStats {
 
   // Memory
   std::uint64_t mem_reads = 0, mem_writes = 0;
+  /// Writeback delivery: NoC leg to the controller plus write-queue wait
+  /// (the latency mem_writeback used to drop on the floor).
+  std::uint64_t mem_wb_wait_cycles = 0;
+
+  // DRAM (dram/dram.hpp; all zero under the default kSimple flat-latency
+  // model). Row-buffer outcome of every serviced request, and the cycles
+  // read requests spent waiting before service (queues, write drains, bank
+  // conflicts, issue ordering).
+  std::uint64_t dram_row_hits = 0, dram_row_misses = 0, dram_row_conflicts = 0;
+  std::uint64_t dram_queue_wait_cycles = 0;
 
   // Dynamic energy (pJ)
   double e_dir_pj = 0.0, e_llc_pj = 0.0, e_l1_pj = 0.0, e_noc_pj = 0.0, e_mem_pj = 0.0;
+  /// DRAM per-op split of e_mem_pj under the kDdr model (replaces the flat
+  /// mem_access_pj): activate / column-read / column-write / precharge.
+  double e_mem_act_pj = 0.0, e_mem_rd_pj = 0.0, e_mem_wr_pj = 0.0, e_mem_pre_pj = 0.0;
 
   void add(const FabricStats& o) noexcept;
   [[nodiscard]] double llc_hit_ratio() const noexcept {
     return llc_lookups == 0 ? 0.0
                             : static_cast<double>(llc_hits) / static_cast<double>(llc_lookups);
+  }
+  [[nodiscard]] double dram_row_hit_ratio() const noexcept {
+    const std::uint64_t total = dram_row_hits + dram_row_misses + dram_row_conflicts;
+    return total == 0 ? 0.0 : static_cast<double>(dram_row_hits) / static_cast<double>(total);
   }
 };
 

@@ -1,0 +1,168 @@
+#include "raccd/dram/dram.hpp"
+
+#include <algorithm>
+
+#include "raccd/common/assert.hpp"
+#include "raccd/common/bits.hpp"
+#include "raccd/common/format.hpp"
+
+namespace raccd {
+
+DramController::DramController(const DramConfig& cfg) : cfg_(cfg) {
+  RACCD_ASSERT(is_pow2(cfg_.channels), "DRAM channel count must be a power of two");
+  RACCD_ASSERT(is_pow2(cfg_.banks), "DRAM bank count must be a power of two");
+  const std::uint32_t lines_per_row = cfg_.row_bytes / kLineBytes;
+  RACCD_ASSERT(lines_per_row > 0 && is_pow2(lines_per_row),
+               "DRAM row must hold a power-of-two number of lines");
+  ch_bits_ = log2_exact(cfg_.channels);
+  bank_bits_ = log2_exact(cfg_.banks);
+  row_line_bits_ = log2_exact(lines_per_row);
+  channels_.resize(cfg_.channels);
+  for (Channel& ch : channels_) {
+    ch.banks.resize(cfg_.banks);
+    ch.read_q.reserve(cfg_.read_queue_slots);
+    ch.write_q.reserve(cfg_.write_queue_slots);
+  }
+}
+
+Cycle DramController::wait_for_slot(std::vector<Cycle>& q, std::uint32_t slots,
+                                    Cycle t) {
+  // Entries are completion times of in-flight requests; drop the finished
+  // ones, then drain the earliest completer until a slot frees up.
+  std::erase_if(q, [t](Cycle done) { return done <= t; });
+  while (q.size() >= slots) {
+    const auto earliest = std::min_element(q.begin(), q.end());
+    t = std::max(t, *earliest);
+    q.erase(earliest);
+  }
+  return t;
+}
+
+DramOutcome DramController::service(LineAddr line, Cycle arrive, bool is_write) {
+  // Address mapping: line-interleaved channels, then row:bank:column — a row
+  // is `row_bytes` of consecutive lines, consecutive rows rotate banks, so
+  // streaming access row-hits within a row and spreads across banks.
+  Channel& ch = channels_[line & (cfg_.channels - 1)];
+  const std::uint64_t col = line >> ch_bits_;
+  Bank& bank = ch.banks[(col >> row_line_bits_) & (cfg_.banks - 1)];
+  const std::uint64_t row = col >> (row_line_bits_ + bank_bits_);
+
+  DramOutcome out;
+  Cycle start = arrive;
+  // Writebacks occupy write-queue slots that backpressure reads: a full
+  // write queue forces a drain before *any* request issues.
+  start = wait_for_slot(ch.write_q, cfg_.write_queue_slots, start);
+  if (!is_write) start = wait_for_slot(ch.read_q, cfg_.read_queue_slots, start);
+
+  const bool hit = bank.open && bank.row == row;
+  const bool conflict = bank.open && bank.row != row;
+  // FR-FCFS lets a row hit issue as soon as its bank and bus allow; FCFS
+  // (and any non-hit) honors the channel's in-order issue point.
+  if (cfg_.sched == DramSched::kFcfs || !hit) start = std::max(start, ch.last_start);
+  start = std::max(start, bank.busy_until);
+
+  Cycle lat = 0;
+  if (conflict) {
+    // The open row must precharge first; a young row also waits out tRAS.
+    const Cycle pre_at = std::max(start, bank.ras_ready);
+    lat = (pre_at - start) + cfg_.t_rp;
+    out.precharged = true;
+  }
+  if (!hit) {
+    lat += cfg_.t_rcd;
+    out.activated = true;
+  }
+  lat += cfg_.t_cas;
+  // The burst serializes on the channel data bus — except that FR-FCFS lets
+  // a row hit's burst slip into an idle bus slot ahead of a slower earlier
+  // request (the reordering that makes the policy pay).
+  Cycle done = start + lat + cfg_.t_burst;
+  const bool bypass = cfg_.sched == DramSched::kFrFcfs && hit;
+  if (!bypass) done = std::max(done, ch.bus_busy_until + cfg_.t_burst);
+  ch.bus_busy_until = std::max(ch.bus_busy_until, done);
+  if (out.activated) bank.ras_ready = (done - cfg_.t_burst - cfg_.t_cas) + cfg_.t_ras;
+
+  bank.row = row;
+  bank.open = true;
+  bank.busy_until = done;
+  if (cfg_.page == PagePolicy::kClosed) {
+    // Auto-precharge after every access: the bank reopens from scratch.
+    bank.busy_until = done + cfg_.t_rp;
+    bank.open = false;
+    out.precharged = true;
+  }
+  ch.last_start = std::max(ch.last_start, start);
+  (is_write ? ch.write_q : ch.read_q).push_back(done);
+
+  out.wait = start - arrive;
+  out.latency = done - start;
+  out.row = hit ? DramOutcome::Row::kHit
+                : (conflict ? DramOutcome::Row::kConflict : DramOutcome::Row::kEmpty);
+  return out;
+}
+
+std::string parse_dram(std::string_view token, DramConfig& cfg) {
+  DramConfig out;  // modifiers apply over the ddr defaults
+  if (token.empty()) return "empty DRAM token";
+  if (token == "simple") {
+    out.model = DramModel::kSimple;
+    cfg = out;
+    return {};
+  }
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos <= token.size()) {
+    std::size_t dash = token.find('-', pos);
+    if (dash == std::string_view::npos) dash = token.size();
+    const std::string_view part = token.substr(pos, dash - pos);
+    pos = dash + 1;
+    if (first) {
+      if (part != "ddr") {
+        return strprintf("unknown DRAM model '%.*s' (expected 'simple' or 'ddr[-...]')",
+                         static_cast<int>(part.size()), part.data());
+      }
+      out.model = DramModel::kDdr;
+      first = false;
+      continue;
+    }
+    const auto parse_pow2 = [&part](std::size_t skip, std::uint32_t max,
+                                    std::uint32_t& dst) {
+      std::uint32_t v = 0;
+      if (skip >= part.size()) return false;
+      for (std::size_t i = skip; i < part.size(); ++i) {
+        if (part[i] < '0' || part[i] > '9') return false;
+        v = v * 10 + static_cast<std::uint32_t>(part[i] - '0');
+        if (v > max) return false;  // also blocks silent uint32 wraparound
+      }
+      if (v == 0 || !is_pow2(v)) return false;
+      dst = v;
+      return true;
+    };
+    if (part == "open") {
+      out.page = PagePolicy::kOpen;
+    } else if (part == "closed") {
+      out.page = PagePolicy::kClosed;
+    } else if (part == "fcfs") {
+      out.sched = DramSched::kFcfs;
+    } else if (part == "frfcfs") {
+      out.sched = DramSched::kFrFcfs;
+    } else if (part.substr(0, 2) == "ch") {
+      if (!parse_pow2(2, 16, out.channels)) {
+        return strprintf("bad channel count '%.*s' (power of two, 1..16)",
+                         static_cast<int>(part.size()), part.data());
+      }
+    } else if (part.substr(0, 2) == "bk") {
+      if (!parse_pow2(2, 64, out.banks)) {
+        return strprintf("bad bank count '%.*s' (power of two, 1..64)",
+                         static_cast<int>(part.size()), part.data());
+      }
+    } else {
+      return strprintf("unknown DRAM modifier '%.*s' (open|closed|fcfs|frfcfs|chN|bkN)",
+                       static_cast<int>(part.size()), part.data());
+    }
+  }
+  cfg = out;
+  return {};
+}
+
+}  // namespace raccd

@@ -31,6 +31,15 @@ struct EnergyConfig {
   double ncrt_lookup_pj = 0.6;
   double mem_access_pj = 15000.0;  ///< DRAM access (row activation + IO)
 
+  /// Per-op DRAM energies for the detailed dram/dram.hpp model, which
+  /// replace the flat mem_access_pj there: a closed-page access
+  /// (ACT + RD + PRE ~ 13 nJ) lands near the flat number, while a row hit
+  /// pays only the column read — the energy side of row-buffer locality.
+  double dram_activate_pj = 8000.0;
+  double dram_read_pj = 3000.0;
+  double dram_write_pj = 3200.0;
+  double dram_precharge_pj = 2000.0;
+
   /// Leakage power per directory entry (Gated-Vdd cuts this for powered-off
   /// entries). 66 bits/entry at 22 nm LP: ~2 pW/bit.
   double dir_leak_pw_per_entry = 132.0;
@@ -49,6 +58,10 @@ class EnergyModel {
   [[nodiscard]] double noc_flit_hop_pj() const noexcept { return cfg_.noc_flit_hop_pj; }
   [[nodiscard]] double ncrt_lookup_pj() const noexcept { return cfg_.ncrt_lookup_pj; }
   [[nodiscard]] double mem_access_pj() const noexcept { return cfg_.mem_access_pj; }
+  [[nodiscard]] double dram_activate_pj() const noexcept { return cfg_.dram_activate_pj; }
+  [[nodiscard]] double dram_read_pj() const noexcept { return cfg_.dram_read_pj; }
+  [[nodiscard]] double dram_write_pj() const noexcept { return cfg_.dram_write_pj; }
+  [[nodiscard]] double dram_precharge_pj() const noexcept { return cfg_.dram_precharge_pj; }
 
   /// Leakage energy of `active_entries` over `cycles` cycles at `ghz`.
   [[nodiscard]] double dir_leakage_pj(std::uint64_t active_entries, std::uint64_t cycles,

@@ -74,6 +74,7 @@ std::string RunSpec::key() const {
     k += strprintf("-ti%g-td%g", adr_theta_inc, adr_theta_dec);
   }
   if (topo != "flat") k += strprintf("-t%s", topo.c_str());
+  if (dram != "simple") k += strprintf("-dram=%s", dram.c_str());
   if (!params.empty()) {
     k += strprintf("-p{%s}", params.c_str());
     k += file_param_fingerprint(params);
@@ -87,6 +88,10 @@ SimConfig config_for(const RunSpec& spec) {
   if (const std::string err = cfg.apply_topology(spec.topo); !err.empty()) {
     std::fprintf(stderr, "topology '%s': %s\n", spec.topo.c_str(), err.c_str());
     RACCD_ASSERT(false, "malformed topology token");
+  }
+  if (const std::string err = cfg.apply_dram(spec.dram); !err.empty()) {
+    std::fprintf(stderr, "dram '%s': %s\n", spec.dram.c_str(), err.c_str());
+    RACCD_ASSERT(false, "malformed DRAM token");
   }
   cfg.set_dir_ratio(spec.dir_ratio);
   cfg.adr.enabled = spec.adr;
@@ -237,6 +242,7 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
     const char* a = argv[i];
     if (std::strncmp(a, "--size=", 7) == 0) apply_size(a + 7);
     else if (std::strncmp(a, "--topology=", 11) == 0) o.topo = a + 11;
+    else if (std::strncmp(a, "--dram=", 7) == 0) o.dram = a + 7;
     else if (std::strcmp(a, "--paper") == 0) o.paper_machine = true;
     else if (std::strcmp(a, "--no-cache") == 0) o.run.use_cache = false;
     else if (std::strcmp(a, "--verbose") == 0) o.run.verbose = true;

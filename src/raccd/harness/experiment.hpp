@@ -39,6 +39,10 @@ struct RunSpec {
   /// Machine-shape token (topo/topology.hpp): "flat" (default, legacy cache
   /// keys unchanged), "cmesh[<K>]", "numa<S>" or "numa<S>x<C>".
   std::string topo = "flat";
+  /// Memory-system token (dram/dram.hpp): "simple" (default, legacy cache
+  /// keys unchanged and flat-latency behavior byte-identical) or
+  /// "ddr[-open|-closed][-fcfs|-frfcfs][-ch<N>][-bk<N>]".
+  std::string dram = "simple";
   /// Phase-resolved sampling (metrics/series.hpp): sample the selected
   /// metrics every `series_interval` cycles (0 = off; empty selection =
   /// default subset). Sampling never perturbs the simulation, so the cache
@@ -82,14 +86,17 @@ struct RunOptions {
                                             std::vector<Series>* series_out = nullptr);
 
 /// Common CLI/env options for the bench binaries: --size=tiny|small|paper,
-/// --paper (machine preset), --topology=T, --no-cache, --threads=N,
-/// --verbose, and repeatable --set key=value workload-parameter passthrough
-/// (env: RACCD_SIZE, RACCD_PAPER, RACCD_NO_CACHE, RACCD_THREADS).
+/// --paper (machine preset), --topology=T, --dram=D, --no-cache,
+/// --threads=N, --verbose, and repeatable --set key=value
+/// workload-parameter passthrough (env: RACCD_SIZE, RACCD_PAPER,
+/// RACCD_NO_CACHE, RACCD_THREADS).
 struct BenchOptions {
   SizeClass size = SizeClass::kSmall;
   bool paper_machine = false;
   /// Machine-shape token for every run of the binary's grid (default flat).
   std::string topo = "flat";
+  /// Memory-system token for every run of the binary's grid (default simple).
+  std::string dram = "simple";
   /// --set overrides, applied to every workload of the binary's grid.
   WorkloadParams params;
   RunOptions run{};

@@ -136,18 +136,18 @@ ResultSet& ResultSet::append(ResultSet other) {
 }
 
 bool ResultSet::write_csv(const std::string& path) const {
-  std::string text = "key,app,params,size,mode,dir_ratio,adr,seed,sched,topo," +
+  std::string text = "key,app,params,size,mode,dir_ratio,adr,seed,sched,topo,dram," +
                      metrics_csv_header(csv_selection()) + "\n";
   for (std::size_t i = 0; i < specs_.size(); ++i) {
     const RunSpec& sp = specs_[i];
     // key and params can contain commas (multi-knob overrides) — always
     // quoted; the remaining identity cells quote themselves when needed.
     text += strprintf(
-        "%s,%s,%s,%s,%s,%u,%d,%llu,%s,%s,%s\n", csv_cell(sp.key(), true).c_str(),
+        "%s,%s,%s,%s,%s,%u,%d,%llu,%s,%s,%s,%s\n", csv_cell(sp.key(), true).c_str(),
         csv_cell(sp.app).c_str(), csv_cell(sp.params, true).c_str(),
         to_string(sp.size), to_string(sp.mode), sp.dir_ratio, sp.adr ? 1 : 0,
         static_cast<unsigned long long>(sp.seed), to_string(sp.sched),
-        csv_cell(sp.topo).c_str(),
+        csv_cell(sp.topo).c_str(), csv_cell(sp.dram).c_str(),
         metrics_csv_cells(csv_selection(), results_[i]).c_str());
   }
   return write_text_file(path, text);
@@ -160,13 +160,14 @@ bool ResultSet::write_json(const std::string& path) const {
     text += strprintf(
         "  {\"key\": \"%s\", \"app\": \"%s\", \"params\": \"%s\", "
         "\"size\": \"%s\", \"mode\": \"%s\", \"dir_ratio\": %u, \"adr\": %s, "
-        "\"seed\": %llu, \"sched\": \"%s\", \"topo\": \"%s\", %s}%s\n",
+        "\"seed\": %llu, \"sched\": \"%s\", \"topo\": \"%s\", \"dram\": \"%s\", "
+        "%s}%s\n",
         json_escape(sp.key()).c_str(), json_escape(sp.app).c_str(),
         json_escape(sp.params).c_str(), to_string(sp.size), to_string(sp.mode),
         sp.dir_ratio, sp.adr ? "true" : "false",
         static_cast<unsigned long long>(sp.seed), to_string(sp.sched),
-        json_escape(sp.topo).c_str(), bench_metrics_json(results_[i]).c_str(),
-        i + 1 < specs_.size() ? "," : "");
+        json_escape(sp.topo).c_str(), json_escape(sp.dram).c_str(),
+        bench_metrics_json(results_[i]).c_str(), i + 1 < specs_.size() ? "," : "");
   }
   text += "]\n";
   return write_text_file(path, text);
@@ -288,6 +289,11 @@ Grid& Grid::topologies(std::vector<std::string> v) {
   topologies_ = std::move(v);
   return *this;
 }
+Grid& Grid::dram(std::string d) { return drams({std::move(d)}); }
+Grid& Grid::drams(std::vector<std::string> v) {
+  drams_ = std::move(v);
+  return *this;
+}
 Grid& Grid::paper_machine(bool on) {
   paper_machine_ = on;
   return *this;
@@ -355,20 +361,23 @@ std::vector<RunSpec> Grid::specs() const {
                     for (const AllocPolicy alloc : allocs_) {
                       for (const SchedPolicy sched : scheds_) {
                         for (const std::string& topo : topologies_) {
-                          RunSpec s = base;
-                          s.size = size;
-                          s.mode = mode;
-                          s.dir_ratio = ratio;
-                          s.adr = adr;
-                          s.adr_theta_inc = ti;
-                          s.adr_theta_dec = td;
-                          s.seed = seed;
-                          s.ncrt_latency = lat;
-                          s.ncrt_entries = entries;
-                          s.alloc = alloc;
-                          s.sched = sched;
-                          s.topo = topo;
-                          out.push_back(std::move(s));
+                          for (const std::string& dram : drams_) {
+                            RunSpec s = base;
+                            s.size = size;
+                            s.mode = mode;
+                            s.dir_ratio = ratio;
+                            s.adr = adr;
+                            s.adr_theta_inc = ti;
+                            s.adr_theta_dec = td;
+                            s.seed = seed;
+                            s.ncrt_latency = lat;
+                            s.ncrt_entries = entries;
+                            s.alloc = alloc;
+                            s.sched = sched;
+                            s.topo = topo;
+                            s.dram = dram;
+                            out.push_back(std::move(s));
+                          }
                         }
                       }
                     }

@@ -2,12 +2,12 @@
 //
 // Grid is a fluent builder over every RunSpec axis: workloads (registry
 // references like "synthetic:shape=pipeline,width=64"), problem sizes,
-// coherence modes, directory ratios, machine topologies, ADR on/off (and
-// thresholds), seeds and the overhead/ablation knobs. specs() expands the
-// cartesian product in a fixed nesting order — workloads, sizes, modes,
-// dir_ratios, adr, adr_bands, seeds, ncrt_latencies, ncrt_entries, allocs,
-// scheds, topologies, outermost to innermost — so axis-major index
-// arithmetic on the results stays valid.
+// coherence modes, directory ratios, machine topologies, DRAM models, ADR
+// on/off (and thresholds), seeds and the overhead/ablation knobs. specs()
+// expands the cartesian product in a fixed nesting order — workloads, sizes,
+// modes, dir_ratios, adr, adr_bands, seeds, ncrt_latencies, ncrt_entries,
+// allocs, scheds, topologies, drams, outermost to innermost — so axis-major
+// index arithmetic on the results stays valid.
 //
 // ResultSet pairs the expanded specs with their stats (run through the
 // cache-aware parallel executor) and adds spec-addressed lookup plus
@@ -124,6 +124,9 @@ class Grid {
   /// Machine-shape tokens ("flat", "cmesh[<K>]", "numa<S>[x<C>]").
   Grid& topology(std::string t);
   Grid& topologies(std::vector<std::string> v);
+  /// Memory-system tokens ("simple", "ddr[-open|-closed|-fcfs|-frfcfs|-chN|-bkN]").
+  Grid& dram(std::string d);
+  Grid& drams(std::vector<std::string> v);
   Grid& paper_machine(bool on);
   /// Sample `metrics` (comma-separated names; "" = default subset) every
   /// `interval` cycles on every run of the grid — ResultSet::series(i).
@@ -148,6 +151,7 @@ class Grid {
   std::vector<AllocPolicy> allocs_{AllocPolicy::kContiguous};
   std::vector<SchedPolicy> scheds_{SchedPolicy::kFifo};
   std::vector<std::string> topologies_{"flat"};
+  std::vector<std::string> drams_{"simple"};
   bool paper_machine_ = false;
   Cycle series_interval_ = 0;
   std::string series_metrics_;

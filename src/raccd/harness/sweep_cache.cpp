@@ -83,11 +83,20 @@ void pack(const SimStats& s, Fields& f) {
   f.put_u("nc_reqs_cross_socket", fb.nc_reqs_cross_socket);
   f.put_u("mem_reads", fb.mem_reads);
   f.put_u("mem_writes", fb.mem_writes);
+  f.put_u("mem_wb_wait_cycles", fb.mem_wb_wait_cycles);
+  f.put_u("dram_row_hits", fb.dram_row_hits);
+  f.put_u("dram_row_misses", fb.dram_row_misses);
+  f.put_u("dram_row_conflicts", fb.dram_row_conflicts);
+  f.put_u("dram_queue_wait_cycles", fb.dram_queue_wait_cycles);
   f.put_d("e_dir_pj", fb.e_dir_pj);
   f.put_d("e_llc_pj", fb.e_llc_pj);
   f.put_d("e_l1_pj", fb.e_l1_pj);
   f.put_d("e_noc_pj", fb.e_noc_pj);
   f.put_d("e_mem_pj", fb.e_mem_pj);
+  f.put_d("e_mem_act_pj", fb.e_mem_act_pj);
+  f.put_d("e_mem_rd_pj", fb.e_mem_rd_pj);
+  f.put_d("e_mem_wr_pj", fb.e_mem_wr_pj);
+  f.put_d("e_mem_pre_pj", fb.e_mem_pre_pj);
   for (std::size_t c = 0; c < kMsgClassCount; ++c) {
     const auto& pc = s.noc.per_class[c];
     f.put_u(strprintf("noc%zu_messages", c), pc.messages);
@@ -189,11 +198,20 @@ void unpack(const Fields& f, SimStats& s) {
   fb.nc_reqs_cross_socket = f.get_u("nc_reqs_cross_socket");
   fb.mem_reads = f.get_u("mem_reads");
   fb.mem_writes = f.get_u("mem_writes");
+  fb.mem_wb_wait_cycles = f.get_u("mem_wb_wait_cycles");
+  fb.dram_row_hits = f.get_u("dram_row_hits");
+  fb.dram_row_misses = f.get_u("dram_row_misses");
+  fb.dram_row_conflicts = f.get_u("dram_row_conflicts");
+  fb.dram_queue_wait_cycles = f.get_u("dram_queue_wait_cycles");
   fb.e_dir_pj = f.get_d("e_dir_pj");
   fb.e_llc_pj = f.get_d("e_llc_pj");
   fb.e_l1_pj = f.get_d("e_l1_pj");
   fb.e_noc_pj = f.get_d("e_noc_pj");
   fb.e_mem_pj = f.get_d("e_mem_pj");
+  fb.e_mem_act_pj = f.get_d("e_mem_act_pj");
+  fb.e_mem_rd_pj = f.get_d("e_mem_rd_pj");
+  fb.e_mem_wr_pj = f.get_d("e_mem_wr_pj");
+  fb.e_mem_pre_pj = f.get_d("e_mem_pre_pj");
   for (std::size_t c = 0; c < kMsgClassCount; ++c) {
     auto& pc = s.noc.per_class[c];
     pc.messages = f.get_u(strprintf("noc%zu_messages", c));

@@ -135,6 +135,27 @@ namespace {
                    s.fabric.mem_reads),
       RACCD_METRIC("fabric.mem_writes", "mem_writes", "", kCounter,
                    "memory line writebacks", s.fabric.mem_writes),
+      RACCD_METRIC("fabric.mem_wb_wait_cycles", "mem_wb_wait_cycles", "cycles",
+                   kCycles,
+                   "writeback delivery: NoC leg to the controller + write-queue wait",
+                   s.fabric.mem_wb_wait_cycles),
+
+      // -- DRAM (dram/dram.hpp; zero under the default simple model) --------------
+      RACCD_METRIC("dram.row_hits", "dram_row_hits", "", kCounter,
+                   "requests served from an open row buffer", s.fabric.dram_row_hits),
+      RACCD_METRIC("dram.row_misses", "dram_row_misses", "", kCounter,
+                   "requests that activated a closed row", s.fabric.dram_row_misses),
+      RACCD_METRIC("dram.row_conflicts", "dram_row_conflicts", "", kCounter,
+                   "requests that precharged another open row first",
+                   s.fabric.dram_row_conflicts),
+      RACCD_METRIC("dram.row_hit_rate", "dram_row_hit_rate", "", kRatio,
+                   "row-buffer hits / serviced DRAM requests",
+                   s.fabric.dram_row_hit_ratio()),
+      RACCD_METRIC("dram.queue_wait_cycles", "dram_queue_wait_cycles", "cycles",
+                   kCycles,
+                   "read-request wait before DRAM service (queues, write drains, "
+                   "bank conflicts, issue order)",
+                   s.fabric.dram_queue_wait_cycles),
 
       // -- NoC --------------------------------------------------------------------
       RACCD_METRIC("noc.messages", "noc_messages", "", kCounter, "NoC messages",
@@ -265,6 +286,15 @@ namespace {
                    "NoC dynamic energy", s.noc_dyn_energy_pj),
       RACCD_METRIC("energy.mem_dyn_pj", "mem_dyn_energy_pj", "pJ", kEnergy,
                    "memory dynamic energy", s.mem_dyn_energy_pj),
+      RACCD_METRIC("energy.mem_act_pj", "mem_act_energy_pj", "pJ", kEnergy,
+                   "DRAM activate energy (kDdr per-op split of the memory total)",
+                   s.fabric.e_mem_act_pj),
+      RACCD_METRIC("energy.mem_rd_pj", "mem_rd_energy_pj", "pJ", kEnergy,
+                   "DRAM column-read energy", s.fabric.e_mem_rd_pj),
+      RACCD_METRIC("energy.mem_wr_pj", "mem_wr_energy_pj", "pJ", kEnergy,
+                   "DRAM column-write energy", s.fabric.e_mem_wr_pj),
+      RACCD_METRIC("energy.mem_pre_pj", "mem_pre_energy_pj", "pJ", kEnergy,
+                   "DRAM precharge energy", s.fabric.e_mem_pre_pj),
       RACCD_METRIC("energy.l1_dyn_pj", "l1_dyn_energy_pj", "pJ", kEnergy,
                    "L1 dynamic energy", s.l1_dyn_energy_pj),
       RACCD_METRIC("energy.dir_leak_pj", "dir_leak_energy_pj", "pJ", kEnergy,

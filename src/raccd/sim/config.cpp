@@ -46,6 +46,10 @@ std::string SimConfig::apply_topology(std::string_view token) {
   return {};
 }
 
+std::string SimConfig::apply_dram(std::string_view token) {
+  return parse_dram(token, fabric.dram);
+}
+
 void SimConfig::set_dir_ratio(std::uint32_t n) {
   RACCD_ASSERT(is_pow2(n), "directory ratio must be a power of two");
   const std::uint32_t entries = fabric.llc.lines_per_bank / n;

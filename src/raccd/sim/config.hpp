@@ -89,6 +89,10 @@ struct SimConfig {
   /// Returns "" on success or an error message.
   [[nodiscard]] std::string apply_topology(std::string_view token);
 
+  /// Apply a DRAM-model token ("simple", or "ddr" with '-'-separated
+  /// modifiers — see dram/dram.hpp) to fabric.dram. Returns "" or an error.
+  [[nodiscard]] std::string apply_dram(std::string_view token);
+
   [[nodiscard]] std::uint32_t dir_ratio() const noexcept {
     return fabric.llc.lines_per_bank / fabric.dir.entries_per_bank;
   }

@@ -11,6 +11,9 @@ namespace {
 /// space PhysMemory allocates from — derive them from one place.
 [[nodiscard]] SimConfig finalized(SimConfig cfg) {
   cfg.fabric.topo.phys_frames = cfg.phys_mb * (1024 * 1024 / kPageBytes);
+  // Pre-size the fabric's memory version map (clamped there) so large runs
+  // don't rehash it unboundedly.
+  cfg.fabric.phys_lines_hint = cfg.fabric.topo.phys_frames * kLinesPerPage;
   return cfg;
 }
 

@@ -26,6 +26,17 @@ std::string SimStats::summary() const {
                    static_cast<unsigned long long>(noc.total_flit_hops()),
                    static_cast<unsigned long long>(fabric.mem_reads),
                    static_cast<unsigned long long>(fabric.mem_writes));
+  if (fabric.dram_row_hits + fabric.dram_row_misses + fabric.dram_row_conflicts > 0) {
+    out += strprintf(
+        "  dram: row hit %.1f%% (%llu hit / %llu miss / %llu conflict), "
+        "read wait %s cycles, wb wait %s cycles\n",
+        100.0 * fabric.dram_row_hit_ratio(),
+        static_cast<unsigned long long>(fabric.dram_row_hits),
+        static_cast<unsigned long long>(fabric.dram_row_misses),
+        static_cast<unsigned long long>(fabric.dram_row_conflicts),
+        format_count(fabric.dram_queue_wait_cycles).c_str(),
+        format_count(fabric.mem_wb_wait_cycles).c_str());
+  }
   if (noc.cross_socket.messages > 0) {
     out += strprintf(
         "  cross-socket: %llu flit-hops (%.1f%% of traffic), %llu dir reqs, "

@@ -42,6 +42,10 @@ const char* const kExpectedNames[] = {
     "fabric.coh_reads", "fabric.coh_writes", "fabric.upgrades", "fabric.nc_reads",
     "fabric.nc_writes", "fabric.owner_probes", "fabric.dir_reqs.cross_socket",
     "fabric.nc_reqs.cross_socket", "fabric.mem_reads", "fabric.mem_writes",
+    "fabric.mem_wb_wait_cycles",
+    // DRAM
+    "dram.row_hits", "dram.row_misses", "dram.row_conflicts", "dram.row_hit_rate",
+    "dram.queue_wait_cycles",
     // NoC
     "noc.messages", "noc.flits", "noc.flit_hops", "noc.flit_hops.on_socket",
     "noc.flit_hops.cross_socket", "noc.messages.cross_socket",
@@ -67,7 +71,9 @@ const char* const kExpectedNames[] = {
     "blocks.touched", "blocks.noncoherent", "blocks.nc_fraction",
     "dir.avg_occupancy", "dir.avg_active_frac",
     "energy.dir_dyn_pj", "energy.llc_dyn_pj", "energy.noc_dyn_pj",
-    "energy.mem_dyn_pj", "energy.l1_dyn_pj", "energy.dir_leak_pj",
+    "energy.mem_dyn_pj", "energy.mem_act_pj", "energy.mem_rd_pj",
+    "energy.mem_wr_pj", "energy.mem_pre_pj", "energy.l1_dyn_pj",
+    "energy.dir_leak_pj",
 };
 
 [[nodiscard]] SimStats distinctive_stats() {
