@@ -3,8 +3,11 @@
 // figure sweeps tractable.
 #include <benchmark/benchmark.h>
 
+#include <unordered_map>
+
 #include "raccd/cache/l1_cache.hpp"
 #include "raccd/coherence/fabric.hpp"
+#include "raccd/common/flat_map.hpp"
 #include "raccd/common/rng.hpp"
 #include "raccd/core/ncrt.hpp"
 #include "raccd/dram/dram.hpp"
@@ -16,8 +19,14 @@
 namespace raccd {
 namespace {
 
+// The legacy/flat pairs below measure the structure swap in isolation:
+// structures capture legacy_structures() at construction, so toggling the
+// override before building each fixture selects the implementation.
+
 void BM_NcrtLookup(benchmark::State& state) {
+  set_legacy_structures(state.range(0) != 0);
   Ncrt ncrt(32);
+  set_legacy_structures(false);
   for (std::uint64_t i = 0; i < 32; ++i) {
     ncrt.insert(i * 0x100000, i * 0x100000 + 0x10000);
   }
@@ -26,28 +35,62 @@ void BM_NcrtLookup(benchmark::State& state) {
     benchmark::DoNotOptimize(ncrt.lookup(rng.next_below(32) * 0x100000 + 0x8000));
   }
 }
-BENCHMARK(BM_NcrtLookup);
+BENCHMARK(BM_NcrtLookup)->Arg(0)->Arg(1);  // 0 = sorted+memo, 1 = legacy scan
 
 void BM_L1FindHit(benchmark::State& state) {
+  set_legacy_structures(state.range(0) != 0);
   L1Cache l1(L1Geometry{});
+  set_legacy_structures(false);
   for (LineAddr l = 0; l < 512; ++l) l1.fill(l, false, Mesi::kShared, false, 0);
   Rng rng(2);
   for (auto _ : state) {
     benchmark::DoNotOptimize(l1.find(rng.next_below(512)));
   }
 }
-BENCHMARK(BM_L1FindHit);
+BENCHMARK(BM_L1FindHit)->Arg(0)->Arg(1);  // 0 = SoA tag probe, 1 = AoS scan
 
 void BM_TlbAccess(benchmark::State& state) {
+  set_legacy_structures(state.range(0) != 0);
+  Tlb tlb(256);
+  set_legacy_structures(false);
   PageTable pt;
   for (PageNum v = 0; v < 4096; ++v) pt.map(v, v);
-  Tlb tlb(256);
   Rng rng(3);
   for (auto _ : state) {
     benchmark::DoNotOptimize(tlb.access(rng.next_below(512), pt));
   }
 }
-BENCHMARK(BM_TlbAccess);
+BENCHMARK(BM_TlbAccess)->Arg(0)->Arg(1);  // 0 = OpenPageMap index, 1 = hash map
+
+void BM_MemVersionFlat(benchmark::State& state) {
+  // The memory version map access pattern of a replay: write a line on
+  // writeback, read lines on fills — line-granular, dense in a bounded
+  // physical range.
+  PagedLineMap map;
+  map.reserve_lines(1 << 16);
+  for (LineAddr l = 0; l < (1 << 16); l += 7) map.set(l, l);
+  Rng rng(5);
+  for (auto _ : state) {
+    const LineAddr l = rng.next_below(1 << 16);
+    benchmark::DoNotOptimize(map.get(l));
+    if ((l & 7) == 0) map.set(l, l);
+  }
+}
+BENCHMARK(BM_MemVersionFlat);
+
+void BM_MemVersionHash(benchmark::State& state) {
+  // Same access pattern through the legacy unordered_map for comparison.
+  std::unordered_map<LineAddr, std::uint64_t> map;
+  for (LineAddr l = 0; l < (1 << 16); l += 7) map[l] = l;
+  Rng rng(5);
+  for (auto _ : state) {
+    const LineAddr l = rng.next_below(1 << 16);
+    const auto it = map.find(l);
+    benchmark::DoNotOptimize(it == map.end() ? 0 : it->second);
+    if ((l & 7) == 0) map[l] = l;
+  }
+}
+BENCHMARK(BM_MemVersionHash);
 
 void BM_FabricL1Hit(benchmark::State& state) {
   FabricConfig cfg;

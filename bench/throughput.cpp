@@ -1,0 +1,235 @@
+// Host throughput benchmark: how many *simulated* cycles (and replayed
+// accesses) the simulator retires per wall-clock second, per workload x
+// coherence mode x topology x DRAM model.
+//
+// This measures the simulator itself, not the modelled machine — the number
+// every other bench binary's turnaround time depends on. Runs merge into the
+// cumulative results/BENCH_throughput.json keyed by RunSpec::key() (same
+// line-per-entry merge format as BENCH_grid.json).
+//
+// --compare-legacy additionally re-runs every config with the pre-flat
+// structures (RACCD_LEGACY_STRUCTURES path: unordered_map memory-version map
+// and TLB index, AoS tag probes, unmemoized NCRT scans), asserts the two
+// paths produce bit-identical SimStats, and exits non-zero if the optimized
+// structures are ever >25% *slower* than the legacy ones — the CI
+// throughput-smoke regression gate.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "raccd/common/format.hpp"
+#include "raccd/harness/experiment.hpp"
+#include "raccd/harness/sweep_cache.hpp"
+
+namespace raccd {
+namespace {
+
+constexpr const char* kThroughputJsonPath = "results/BENCH_throughput.json";
+
+struct Measurement {
+  SimStats stats;
+  double best_wall_s = 0.0;
+
+  [[nodiscard]] double sim_cycles_per_sec() const {
+    return best_wall_s > 0.0 ? static_cast<double>(stats.cycles) / best_wall_s : 0.0;
+  }
+  [[nodiscard]] double accesses_per_sec() const {
+    return best_wall_s > 0.0 ? static_cast<double>(stats.accesses_replayed) / best_wall_s
+                             : 0.0;
+  }
+};
+
+/// Best-of-`reps` wall-clock timing of one uncached simulation.
+[[nodiscard]] Measurement measure(const RunSpec& spec, unsigned reps) {
+  Measurement m;
+  for (unsigned r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    SimStats stats = run_one(spec);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    if (r == 0 || wall < m.best_wall_s) m.best_wall_s = wall;
+    m.stats = stats;  // deterministic: identical every rep
+  }
+  return m;
+}
+
+[[nodiscard]] bool write_file_atomic(const std::string& path, const std::string& text) {
+  if (const auto dir = std::filesystem::path(path).parent_path(); !dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+  }
+  const std::string tmp = strprintf(
+      "%s.tmp.%llu", path.c_str(),
+      static_cast<unsigned long long>(
+          std::hash<std::thread::id>{}(std::this_thread::get_id())));
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << text;
+    if (!out) return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  return !ec;
+}
+
+/// Merge measurements into the cumulative log (same one-entry-per-line JSON
+/// object format as ResultSet::append_bench_json; other keys are preserved).
+[[nodiscard]] bool merge_json(const std::vector<std::pair<std::string, std::string>>& add) {
+  std::map<std::string, std::string> entries;
+  if (std::ifstream in(kThroughputJsonPath); in) {
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::size_t kq0 = line.find('"');
+      if (kq0 == std::string::npos) continue;
+      const std::size_t kq1 = line.find('"', kq0 + 1);
+      const std::size_t brace0 = line.find('{', kq1);
+      const std::size_t brace1 = line.rfind('}');
+      if (kq1 == std::string::npos || brace0 == std::string::npos ||
+          brace1 == std::string::npos || brace1 <= brace0) {
+        continue;
+      }
+      entries[line.substr(kq0 + 1, kq1 - kq0 - 1)] =
+          line.substr(brace0, brace1 - brace0 + 1);
+    }
+  }
+  for (const auto& [key, payload] : add) entries[key] = payload;
+  std::string text = "{\n";
+  std::size_t n = 0;
+  for (const auto& [key, payload] : entries) {
+    text += strprintf("  \"%s\": %s%s\n", key.c_str(), payload.c_str(),
+                      ++n < entries.size() ? "," : "");
+  }
+  text += "}\n";
+  return write_file_atomic(kThroughputJsonPath, text);
+}
+
+int run(int argc, char** argv) {
+  BenchOptions opts = BenchOptions::parse(argc, argv);
+  unsigned reps = 3;
+  bool compare_legacy = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--reps=", 7) == 0) {
+      reps = std::max(1u, static_cast<unsigned>(std::strtoul(argv[i] + 7, nullptr, 10)));
+    } else if (std::strcmp(argv[i], "--compare-legacy") == 0) {
+      compare_legacy = true;
+    }
+  }
+
+  // The throughput grid: the two replay-heaviest workloads (jacobi streams,
+  // synthetic with a footprint that overflows the scaled 2 MB LLC), the two
+  // systems whose hot paths differ most (FullCoh exercises the directory,
+  // RaCCD the NCRT), both machine shapes and both memory models.
+  struct Config {
+    const char* workload;
+    CohMode mode;
+    const char* topo;
+    const char* dram;
+  };
+  std::vector<Config> grid;
+  for (const char* w : {"jacobi", "synthetic:footprint_kb=4096"}) {
+    for (const CohMode m : {CohMode::kFullCoh, CohMode::kRaCCD}) {
+      for (const char* t : {"flat", "numa2"}) {
+        for (const char* d : {"simple", "ddr"}) {
+          grid.push_back(Config{w, m, t, d});
+        }
+      }
+    }
+  }
+
+  std::vector<std::pair<std::string, std::string>> json;
+  const bool initial_legacy = legacy_structures();
+  bool stats_mismatch = false;
+  bool perf_regression = false;
+  std::printf("%-34s %-7s %-6s %-6s %14s %14s%s\n", "workload", "mode", "topo", "dram",
+              "Mcycles/s", "Macc/s", compare_legacy ? "   vs legacy" : "");
+  for (std::size_t slot = 0; slot < grid.size(); ++slot) {
+    if (slot % opts.run.shard_count != opts.run.shard_index) continue;
+    const Config& c = grid[slot];
+    RunSpec spec;
+    if (const std::string err = spec.set_workload_ref(c.workload); !err.empty()) {
+      std::fprintf(stderr, "workload %s: %s\n", c.workload, err.c_str());
+      return 2;
+    }
+    if (!opts.params.entries().empty()) {
+      WorkloadParams p;
+      (void)WorkloadParams::parse(spec.params, p);
+      for (const auto& e : opts.params.entries()) p.set(e.key, e.value);
+      spec.params = p.canonical();
+    }
+    spec.size = opts.size;
+    spec.mode = c.mode;
+    spec.topo = c.topo;
+    spec.dram = c.dram;
+    spec.paper_machine = opts.paper_machine;
+
+    set_legacy_structures(false);
+    const Measurement opt = measure(spec, reps);
+    double ratio = 0.0;
+    if (compare_legacy) {
+      set_legacy_structures(true);
+      const Measurement leg = measure(spec, reps);
+      set_legacy_structures(initial_legacy);
+      if (stats_to_text(opt.stats) != stats_to_text(leg.stats)) {
+        std::fprintf(stderr, "FAIL: stats differ between structures for %s\n",
+                     spec.key().c_str());
+        stats_mismatch = true;
+      }
+      ratio = opt.best_wall_s > 0.0 ? leg.best_wall_s / opt.best_wall_s : 0.0;
+      // Regression gate: the flat structures must never cost more than 1/0.75
+      // of the legacy wall time (>25% throughput loss).
+      if (ratio < 0.75) perf_regression = true;
+    } else {
+      set_legacy_structures(initial_legacy);
+    }
+
+    std::printf("%-34s %-7s %-6s %-6s %14.2f %14.2f", c.workload, to_string(c.mode),
+                c.topo, c.dram, opt.sim_cycles_per_sec() / 1e6,
+                opt.accesses_per_sec() / 1e6);
+    if (compare_legacy) std::printf("   %5.2fx", ratio);
+    std::printf("\n");
+    std::fflush(stdout);
+
+    std::string payload = strprintf(
+        "{\"sim_cycles_per_sec\": %.0f, \"accesses_per_sec\": %.0f, "
+        "\"cycles\": %llu, \"accesses\": %llu, \"wall_s\": %.6f, \"reps\": %u",
+        opt.sim_cycles_per_sec(), opt.accesses_per_sec(),
+        static_cast<unsigned long long>(opt.stats.cycles),
+        static_cast<unsigned long long>(opt.stats.accesses_replayed), opt.best_wall_s,
+        reps);
+    if (compare_legacy) payload += strprintf(", \"speedup_vs_legacy\": %.3f", ratio);
+    payload += "}";
+    std::string key = spec.key();
+    for (char& ch : key) {
+      if (ch == '"' || ch == '\\') ch = '_';
+    }
+    json.emplace_back(std::move(key), std::move(payload));
+  }
+
+  if (!merge_json(json)) {
+    std::fprintf(stderr, "warning: could not update %s\n", kThroughputJsonPath);
+  } else {
+    std::printf("(merged %zu entries into %s)\n", json.size(), kThroughputJsonPath);
+  }
+  if (stats_mismatch) {
+    std::fprintf(stderr, "throughput: FAIL (optimized structures change stats)\n");
+    return 1;
+  }
+  if (perf_regression) {
+    std::fprintf(stderr,
+                 "throughput: FAIL (flat structures >25%% slower than legacy)\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace raccd
+
+int main(int argc, char** argv) { return raccd::run(argc, argv); }

@@ -6,13 +6,24 @@
 namespace raccd {
 
 L1Cache::L1Cache(const L1Geometry& geo)
-    : sets_(geo.sets()), ways_(geo.ways), repl_(geo.repl, geo.sets(), geo.ways) {
+    : sets_(geo.sets()),
+      ways_(geo.ways),
+      legacy_(legacy_structures()),
+      repl_(geo.repl, geo.sets(), geo.ways) {
   RACCD_ASSERT(is_pow2(sets_), "L1 set count must be a power of two");
   lines_.resize(static_cast<std::size_t>(sets_) * ways_);
+  tags_.assign(static_cast<std::size_t>(sets_) * ways_, kNoTag);
 }
 
 L1Line* L1Cache::find(LineAddr line) noexcept {
   const std::uint32_t set = set_of(line);
+  if (!legacy_) {
+    const LineAddr* tags = tags_.data() + static_cast<std::size_t>(set) * ways_;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      if (tags[w] == line) return &at(set, w);
+    }
+    return nullptr;
+  }
   for (std::uint32_t w = 0; w < ways_; ++w) {
     L1Line& l = at(set, w);
     if (l.valid && l.line == line) return &l;
@@ -47,6 +58,7 @@ L1Line L1Cache::fill(LineAddr line, bool nc, Mesi coh, bool dirty, std::uint64_t
     --valid_count_;
   }
   at(set, way) = L1Line{line, true, nc, dirty, nc ? Mesi::kInvalid : coh, version};
+  set_tag(set, way, line);
   ++valid_count_;
   repl_.touch(set, way);
   return evicted;
@@ -57,6 +69,8 @@ L1Line L1Cache::invalidate(LineAddr line) noexcept {
   if (l == nullptr) return L1Line{};
   const L1Line old = *l;
   *l = L1Line{};
+  const auto idx = static_cast<std::size_t>(l - lines_.data());
+  tags_[idx] = kNoTag;
   --valid_count_;
   return old;
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "raccd/cache/replacement.hpp"
+#include "raccd/common/flat_map.hpp"
 #include "raccd/common/types.hpp"
 
 namespace raccd {
@@ -94,13 +95,25 @@ class L1Cache {
   [[nodiscard]] std::uint32_t valid_lines() const noexcept { return valid_count_; }
 
  private:
+  /// Sentinel in the SoA tag array marking an invalid way. Unreachable as a
+  /// real tag: line numbers are physical addresses >> 6, far below 2^64-1.
+  static constexpr LineAddr kNoTag = ~LineAddr{0};
+
   [[nodiscard]] L1Line& at(std::uint32_t set, std::uint32_t way) noexcept {
     return lines_[static_cast<std::size_t>(set) * ways_ + way];
+  }
+  void set_tag(std::uint32_t set, std::uint32_t way, LineAddr tag) noexcept {
+    tags_[static_cast<std::size_t>(set) * ways_ + way] = tag;
   }
 
   std::uint32_t sets_;
   std::uint32_t ways_;
+  bool legacy_;  ///< RACCD_LEGACY_STRUCTURES: probe the AoS structs instead
   std::vector<L1Line> lines_;
+  /// SoA mirror of (valid, line): find() scans this contiguous vector — the
+  /// whole set's tags share one host cache line — instead of striding the
+  /// 32-byte L1Line structs. kNoTag encodes invalid, so one compare per way.
+  std::vector<LineAddr> tags_;
   ReplacementState repl_;
   std::uint32_t valid_count_ = 0;
 };

@@ -9,13 +9,22 @@ LlcBank::LlcBank(const LlcGeometry& geo)
     : sets_(geo.sets()),
       ways_(geo.ways),
       bank_bits_(geo.bank_bits),
+      legacy_(legacy_structures()),
       repl_(geo.repl, geo.sets(), geo.ways) {
   RACCD_ASSERT(is_pow2(sets_), "LLC bank set count must be a power of two");
   lines_.resize(static_cast<std::size_t>(sets_) * ways_);
+  tags_.assign(static_cast<std::size_t>(sets_) * ways_, kNoTag);
 }
 
 LlcLine* LlcBank::find(LineAddr line) noexcept {
   const std::uint32_t set = set_of(line);
+  if (!legacy_) {
+    const LineAddr* tags = tags_.data() + static_cast<std::size_t>(set) * ways_;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      if (tags[w] == line) return &at(set, w);
+    }
+    return nullptr;
+  }
   for (std::uint32_t w = 0; w < ways_; ++w) {
     LlcLine& l = at(set, w);
     if (l.valid && l.line == line) return &l;
@@ -44,6 +53,7 @@ LlcLine& LlcBank::fill(LineAddr line, bool nc, bool dirty, std::uint64_t version
     LlcLine& l = at(set, w);
     if (!l.valid) {
       l = LlcLine{line, true, dirty, nc, version};
+      set_tag(set, w, line);
       ++valid_count_;
       repl_.touch(set, w);
       return l;
@@ -58,6 +68,8 @@ LlcLine LlcBank::invalidate(LineAddr line) noexcept {
   if (l == nullptr) return LlcLine{};
   const LlcLine old = *l;
   *l = LlcLine{};
+  const auto idx = static_cast<std::size_t>(l - lines_.data());
+  tags_[idx] = kNoTag;
   --valid_count_;
   return old;
 }

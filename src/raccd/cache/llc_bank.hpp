@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "raccd/cache/replacement.hpp"
+#include "raccd/common/flat_map.hpp"
 #include "raccd/common/types.hpp"
 
 namespace raccd {
@@ -72,14 +73,24 @@ class LlcBank {
   [[nodiscard]] std::uint32_t line_capacity() const noexcept { return sets_ * ways_; }
 
  private:
+  /// Sentinel in the SoA tag array marking an invalid way (real line numbers
+  /// are paddr >> 6, far below 2^64-1).
+  static constexpr LineAddr kNoTag = ~LineAddr{0};
+
   [[nodiscard]] LlcLine& at(std::uint32_t set, std::uint32_t way) noexcept {
     return lines_[static_cast<std::size_t>(set) * ways_ + way];
+  }
+  void set_tag(std::uint32_t set, std::uint32_t way, LineAddr tag) noexcept {
+    tags_[static_cast<std::size_t>(set) * ways_ + way] = tag;
   }
 
   std::uint32_t sets_;
   std::uint32_t ways_;
   std::uint32_t bank_bits_;
+  bool legacy_;  ///< RACCD_LEGACY_STRUCTURES: probe the AoS structs instead
   std::vector<LlcLine> lines_;
+  /// SoA mirror of (valid, line); find() scans this contiguous vector.
+  std::vector<LineAddr> tags_;
   ReplacementState repl_;
   std::uint32_t valid_count_ = 0;
 };

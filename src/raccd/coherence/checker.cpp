@@ -10,13 +10,22 @@ namespace raccd {
 
 void CoherenceChecker::on_store(LineAddr line, std::uint64_t version) {
   ++stores_seen_;
-  golden_[line] = version;
+  if (!legacy_) {
+    golden_flat_.set(line, version);
+  } else {
+    golden_[line] = version;
+  }
 }
 
 void CoherenceChecker::on_load(LineAddr line, std::uint64_t observed) {
   ++loads_checked_;
-  const auto it = golden_.find(line);
-  const std::uint64_t expected = it == golden_.end() ? 0 : it->second;
+  std::uint64_t expected;
+  if (!legacy_) {
+    expected = golden_flat_.get(line);
+  } else {
+    const auto it = golden_.find(line);
+    expected = it == golden_.end() ? 0 : it->second;
+  }
   if (observed != expected) fail(line, expected, observed);
 }
 

@@ -10,14 +10,23 @@ DirectoryBank::DirectoryBank(const DirGeometry& geo)
       active_sets_(total_sets_),
       ways_(geo.ways),
       bank_bits_(geo.bank_bits),
+      legacy_(legacy_structures()),
       repl_policy_(geo.repl),
       repl_(geo.repl, total_sets_, geo.ways) {
   RACCD_ASSERT(is_pow2(total_sets_), "directory bank set count must be a power of two");
   entries_.resize(static_cast<std::size_t>(total_sets_) * ways_);
+  tags_.assign(static_cast<std::size_t>(total_sets_) * ways_, kNoTag);
 }
 
 DirEntry* DirectoryBank::find(LineAddr line) noexcept {
   const std::uint32_t set = set_of(line);
+  if (!legacy_) {
+    const LineAddr* tags = tags_.data() + static_cast<std::size_t>(set) * ways_;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      if (tags[w] == line) return &at(set, w);
+    }
+    return nullptr;
+  }
   for (std::uint32_t w = 0; w < ways_; ++w) {
     DirEntry& e = at(set, w);
     if (e.valid && e.line == line) return &e;
@@ -58,6 +67,7 @@ DirEntry& DirectoryBank::alloc(LineAddr line) {
     DirEntry& e = at(set, w);
     if (!e.valid) {
       e = DirEntry{line, true, 0, kNoCore};
+      set_tag(set, w, line);
       ++valid_count_;
       repl_.touch(set, w);
       return e;
@@ -71,6 +81,7 @@ bool DirectoryBank::remove(LineAddr line) noexcept {
   DirEntry* e = find(line);
   if (e == nullptr) return false;
   *e = DirEntry{};
+  tags_[static_cast<std::size_t>(e - entries_.data())] = kNoTag;
   --valid_count_;
   return true;
 }
@@ -92,6 +103,7 @@ std::uint32_t DirectoryBank::resize(std::uint32_t new_active_sets,
       e = DirEntry{};
     }
   }
+  tags_.assign(tags_.size(), kNoTag);
   valid_count_ = 0;
   active_sets_ = new_active_sets;
   repl_ = ReplacementState(repl_policy_, total_sets_, ways_);
@@ -103,6 +115,7 @@ std::uint32_t DirectoryBank::resize(std::uint32_t new_active_sets,
       DirEntry& slot = at(set, w);
       if (!slot.valid) {
         slot = s;
+        set_tag(set, w, s.line);
         ++valid_count_;
         repl_.touch(set, w);
         placed = true;

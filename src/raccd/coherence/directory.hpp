@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "raccd/cache/replacement.hpp"
+#include "raccd/common/flat_map.hpp"
 #include "raccd/common/types.hpp"
 
 namespace raccd {
@@ -91,16 +92,26 @@ class DirectoryBank {
   [[nodiscard]] double active_integral() const noexcept { return active_integral_; }
 
  private:
+  /// Sentinel in the SoA tag array marking an invalid entry (real line
+  /// numbers are paddr >> 6, far below 2^64-1).
+  static constexpr LineAddr kNoTag = ~LineAddr{0};
+
   [[nodiscard]] DirEntry& at(std::uint32_t set, std::uint32_t way) noexcept {
     return entries_[static_cast<std::size_t>(set) * ways_ + way];
+  }
+  void set_tag(std::uint32_t set, std::uint32_t way, LineAddr tag) noexcept {
+    tags_[static_cast<std::size_t>(set) * ways_ + way] = tag;
   }
 
   std::uint32_t total_sets_;
   std::uint32_t active_sets_;
   std::uint32_t ways_;
   std::uint32_t bank_bits_;
+  bool legacy_;  ///< RACCD_LEGACY_STRUCTURES: probe the AoS structs instead
   ReplPolicy repl_policy_;
   std::vector<DirEntry> entries_;
+  /// SoA mirror of (valid, line); find() scans this contiguous vector.
+  std::vector<LineAddr> tags_;
   ReplacementState repl_;
   std::uint32_t valid_count_ = 0;
   Cycle last_tick_ = 0;

@@ -28,6 +28,7 @@
 #include "raccd/cache/llc_bank.hpp"
 #include "raccd/coherence/directory.hpp"
 #include "raccd/coherence/fabric_stats.hpp"
+#include "raccd/common/flat_map.hpp"
 #include "raccd/common/types.hpp"
 #include "raccd/dram/dram.hpp"
 #include "raccd/energy/energy_model.hpp"
@@ -214,7 +215,13 @@ class Fabric {
   /// NUMA); empty under the kSimple model. mc_of_[node] indexes dram_.
   std::vector<DramController> dram_;
   std::vector<std::uint32_t> mc_of_;
-  std::unordered_map<LineAddr, std::uint64_t> mem_version_;
+  bool legacy_;  ///< RACCD_LEGACY_STRUCTURES: hash map instead of paged array
+  /// Checker shadow version of every line in memory. The paged direct array
+  /// (absent = 0, like the map) makes the per-writeback/per-read lookup a
+  /// shift+index instead of a hash probe; legacy_ keeps the original map for
+  /// bench/throughput A/B runs.
+  PagedLineMap mem_flat_;
+  std::unordered_map<LineAddr, std::uint64_t> mem_version_;  ///< legacy path
   std::vector<double> dir_access_pj_;  ///< cached per-bank per-access energy
   FabricStats stats_;
   BlockClassifier classifier_;

@@ -1,0 +1,179 @@
+// Flat replacements for the simulator's hot-path hash maps.
+//
+// The per-access replay path consults two maps on essentially every record:
+// the memory version map (LineAddr -> version, written on every memory
+// writeback) and the per-core TLB index (PageNum -> slot). Profiles show the
+// std::unordered_map nodes behind them — pointer-chasing buckets, one heap
+// node per entry — dominating host time per simulated event. Both key spaces
+// are small and dense enough for flat structures:
+//
+//  * PagedLineMap — a chunked direct array over physical line numbers. The
+//    physical space is bounded (phys_mb), so a vector of lazily-allocated
+//    fixed-size chunks gives O(1) loads/stores with zero hashing and zero
+//    per-entry allocation; untouched regions cost one null pointer per chunk.
+//  * OpenPageMap — an open-addressed linear-probing table with backward-shift
+//    deletion for the TLB's vpage -> slot index. Capacity is fixed at 4x the
+//    TLB entry count (load factor <= 0.25), so probes are contiguous and
+//    short.
+//
+// Every structure keeps the legacy std::unordered_map behavior reachable via
+// RACCD_LEGACY_STRUCTURES=1 (read once, overridable in-process for A/B
+// benchmarking); bench/throughput measures the two builds against each other
+// and the golden tests assert they produce bit-identical SimStats.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "raccd/common/types.hpp"
+
+namespace raccd {
+
+namespace detail {
+inline std::atomic<int> legacy_structures_override{-1};
+}  // namespace detail
+
+/// True when the legacy (pre-flat) hash-map structures should be used.
+/// Resolved from RACCD_LEGACY_STRUCTURES on first use; structures capture the
+/// value at construction, so toggling affects machines built afterwards.
+[[nodiscard]] inline bool legacy_structures() noexcept {
+  int v = detail::legacy_structures_override.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* e = std::getenv("RACCD_LEGACY_STRUCTURES");
+    v = (e != nullptr && e[0] == '1') ? 1 : 0;
+    detail::legacy_structures_override.store(v, std::memory_order_relaxed);
+  }
+  return v == 1;
+}
+
+/// In-process override (bench/throughput --compare-legacy, unit tests).
+inline void set_legacy_structures(bool on) noexcept {
+  detail::legacy_structures_override.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+/// Chunked direct array over LineAddr keys with an implicit default of 0.
+/// get() on an untouched line returns 0 without allocating; set() allocates
+/// the 32 KB chunk covering the line on first touch.
+class PagedLineMap {
+ public:
+  static constexpr unsigned kChunkShift = 12;  ///< 4096 lines = 32 KB per chunk
+  static constexpr std::uint64_t kChunkLines = 1ull << kChunkShift;
+
+  /// Pre-size the chunk directory for `lines` physical lines (pointers only;
+  /// no chunk memory is committed until touched).
+  void reserve_lines(std::uint64_t lines) {
+    chunks_.reserve(static_cast<std::size_t>((lines >> kChunkShift) + 1));
+  }
+
+  [[nodiscard]] std::uint64_t get(LineAddr line) const noexcept {
+    const std::size_t c = static_cast<std::size_t>(line >> kChunkShift);
+    if (c >= chunks_.size() || chunks_[c] == nullptr) return 0;
+    return chunks_[c][line & (kChunkLines - 1)];
+  }
+
+  void set(LineAddr line, std::uint64_t v) {
+    const std::size_t c = static_cast<std::size_t>(line >> kChunkShift);
+    if (c >= chunks_.size()) chunks_.resize(c + 1);
+    if (chunks_[c] == nullptr) {
+      chunks_[c] = std::make_unique<std::uint64_t[]>(kChunkLines);  // zeroed
+    }
+    chunks_[c][line & (kChunkLines - 1)] = v;
+  }
+
+  /// Chunks with committed storage (capacity/diagnostics).
+  [[nodiscard]] std::size_t allocated_chunks() const noexcept {
+    std::size_t n = 0;
+    for (const auto& c : chunks_) n += (c != nullptr);
+    return n;
+  }
+
+ private:
+  std::vector<std::unique_ptr<std::uint64_t[]>> chunks_;
+};
+
+/// Open-addressed PageNum -> uint32 map: linear probing, power-of-two
+/// capacity, backward-shift deletion (no tombstones, so probe runs never
+/// degrade). Sized once for a bounded entry count (the TLB capacity).
+/// Occupancy is encoded in the key itself (kEmpty sentinel — page numbers
+/// are addresses >> 12 and can never reach 2^64-1), so a probe touches one
+/// contiguous array only.
+class OpenPageMap {
+ public:
+  static constexpr PageNum kEmpty = ~PageNum{0};
+
+  explicit OpenPageMap(std::uint32_t max_entries) {
+    std::uint32_t cap = 16;
+    // <= 25% load factor keeps probe runs at a handful of contiguous slots.
+    while (cap < max_entries * 4) cap <<= 1;
+    slots_.assign(cap, Slot{kEmpty, 0});
+    mask_ = cap - 1;
+  }
+
+  [[nodiscard]] std::uint32_t* find(PageNum key) noexcept {
+    for (std::uint32_t i = home(key);; i = (i + 1) & mask_) {
+      if (slots_[i].key == key) return &slots_[i].value;
+      if (slots_[i].key == kEmpty) return nullptr;
+    }
+  }
+
+  /// Insert a key known to be absent (the TLB checks with find() first).
+  void insert(PageNum key, std::uint32_t value) noexcept {
+    std::uint32_t i = home(key);
+    while (slots_[i].key != kEmpty) i = (i + 1) & mask_;
+    slots_[i] = Slot{key, value};
+    ++size_;
+  }
+
+  bool erase(PageNum key) noexcept {
+    std::uint32_t i = home(key);
+    for (;; i = (i + 1) & mask_) {
+      if (slots_[i].key == kEmpty) return false;
+      if (slots_[i].key == key) break;
+    }
+    slots_[i].key = kEmpty;
+    --size_;
+    // Backward shift: close the hole by moving any later entry whose probe
+    // path crosses it, so lookups never need tombstones.
+    std::uint32_t hole = i, j = i;
+    for (;;) {
+      j = (j + 1) & mask_;
+      if (slots_[j].key == kEmpty) break;
+      const std::uint32_t h = home(slots_[j].key);
+      if (((j - h) & mask_) >= ((j - hole) & mask_)) {
+        slots_[hole] = slots_[j];
+        slots_[j].key = kEmpty;
+        hole = j;
+      }
+    }
+    return true;
+  }
+
+  void clear() noexcept {
+    slots_.assign(slots_.size(), Slot{kEmpty, 0});
+    size_ = 0;
+  }
+
+  [[nodiscard]] std::uint32_t size() const noexcept { return size_; }
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return mask_ + 1; }
+
+ private:
+  struct Slot {
+    PageNum key = kEmpty;
+    std::uint32_t value = 0;
+  };
+
+  [[nodiscard]] std::uint32_t home(PageNum key) const noexcept {
+    // Fibonacci multiplicative hash; high bits feed the mask.
+    const std::uint64_t h = key * 0x9E3779B97F4A7C15ull;
+    return static_cast<std::uint32_t>(h >> 32) & mask_;
+  }
+
+  std::vector<Slot> slots_;
+  std::uint32_t mask_ = 0;
+  std::uint32_t size_ = 0;
+};
+
+}  // namespace raccd

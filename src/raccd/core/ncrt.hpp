@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "raccd/common/flat_map.hpp"
 #include "raccd/common/types.hpp"
 
 namespace raccd {
@@ -32,9 +33,19 @@ class Ncrt {
   /// Insert a physical byte range [start, end). Returns false (and counts an
   /// overflow) when the table is full. Adjacent/contiguous with the last
   /// entry is the caller's concern (raccd_register collapses before insert).
+  /// Entries are kept sorted by start address so lookups can stop at the
+  /// first entry past `pa`.
   bool insert(PAddr start, PAddr end);
 
   /// True when `pa` falls inside any registered region.
+  ///
+  /// Host fast path (the modelled single-cycle CAM lookup is unchanged, as
+  /// are the lookups/hits counters): the table is frozen between
+  /// raccd_register and raccd_invalidate, so each resolved lookup memoizes
+  /// the bracketing interval over which its answer is constant — the
+  /// containing region on a hit, the gap to the neighbouring regions on a
+  /// miss. Replayed accesses streaming through a region (the common case)
+  /// answer from the memo without scanning.
   [[nodiscard]] bool lookup(PAddr pa) noexcept;
 
   /// Drop all entries (raccd_invalidate).
@@ -50,7 +61,10 @@ class Ncrt {
 
  private:
   std::uint32_t capacity_;
-  std::vector<AddrRange> entries_;
+  bool legacy_;  ///< RACCD_LEGACY_STRUCTURES: full scan, no memo (A/B bench)
+  std::vector<AddrRange> entries_;  ///< sorted by begin
+  AddrRange memo_{0, 0};  ///< interval with a constant answer; empty = none
+  bool memo_hit_ = false;
   NcrtStats stats_;
 };
 

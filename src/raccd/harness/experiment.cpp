@@ -1,6 +1,7 @@
 #include "raccd/harness/experiment.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
@@ -180,11 +181,26 @@ std::vector<SimStats> run_all(const std::vector<RunSpec>& specs, const RunOption
     if (inserted) todo.push_back(i);
     else dup.emplace_back(i, it->second);
   }
+  // Shard the deduped to-run list by position: deterministic for a given
+  // spec list, and every shard of the same sweep agrees on the partition.
+  if (opts.shard_count > 1) {
+    RACCD_ASSERT(opts.shard_index < opts.shard_count, "shard index out of range");
+    std::vector<std::size_t> mine;
+    for (std::size_t slot = 0; slot < todo.size(); ++slot) {
+      if (slot % opts.shard_count == opts.shard_index) mine.push_back(todo[slot]);
+    }
+    if (opts.verbose) {
+      std::fprintf(stderr, "shard %u/%u: %zu of %zu uncached runs\n", opts.shard_index,
+                   opts.shard_count, mine.size(), todo.size());
+    }
+    todo = std::move(mine);
+  }
   if (!todo.empty()) {
     unsigned threads = opts.threads != 0 ? opts.threads : std::thread::hardware_concurrency();
     threads = std::max(1u, std::min<unsigned>(threads, static_cast<unsigned>(todo.size())));
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
+    const auto t0 = std::chrono::steady_clock::now();
     auto worker = [&] {
       for (;;) {
         const std::size_t slot = next.fetch_add(1);
@@ -198,7 +214,16 @@ std::vector<SimStats> run_all(const std::vector<RunSpec>& specs, const RunOption
         }
         const std::size_t d = done.fetch_add(1) + 1;
         if (opts.verbose) {
-          std::fprintf(stderr, "[%zu/%zu] %s\n", d, todo.size(), specs[i].key().c_str());
+          // Progress with throughput and a remaining-time estimate from the
+          // completed-run average (coarse but steady for homogeneous grids).
+          const double secs = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count();
+          const double rate = secs > 0.0 ? static_cast<double>(d) / secs : 0.0;
+          const double eta = rate > 0.0 ? static_cast<double>(todo.size() - d) / rate : 0.0;
+          std::fprintf(stderr, "[%zu/%zu] %s (%.2f runs/s, ETA %d:%02d)\n", d,
+                       todo.size(), specs[i].key().c_str(), rate,
+                       static_cast<int>(eta) / 60, static_cast<int>(eta) % 60);
         }
       }
     };
@@ -227,6 +252,19 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
   if (const char* env = std::getenv("RACCD_THREADS")) {
     o.run.threads = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
   }
+  const auto apply_shard = [&o](const char* text) {
+    char* end = nullptr;
+    const unsigned long idx = std::strtoul(text, &end, 10);
+    unsigned long cnt = 0;
+    if (end != nullptr && *end == '/') cnt = std::strtoul(end + 1, nullptr, 10);
+    if (cnt == 0 || idx >= cnt) {
+      std::fprintf(stderr, "--shard %s: expected i/N with i < N\n", text);
+      std::exit(2);
+    }
+    o.run.shard_index = static_cast<unsigned>(idx);
+    o.run.shard_count = static_cast<unsigned>(cnt);
+  };
+  if (const char* env = std::getenv("RACCD_SHARD")) apply_shard(env);
   const auto apply_set = [&o](const char* text) {
     WorkloadParams p;
     const std::string err = WorkloadParams::parse(text, p);
@@ -248,6 +286,8 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
     else if (std::strcmp(a, "--verbose") == 0) o.run.verbose = true;
     else if (std::strncmp(a, "--threads=", 10) == 0) {
       o.run.threads = static_cast<unsigned>(std::strtoul(a + 10, nullptr, 10));
+    } else if (std::strncmp(a, "--shard=", 8) == 0) {
+      apply_shard(a + 8);
     } else if (std::strncmp(a, "--set=", 6) == 0) {
       apply_set(a + 6);
     } else if (std::strcmp(a, "--set") == 0 && i + 1 < argc) {

@@ -75,6 +75,13 @@ struct RunOptions {
   bool use_cache = true;    ///< file-backed cache under cache_dir
   std::string cache_dir = "results/cache";
   bool verbose = false;     ///< progress lines to stderr
+  /// Deterministic work partition for fanning one sweep across machines:
+  /// shard k of N executes the deduped to-run list positions with
+  /// `slot % shard_count == shard_index`. Out-of-shard specs return cached
+  /// results when available and zeroed stats otherwise; merging is by run
+  /// key through the shared cache directory (or the bench JSON files).
+  unsigned shard_index = 0;
+  unsigned shard_count = 1;
 };
 
 /// Run all specs (cache-aware, host-parallel); results align with specs.
@@ -87,9 +94,9 @@ struct RunOptions {
 
 /// Common CLI/env options for the bench binaries: --size=tiny|small|paper,
 /// --paper (machine preset), --topology=T, --dram=D, --no-cache,
-/// --threads=N, --verbose, and repeatable --set key=value
-/// workload-parameter passthrough (env: RACCD_SIZE, RACCD_PAPER,
-/// RACCD_NO_CACHE, RACCD_THREADS).
+/// --threads=N, --verbose, --shard=i/N (deterministic sweep partition), and
+/// repeatable --set key=value workload-parameter passthrough (env:
+/// RACCD_SIZE, RACCD_PAPER, RACCD_NO_CACHE, RACCD_THREADS, RACCD_SHARD).
 struct BenchOptions {
   SizeClass size = SizeClass::kSmall;
   bool paper_machine = false;

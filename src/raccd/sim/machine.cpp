@@ -21,6 +21,7 @@ namespace {
 
 Machine::Machine(const SimConfig& cfg)
     : cfg_(finalized(cfg)),
+      legacy_(legacy_structures()),
       checker_(/*strict=*/true),
       fabric_(cfg_.fabric, cfg_.enable_checker ? &checker_ : nullptr),
       adr_(fabric_, cfg_.adr),
@@ -78,11 +79,24 @@ void Machine::taskwait() {
   while (!rt_.all_finished()) {
     const CoreId c = pop_min_clock_core();
     RACCD_ASSERT(c != kNoCore, "deadlock: all cores asleep with unfinished tasks");
-    // The popped core holds the globally minimal clock, so sample times are
-    // non-decreasing — the series is a consistent global timeline.
-    if (sampler_) sampler_->observe(cores_[c].clock);
-    step(c);
-    if (!cores_[c].sleeping) run_heap_.emplace(cores_[c].clock, c);
+    for (;;) {
+      // The stepped core holds the globally minimal clock, so sample times
+      // are non-decreasing — the series is a consistent global timeline.
+      if (sampler_) sampler_->observe(cores_[c].clock);
+      step(c);
+      if (cores_[c].sleeping) break;
+      // Fast path: keep stepping this core while it provably remains the
+      // global minimum, skipping the per-step heap round trip. Strict
+      // (clock, id) comparison against the top reproduces the push-then-pop
+      // order exactly (a stale top only underestimates its core's clock, so
+      // it can only send us down the slow path, never reorder steps).
+      if (!legacy_ && !rt_.all_finished() &&
+          (run_heap_.empty() || ClockEntry{cores_[c].clock, c} < run_heap_.top())) {
+        continue;
+      }
+      run_heap_.emplace(cores_[c].clock, c);
+      break;
+    }
   }
   Cycle end = phase_start;
   for (const auto& cs : cores_) end = std::max(end, cs.clock);

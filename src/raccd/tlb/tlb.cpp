@@ -4,12 +4,34 @@
 
 namespace raccd {
 
-Tlb::Tlb(std::uint32_t capacity) : capacity_(capacity) {
+Tlb::Tlb(std::uint32_t capacity)
+    : capacity_(capacity), legacy_(legacy_structures()), flat_(capacity) {
   RACCD_ASSERT(capacity_ > 0, "TLB needs at least one entry");
   entries_.resize(capacity_);
   free_.reserve(capacity_);
   for (std::uint32_t i = 0; i < capacity_; ++i) free_.push_back(capacity_ - 1 - i);
-  index_.reserve(capacity_ * 2);
+  if (legacy_) index_.reserve(capacity_ * 2);
+}
+
+std::uint32_t* Tlb::legacy_find(PageNum vpage) noexcept {
+  const auto it = index_.find(vpage);
+  return it == index_.end() ? nullptr : &it->second;
+}
+
+void Tlb::index_insert(PageNum vpage, std::uint32_t slot) {
+  if (legacy_) {
+    index_.emplace(vpage, slot);
+  } else {
+    flat_.insert(vpage, slot);
+  }
+}
+
+void Tlb::index_erase(PageNum vpage) noexcept {
+  if (legacy_) {
+    index_.erase(vpage);
+  } else {
+    flat_.erase(vpage);
+  }
 }
 
 void Tlb::unlink(std::uint32_t slot) noexcept {
@@ -42,9 +64,9 @@ Tlb::Result Tlb::access(PageNum vpage, const PageTable& pt) {
     ++stats_.hits;
     return Result{true, last_pframe_};
   }
-  if (const auto it = index_.find(vpage); it != index_.end()) {
+  if (const std::uint32_t* found = index_find(vpage)) {
     ++stats_.hits;
-    const std::uint32_t slot = it->second;
+    const std::uint32_t slot = *found;
     if (slot != head_) {
       unlink(slot);
       push_front(slot);
@@ -63,37 +85,44 @@ Tlb::Result Tlb::access(PageNum vpage, const PageTable& pt) {
   } else {
     slot = tail_;
     ++stats_.evictions;
-    index_.erase(entries_[slot].vpage);
+    index_erase(entries_[slot].vpage);
     unlink(slot);
   }
   entries_[slot].vpage = vpage;
   entries_[slot].pframe = pframe;
   push_front(slot);
-  index_.emplace(vpage, slot);
+  index_insert(vpage, slot);
   last_vpage_ = vpage;
   last_pframe_ = pframe;
   return Result{false, pframe};
 }
 
 bool Tlb::invalidate(PageNum vpage) {
-  const auto it = index_.find(vpage);
-  if (it == index_.end()) return false;
+  const std::uint32_t* found = index_find(vpage);
+  if (found == nullptr) return false;
   ++stats_.shootdowns;
-  const std::uint32_t slot = it->second;
+  const std::uint32_t slot = *found;
   unlink(slot);
   free_.push_back(slot);
-  index_.erase(it);
+  index_erase(vpage);
   if (last_vpage_ == vpage) last_vpage_ = ~PageNum{0};
   return true;
 }
 
 void Tlb::flush() {
-  for (auto& [vpage, slot] : index_) {
-    (void)vpage;
-    free_.push_back(slot);
+  // Walk the LRU chain (valid entries exactly) so both index variants flush
+  // the same way, then reset the index wholesale.
+  for (std::uint32_t slot = head_; slot != kNil;) {
+    const std::uint32_t next = entries_[slot].next;
     entries_[slot].prev = entries_[slot].next = kNil;
+    free_.push_back(slot);
+    slot = next;
   }
-  index_.clear();
+  if (legacy_) {
+    index_.clear();
+  } else {
+    flat_.clear();
+  }
   head_ = tail_ = kNil;
   last_vpage_ = ~PageNum{0};
 }

@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "raccd/common/flat_map.hpp"
 #include "raccd/common/types.hpp"
 #include "raccd/mem/page_table.hpp"
 
@@ -43,10 +44,10 @@ class Tlb {
   void flush();
 
   [[nodiscard]] bool contains(PageNum vpage) const noexcept {
-    return index_.contains(vpage);
+    return const_cast<Tlb*>(this)->index_find(vpage) != nullptr;
   }
   [[nodiscard]] std::uint32_t size() const noexcept {
-    return static_cast<std::uint32_t>(index_.size());
+    return legacy_ ? static_cast<std::uint32_t>(index_.size()) : flat_.size();
   }
   [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] const TlbStats& stats() const noexcept { return stats_; }
@@ -63,10 +64,22 @@ class Tlb {
   void unlink(std::uint32_t slot) noexcept;
   void push_front(std::uint32_t slot) noexcept;
 
+  // vpage -> slot index, behind the legacy toggle: the open-addressed flat
+  // table is the per-access default; RACCD_LEGACY_STRUCTURES=1 keeps the
+  // original unordered_map (bench/throughput A/B-tests the two).
+  [[nodiscard]] std::uint32_t* index_find(PageNum vpage) noexcept {
+    return legacy_ ? legacy_find(vpage) : flat_.find(vpage);
+  }
+  [[nodiscard]] std::uint32_t* legacy_find(PageNum vpage) noexcept;
+  void index_insert(PageNum vpage, std::uint32_t slot);
+  void index_erase(PageNum vpage) noexcept;
+
   std::uint32_t capacity_;
+  bool legacy_;
   std::vector<Entry> entries_;          // slot storage
   std::vector<std::uint32_t> free_;     // free slots
-  std::unordered_map<PageNum, std::uint32_t> index_;
+  std::unordered_map<PageNum, std::uint32_t> index_;  // legacy path only
+  OpenPageMap flat_;
   std::uint32_t head_ = kNil;  // most recently used
   std::uint32_t tail_ = kNil;  // least recently used
   // Single-entry filter for the common same-page-as-last-access case; keeps

@@ -1,0 +1,377 @@
+// Flat-structure equivalence suite: the hot-path structure swaps behind
+// bench/throughput (PagedLineMap, OpenPageMap, SoA tag probes, sorted+memo
+// NCRT) are host-side optimizations only — the modelled machine must be
+// bit-for-bit unchanged. Three layers of insurance:
+//
+//  1. Unit tests of the new containers against their reference semantics
+//     (default-zero line map, open addressing with backward-shift deletion).
+//  2. Structure-level A/B: legacy and flat L1/LLC/directory/NCRT instances
+//     driven through identical operation sequences must agree on every
+//     observable (find results, victims, stats counters), including across
+//     directory resize.
+//  3. End-to-end golden: run_all over a tiny spec grid (both workload
+//     families, both systems, both topologies, both DRAM models) with the
+//     legacy structures and with the flat ones; stats_to_text must be
+//     byte-identical. Plus the pinned default cache key, so warm sweep
+//     caches stay valid (kStatsFormatVersion not bumped).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "raccd/cache/l1_cache.hpp"
+#include "raccd/cache/llc_bank.hpp"
+#include "raccd/coherence/directory.hpp"
+#include "raccd/common/flat_map.hpp"
+#include "raccd/common/rng.hpp"
+#include "raccd/core/ncrt.hpp"
+#include "raccd/harness/experiment.hpp"
+#include "raccd/harness/sweep_cache.hpp"
+
+namespace raccd {
+namespace {
+
+/// RAII guard: run a scope under the given structures, restore after.
+class LegacyScope {
+ public:
+  explicit LegacyScope(bool legacy) : prev_(legacy_structures()) {
+    set_legacy_structures(legacy);
+  }
+  ~LegacyScope() { set_legacy_structures(prev_); }
+
+ private:
+  bool prev_;
+};
+
+// ---------------------------------------------------------------------------
+// PagedLineMap
+
+TEST(PagedLineMap, DefaultZeroWithoutAllocation) {
+  PagedLineMap m;
+  EXPECT_EQ(m.get(0), 0u);
+  EXPECT_EQ(m.get(123456789), 0u);
+  EXPECT_EQ(m.allocated_chunks(), 0u);  // get() never commits storage
+}
+
+TEST(PagedLineMap, SetGetRoundTripAndChunkGrowth) {
+  PagedLineMap m;
+  m.reserve_lines(1 << 20);
+  m.set(0, 7);
+  m.set(PagedLineMap::kChunkLines - 1, 8);  // last slot of chunk 0
+  m.set(PagedLineMap::kChunkLines, 9);      // first slot of chunk 1
+  m.set((1ull << 30), 10);                  // far past the reserve hint
+  EXPECT_EQ(m.get(0), 7u);
+  EXPECT_EQ(m.get(PagedLineMap::kChunkLines - 1), 8u);
+  EXPECT_EQ(m.get(PagedLineMap::kChunkLines), 9u);
+  EXPECT_EQ(m.get(1ull << 30), 10u);
+  EXPECT_EQ(m.get(1), 0u);  // untouched neighbors stay zero
+  EXPECT_EQ(m.allocated_chunks(), 3u);
+  m.set(0, 0);  // storing zero is a store, not an erase
+  EXPECT_EQ(m.get(0), 0u);
+  EXPECT_EQ(m.allocated_chunks(), 3u);
+}
+
+TEST(PagedLineMap, MatchesHashMapUnderRandomTraffic) {
+  PagedLineMap flat;
+  std::unordered_map<LineAddr, std::uint64_t> ref;
+  Rng rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    const LineAddr line = rng.next_below(1 << 16);
+    if (rng.next_below(2) == 0) {
+      const std::uint64_t v = rng.next_below(1 << 20);
+      flat.set(line, v);
+      ref[line] = v;
+    } else {
+      const auto it = ref.find(line);
+      EXPECT_EQ(flat.get(line), it == ref.end() ? 0u : it->second);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// OpenPageMap
+
+TEST(OpenPageMap, InsertFindEraseClear) {
+  OpenPageMap m(64);
+  EXPECT_GE(m.capacity(), 256u);  // <= 25% load factor
+  EXPECT_EQ(m.find(5), nullptr);
+  m.insert(5, 50);
+  m.insert(6, 60);
+  ASSERT_NE(m.find(5), nullptr);
+  EXPECT_EQ(*m.find(5), 50u);
+  EXPECT_EQ(*m.find(6), 60u);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.erase(5));
+  EXPECT_FALSE(m.erase(5));
+  EXPECT_EQ(m.find(5), nullptr);
+  EXPECT_EQ(*m.find(6), 60u);
+  m.clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.find(6), nullptr);
+}
+
+TEST(OpenPageMap, BackwardShiftKeepsCollidedKeysFindable) {
+  // Erase keys out of the middle of long probe runs under colliding traffic;
+  // backward-shift deletion must keep every surviving key reachable.
+  OpenPageMap m(128);
+  std::unordered_map<PageNum, std::uint32_t> ref;
+  Rng rng(12);
+  for (int i = 0; i < 40000; ++i) {
+    // Small key range forces home-slot collisions and multi-slot probe runs.
+    const PageNum key = rng.next_below(192);
+    if (ref.size() < 128 && rng.next_below(3) != 0) {
+      if (ref.find(key) == ref.end()) {
+        const std::uint32_t v = static_cast<std::uint32_t>(rng.next_below(1 << 20));
+        m.insert(key, v);
+        ref[key] = v;
+      }
+    } else {
+      EXPECT_EQ(m.erase(key), ref.erase(key) == 1);
+    }
+    const PageNum probe = rng.next_below(192);
+    const auto it = ref.find(probe);
+    std::uint32_t* got = m.find(probe);
+    if (it == ref.end()) {
+      EXPECT_EQ(got, nullptr);
+    } else {
+      ASSERT_NE(got, nullptr);
+      EXPECT_EQ(*got, it->second);
+    }
+    EXPECT_EQ(m.size(), ref.size());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SoA tag probes vs legacy AoS scans
+
+TEST(SoaTags, L1LegacyAndFlatAgreeUnderRandomTraffic) {
+  LegacyScope scope(true);
+  L1Cache legacy{L1Geometry{}};
+  set_legacy_structures(false);
+  L1Cache flat{L1Geometry{}};
+  Rng rng(13);
+  for (int i = 0; i < 50000; ++i) {
+    const LineAddr line = rng.next_below(2048);  // 4x capacity: many conflicts
+    switch (rng.next_below(3)) {
+      case 0: {
+        const L1Line* a = legacy.find(line);
+        const L1Line* b = flat.find(line);
+        ASSERT_EQ(a == nullptr, b == nullptr) << "line " << line;
+        if (a != nullptr) {
+          EXPECT_EQ(a->line, b->line);
+          EXPECT_EQ(a->version, b->version);
+        }
+        break;
+      }
+      case 1: {
+        if (legacy.find(line) == nullptr) {
+          const L1Line va = legacy.fill(line, false, Mesi::kShared, false, i);
+          const L1Line vb = flat.fill(line, false, Mesi::kShared, false, i);
+          EXPECT_EQ(va.valid, vb.valid);
+          EXPECT_EQ(va.line, vb.line);
+        }
+        break;
+      }
+      default: {
+        const L1Line va = legacy.invalidate(line);
+        const L1Line vb = flat.invalidate(line);
+        EXPECT_EQ(va.valid, vb.valid);
+        break;
+      }
+    }
+  }
+}
+
+TEST(SoaTags, LlcLegacyAndFlatAgreeUnderRandomTraffic) {
+  LlcGeometry geo;
+  geo.lines_per_bank = 512;
+  LegacyScope scope(true);
+  LlcBank legacy{geo};
+  set_legacy_structures(false);
+  LlcBank flat{geo};
+  Rng rng(14);
+  for (int i = 0; i < 50000; ++i) {
+    const LineAddr line = rng.next_below(4096) << geo.bank_bits;
+    switch (rng.next_below(3)) {
+      case 0: {
+        const LlcLine* a = legacy.find(line);
+        const LlcLine* b = flat.find(line);
+        ASSERT_EQ(a == nullptr, b == nullptr) << "line " << line;
+        if (a != nullptr) EXPECT_EQ(a->version, b->version);
+        break;
+      }
+      case 1: {
+        if (legacy.find(line) == nullptr) {
+          const LlcLine va = legacy.peek_victim(line);
+          const LlcLine vb = flat.peek_victim(line);
+          EXPECT_EQ(va.valid, vb.valid);
+          EXPECT_EQ(va.line, vb.line);
+          if (va.valid) {
+            legacy.invalidate(va.line);
+            flat.invalidate(vb.line);
+          }
+          legacy.fill(line, false, false, i);
+          flat.fill(line, false, false, i);
+        }
+        break;
+      }
+      default: {
+        const LlcLine va = legacy.invalidate(line);
+        const LlcLine vb = flat.invalidate(line);
+        EXPECT_EQ(va.valid, vb.valid);
+        break;
+      }
+    }
+  }
+}
+
+TEST(SoaTags, DirectoryLegacyAndFlatAgreeAcrossResize) {
+  DirGeometry geo;
+  geo.entries_per_bank = 256;
+  LegacyScope scope(true);
+  DirectoryBank legacy{geo};
+  set_legacy_structures(false);
+  DirectoryBank flat{geo};
+  Rng rng(15);
+  auto mirror_op = [&](LineAddr line, std::uint64_t op) {
+    switch (op) {
+      case 0: {
+        const DirEntry* a = legacy.find(line);
+        const DirEntry* b = flat.find(line);
+        ASSERT_EQ(a == nullptr, b == nullptr) << "line " << line;
+        if (a != nullptr) EXPECT_EQ(a->sharers, b->sharers);
+        break;
+      }
+      case 1: {
+        if (legacy.find(line) == nullptr) {
+          if (!legacy.has_free_way(line)) {
+            const DirEntry va = legacy.peek_victim(line);
+            const DirEntry vb = flat.peek_victim(line);
+            ASSERT_TRUE(va.valid);
+            EXPECT_EQ(va.line, vb.line);
+            legacy.remove(va.line);
+            flat.remove(vb.line);
+          }
+          legacy.alloc(line).sharers = line;
+          flat.alloc(line).sharers = line;
+        }
+        break;
+      }
+      default: {
+        EXPECT_EQ(legacy.remove(line), flat.remove(line));
+        break;
+      }
+    }
+  };
+  for (int i = 0; i < 20000; ++i) {
+    mirror_op(rng.next_below(2048) << geo.bank_bits, rng.next_below(3));
+  }
+  // Power down (displacing overfull sets identically), traffic, power up.
+  for (const std::uint32_t sets : {legacy.active_sets() / 2, legacy.total_sets()}) {
+    std::vector<DirEntry> da, db;
+    EXPECT_EQ(legacy.resize(sets, da), flat.resize(sets, db));
+    ASSERT_EQ(da.size(), db.size());
+    for (std::size_t i = 0; i < da.size(); ++i) EXPECT_EQ(da[i].line, db[i].line);
+    EXPECT_EQ(legacy.valid_entries(), flat.valid_entries());
+    for (int i = 0; i < 20000; ++i) {
+      mirror_op(rng.next_below(2048) << geo.bank_bits, rng.next_below(3));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NCRT: sorted early-exit + memo must be stats-neutral
+
+TEST(NcrtMemo, AgreesWithLegacyScanIncludingStats) {
+  LegacyScope scope(true);
+  Ncrt legacy(32);
+  set_legacy_structures(false);
+  Ncrt flat(32);
+  Rng rng(16);
+  // Insert in shuffled order (the sorted path reorders internally), then
+  // interleave lookups with occasional re-register cycles, exactly the
+  // frozen-between-register-and-invalidate usage the memo depends on.
+  auto fill_both = [&] {
+    std::vector<std::uint64_t> starts;
+    for (std::uint64_t i = 0; i < 24; ++i) starts.push_back(i * 0x1000);
+    for (std::size_t i = starts.size(); i > 1; --i) {
+      std::swap(starts[i - 1], starts[rng.next_below(i)]);
+    }
+    for (const std::uint64_t s : starts) {
+      EXPECT_EQ(legacy.insert(s, s + 0x800), flat.insert(s, s + 0x800));
+    }
+  };
+  fill_both();
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 20000; ++i) {
+      // Streams through regions (memo fast path) plus random probes.
+      const PAddr pa = (i % 3 == 0) ? rng.next_below(24 * 0x1000)
+                                    : (rng.next_below(24) * 0x1000 + (i & 0x7FF));
+      EXPECT_EQ(legacy.lookup(pa), flat.lookup(pa)) << "pa " << pa;
+    }
+    EXPECT_EQ(legacy.stats().lookups, flat.stats().lookups);
+    EXPECT_EQ(legacy.stats().hits, flat.stats().hits);
+    legacy.clear();
+    flat.clear();
+    fill_both();
+  }
+  EXPECT_EQ(legacy.stats().inserts, flat.stats().inserts);
+  EXPECT_EQ(legacy.stats().clears, flat.stats().clears);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end golden + pinned cache key
+
+TEST(ThroughputGolden, DefaultRunSpecKeyIsPinned) {
+  // The structure swap must not perturb cache identity: warm sweep caches
+  // (BENCH_baseline.json and friends) stay valid only while this exact key
+  // format and kStatsFormatVersion survive.
+  EXPECT_EQ(RunSpec{}.key(), "jacobi-small-FullCoh-d1-s42-nl1-ne32-cont-fifo-v5");
+  EXPECT_EQ(kStatsFormatVersion, 5u);
+}
+
+TEST(ThroughputGolden, LegacyAndFlatStructuresBitIdenticalStats) {
+  std::vector<RunSpec> specs;
+  for (const char* app : {"jacobi", "synthetic"}) {
+    for (const CohMode mode : {CohMode::kFullCoh, CohMode::kRaCCD}) {
+      for (const char* topo : {"flat", "numa2"}) {
+        RunSpec s;
+        s.app = app;
+        s.size = SizeClass::kTiny;
+        s.mode = mode;
+        s.topo = topo;
+        s.dram = (mode == CohMode::kRaCCD) ? "ddr" : "simple";
+        specs.push_back(s);
+      }
+    }
+  }
+
+  RunOptions opts;
+  opts.use_cache = false;  // both sweeps must actually simulate
+  opts.threads = 2;
+
+  std::vector<std::string> legacy_text, flat_text;
+  {
+    LegacyScope scope(true);
+    for (const SimStats& s : run_all(specs, opts)) {
+      legacy_text.push_back(stats_to_text(s));
+    }
+  }
+  {
+    LegacyScope scope(false);
+    for (const SimStats& s : run_all(specs, opts)) {
+      flat_text.push_back(stats_to_text(s));
+    }
+  }
+
+  ASSERT_EQ(legacy_text.size(), specs.size());
+  ASSERT_EQ(flat_text.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_FALSE(legacy_text[i].empty());
+    EXPECT_EQ(legacy_text[i], flat_text[i]) << specs[i].key();
+  }
+}
+
+}  // namespace
+}  // namespace raccd
