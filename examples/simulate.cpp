@@ -71,7 +71,9 @@ void usage() {
       "  --series-metrics=a,b,c    metrics to sample (default: directory\n"
       "                            occupancy and its drivers)\n"
       "  --metrics=a,b,c           print selected metrics after the report\n"
-      "                            (names: `raccd-report metrics`)\n",
+      "                            (names: `raccd-report metrics`)\n"
+      "  --jobs=N / -jN            accepted for uniformity with the sweep\n"
+      "                            binaries; one simulation is one job\n",
       apps.c_str(), static_cast<unsigned long long>(kDefaultSeriesInterval));
 }
 
@@ -186,6 +188,10 @@ int main(int argc, char** argv) {
       spec.series_metrics = a + 17;
     } else if (std::strncmp(a, "--metrics=", 10) == 0) {
       metrics_list = a + 10;
+    } else if (std::strncmp(a, "--jobs=", 7) == 0 ||
+               (std::strncmp(a, "-j", 2) == 0 && a[2] >= '0' && a[2] <= '9')) {
+      // One workload, one simulation: nothing to fan out. Accepted so
+      // scripts can pass a uniform -jN to every raccd binary.
     } else if (a[0] != '-') {
       if (const std::string err = spec.set_workload_ref(a); !err.empty()) {
         std::fprintf(stderr, "%s\n", err.c_str());

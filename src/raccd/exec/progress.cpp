@@ -1,0 +1,106 @@
+#include "raccd/exec/progress.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "raccd/common/format.hpp"
+
+namespace raccd {
+namespace {
+
+/// Keys are long ("jacobi-small-raccd-d1-s42-..."); the per-worker strip
+/// shows just enough to tell workers apart.
+[[nodiscard]] std::string abbrev(const std::string& key, std::size_t max = 24) {
+  if (key.size() <= max) return key;
+  return key.substr(0, max - 1) + "~";
+}
+
+}  // namespace
+
+ProgressReporter::ProgressReporter(std::size_t total, unsigned workers, bool enabled,
+                                   std::FILE* stream, int force_tty)
+    : stream_(stream),
+      total_(total),
+      enabled_(enabled),
+      running_(std::max(1u, workers)),
+      start_(std::chrono::steady_clock::now()) {
+  tty_ = force_tty >= 0 ? force_tty != 0 : ::isatty(::fileno(stream)) != 0;
+}
+
+ProgressReporter::~ProgressReporter() { finish(); }
+
+std::string ProgressReporter::rate_eta_locked() const {
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  const double rate = secs > 0.0 ? static_cast<double>(done_) / secs : 0.0;
+  const double eta =
+      rate > 0.0 ? static_cast<double>(total_ - done_) / rate : 0.0;
+  return strprintf("%.2f runs/s, ETA %d:%02d", rate, static_cast<int>(eta) / 60,
+                   static_cast<int>(eta) % 60);
+}
+
+void ProgressReporter::repaint_locked() {
+  std::string line = strprintf("[%zu/%zu] %s |", done_, total_, rate_eta_locked().c_str());
+  for (std::size_t w = 0; w < running_.size(); ++w) {
+    line += strprintf(" w%zu:%s", w,
+                      running_[w].empty() ? "-" : abbrev(running_[w]).c_str());
+  }
+  // Pad over the previous (possibly longer) paint, then return the cursor.
+  static constexpr std::size_t kPad = 4;
+  std::fprintf(stream_, "\r%-*s\r", static_cast<int>(line.size() + kPad), line.c_str());
+  std::fflush(stream_);
+  line_open_ = true;
+}
+
+void ProgressReporter::run_started(unsigned worker, const std::string& key) {
+  if (!enabled_) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (worker < running_.size()) running_[worker] = key;
+  if (tty_) repaint_locked();
+}
+
+void ProgressReporter::run_finished(unsigned worker, const std::string& key) {
+  if (!enabled_) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++done_;
+  if (worker < running_.size()) running_[worker].clear();
+  if (tty_) {
+    repaint_locked();
+  } else {
+    std::fprintf(stream_, "[%zu/%zu] %s (%s)\n", done_, total_, key.c_str(),
+                 rate_eta_locked().c_str());
+  }
+}
+
+void ProgressReporter::run_failed(unsigned worker, const std::string& key,
+                                  const std::string& error) {
+  // Failures print even when progress is disabled: they are diagnostics,
+  // not chrome.
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++done_;
+  if (worker < running_.size()) running_[worker].clear();
+  if (line_open_) {
+    std::fprintf(stream_, "\n");
+    line_open_ = false;
+  }
+  std::fprintf(stream_, "[%zu/%zu] FAILED %s: %s\n", done_, total_, key.c_str(),
+               error.c_str());
+  if (enabled_ && tty_) repaint_locked();
+}
+
+void ProgressReporter::finish() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (line_open_) {
+    std::fprintf(stream_, "\n");
+    std::fflush(stream_);
+    line_open_ = false;
+  }
+}
+
+std::size_t ProgressReporter::done() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return done_;
+}
+
+}  // namespace raccd

@@ -1,0 +1,60 @@
+// Multi-worker sweep progress reporting.
+//
+// One reporter instance serializes all output behind a mutex, so concurrent
+// workers never interleave partial lines. Two rendering modes, chosen by
+// whether the stream is a TTY:
+//
+//  * TTY: a single status line repainted in place with a carriage return —
+//    [done/total] runs/s, ETA, and a compact per-worker state strip
+//    (running-spec abbreviation or '-' when idle).
+//  * non-TTY (CI logs, redirects): one plain append-only line per finished
+//    run, same fields as the serial harness always printed — logs stay
+//    greppable and diffs stay readable.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <chrono>
+
+namespace raccd {
+
+class ProgressReporter {
+ public:
+  /// `total` runs across `workers` workers; `enabled` false = fully silent
+  /// (the --verbose gate). `force_tty` overrides isatty for tests.
+  ProgressReporter(std::size_t total, unsigned workers, bool enabled,
+                   std::FILE* stream = stderr, int force_tty = -1);
+  ~ProgressReporter();
+
+  /// Worker `w` began simulating `key` (kNoWorker for the inline -j1 path).
+  static constexpr unsigned kNoWorker = ~0u;
+  void run_started(unsigned worker, const std::string& key);
+  /// Worker `w` finished `key`; advances done-count and repaints/prints.
+  void run_finished(unsigned worker, const std::string& key);
+  /// A run failed: always printed (even repaint mode gets a plain line).
+  void run_failed(unsigned worker, const std::string& key,
+                  const std::string& error);
+  /// Erase/complete the status line (TTY mode); idempotent.
+  void finish();
+
+  [[nodiscard]] std::size_t done() const;
+
+ private:
+  void repaint_locked();
+  [[nodiscard]] std::string rate_eta_locked() const;
+
+  mutable std::mutex mutex_;
+  std::FILE* stream_;
+  std::size_t total_;
+  std::size_t done_ = 0;
+  bool enabled_;
+  bool tty_;
+  bool line_open_ = false;  ///< a repainted status line is on screen
+  std::vector<std::string> running_;  ///< per-worker current spec key
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace raccd

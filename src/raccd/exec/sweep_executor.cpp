@@ -1,0 +1,154 @@
+#include "raccd/exec/sweep_executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "raccd/common/assert.hpp"
+#include "raccd/common/format.hpp"
+#include "raccd/exec/progress.hpp"
+#include "raccd/exec/work_steal_pool.hpp"
+#include "raccd/harness/sweep_cache.hpp"
+
+namespace raccd {
+
+unsigned SweepExecutor::effective_jobs(unsigned jobs, std::size_t todo) {
+  if (jobs == 0) jobs = std::thread::hardware_concurrency();
+  return std::max(1u, std::min<unsigned>(jobs, static_cast<unsigned>(
+                                                   std::max<std::size_t>(1, todo))));
+}
+
+std::vector<SimStats> SweepExecutor::run(const std::vector<RunSpec>& specs,
+                                         std::vector<Series>* series_out) {
+  failures_.clear();
+  std::vector<SimStats> results(specs.size());
+  std::vector<std::uint8_t> pending(specs.size(), 1);
+  if (series_out != nullptr) series_out->assign(specs.size(), Series{});
+  const auto samples = [&](std::size_t i) {
+    return series_out != nullptr && specs[i].series_interval > 0;
+  };
+
+  if (opts_.use_cache) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      // A cached SimStats cannot satisfy a sampling spec: the series only
+      // exists if the simulation actually runs.
+      if (samples(i)) continue;
+      if (auto cached = cache_load(opts_.cache_dir, specs[i].key())) {
+        results[i] = *cached;
+        pending[i] = 0;
+      }
+    }
+  }
+
+  // In-flight dedup: identical specs (same cache key) are simulated once and
+  // copied after the sweep drains, so two workers never race the same
+  // uncached spec and callers may pass lists with repeats for free.
+  // Sampling variants dedup separately: series params are deliberately not
+  // part of the cache key (they don't change the stats).
+  const auto dedup_key = [&](std::size_t i) {
+    std::string k = specs[i].key();
+    if (samples(i)) {
+      k += strprintf("+series%llu:%s",
+                     static_cast<unsigned long long>(specs[i].series_interval),
+                     specs[i].series_metrics.c_str());
+    }
+    return k;
+  };
+  std::vector<std::size_t> todo;
+  std::unordered_map<std::string, std::size_t> first_with_key;
+  std::vector<std::pair<std::size_t, std::size_t>> dup;  // (dst, src) indices
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (pending[i] == 0) continue;
+    const auto [it, inserted] = first_with_key.try_emplace(dedup_key(i), i);
+    if (inserted) todo.push_back(i);
+    else dup.emplace_back(i, it->second);
+  }
+
+  // Shard the deduped to-run list by position: deterministic for a given
+  // spec list, and every shard of the same sweep agrees on the partition.
+  if (opts_.shard_count > 1) {
+    RACCD_ASSERT(opts_.shard_index < opts_.shard_count, "shard index out of range");
+    std::vector<std::size_t> mine;
+    for (std::size_t slot = 0; slot < todo.size(); ++slot) {
+      if (slot % opts_.shard_count == opts_.shard_index) mine.push_back(todo[slot]);
+    }
+    if (opts_.verbose) {
+      std::fprintf(stderr, "shard %u/%u: %zu of %zu uncached runs\n", opts_.shard_index,
+                   opts_.shard_count, mine.size(), todo.size());
+    }
+    todo = std::move(mine);
+  }
+
+  if (!todo.empty()) {
+    const unsigned jobs = effective_jobs(opts_.jobs, todo.size());
+    ProgressReporter progress(todo.size(), jobs, opts_.verbose);
+    std::mutex failures_mutex;
+    std::atomic<bool> stop{false};
+
+    // The per-spec task body. Returns through `results[i]` (index commit:
+    // the determinism guarantee) and the cache; never throws.
+    const auto run_slot = [&](std::size_t i, unsigned worker) {
+      const std::string key = specs[i].key();
+      progress.run_started(worker, key);
+      std::string err;
+      std::optional<SimStats> stats;
+      try {
+        stats = run_one_checked(specs[i], samples(i) ? &(*series_out)[i] : nullptr,
+                                &err);
+      } catch (const std::exception& e) {
+        err = strprintf("unhandled exception: %s", e.what());
+      } catch (...) {
+        err = "unhandled exception (non-std type)";
+      }
+      if (!stats.has_value()) {
+        stop.store(true, std::memory_order_relaxed);
+        {
+          const std::lock_guard<std::mutex> lock(failures_mutex);
+          failures_.push_back({key, err});
+        }
+        progress.run_failed(worker, key, err);
+        return;
+      }
+      results[i] = *stats;
+      if (opts_.use_cache && !cache_store(opts_.cache_dir, key, results[i]) &&
+          opts_.verbose) {
+        std::fprintf(stderr, "warning: could not store cache entry '%s' under %s\n",
+                     key.c_str(), opts_.cache_dir.c_str());
+      }
+      progress.run_finished(worker, key);
+    };
+
+    if (jobs == 1) {
+      // Inline serial path: the historical behavior, and the only mode in
+      // which per-process RACCD_LEGACY_STRUCTURES A/B toggling is sound.
+      for (const std::size_t i : todo) {
+        if (stop.load(std::memory_order_relaxed)) break;  // drain semantics
+        run_slot(i, ProgressReporter::kNoWorker);
+      }
+    } else {
+      WorkStealPool pool(jobs);
+      for (const std::size_t i : todo) {
+        pool.submit([&, i] {
+          run_slot(i, pool.current_worker());
+          // First failure stops issuing new work: queued specs are dropped,
+          // in-flight specs on other workers drain normally.
+          if (stop.load(std::memory_order_relaxed)) pool.cancel();
+        });
+      }
+      pool.wait();
+    }
+    progress.finish();
+  }
+
+  for (const auto& [dst, src] : dup) {
+    results[dst] = results[src];
+    if (series_out != nullptr && samples(dst)) (*series_out)[dst] = (*series_out)[src];
+  }
+  return results;
+}
+
+}  // namespace raccd

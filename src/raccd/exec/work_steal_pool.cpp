@@ -1,0 +1,125 @@
+#include "raccd/exec/work_steal_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace raccd {
+namespace {
+
+/// Worker-index TLS so progress reporting can label the calling worker.
+/// kAnyWorker outside pool threads; set once per worker thread at startup.
+thread_local unsigned t_worker_index = WorkStealPool::kAnyWorker;
+thread_local const WorkStealPool* t_worker_pool = nullptr;
+
+}  // namespace
+
+WorkStealPool::WorkStealPool(unsigned workers) {
+  workers = std::max(1u, workers);
+  deques_.resize(workers);
+  threads_.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+WorkStealPool::~WorkStealPool() {
+  cancel();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkStealPool::submit(Task task, unsigned worker_hint) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const unsigned w = worker_hint != kAnyWorker
+                           ? worker_hint % worker_count()
+                           : std::exchange(next_worker_,
+                                           (next_worker_ + 1) % worker_count());
+    deques_[w].push_back(std::move(task));
+    ++unfinished_;
+  }
+  work_cv_.notify_one();
+}
+
+bool WorkStealPool::try_pop_locked(unsigned self, Task& out) {
+  if (!deques_[self].empty()) {
+    out = std::move(deques_[self].back());  // own work: LIFO
+    deques_[self].pop_back();
+    return true;
+  }
+  // Victim scan starts just past self so thieves spread across victims
+  // instead of all hammering worker 0.
+  for (std::size_t k = 1; k < deques_.size(); ++k) {
+    const std::size_t v = (self + k) % deques_.size();
+    if (!deques_[v].empty()) {
+      out = std::move(deques_[v].front());  // stolen work: FIFO
+      deques_[v].pop_front();
+      ++steals_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void WorkStealPool::worker_loop(unsigned self) {
+  t_worker_index = self;
+  t_worker_pool = this;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || try_pop_locked(self, task); });
+      if (!task) return;  // stop_ with nothing left to pop
+    }
+    try {
+      task();
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    bool all_done = false;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      all_done = --unfinished_ == 0;
+    }
+    if (all_done) idle_cv_.notify_all();
+  }
+}
+
+void WorkStealPool::wait() {
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [&] { return unfinished_ == 0; });
+    err = std::exchange(first_error_, nullptr);
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void WorkStealPool::cancel() {
+  bool all_done = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& dq : deques_) {
+      unfinished_ -= dq.size();
+      dq.clear();
+    }
+    all_done = unfinished_ == 0;
+  }
+  if (all_done) idle_cv_.notify_all();
+}
+
+std::uint64_t WorkStealPool::steal_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return steals_;
+}
+
+unsigned WorkStealPool::current_worker() const noexcept {
+  return t_worker_pool == this ? t_worker_index : kAnyWorker;
+}
+
+}  // namespace raccd

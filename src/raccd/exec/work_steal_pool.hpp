@@ -1,0 +1,90 @@
+// Work-stealing thread pool for the experiment harness.
+//
+// The shape follows the task-parallel runtimes the paper builds on (BDDT /
+// BDDT-SCC schedule independent task bodies over per-core queues with
+// stealing): each worker owns a deque, pops its own work LIFO (newest first,
+// warm caches) and steals FIFO from a victim (oldest first, the classic
+// Cilk/BDDT discipline that steals the largest remaining chunk of a
+// submission burst). Idle workers park on a condition variable instead of
+// spinning — sweep tasks are whole simulations, so wakeups are rare and the
+// harness must not burn host cores that the simulations themselves want.
+//
+// Queue operations take a single pool mutex. That is deliberate, not lazy:
+// every task here is a complete simulation (milliseconds to minutes of host
+// time), so push/pop cost is noise, while one lock keeps the
+// park/steal/drain transitions trivially race-free — this type is on the
+// ThreadSanitizer CI job and must stay boring under it. The per-worker
+// *deques* (not a shared run queue) are what preserve the LIFO/FIFO
+// discipline and keep submission bursts spread across workers.
+//
+// Error contract: the first exception a task throws is captured; wait()
+// rethrows it on the submitting thread (after all other tasks finished or
+// were cancelled). cancel() drops queued-but-unstarted tasks; tasks already
+// running always drain.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+
+namespace raccd {
+
+class WorkStealPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Spawn `workers` threads (>= 1; 0 is clamped to 1).
+  explicit WorkStealPool(unsigned workers);
+  /// Cancels queued work, drains in-flight tasks, joins all workers.
+  ~WorkStealPool();
+
+  WorkStealPool(const WorkStealPool&) = delete;
+  WorkStealPool& operator=(const WorkStealPool&) = delete;
+
+  /// Enqueue a task. Round-robin across the per-worker deques so a burst of
+  /// submissions is spread before any stealing is needed. `worker_hint`
+  /// pins the task to a specific worker's deque (tests use this to force
+  /// steals); pass kAnyWorker for the default placement.
+  static constexpr unsigned kAnyWorker = ~0u;
+  void submit(Task task, unsigned worker_hint = kAnyWorker);
+
+  /// Block until every submitted task has finished (or was cancelled).
+  /// Rethrows the first exception any task threw, if any.
+  void wait();
+
+  /// Drop all queued-but-unstarted tasks; in-flight tasks drain normally.
+  void cancel();
+
+  [[nodiscard]] unsigned worker_count() const noexcept {
+    return static_cast<unsigned>(deques_.size());
+  }
+  /// Tasks executed by a worker that did not own their deque (test/telemetry).
+  [[nodiscard]] std::uint64_t steal_count() const;
+  /// Index of the pool worker running the calling thread, or kAnyWorker when
+  /// called from outside the pool (progress reporting uses this).
+  [[nodiscard]] unsigned current_worker() const noexcept;
+
+ private:
+  void worker_loop(unsigned self);
+  /// Pop under lock: own deque back (LIFO), then scan victims front (FIFO).
+  [[nodiscard]] bool try_pop_locked(unsigned self, Task& out);
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< workers park here
+  std::condition_variable idle_cv_;  ///< wait() parks here
+  std::vector<std::deque<Task>> deques_;
+  std::vector<std::thread> threads_;
+  std::size_t unfinished_ = 0;  ///< submitted and not yet completed/cancelled
+  std::uint64_t steals_ = 0;
+  unsigned next_worker_ = 0;  ///< round-robin submit cursor
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace raccd

@@ -1,18 +1,15 @@
 #include "raccd/harness/experiment.hpp"
 
-#include <atomic>
-#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
-#include <thread>
 #include <unordered_map>
-#include <utility>
 
 #include "raccd/apps/registry.hpp"
 #include "raccd/common/assert.hpp"
 #include "raccd/common/format.hpp"
-#include "raccd/harness/sweep_cache.hpp"
+#include "raccd/exec/sweep_executor.hpp"
+#include "raccd/harness/sweep_cache.hpp"  // kStatsFormatVersion in RunSpec::key()
 
 namespace raccd {
 namespace {
@@ -108,7 +105,8 @@ SimConfig config_for(const RunSpec& spec) {
   return cfg;
 }
 
-SimStats run_one(const RunSpec& spec, Series* series_out) {
+std::optional<SimStats> run_one_checked(const RunSpec& spec, Series* series_out,
+                                        std::string* error) {
   Machine machine(config_for(spec));
   AppConfig acfg;
   acfg.size = spec.size;
@@ -119,15 +117,14 @@ SimStats run_one(const RunSpec& spec, Series* series_out) {
     app = WorkloadRegistry::instance().create(spec.app, acfg, &err);
   }
   if (app == nullptr) {
-    std::fprintf(stderr, "cannot run %s: %s\n", spec.key().c_str(), err.c_str());
-    RACCD_ASSERT(false, "unknown workload or invalid parameters");
+    if (error != nullptr) *error = "cannot run: " + err;
+    return std::nullopt;
   }
   app->run(machine);
   err = app->verify(machine);
   if (!err.empty()) {
-    std::fprintf(stderr, "verification failed for %s: %s\n", spec.key().c_str(),
-                 err.c_str());
-    RACCD_ASSERT(false, "application verification failed");
+    if (error != nullptr) *error = "verification failed: " + err;
+    return std::nullopt;
   }
   SimStats stats = machine.collect();
   if (series_out != nullptr && machine.series() != nullptr) {
@@ -136,105 +133,29 @@ SimStats run_one(const RunSpec& spec, Series* series_out) {
   return stats;
 }
 
+SimStats run_one(const RunSpec& spec, Series* series_out) {
+  std::string err;
+  const std::optional<SimStats> stats = run_one_checked(spec, series_out, &err);
+  if (!stats.has_value()) {
+    std::fprintf(stderr, "%s: %s\n", spec.key().c_str(), err.c_str());
+    RACCD_ASSERT(false, "run_one failed (unknown workload, bad params, or "
+                        "verification mismatch)");
+  }
+  return *stats;
+}
+
 std::vector<SimStats> run_all(const std::vector<RunSpec>& specs, const RunOptions& opts,
                               std::vector<Series>* series_out) {
-  std::vector<SimStats> results(specs.size());
-  std::vector<std::uint8_t> pending(specs.size(), 1);
-  if (series_out != nullptr) {
-    series_out->assign(specs.size(), Series{});
-  }
-  const auto samples = [&](std::size_t i) {
-    return series_out != nullptr && specs[i].series_interval > 0;
-  };
-
-  if (opts.use_cache) {
-    for (std::size_t i = 0; i < specs.size(); ++i) {
-      // A cached SimStats cannot satisfy a sampling spec: the series only
-      // exists if the simulation actually runs.
-      if (samples(i)) continue;
-      if (auto cached = cache_load(opts.cache_dir, specs[i].key())) {
-        results[i] = *cached;
-        pending[i] = 0;
-      }
+  SweepExecutor executor(opts);
+  std::vector<SimStats> results = executor.run(specs, series_out);
+  if (!executor.failures().empty()) {
+    // The executor already drained in-flight work and cached every completed
+    // run; all that is left is to fail loudly with the spec identities.
+    std::fprintf(stderr, "run_all: %zu spec(s) failed:\n", executor.failures().size());
+    for (const SweepFailure& f : executor.failures()) {
+      std::fprintf(stderr, "  %s\n    %s\n", f.key.c_str(), f.error.c_str());
     }
-  }
-
-  // Identical specs (same cache key) are simulated once and copied, so
-  // callers may pass spec lists with repeats without paying for them.
-  // Sampling variants dedup separately: series params are deliberately not
-  // part of the cache key (they don't change the stats).
-  const auto dedup_key = [&](std::size_t i) {
-    std::string k = specs[i].key();
-    if (samples(i)) {
-      k += strprintf("+series%llu:%s",
-                     static_cast<unsigned long long>(specs[i].series_interval),
-                     specs[i].series_metrics.c_str());
-    }
-    return k;
-  };
-  std::vector<std::size_t> todo;
-  std::unordered_map<std::string, std::size_t> first_with_key;
-  std::vector<std::pair<std::size_t, std::size_t>> dup;  // (dst, src) indices
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    if (pending[i] == 0) continue;
-    const auto [it, inserted] = first_with_key.try_emplace(dedup_key(i), i);
-    if (inserted) todo.push_back(i);
-    else dup.emplace_back(i, it->second);
-  }
-  // Shard the deduped to-run list by position: deterministic for a given
-  // spec list, and every shard of the same sweep agrees on the partition.
-  if (opts.shard_count > 1) {
-    RACCD_ASSERT(opts.shard_index < opts.shard_count, "shard index out of range");
-    std::vector<std::size_t> mine;
-    for (std::size_t slot = 0; slot < todo.size(); ++slot) {
-      if (slot % opts.shard_count == opts.shard_index) mine.push_back(todo[slot]);
-    }
-    if (opts.verbose) {
-      std::fprintf(stderr, "shard %u/%u: %zu of %zu uncached runs\n", opts.shard_index,
-                   opts.shard_count, mine.size(), todo.size());
-    }
-    todo = std::move(mine);
-  }
-  if (!todo.empty()) {
-    unsigned threads = opts.threads != 0 ? opts.threads : std::thread::hardware_concurrency();
-    threads = std::max(1u, std::min<unsigned>(threads, static_cast<unsigned>(todo.size())));
-    std::atomic<std::size_t> next{0};
-    std::atomic<std::size_t> done{0};
-    const auto t0 = std::chrono::steady_clock::now();
-    auto worker = [&] {
-      for (;;) {
-        const std::size_t slot = next.fetch_add(1);
-        if (slot >= todo.size()) return;
-        const std::size_t i = todo[slot];
-        results[i] = run_one(specs[i], samples(i) ? &(*series_out)[i] : nullptr);
-        if (opts.use_cache && !cache_store(opts.cache_dir, specs[i].key(), results[i]) &&
-            opts.verbose) {
-          std::fprintf(stderr, "warning: could not store cache entry '%s' under %s\n",
-                       specs[i].key().c_str(), opts.cache_dir.c_str());
-        }
-        const std::size_t d = done.fetch_add(1) + 1;
-        if (opts.verbose) {
-          // Progress with throughput and a remaining-time estimate from the
-          // completed-run average (coarse but steady for homogeneous grids).
-          const double secs = std::chrono::duration<double>(
-                                  std::chrono::steady_clock::now() - t0)
-                                  .count();
-          const double rate = secs > 0.0 ? static_cast<double>(d) / secs : 0.0;
-          const double eta = rate > 0.0 ? static_cast<double>(todo.size() - d) / rate : 0.0;
-          std::fprintf(stderr, "[%zu/%zu] %s (%.2f runs/s, ETA %d:%02d)\n", d,
-                       todo.size(), specs[i].key().c_str(), rate,
-                       static_cast<int>(eta) / 60, static_cast<int>(eta) % 60);
-        }
-      }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (auto& th : pool) th.join();
-  }
-  for (const auto& [dst, src] : dup) {
-    results[dst] = results[src];
-    if (series_out != nullptr && samples(dst)) (*series_out)[dst] = (*series_out)[src];
+    RACCD_ASSERT(false, "sweep aborted: at least one spec failed (keys above)");
   }
   return results;
 }
@@ -249,8 +170,12 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
   if (const char* env = std::getenv("RACCD_SIZE")) apply_size(env);
   if (std::getenv("RACCD_PAPER") != nullptr) o.paper_machine = true;
   if (std::getenv("RACCD_NO_CACHE") != nullptr) o.run.use_cache = false;
+  // RACCD_THREADS is the legacy spelling of RACCD_JOBS; RACCD_JOBS wins.
   if (const char* env = std::getenv("RACCD_THREADS")) {
-    o.run.threads = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    o.run.jobs = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+  }
+  if (const char* env = std::getenv("RACCD_JOBS")) {
+    o.run.jobs = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
   }
   const auto apply_shard = [&o](const char* text) {
     char* end = nullptr;
@@ -284,8 +209,14 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
     else if (std::strcmp(a, "--paper") == 0) o.paper_machine = true;
     else if (std::strcmp(a, "--no-cache") == 0) o.run.use_cache = false;
     else if (std::strcmp(a, "--verbose") == 0) o.run.verbose = true;
-    else if (std::strncmp(a, "--threads=", 10) == 0) {
-      o.run.threads = static_cast<unsigned>(std::strtoul(a + 10, nullptr, 10));
+    else if (std::strncmp(a, "--jobs=", 7) == 0) {
+      o.run.jobs = static_cast<unsigned>(std::strtoul(a + 7, nullptr, 10));
+    } else if (std::strcmp(a, "--jobs") == 0 && i + 1 < argc) {
+      o.run.jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strncmp(a, "-j", 2) == 0 && a[2] >= '0' && a[2] <= '9') {
+      o.run.jobs = static_cast<unsigned>(std::strtoul(a + 2, nullptr, 10));
+    } else if (std::strncmp(a, "--threads=", 10) == 0) {  // legacy alias
+      o.run.jobs = static_cast<unsigned>(std::strtoul(a + 10, nullptr, 10));
     } else if (std::strncmp(a, "--shard=", 8) == 0) {
       apply_shard(a + 8);
     } else if (std::strncmp(a, "--set=", 6) == 0) {

@@ -1,11 +1,13 @@
-// Experiment harness: declarative run specs, a host-parallel executor (one
-// deterministic simulation per job, no shared mutable state), and a
+// Experiment harness: declarative run specs, a work-stealing host-parallel
+// executor (exec/sweep_executor.hpp — one deterministic simulation per job,
+// no shared mutable state, results committed in spec order), and a
 // file-backed result cache so the Fig. 6/7a-d binaries — which share one
 // 9-app x 4-system x 7-size grid (FullCoh/PT/RaCCD plus the WbNC
 // software-coherence baseline) — compute it only once.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -70,8 +72,20 @@ struct RunSpec {
 /// (cheap next to the simulation: at most max_samples rows).
 [[nodiscard]] SimStats run_one(const RunSpec& spec, Series* series_out = nullptr);
 
+/// Like run_one, but *run-level* failures — unknown workload, invalid
+/// parameters, functional verification mismatch — return nullopt with the
+/// message in `*error` instead of aborting, so the sweep executor can report
+/// the failing spec's key and drain the rest of the sweep. Simulator
+/// invariant violations (RACCD_ASSERT deep inside the Machine) still abort.
+[[nodiscard]] std::optional<SimStats> run_one_checked(const RunSpec& spec,
+                                                      Series* series_out,
+                                                      std::string* error);
+
 struct RunOptions {
-  unsigned threads = 0;     ///< 0 = hardware concurrency
+  /// Worker threads for the sweep (--jobs). 0 = hardware concurrency;
+  /// 1 = serial inline on the calling thread (the historical behavior, and
+  /// required for per-process RACCD_LEGACY_STRUCTURES A/B toggling).
+  unsigned jobs = 0;
   bool use_cache = true;    ///< file-backed cache under cache_dir
   std::string cache_dir = "results/cache";
   bool verbose = false;     ///< progress lines to stderr
@@ -84,19 +98,24 @@ struct RunOptions {
   unsigned shard_count = 1;
 };
 
-/// Run all specs (cache-aware, host-parallel); results align with specs.
-/// `series_out`, when non-null, is resized to specs.size(); entries for
-/// sampling specs hold their series (others stay empty). Sampling specs
-/// never load from the stats cache — they must execute to record.
+/// Run all specs over the work-stealing executor (cache-aware); results
+/// align with specs, and because each worker commits into its spec's slot,
+/// the vector — and every file derived from it — is byte-identical between
+/// -j1 and -jN. `series_out`, when non-null, is resized to specs.size();
+/// entries for sampling specs hold their series (others stay empty).
+/// Sampling specs never load from the stats cache — they must execute to
+/// record. On a failed spec the sweep stops issuing work, drains in-flight
+/// runs, reports every failure's RunSpec::key(), and aborts.
 [[nodiscard]] std::vector<SimStats> run_all(const std::vector<RunSpec>& specs,
                                             const RunOptions& opts = {},
                                             std::vector<Series>* series_out = nullptr);
 
 /// Common CLI/env options for the bench binaries: --size=tiny|small|paper,
 /// --paper (machine preset), --topology=T, --dram=D, --no-cache,
-/// --threads=N, --verbose, --shard=i/N (deterministic sweep partition), and
-/// repeatable --set key=value workload-parameter passthrough (env:
-/// RACCD_SIZE, RACCD_PAPER, RACCD_NO_CACHE, RACCD_THREADS, RACCD_SHARD).
+/// --jobs=N / -jN (worker threads; --threads=N is a legacy alias),
+/// --verbose, --shard=i/N (deterministic sweep partition), and repeatable
+/// --set key=value workload-parameter passthrough (env: RACCD_SIZE,
+/// RACCD_PAPER, RACCD_NO_CACHE, RACCD_JOBS, RACCD_THREADS, RACCD_SHARD).
 struct BenchOptions {
   SizeClass size = SizeClass::kSmall;
   bool paper_machine = false;

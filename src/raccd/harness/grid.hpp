@@ -10,7 +10,9 @@
 // index arithmetic on the results stays valid.
 //
 // ResultSet pairs the expanded specs with their stats (run through the
-// cache-aware parallel executor) and adds spec-addressed lookup plus
+// cache-aware work-stealing sweep executor, exec/sweep_executor.hpp; every
+// emitter below is byte-identical between --jobs=1 and --jobs=N because
+// results commit in spec order) and adds spec-addressed lookup plus
 // machine-readable emitters: CSV, JSON, and the cumulative BENCH_grid.json
 // perf log keyed by RunSpec::key(). All metric output flows through the
 // MetricSchema emitters (metrics/emit.hpp) — the selections live in

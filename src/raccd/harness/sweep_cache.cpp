@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -328,14 +329,21 @@ bool cache_store(const std::string& dir, const std::string& key, const SimStats&
   std::filesystem::create_directories(dir, ec);
   if (ec) return false;
   if (!std::filesystem::is_directory(dir, ec)) return false;
-  // Write-to-temp + rename so concurrent executor threads (or bench
-  // binaries sharing one cache) never observe a truncated entry. The tmp
-  // name needs the pid: thread-id hashes can collide across processes.
+  // Write-to-temp + rename so concurrent executor workers (or bench
+  // binaries sharing one cache) never observe a truncated entry; the rename
+  // makes same-key races benign — the model is deterministic, so the last
+  // writer wins with identical bytes. The tmp name must be unique across
+  // every concurrent writer: pid (thread-id hashes can collide across
+  // processes) + thread id + a per-process sequence number (two stores from
+  // one worker can otherwise alias under recycled thread ids).
+  static std::atomic<unsigned long long> seq{0};
   const std::filesystem::path path = std::filesystem::path(dir) / key_filename(key);
   const std::filesystem::path tmp =
-      path.string() + strprintf(".tmp.%ld.%llu", static_cast<long>(::getpid()),
-                                static_cast<unsigned long long>(
-                                    std::hash<std::thread::id>{}(std::this_thread::get_id())));
+      path.string() +
+      strprintf(".tmp.%ld.%llu.%llu", static_cast<long>(::getpid()),
+                static_cast<unsigned long long>(
+                    std::hash<std::thread::id>{}(std::this_thread::get_id())),
+                seq.fetch_add(1, std::memory_order_relaxed));
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) return false;

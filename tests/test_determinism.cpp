@@ -49,13 +49,13 @@ TEST(Determinism, RunAllByteIdenticalWithAndWithoutCache) {
 
   RunOptions uncached;
   uncached.use_cache = false;
-  uncached.threads = 3;
+  uncached.jobs = 3;
   const auto baseline = serialize(run_all(specs, uncached));
 
   RunOptions cached;
   cached.use_cache = true;
   cached.cache_dir = dir;
-  cached.threads = 2;
+  cached.jobs = 2;
   const auto cold = serialize(run_all(specs, cached));   // simulate + store
   const auto warm = serialize(run_all(specs, cached));   // pure cache load
 
@@ -82,7 +82,7 @@ TEST(Determinism, DuplicateSpecsSimulatedOnceAndIdentical) {
   const std::vector<RunSpec> specs{a, b, a, a};
   RunOptions opts;
   opts.cache_dir = dir;
-  opts.threads = 2;
+  opts.jobs = 2;
   const auto results = run_all(specs, opts);
   ASSERT_EQ(results.size(), 4u);
   EXPECT_EQ(stats_to_text(results[0]), stats_to_text(results[2]));

@@ -265,7 +265,7 @@ TEST(DramEndToEnd, DeterministicUnderTheParallelExecutor) {
     specs.push_back(tiny_spec(CohMode::kRaCCD, dram));  // duplicate: dedup copy
   }
   RunOptions opts;
-  opts.threads = 4;
+  opts.jobs = 4;
   opts.use_cache = false;
   const std::vector<SimStats> a = run_all(specs, opts);
   const std::vector<SimStats> b = run_all(specs, opts);

@@ -89,7 +89,7 @@ TEST(RunAll, ParallelAndCached) {
     specs.push_back(s);
   }
   RunOptions opts;
-  opts.threads = 3;
+  opts.jobs = 3;
   opts.cache_dir = dir;
   const auto first = run_all(specs, opts);
   ASSERT_EQ(first.size(), 3u);
@@ -137,12 +137,27 @@ TEST(TextTable, PrintsAlignedAndCsv) {
 }
 
 TEST(BenchOptions, ParsesFlags) {
-  const char* argv[] = {"bench", "--size=tiny", "--paper", "--no-cache", "--threads=7"};
+  const char* argv[] = {"bench", "--size=tiny", "--paper", "--no-cache", "--jobs=7"};
   const auto o = BenchOptions::parse(5, const_cast<char**>(argv));
   EXPECT_EQ(o.size, SizeClass::kTiny);
   EXPECT_TRUE(o.paper_machine);
   EXPECT_FALSE(o.run.use_cache);
-  EXPECT_EQ(o.run.threads, 7u);
+  EXPECT_EQ(o.run.jobs, 7u);
+}
+
+TEST(BenchOptions, JobsSpellings) {
+  {  // -jN short form
+    const char* argv[] = {"bench", "-j4"};
+    EXPECT_EQ(BenchOptions::parse(2, const_cast<char**>(argv)).run.jobs, 4u);
+  }
+  {  // --jobs N two-argument form
+    const char* argv[] = {"bench", "--jobs", "9"};
+    EXPECT_EQ(BenchOptions::parse(3, const_cast<char**>(argv)).run.jobs, 9u);
+  }
+  {  // legacy --threads=N alias still accepted
+    const char* argv[] = {"bench", "--threads=7"};
+    EXPECT_EQ(BenchOptions::parse(2, const_cast<char**>(argv)).run.jobs, 7u);
+  }
 }
 
 }  // namespace

@@ -198,7 +198,9 @@ TEST(SoaTags, LlcLegacyAndFlatAgreeUnderRandomTraffic) {
         const LlcLine* a = legacy.find(line);
         const LlcLine* b = flat.find(line);
         ASSERT_EQ(a == nullptr, b == nullptr) << "line " << line;
-        if (a != nullptr) EXPECT_EQ(a->version, b->version);
+        if (a != nullptr) {
+          EXPECT_EQ(a->version, b->version);
+        }
         break;
       }
       case 1: {
@@ -240,7 +242,9 @@ TEST(SoaTags, DirectoryLegacyAndFlatAgreeAcrossResize) {
         const DirEntry* a = legacy.find(line);
         const DirEntry* b = flat.find(line);
         ASSERT_EQ(a == nullptr, b == nullptr) << "line " << line;
-        if (a != nullptr) EXPECT_EQ(a->sharers, b->sharers);
+        if (a != nullptr) {
+          EXPECT_EQ(a->sharers, b->sharers);
+        }
         break;
       }
       case 1: {
@@ -349,7 +353,7 @@ TEST(ThroughputGolden, LegacyAndFlatStructuresBitIdenticalStats) {
 
   RunOptions opts;
   opts.use_cache = false;  // both sweeps must actually simulate
-  opts.threads = 2;
+  opts.jobs = 2;
 
   std::vector<std::string> legacy_text, flat_text;
   {
