@@ -28,7 +28,9 @@ inline constexpr const char* kBenchJsonPath = "results/BENCH_grid.json";
   switch (size) {
     case SizeClass::kTiny: return 2000;
     case SizeClass::kSmall: return 20000;
+    case SizeClass::kMedium: return 100000;
     case SizeClass::kPaper: return 200000;
+    case SizeClass::kLarge: return 1000000;
   }
   return 20000;
 }

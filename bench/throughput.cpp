@@ -121,6 +121,16 @@ int run(int argc, char** argv) {
       compare_legacy = true;
     }
   }
+  // The A/B comparison toggles the process-global RACCD_LEGACY_STRUCTURES
+  // flag around each measurement — concurrent workers would race on it and
+  // measure a mix of both structure sets. Reject the combination up front
+  // rather than producing silently corrupt timings.
+  if (compare_legacy && opts.run.jobs > 1) {
+    std::fprintf(stderr,
+                 "throughput: --compare-legacy requires --jobs=1 (it toggles the "
+                 "process-global legacy-structures flag per measurement)\n");
+    return 2;
+  }
 
   // The throughput grid: the two replay-heaviest workloads (jacobi streams,
   // synthetic with a footprint that overflows the scaled 2 MB LLC), the two

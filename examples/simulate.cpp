@@ -4,11 +4,13 @@
 //
 // Usage:
 //   simulate [workload[:k=v,...]] [--set key=value ...]
-//            [--mode=fullcoh|pt|raccd|wbnc] [--size=tiny|small|paper]
+//            [--mode=fullcoh|pt|raccd|wbnc]
+//            [--size=tiny|small|medium|paper|large]
 //            [--topology=flat|cmesh[K]|numaS[xC]] [--alloc=POLICY]
 //            [--dir-ratio=N] [--adr] [--paper] [--sched=fifo|lifo|worksteal]
 //            [--ncrt-entries=N] [--ncrt-latency=N] [--fragmented] [--seed=N]
-//            [--dot=FILE] [--record-trace=FILE] [--list]
+//            [--sample=period/window[/warmup]] [--dot=FILE]
+//            [--record-trace=FILE] [--list]
 //            [--series=FILE] [--series-interval=N] [--series-metrics=a,b,c]
 //            [--metrics=a,b,c]
 //
@@ -46,7 +48,7 @@ void usage() {
       "  --list                    describe every workload and its parameters\n"
       "  --set key=value           override one workload parameter (repeatable)\n"
       "  --mode=fullcoh|pt|raccd|wbnc   coherence system (default raccd)\n"
-      "  --size=tiny|small|paper   problem size baseline (default small)\n"
+      "  --size=tiny|small|medium|paper|large   problem size (default small)\n"
       "  --topology=T              machine shape: flat (default), cmesh[K]\n"
       "                            (K cores/router), numaS (S sockets) or\n"
       "                            numaSxC (S sockets of C cores each)\n"
@@ -63,6 +65,10 @@ void usage() {
       "  --ncrt-entries=N --ncrt-latency=N\n"
       "  --fragmented              randomized physical frame allocation\n"
       "  --seed=N                  workload seed\n"
+      "  --sample=P/W[/U]          sampled simulation: out of every P tasks,\n"
+      "                            warm up U (default 1) and measure W in\n"
+      "                            detail, fast-forward the rest functionally;\n"
+      "                            totals are extrapolated with 95%% CIs\n"
       "  --dot=FILE                export the task dependence graph\n"
       "  --record-trace=FILE       save the run as a replayable raccd-trace\n"
       "  --series=FILE             write a metric time-series (occupancy vs\n"
@@ -136,7 +142,9 @@ int main(int argc, char** argv) {
       const std::string s = a + 7;
       if (s == "tiny") spec.size = SizeClass::kTiny;
       else if (s == "small") spec.size = SizeClass::kSmall;
+      else if (s == "medium") spec.size = SizeClass::kMedium;
       else if (s == "paper") spec.size = SizeClass::kPaper;
+      else if (s == "large") spec.size = SizeClass::kLarge;
       else { usage(); return 1; }
     } else if (std::strncmp(a, "--dir-ratio=", 12) == 0) {
       spec.dir_ratio = static_cast<std::uint32_t>(std::strtoul(a + 12, nullptr, 10));
@@ -169,6 +177,8 @@ int main(int argc, char** argv) {
       else { usage(); return 1; }
     } else if (std::strncmp(a, "--seed=", 7) == 0) {
       spec.seed = std::strtoull(a + 7, nullptr, 10);
+    } else if (std::strncmp(a, "--sample=", 9) == 0) {
+      spec.sampling = a + 9;
     } else if (std::strncmp(a, "--dot=", 6) == 0) {
       dot_path = a + 6;
     } else if (std::strncmp(a, "--record-trace=", 15) == 0) {
@@ -220,6 +230,14 @@ int main(int argc, char** argv) {
     if (const std::string derr = probe.apply_dram(spec.dram); !derr.empty()) {
       std::fprintf(stderr, "--dram=%s: %s\n", spec.dram.c_str(), derr.c_str());
       return 1;
+    }
+    if (!spec.sampling.empty()) {
+      if (const std::string serr = probe.apply_sampling(spec.sampling);
+          !serr.empty()) {
+        std::fprintf(stderr, "--sample=%s: %s\n", spec.sampling.c_str(),
+                     serr.c_str());
+        return 1;
+      }
     }
   }
 

@@ -10,6 +10,8 @@
 //
 // Size classes: kTiny for unit tests, kSmall (default) keeps the paper's
 // working-set : LLC ratio on the scaled machine, kPaper is Table II verbatim.
+// kMedium sits between kSmall and kPaper; kLarge goes beyond Table II and is
+// only tractable under sampled simulation (SamplingConfig).
 #pragma once
 
 #include <cstdint>
@@ -23,13 +25,15 @@
 
 namespace raccd {
 
-enum class SizeClass : std::uint8_t { kTiny, kSmall, kPaper };
+enum class SizeClass : std::uint8_t { kTiny, kSmall, kMedium, kPaper, kLarge };
 
 [[nodiscard]] constexpr const char* to_string(SizeClass s) noexcept {
   switch (s) {
     case SizeClass::kTiny: return "tiny";
     case SizeClass::kSmall: return "small";
+    case SizeClass::kMedium: return "medium";
     case SizeClass::kPaper: return "paper";
+    case SizeClass::kLarge: return "large";
   }
   return "?";
 }

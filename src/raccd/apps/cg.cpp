@@ -30,7 +30,9 @@ struct CgParams {
   switch (cfg.size) {
     case SizeClass::kTiny: p = {8, 2, 8}; break;
     case SizeClass::kSmall: p = {32, 3, 32}; break;
+    case SizeClass::kMedium: p = {64, 3, 48}; break;
     case SizeClass::kPaper: p = {96, 3, 64}; break;  // N^3 = 884736
+    case SizeClass::kLarge: p = {128, 3, 96}; break;
   }
   p.n = cfg.params.get_u32("n", p.n);
   p.iters = cfg.params.get_u32("iters", p.iters);

@@ -27,7 +27,9 @@ struct CholParams {
   switch (cfg.size) {
     case SizeClass::kTiny: p = {4, 16}; break;
     case SizeClass::kSmall: p = {8, 32}; break;
+    case SizeClass::kMedium: p = {12, 48}; break;
     case SizeClass::kPaper: p = {16, 64}; break;
+    case SizeClass::kLarge: p = {24, 96}; break;
   }
   p.tiles = cfg.params.get_u32("tiles", p.tiles);
   p.tile_dim = cfg.params.get_u32("tile_dim", p.tile_dim);

@@ -27,7 +27,9 @@ struct GaussParams {
   switch (cfg.size) {
     case SizeClass::kTiny: p = {64, 3, 8}; break;
     case SizeClass::kSmall: p = {512, 10, 32}; break;
+    case SizeClass::kMedium: p = {1024, 10, 48}; break;
     case SizeClass::kPaper: p = {1536, 10, 64}; break;
+    case SizeClass::kLarge: p = {3072, 10, 128}; break;
   }
   p.n = cfg.params.get_u32("n", p.n);
   p.iters = cfg.params.get_u32("iters", p.iters);

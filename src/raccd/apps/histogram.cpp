@@ -34,7 +34,9 @@ struct HistoParams {
   switch (cfg.size) {
     case SizeClass::kTiny: p = {64, 64, 8, 2}; break;
     case SizeClass::kSmall: p = {1024, 1024, 32, 3}; break;
+    case SizeClass::kMedium: p = {2048, 2048, 64, 3}; break;
     case SizeClass::kPaper: p = {1000, 1000, 64, 3}; break;
+    case SizeClass::kLarge: p = {4096, 4096, 128, 3}; break;
   }
   p.width = cfg.params.get_u32("width", p.width);
   p.height = cfg.params.get_u32("height", p.height);

@@ -27,7 +27,11 @@ struct JacobiParams {
   switch (cfg.size) {
     case SizeClass::kTiny: p = {64, 3, 8}; break;
     case SizeClass::kSmall: p = {512, 10, 32}; break;
+    // Medium and up keep tasks fine-grained (many tasks per size) so the
+    // sampled simulator has enough task starts for several detailed windows.
+    case SizeClass::kMedium: p = {1024, 24, 256}; break;
     case SizeClass::kPaper: p = {1536, 10, 64}; break;  // N^2 = 2359296
+    case SizeClass::kLarge: p = {3072, 10, 128}; break;
   }
   p.n = cfg.params.get_u32("n", p.n);
   p.iters = cfg.params.get_u32("iters", p.iters);

@@ -34,7 +34,9 @@ struct JpegParams {
   switch (cfg.size) {
     case SizeClass::kTiny: p = {64, 64}; break;
     case SizeClass::kSmall: p = {320, 320}; break;
+    case SizeClass::kMedium: p = {1600, 1072}; break;
     case SizeClass::kPaper: p = {2992, 2000}; break;  // rounded to MCU: 2992x2000
+    case SizeClass::kLarge: p = {4000, 3008}; break;
   }
   // Overrides are rounded down to whole 16x16 MCUs.
   p.width = cfg.params.get_u32("width", p.width) / 16 * 16;

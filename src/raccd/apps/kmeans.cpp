@@ -34,7 +34,9 @@ struct KmeansParams {
   switch (cfg.size) {
     case SizeClass::kTiny: p = {512, 8, 4, 2, 8}; break;
     case SizeClass::kSmall: p = {32768, 16, 6, 3, 32}; break;
+    case SizeClass::kMedium: p = {65536, 16, 8, 3, 48}; break;
     case SizeClass::kPaper: p = {150000, 30, 6, 3, 64}; break;
+    case SizeClass::kLarge: p = {300000, 30, 8, 3, 128}; break;
   }
   p.points = cfg.params.get_u32("points", p.points);
   p.dims = cfg.params.get_u32("dims", p.dims);

@@ -32,7 +32,9 @@ struct KnnParams {
   switch (cfg.size) {
     case SizeClass::kTiny: p = {256, 128, 4, 4, 4, 4}; break;
     case SizeClass::kSmall: p = {4096, 2048, 4, 4, 4, 16}; break;
+    case SizeClass::kMedium: p = {8192, 4096, 4, 4, 4, 32}; break;
     case SizeClass::kPaper: p = {16384, 8192, 4, 4, 4, 64}; break;
+    case SizeClass::kLarge: p = {32768, 16384, 4, 4, 4, 128}; break;
   }
   p.train = cfg.params.get_u32("train", p.train);
   p.queries = cfg.params.get_u32("queries", p.queries);

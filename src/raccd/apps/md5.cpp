@@ -28,7 +28,9 @@ struct Md5Params {
   switch (cfg.size) {
     case SizeClass::kTiny: p = {4, 8 * 1024}; break;
     case SizeClass::kSmall: p = {48, 64 * 1024}; break;
+    case SizeClass::kMedium: p = {96, 256 * 1024}; break;
     case SizeClass::kPaper: p = {128, 512 * 1024}; break;
+    case SizeClass::kLarge: p = {256, 1024 * 1024}; break;
   }
   p.buffers = cfg.params.get_u32("buffers", p.buffers);
   // MD5 consumes whole 64-byte chunks; overrides are rounded down to one.

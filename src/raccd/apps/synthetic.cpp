@@ -45,7 +45,11 @@ struct SynParams {
   switch (cfg.size) {
     case SizeClass::kTiny: p = {"forkjoin", 4, 3, 8, 0.25, 4, 2}; break;
     case SizeClass::kSmall: p = {"forkjoin", 16, 8, 64, 0.25, 4, 3}; break;
+    // Depth over width at medium+: many task starts (sampled-simulation
+    // windows need them) at bounded per-wave concurrency.
+    case SizeClass::kMedium: p = {"forkjoin", 32, 192, 128, 0.25, 4, 3}; break;
     case SizeClass::kPaper: p = {"forkjoin", 64, 16, 256, 0.25, 4, 4}; break;
+    case SizeClass::kLarge: p = {"forkjoin", 96, 24, 512, 0.25, 4, 4}; break;
   }
   p.shape = cfg.params.get_string("shape", p.shape);
   p.width = cfg.params.get_u32("width", p.width);

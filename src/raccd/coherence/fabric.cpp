@@ -158,6 +158,7 @@ Fabric::Fabric(const FabricConfig& cfg, CoherenceChecker* checker)
 // ---------------------------------------------------------------------------
 
 Cycle Fabric::msg(std::uint32_t from, std::uint32_t to, MsgClass cls) {
+  if (phase_ == SimPhase::kFfwd) return 0;  // functional: no routing, no traffic
   const Route r = topology().route(from, to);
   const std::uint32_t flits = mesh_.flits_for(cls);
   // Inter-socket hops burn `socket_hop_energy_scale` times the on-chip
@@ -165,11 +166,12 @@ Cycle Fabric::msg(std::uint32_t from, std::uint32_t to, MsgClass cls) {
   const double hop_cost =
       static_cast<double>(r.link_hops) +
       static_cast<double>(r.socket_hops) * topology().config().socket_hop_energy_scale;
-  stats_.e_noc_pj += hop_cost * flits * energy_.noc_flit_hop_pj();
+  st().e_noc_pj += hop_cost * flits * energy_.noc_flit_hop_pj();
   return mesh_.transfer(r, cls);
 }
 
 Cycle Fabric::bank_service(Cycle& busy_until, Cycle arrive, Cycle service) noexcept {
+  if (phase_ == SimPhase::kFfwd) return 0;  // functional: no busy windows
   if (!cfg_.model_bank_contention) return service;
   const Cycle start = std::max(arrive, busy_until);
   busy_until = start + service;
@@ -177,13 +179,13 @@ Cycle Fabric::bank_service(Cycle& busy_until, Cycle arrive, Cycle service) noexc
 }
 
 void Fabric::count_dir_access(BankId b) {
-  ++stats_.dir_accesses;
-  stats_.e_dir_pj += dir_access_pj_[b];
+  ++st().dir_accesses;
+  st().e_dir_pj += dir_access_pj_[b];
 }
 
 void Fabric::count_llc_touch(BankId b) {
-  ++stats_.llc_touches;
-  stats_.e_llc_pj += energy_.llc_access_pj(llc_[b]->line_capacity());
+  ++st().llc_touches;
+  st().e_llc_pj += energy_.llc_access_pj(llc_[b]->line_capacity());
 }
 
 void Fabric::mark_dir_dirty(BankId b, Cycle now) {
@@ -216,10 +218,10 @@ Cycle Fabric::recall_sharers(BankId b, DirEntry& e, CoreId skip, Cycle now) {
     remaining &= remaining - 1;
     if (s == skip) continue;
     Cycle leg = msg(b, s, MsgClass::kInval);
-    ++stats_.dir_recall_msgs;
+    ++st().dir_recall_msgs;
     const L1Line old = l1_[s]->invalidate(e.line);
     if (old.valid) {
-      ++stats_.l1_invals_recall;
+      ++st().l1_invals_recall;
       if (old.dirty) {
         // Owner held M: pull the data back into the (still resident) LLC line.
         LlcLine* ll = llc_[b]->find(e.line);
@@ -228,7 +230,7 @@ Cycle Fabric::recall_sharers(BankId b, DirEntry& e, CoreId skip, Cycle now) {
         ll->version = old.version;
         count_llc_touch(b);
         leg += msg(s, b, MsgClass::kWriteback);
-        ++stats_.l1_wb_coh;
+        ++st().l1_wb_coh;
       } else {
         leg += msg(s, b, MsgClass::kAck);
       }
@@ -246,11 +248,11 @@ Cycle Fabric::drop_llc_line(BankId b, LineAddr line, bool due_to_dir, Cycle now)
   const LlcLine dead = llc_[b]->invalidate(line);
   RACCD_ASSERT(dead.valid, "dropping a non-resident LLC line");
   count_llc_touch(b);
-  if (due_to_dir) ++stats_.llc_inval_by_dir;
+  if (due_to_dir) ++st().llc_inval_by_dir;
   Cycle lat = 0;
   if (dead.dirty) {
     mem_writeback(b, line, dead.version, now);
-    ++stats_.llc_wb_mem;
+    ++st().llc_wb_mem;
     lat += 0;  // writeback drains off the critical path
   }
   return lat;
@@ -264,7 +266,7 @@ Cycle Fabric::evict_dir_entry(BankId b, const DirEntry& victim, Cycle now) {
   const bool removed = dir_[b]->remove(victim.line);
   RACCD_ASSERT(removed, "directory victim vanished during recall");
   count_dir_access(b);
-  ++stats_.dir_evictions;
+  ++st().dir_evictions;
   return lat;
 }
 
@@ -273,7 +275,7 @@ Cycle Fabric::llc_fill(BankId b, LineAddr line, bool nc, bool dirty, std::uint64
   Cycle lat = 0;
   const LlcLine victim = llc_[b]->peek_victim(line);
   if (victim.valid) {
-    ++stats_.llc_evictions;
+    ++st().llc_evictions;
     const DirEntry* ve = victim.nc ? nullptr : dir_[b]->find(victim.line);
     if (ve != nullptr) {
       // Tracked coherent victim: recall the L1 copies and free its entry
@@ -287,7 +289,7 @@ Cycle Fabric::llc_fill(BankId b, LineAddr line, bool nc, bool dirty, std::uint64
   }
   llc_[b]->fill(line, nc, dirty, version);
   count_llc_touch(b);
-  ++stats_.llc_fills;
+  ++st().llc_fills;
   return lat;
 }
 
@@ -298,38 +300,43 @@ DramController& Fabric::dram_at(std::uint32_t mc) {
 
 void Fabric::account_dram(const DramOutcome& out, bool is_write) {
   switch (out.row) {
-    case DramOutcome::Row::kHit: ++stats_.dram_row_hits; break;
-    case DramOutcome::Row::kEmpty: ++stats_.dram_row_misses; break;
-    case DramOutcome::Row::kConflict: ++stats_.dram_row_conflicts; break;
+    case DramOutcome::Row::kHit: ++st().dram_row_hits; break;
+    case DramOutcome::Row::kEmpty: ++st().dram_row_misses; break;
+    case DramOutcome::Row::kConflict: ++st().dram_row_conflicts; break;
   }
   double pj = is_write ? energy_.dram_write_pj() : energy_.dram_read_pj();
-  (is_write ? stats_.e_mem_wr_pj : stats_.e_mem_rd_pj) += pj;
+  (is_write ? st().e_mem_wr_pj : st().e_mem_rd_pj) += pj;
   if (out.activated) {
-    stats_.e_mem_act_pj += energy_.dram_activate_pj();
+    st().e_mem_act_pj += energy_.dram_activate_pj();
     pj += energy_.dram_activate_pj();
   }
   if (out.precharged) {
-    stats_.e_mem_pre_pj += energy_.dram_precharge_pj();
+    st().e_mem_pre_pj += energy_.dram_precharge_pj();
     pj += energy_.dram_precharge_pj();
   }
-  stats_.e_mem_pj += pj;  // e_mem_pj stays the memory total under both models
+  st().e_mem_pj += pj;  // e_mem_pj stays the memory total under both models
 }
 
 Cycle Fabric::mem_fetch(BankId b, LineAddr line, std::uint64_t& version, Cycle now) {
   const std::uint32_t mc = mesh_.nearest_memory_controller(b);
+  ++st().mem_reads;
+  version = mem_version(line);
+  if (phase_ == SimPhase::kFfwd) {
+    // Functional: keep the row-buffer stream warm, skip queue/bus timing.
+    if (cfg_.dram.model != DramModel::kSimple) dram_at(mc).warm_touch(line);
+    return 0;
+  }
   Cycle lat = msg(b, mc, MsgClass::kRequest);
   if (cfg_.dram.model == DramModel::kSimple) {
     lat += cfg_.mem_cycles;
-    stats_.e_mem_pj += energy_.mem_access_pj();
+    st().e_mem_pj += energy_.mem_access_pj();
   } else {
     const DramOutcome out = dram_at(mc).read(line, now + lat);
     lat += out.total();
-    stats_.dram_queue_wait_cycles += out.wait;
+    st().dram_queue_wait_cycles += out.wait;
     account_dram(out, /*is_write=*/false);
   }
   lat += msg(mc, b, MsgClass::kResponseData);
-  ++stats_.mem_reads;
-  version = mem_version(line);
   return lat;
 }
 
@@ -341,12 +348,14 @@ void Fabric::mem_writeback(BankId b, LineAddr line, std::uint64_t version, Cycle
   // reads; kSimple keeps the legacy fire-and-forget stats byte-identical
   // (warm pre-DRAM cache entries stay consistent with fresh runs).
   const Cycle leg = msg(b, mc, MsgClass::kWriteback);
-  ++stats_.mem_writes;
-  if (cfg_.dram.model == DramModel::kSimple) {
-    stats_.e_mem_pj += energy_.mem_access_pj();
+  ++st().mem_writes;
+  if (phase_ == SimPhase::kFfwd) {
+    if (cfg_.dram.model != DramModel::kSimple) dram_at(mc).warm_touch(line);
+  } else if (cfg_.dram.model == DramModel::kSimple) {
+    st().e_mem_pj += energy_.mem_access_pj();
   } else {
     const DramOutcome out = dram_at(mc).write(line, now + leg);
-    stats_.mem_wb_wait_cycles += leg + out.wait;
+    st().mem_wb_wait_cycles += leg + out.wait;
     account_dram(out, /*is_write=*/true);
   }
   if (!legacy_) {
@@ -357,14 +366,14 @@ void Fabric::mem_writeback(BankId b, LineAddr line, std::uint64_t version, Cycle
 }
 
 void Fabric::handle_l1_victim(CoreId c, const L1Line& victim, Cycle now) {
-  ++stats_.l1_evictions;
+  ++st().l1_evictions;
   if (!victim.dirty) return;  // silent clean eviction (paper Table I)
   const BankId b = home_of(victim.line);
   if (victim.nc) {
     // NC writeback: straight to the LLC; if the LLC lost the line, forward
     // to memory without re-allocating (paper §III-C.3).
     (void)msg(c, b, MsgClass::kWriteback);
-    ++stats_.l1_wb_nc;
+    ++st().l1_wb_nc;
     LlcLine* ll = llc_[b]->find(victim.line);
     count_llc_touch(b);
     if (ll != nullptr) {
@@ -372,15 +381,15 @@ void Fabric::handle_l1_victim(CoreId c, const L1Line& victim, Cycle now) {
       ll->version = victim.version;
     } else {
       mem_writeback(b, victim.line, victim.version, now);
-      ++stats_.llc_wb_mem;
+      ++st().llc_wb_mem;
     }
   } else {
     // Coherent M writeback: update LLC data and directory sharing state.
     (void)msg(c, b, MsgClass::kWriteback);
-    ++stats_.l1_wb_coh;
+    ++st().l1_wb_coh;
     DirEntry* e = dir_[b]->find(victim.line);
     count_dir_access(b);
-    ++stats_.dir_wb_updates;
+    ++st().dir_wb_updates;
     RACCD_ASSERT(e != nullptr, "M writeback without directory entry");
     if (e->excl == c) e->excl = kNoCore;
     e->sharers &= ~bit(c);
@@ -398,7 +407,7 @@ void Fabric::handle_l1_victim(CoreId c, const L1Line& victim, Cycle now) {
 
 Fabric::MissResult Fabric::coherent_miss(CoreId c, LineAddr line, bool is_write, Cycle now) {
   const BankId b = home_of(line);
-  if (topology().cross_socket(c, b)) ++stats_.dir_reqs_cross_socket;
+  if (topology().cross_socket(c, b)) ++st().dir_reqs_cross_socket;
   MissResult r;
   r.latency += msg(c, b, MsgClass::kRequest);
   // The home node looks up directory and LLC tags in parallel.
@@ -409,24 +418,24 @@ Fabric::MissResult Fabric::coherent_miss(CoreId c, LineAddr line, bool is_write,
     r.latency += std::max(dir_leg, llc_leg);
   }
   count_dir_access(b);
-  ++stats_.dir_lookups;
+  ++st().dir_lookups;
   count_llc_touch(b);
-  ++stats_.llc_lookups;
+  ++st().llc_lookups;
 
   DirEntry* e = dir_[b]->find(line);
   if (e != nullptr) {
-    ++stats_.dir_hits;
+    ++st().dir_hits;
     dir_[b]->touch(*e);
     if (e->excl != kNoCore) {
       // Probe the E/M holder (it may have silently evicted an E line).
       const CoreId o = e->excl;
-      ++stats_.owner_probes;
+      ++st().owner_probes;
       Cycle leg = msg(b, o, MsgClass::kInval);
       L1Line* ol = l1_[o]->find(line);
       if (ol != nullptr) {
         if (is_write) {
           const L1Line old = l1_[o]->invalidate(line);
-          ++stats_.l1_invals_sharer;
+          ++st().l1_invals_sharer;
           if (old.dirty) {
             LlcLine* ll = llc_[b]->find(line);
             RACCD_ASSERT(ll != nullptr, "owner WB without LLC line");
@@ -434,7 +443,7 @@ Fabric::MissResult Fabric::coherent_miss(CoreId c, LineAddr line, bool is_write,
             ll->version = old.version;
             count_llc_touch(b);
             leg += msg(o, b, MsgClass::kWriteback);
-            ++stats_.l1_wb_coh;
+            ++st().l1_wb_coh;
           } else {
             leg += msg(o, b, MsgClass::kAck);
           }
@@ -448,7 +457,7 @@ Fabric::MissResult Fabric::coherent_miss(CoreId c, LineAddr line, bool is_write,
             ll->version = ol->version;
             count_llc_touch(b);
             leg += msg(o, b, MsgClass::kWriteback);
-            ++stats_.l1_wb_coh;
+            ++st().l1_wb_coh;
             ol->dirty = false;
           } else {
             leg += msg(o, b, MsgClass::kAck);
@@ -473,7 +482,7 @@ Fabric::MissResult Fabric::coherent_miss(CoreId c, LineAddr line, bool is_write,
         const L1Line old = l1_[s]->invalidate(line);
         if (old.valid) {
           RACCD_ASSERT(!old.dirty, "dirty sharer outside excl state");
-          ++stats_.l1_invals_sharer;
+          ++st().l1_invals_sharer;
         }
         leg += msg(s, b, MsgClass::kAck);
         slowest = std::max(slowest, leg);
@@ -484,7 +493,7 @@ Fabric::MissResult Fabric::coherent_miss(CoreId c, LineAddr line, bool is_write,
     // evictions recall the entry and directory evictions invalidate the line).
     LlcLine* ll = llc_[b]->find(line);
     RACCD_ASSERT(ll != nullptr, "directory entry without LLC line");
-    ++stats_.llc_hits;
+    ++st().llc_hits;
     llc_[b]->touch(*ll);
     r.llc_hit = true;
     r.version = ll->version;
@@ -507,7 +516,7 @@ Fabric::MissResult Fabric::coherent_miss(CoreId c, LineAddr line, bool is_write,
     // full (the recall also invalidates the victim's LLC line — the
     // mechanism behind FullCoh's LLC degradation, paper §V-A.3). LLC lines
     // without L1 copies live untracked.
-    ++stats_.dir_misses;
+    ++st().dir_misses;
     if (!dir_[b]->has_free_way(line)) {
       const DirEntry victim = dir_[b]->peek_victim(line);
       r.latency += evict_dir_entry(b, victim, now + r.latency);
@@ -515,21 +524,21 @@ Fabric::MissResult Fabric::coherent_miss(CoreId c, LineAddr line, bool is_write,
     mark_dir_dirty(b, now + r.latency);
     DirEntry& ne = dir_[b]->alloc(line);
     count_dir_access(b);
-    ++stats_.dir_allocs;
+    ++st().dir_allocs;
 
     LlcLine* ll = llc_[b]->find(line);
     if (ll != nullptr) {
-      ++stats_.llc_hits;
+      ++st().llc_hits;
       if (ll->nc) {
         // NC -> coherent transition (paper §III-E): start tracking.
         ll->nc = false;
-        ++stats_.dir_nc_to_coh;
+        ++st().dir_nc_to_coh;
       }
       llc_[b]->touch(*ll);
       r.llc_hit = true;
       r.version = ll->version;
     } else {
-      ++stats_.llc_misses;
+      ++st().llc_misses;
       r.latency += mem_fetch(b, line, r.version, now + r.latency);
       r.latency += llc_fill(b, line, /*nc=*/false, /*dirty=*/false, r.version,
                             now + r.latency);
@@ -544,18 +553,18 @@ Fabric::MissResult Fabric::coherent_miss(CoreId c, LineAddr line, bool is_write,
 
 Fabric::MissResult Fabric::nc_miss(CoreId c, LineAddr line, bool is_write, Cycle now) {
   const BankId b = home_of(line);
-  if (topology().cross_socket(c, b)) ++stats_.nc_reqs_cross_socket;
+  if (topology().cross_socket(c, b)) ++st().nc_reqs_cross_socket;
   MissResult r;
   r.grant = Mesi::kInvalid;
   r.latency += msg(c, b, MsgClass::kRequest);
   r.latency += bank_service(llc_busy_[b], now + r.latency, cfg_.llc_cycles);
-  ++stats_.llc_lookups;
-  ++stats_.llc_nc_lookups;
+  ++st().llc_lookups;
+  ++st().llc_nc_lookups;
   LlcLine* ll = llc_[b]->find(line);
   count_llc_touch(b);
   if (ll != nullptr) {
-    ++stats_.llc_hits;
-    ++stats_.llc_nc_hits;
+    ++st().llc_hits;
+    ++st().llc_nc_hits;
     if (!ll->nc) {
       // Coherent -> NC transition (paper §III-E): if the line is tracked,
       // pull any dirty owner data into the LLC and deallocate the entry;
@@ -567,7 +576,7 @@ Fabric::MissResult Fabric::nc_miss(CoreId c, LineAddr line, bool is_write, Cycle
         mark_dir_dirty(b, now + r.latency);
         dir_[b]->remove(line);
         count_dir_access(b);
-        ++stats_.dir_coh_to_nc;
+        ++st().dir_coh_to_nc;
       }
       ll->nc = true;
     }
@@ -575,7 +584,7 @@ Fabric::MissResult Fabric::nc_miss(CoreId c, LineAddr line, bool is_write, Cycle
     r.llc_hit = true;
     r.version = ll->version;
   } else {
-    ++stats_.llc_misses;
+    ++st().llc_misses;
     r.latency += mem_fetch(b, line, r.version, now + r.latency);
     r.latency += llc_fill(b, line, /*nc=*/true, /*dirty=*/false, r.version,
                           now + r.latency);
@@ -587,15 +596,15 @@ Fabric::MissResult Fabric::nc_miss(CoreId c, LineAddr line, bool is_write, Cycle
 
 Cycle Fabric::upgrade_to_m(CoreId c, LineAddr line, Cycle now) {
   const BankId b = home_of(line);
-  if (topology().cross_socket(c, b)) ++stats_.dir_reqs_cross_socket;
+  if (topology().cross_socket(c, b)) ++st().dir_reqs_cross_socket;
   Cycle lat = msg(c, b, MsgClass::kRequest);
   lat += bank_service(dir_busy_[b], now + lat, cfg_.dir_cycles);
   count_dir_access(b);
-  ++stats_.dir_lookups;
-  ++stats_.upgrades;
+  ++st().dir_lookups;
+  ++st().upgrades;
   DirEntry* e = dir_[b]->find(line);
   RACCD_ASSERT(e != nullptr, "upgrade from S without directory entry");
-  ++stats_.dir_hits;
+  ++st().dir_hits;
   dir_[b]->touch(*e);
   RACCD_ASSERT(e->excl == kNoCore || e->excl == c,
                "S copy coexisting with a foreign exclusive owner");
@@ -608,7 +617,7 @@ Cycle Fabric::upgrade_to_m(CoreId c, LineAddr line, Cycle now) {
     const L1Line old = l1_[s]->invalidate(line);
     if (old.valid) {
       RACCD_ASSERT(!old.dirty, "dirty sharer outside excl state");
-      ++stats_.l1_invals_sharer;
+      ++st().l1_invals_sharer;
     }
     leg += msg(s, b, MsgClass::kAck);
     slowest = std::max(slowest, leg);
@@ -626,13 +635,13 @@ Cycle Fabric::upgrade_to_m(CoreId c, LineAddr line, Cycle now) {
 
 AccessOutcome Fabric::access(CoreId c, LineAddr line, bool is_write, bool nc, Cycle now) {
   RACCD_DEBUG_ASSERT(c < cfg_.cores, "core id out of range");
-  ++stats_.l1_accesses;
-  stats_.e_l1_pj += energy_.l1_access_pj();
+  ++st().l1_accesses;
+  st().e_l1_pj += energy_.l1_access_pj();
   L1Cache& l1c = *l1_[c];
   Cycle lat = cfg_.l1_hit_cycles;
 
   if (L1Line* hit = l1c.find(line)) {
-    ++stats_.l1_hits;
+    ++st().l1_hits;
     l1c.touch(*hit);
     classifier_.record(line, hit->nc);
     if (!is_write) {
@@ -663,12 +672,12 @@ AccessOutcome Fabric::access(CoreId c, LineAddr line, bool is_write, bool nc, Cy
     return AccessOutcome{lat, true, false};
   }
 
-  ++stats_.l1_misses;
+  ++st().l1_misses;
   classifier_.record(line, nc);
   if (nc) {
-    is_write ? ++stats_.nc_writes : ++stats_.nc_reads;
+    is_write ? ++st().nc_writes : ++st().nc_reads;
   } else {
-    is_write ? ++stats_.coh_writes : ++stats_.coh_reads;
+    is_write ? ++st().coh_writes : ++st().coh_reads;
   }
   const MissResult r =
       nc ? nc_miss(c, line, is_write, now + lat) : coherent_miss(c, line, is_write, now + lat);
@@ -698,13 +707,13 @@ Fabric::FlushOutcome Fabric::flush_nc_lines(CoreId c, Cycle now) {
   for (const LineAddr line : to_drop) {
     const L1Line old = l1c.invalidate(line);
     ++out.lines;
-    ++stats_.l1_flush_nc_lines;
+    ++st().l1_flush_nc_lines;
     if (old.dirty) {
       ++out.writebacks;
-      ++stats_.l1_flush_nc_wbs;
+      ++st().l1_flush_nc_wbs;
       const BankId b = home_of(line);
       (void)msg(c, b, MsgClass::kWriteback);
-      ++stats_.l1_wb_nc;
+      ++st().l1_wb_nc;
       LlcLine* ll = llc_[b]->find(line);
       count_llc_touch(b);
       if (ll != nullptr) {
@@ -712,7 +721,7 @@ Fabric::FlushOutcome Fabric::flush_nc_lines(CoreId c, Cycle now) {
         ll->version = old.version;
       } else {
         mem_writeback(b, line, old.version, now + out.cycles);
-        ++stats_.llc_wb_mem;
+        ++st().llc_wb_mem;
       }
     }
   }
@@ -729,14 +738,14 @@ Fabric::FlushOutcome Fabric::flush_page_lines(CoreId c, PageNum frame, Cycle now
     const L1Line old = l1c.invalidate(line);
     if (!old.valid) continue;
     ++out.lines;
-    ++stats_.l1_flush_page_lines;
+    ++st().l1_flush_page_lines;
     if (old.dirty) {
       ++out.writebacks;
-      ++stats_.l1_flush_page_wbs;
+      ++st().l1_flush_page_wbs;
       const BankId b = home_of(line);
       (void)msg(c, b, MsgClass::kWriteback);
       if (old.nc) {
-        ++stats_.l1_wb_nc;
+        ++st().l1_wb_nc;
         LlcLine* ll = llc_[b]->find(line);
         count_llc_touch(b);
         if (ll != nullptr) {
@@ -744,11 +753,11 @@ Fabric::FlushOutcome Fabric::flush_page_lines(CoreId c, PageNum frame, Cycle now
           ll->version = old.version;
         } else {
           mem_writeback(b, line, old.version, now + out.cycles);
-          ++stats_.llc_wb_mem;
+          ++st().llc_wb_mem;
         }
       } else {
         // Coherent M line of a reclassifying page.
-        ++stats_.l1_wb_coh;
+        ++st().l1_wb_coh;
         DirEntry* e = dir_[home_of(line)]->find(line);
         count_dir_access(b);
         RACCD_ASSERT(e != nullptr, "M flush without directory entry");
@@ -776,7 +785,7 @@ Fabric::ResizeOutcome Fabric::resize_dir_bank(BankId b, std::uint32_t new_active
     // Conflict overflow under the new indexing: recall like an eviction.
     (void)recall_sharers(b, e, kNoCore, now);
     (void)drop_llc_line(b, e.line, /*due_to_dir=*/true, now);
-    ++stats_.dir_evictions;
+    ++st().dir_evictions;
   }
   // The reconfiguration blocks the bank while entries move (paper §III-D).
   out.blocked_cycles = static_cast<Cycle>(out.moved) * 2 + 100;

@@ -38,6 +38,20 @@ namespace raccd {
 
 class CoherenceChecker;
 
+/// Execution phase of the sampled simulator (SamplingConfig). The fabric's
+/// *state* transitions (L1/LLC/directory tags, MESI, NC bits, memory
+/// versions, DRAM row buffers) are identical in every phase — phases differ
+/// only in timing fidelity and in which stats bucket the events land in:
+///  * kMeasured — full detailed timing, stats into the measured bucket
+///    (detailed runs spend their whole life here).
+///  * kWarmup   — full detailed timing, stats into a scratch bucket so the
+///    cold-state bias right after a fast-forward stretch never enters the
+///    measured rates.
+///  * kFfwd     — functional fast-forward: no NoC routing, no bank busy
+///    windows, no DRAM queueing/timing (row-buffer state still tracks the
+///    stream via DramController::warm_touch); stats into the ffwd bucket.
+enum class SimPhase : std::uint8_t { kMeasured = 0, kWarmup, kFfwd };
+
 struct FabricConfig {
   std::uint32_t cores = 16;
   L1Geometry l1{};
@@ -88,10 +102,25 @@ class Fabric {
   /// Account `n` run-length-merged repeat accesses as guaranteed L1 hits
   /// (the trace replayer proves residency; see trace/access_trace.hpp).
   void count_l1_repeat_hits(std::uint64_t n) noexcept {
-    stats_.l1_accesses += n;
-    stats_.l1_hits += n;
-    stats_.e_l1_pj += static_cast<double>(n) * energy_.l1_access_pj();
+    st().l1_accesses += n;
+    st().l1_hits += n;
+    st().e_l1_pj += static_cast<double>(n) * energy_.l1_access_pj();
   }
+
+  /// Select the execution phase for subsequent operations (see SimPhase).
+  /// The machine flips this per task; detailed runs never leave kMeasured.
+  void set_phase(SimPhase p) noexcept {
+    phase_ = p;
+    cur_ = p == SimPhase::kMeasured ? &stats_
+                                    : (p == SimPhase::kWarmup ? &warm_stats_ : &ffwd_stats_);
+    mesh_.set_stats_sink(p == SimPhase::kMeasured ? nullptr : &noc_scratch_);
+  }
+  [[nodiscard]] SimPhase phase() const noexcept { return phase_; }
+  /// Scratch buckets (warmup + ffwd events), for the no-measured-window
+  /// fallback and for sampling telemetry.
+  [[nodiscard]] const FabricStats& warm_stats() const noexcept { return warm_stats_; }
+  [[nodiscard]] const FabricStats& ffwd_stats() const noexcept { return ffwd_stats_; }
+  [[nodiscard]] const NocStats& noc_scratch_stats() const noexcept { return noc_scratch_; }
 
   struct FlushOutcome {
     std::uint64_t lines = 0;       ///< lines invalidated
@@ -223,7 +252,16 @@ class Fabric {
   PagedLineMap mem_flat_;
   std::unordered_map<LineAddr, std::uint64_t> mem_version_;  ///< legacy path
   std::vector<double> dir_access_pj_;  ///< cached per-bank per-access energy
-  FabricStats stats_;
+  /// The stats bucket of the current phase (set_phase): &stats_ in measured
+  /// windows and in detailed runs, the scratch buckets otherwise. Every
+  /// internal counter/energy update goes through this.
+  [[nodiscard]] FabricStats& st() noexcept { return *cur_; }
+  FabricStats stats_;       ///< measured bucket (the run totals when detailed)
+  FabricStats warm_stats_;  ///< detailed-warmup scratch bucket
+  FabricStats ffwd_stats_;  ///< fast-forward scratch bucket
+  NocStats noc_scratch_;    ///< warmup NoC traffic (ffwd sends no messages)
+  FabricStats* cur_ = &stats_;
+  SimPhase phase_ = SimPhase::kMeasured;
   BlockClassifier classifier_;
   CoherenceChecker* checker_;
   std::uint64_t version_counter_ = 0;

@@ -101,6 +101,20 @@ DramOutcome DramController::service(LineAddr line, Cycle arrive, bool is_write) 
   return out;
 }
 
+void DramController::warm_touch(LineAddr line) noexcept {
+  // Same address mapping as service(), state transitions only: no busy
+  // windows, no tRAS bookkeeping, no queue slots.
+  Channel& ch = channels_[line & (cfg_.channels - 1)];
+  const std::uint64_t col = line >> ch_bits_;
+  Bank& bank = ch.banks[(col >> row_line_bits_) & (cfg_.banks - 1)];
+  if (cfg_.page == PagePolicy::kClosed) {
+    bank.open = false;
+    return;
+  }
+  bank.row = col >> (row_line_bits_ + bank_bits_);
+  bank.open = true;
+}
+
 std::string parse_dram(std::string_view token, DramConfig& cfg) {
   DramConfig out;  // modifiers apply over the ddr defaults
   if (token.empty()) return "empty DRAM token";

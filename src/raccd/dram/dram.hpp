@@ -102,6 +102,12 @@ class DramController {
   /// later requests contend with; the outcome is for stats only.
   DramOutcome write(LineAddr line, Cycle arrive) { return service(line, arrive, true); }
 
+  /// Functional fast-forward: keep the row-buffer state warm for `line`
+  /// without timing, queue, or stats side effects — the bank's open row
+  /// tracks the access stream (per page policy) so a detailed window that
+  /// follows a fast-forward phase sees realistic row-hit behavior.
+  void warm_touch(LineAddr line) noexcept;
+
   [[nodiscard]] const DramConfig& config() const noexcept { return cfg_; }
 
  private:

@@ -24,6 +24,7 @@ ProgressReporter::ProgressReporter(std::size_t total, unsigned workers, bool ena
       total_(total),
       enabled_(enabled),
       running_(std::max(1u, workers)),
+      phase_(std::max(1u, workers)),
       start_(std::chrono::steady_clock::now()) {
   tty_ = force_tty >= 0 ? force_tty != 0 : ::isatty(::fileno(stream)) != 0;
 }
@@ -43,8 +44,9 @@ std::string ProgressReporter::rate_eta_locked() const {
 void ProgressReporter::repaint_locked() {
   std::string line = strprintf("[%zu/%zu] %s |", done_, total_, rate_eta_locked().c_str());
   for (std::size_t w = 0; w < running_.size(); ++w) {
-    line += strprintf(" w%zu:%s", w,
-                      running_[w].empty() ? "-" : abbrev(running_[w]).c_str());
+    line += strprintf(" w%zu:%s%s", w,
+                      running_[w].empty() ? "-" : abbrev(running_[w]).c_str(),
+                      phase_[w].c_str());
   }
   // Pad over the previous (possibly longer) paint, then return the cursor.
   static constexpr std::size_t kPad = 4;
@@ -56,15 +58,37 @@ void ProgressReporter::repaint_locked() {
 void ProgressReporter::run_started(unsigned worker, const std::string& key) {
   if (!enabled_) return;
   const std::lock_guard<std::mutex> lock(mutex_);
-  if (worker < running_.size()) running_[worker] = key;
+  if (worker < running_.size()) {
+    running_[worker] = key;
+    phase_[worker].clear();
+  }
   if (tty_) repaint_locked();
+}
+
+void ProgressReporter::phase_changed(unsigned worker, bool ffwd,
+                                     std::uint64_t window) {
+  // Chrome only: no phase suffix in non-TTY logs, nothing when disabled.
+  if (!enabled_ || !tty_) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (worker >= phase_.size()) return;
+  phase_[worker] = strprintf("|%s%llu", ffwd ? "ffwd" : "det",
+                             static_cast<unsigned long long>(window));
+  // Windows can turn over thousands of times a second on fast-forwarded
+  // runs — cap the repaint rate so the strip stays cheap.
+  const auto now = std::chrono::steady_clock::now();
+  if (now - last_phase_paint_ < std::chrono::milliseconds(50)) return;
+  last_phase_paint_ = now;
+  repaint_locked();
 }
 
 void ProgressReporter::run_finished(unsigned worker, const std::string& key) {
   if (!enabled_) return;
   const std::lock_guard<std::mutex> lock(mutex_);
   ++done_;
-  if (worker < running_.size()) running_[worker].clear();
+  if (worker < running_.size()) {
+    running_[worker].clear();
+    phase_[worker].clear();
+  }
   if (tty_) {
     repaint_locked();
   } else {
@@ -79,7 +103,10 @@ void ProgressReporter::run_failed(unsigned worker, const std::string& key,
   // not chrome.
   const std::lock_guard<std::mutex> lock(mutex_);
   ++done_;
-  if (worker < running_.size()) running_[worker].clear();
+  if (worker < running_.size()) {
+    running_[worker].clear();
+    phase_[worker].clear();
+  }
   if (line_open_) {
     std::fprintf(stream_, "\n");
     line_open_ = false;

@@ -34,6 +34,10 @@ class ProgressReporter {
   void run_started(unsigned worker, const std::string& key);
   /// Worker `w` finished `key`; advances done-count and repaints/prints.
   void run_finished(unsigned worker, const std::string& key);
+  /// Sampled-simulation phase transition on worker `w`: the strip entry
+  /// gains a `|ffwd<N>` / `|det<N>` suffix (N = window index). TTY-only
+  /// chrome; repaints are throttled since windows can turn over quickly.
+  void phase_changed(unsigned worker, bool ffwd, std::uint64_t window);
   /// A run failed: always printed (even repaint mode gets a plain line).
   void run_failed(unsigned worker, const std::string& key,
                   const std::string& error);
@@ -54,7 +58,9 @@ class ProgressReporter {
   bool tty_;
   bool line_open_ = false;  ///< a repainted status line is on screen
   std::vector<std::string> running_;  ///< per-worker current spec key
+  std::vector<std::string> phase_;    ///< per-worker sampled-phase suffix
   std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_phase_paint_{};
 };
 
 }  // namespace raccd

@@ -94,11 +94,19 @@ std::vector<SimStats> SweepExecutor::run(const std::vector<RunSpec>& specs,
     const auto run_slot = [&](std::size_t i, unsigned worker) {
       const std::string key = specs[i].key();
       progress.run_started(worker, key);
+      // Sampled specs feed phase transitions into the strip: the entry shows
+      // whether the worker is fast-forwarding or measuring, and the window.
+      std::function<void(SimPhase, std::uint64_t)> phase_hook;
+      if (opts_.verbose && !specs[i].sampling.empty()) {
+        phase_hook = [&progress, worker](SimPhase p, std::uint64_t window) {
+          progress.phase_changed(worker, p == SimPhase::kFfwd, window);
+        };
+      }
       std::string err;
       std::optional<SimStats> stats;
       try {
         stats = run_one_checked(specs[i], samples(i) ? &(*series_out)[i] : nullptr,
-                                &err);
+                                &err, phase_hook);
       } catch (const std::exception& e) {
         err = strprintf("unhandled exception: %s", e.what());
       } catch (...) {

@@ -73,6 +73,15 @@ std::string RunSpec::key() const {
   }
   if (topo != "flat") k += strprintf("-t%s", topo.c_str());
   if (dram != "simple") k += strprintf("-dram=%s", dram.c_str());
+  if (!sampling.empty()) {
+    // Canonicalize through the parser so "10/1" and "10/1/1" share one key.
+    SamplingConfig sc;
+    if (parse_sampling(sampling, sc).empty()) {
+      k += strprintf("-smp%u-%u-%u", sc.period, sc.window, sc.warmup);
+    } else {
+      k += strprintf("-smp{%s}", sampling.c_str());  // config_for will reject it
+    }
+  }
   if (!params.empty()) {
     k += strprintf("-p{%s}", params.c_str());
     k += file_param_fingerprint(params);
@@ -91,6 +100,12 @@ SimConfig config_for(const RunSpec& spec) {
     std::fprintf(stderr, "dram '%s': %s\n", spec.dram.c_str(), err.c_str());
     RACCD_ASSERT(false, "malformed DRAM token");
   }
+  if (!spec.sampling.empty()) {
+    if (const std::string err = cfg.apply_sampling(spec.sampling); !err.empty()) {
+      std::fprintf(stderr, "sampling '%s': %s\n", spec.sampling.c_str(), err.c_str());
+      RACCD_ASSERT(false, "malformed sampling token");
+    }
+  }
   cfg.set_dir_ratio(spec.dir_ratio);
   cfg.adr.enabled = spec.adr;
   cfg.adr.theta_inc = spec.adr_theta_inc;
@@ -105,9 +120,11 @@ SimConfig config_for(const RunSpec& spec) {
   return cfg;
 }
 
-std::optional<SimStats> run_one_checked(const RunSpec& spec, Series* series_out,
-                                        std::string* error) {
+std::optional<SimStats> run_one_checked(
+    const RunSpec& spec, Series* series_out, std::string* error,
+    const std::function<void(SimPhase, std::uint64_t)>& phase_hook) {
   Machine machine(config_for(spec));
+  if (phase_hook) machine.set_phase_hook(phase_hook);
   AppConfig acfg;
   acfg.size = spec.size;
   acfg.seed = spec.seed;
@@ -165,7 +182,9 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
   const auto apply_size = [&o](const char* v) {
     if (std::strcmp(v, "tiny") == 0) o.size = SizeClass::kTiny;
     if (std::strcmp(v, "small") == 0) o.size = SizeClass::kSmall;
+    if (std::strcmp(v, "medium") == 0) o.size = SizeClass::kMedium;
     if (std::strcmp(v, "paper") == 0) o.size = SizeClass::kPaper;
+    if (std::strcmp(v, "large") == 0) o.size = SizeClass::kLarge;
   };
   if (const char* env = std::getenv("RACCD_SIZE")) apply_size(env);
   if (std::getenv("RACCD_PAPER") != nullptr) o.paper_machine = true;
@@ -206,6 +225,7 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
     if (std::strncmp(a, "--size=", 7) == 0) apply_size(a + 7);
     else if (std::strncmp(a, "--topology=", 11) == 0) o.topo = a + 11;
     else if (std::strncmp(a, "--dram=", 7) == 0) o.dram = a + 7;
+    else if (std::strncmp(a, "--sample=", 9) == 0) o.sampling = a + 9;
     else if (std::strcmp(a, "--paper") == 0) o.paper_machine = true;
     else if (std::strcmp(a, "--no-cache") == 0) o.run.use_cache = false;
     else if (std::strcmp(a, "--verbose") == 0) o.run.verbose = true;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -52,6 +53,13 @@ struct RunSpec {
   /// spec from the stats cache (a cached SimStats carries no series).
   Cycle series_interval = 0;
   std::string series_metrics;
+  /// Sampled-simulation token (sim/config.hpp SamplingConfig):
+  /// "period/window[/warmup]" in tasks, e.g. "10/1/1" — alternate functional
+  /// fast-forward with detailed measurement windows and extrapolate. Empty
+  /// (default) = fully detailed; the key gains a token only when sampling is
+  /// on, so legacy cache keys stay valid and sampled results re-key the
+  /// stats cache instead of polluting detailed entries.
+  std::string sampling;
 
   /// "name" or "name:k=v,...": the registry reference this spec runs.
   [[nodiscard]] std::string workload_ref() const;
@@ -77,9 +85,12 @@ struct RunSpec {
 /// message in `*error` instead of aborting, so the sweep executor can report
 /// the failing spec's key and drain the rest of the sweep. Simulator
 /// invariant violations (RACCD_ASSERT deep inside the Machine) still abort.
-[[nodiscard]] std::optional<SimStats> run_one_checked(const RunSpec& spec,
-                                                      Series* series_out,
-                                                      std::string* error);
+/// `phase_hook`, when set, fires on every sampled-simulation phase
+/// transition with (phase, window index) — the sweep progress strip uses it
+/// to show whether a worker is fast-forwarding or measuring.
+[[nodiscard]] std::optional<SimStats> run_one_checked(
+    const RunSpec& spec, Series* series_out, std::string* error,
+    const std::function<void(SimPhase, std::uint64_t)>& phase_hook = {});
 
 struct RunOptions {
   /// Worker threads for the sweep (--jobs). 0 = hardware concurrency;
@@ -110,8 +121,9 @@ struct RunOptions {
                                             const RunOptions& opts = {},
                                             std::vector<Series>* series_out = nullptr);
 
-/// Common CLI/env options for the bench binaries: --size=tiny|small|paper,
-/// --paper (machine preset), --topology=T, --dram=D, --no-cache,
+/// Common CLI/env options for the bench binaries:
+/// --size=tiny|small|medium|paper|large, --paper (machine preset),
+/// --topology=T, --dram=D, --sample=period/window[/warmup], --no-cache,
 /// --jobs=N / -jN (worker threads; --threads=N is a legacy alias),
 /// --verbose, --shard=i/N (deterministic sweep partition), and repeatable
 /// --set key=value workload-parameter passthrough (env: RACCD_SIZE,
@@ -123,6 +135,8 @@ struct BenchOptions {
   std::string topo = "flat";
   /// Memory-system token for every run of the binary's grid (default simple).
   std::string dram = "simple";
+  /// Sampled-simulation token for every run of the grid (empty = detailed).
+  std::string sampling;
   /// --set overrides, applied to every workload of the binary's grid.
   WorkloadParams params;
   RunOptions run{};

@@ -29,6 +29,17 @@ namespace {
   return sel;
 }
 
+/// Extra columns for sampled grids: extrapolation telemetry + CI half-widths.
+[[nodiscard]] const std::vector<const MetricDesc*>& sampling_csv_selection() {
+  static const std::vector<const MetricDesc*> sel = MetricSchema::instance().select(
+      {"sampling.scale", "sampling.windows", "sampling.measured_tasks",
+       "sampling.ffwd_tasks", "sampling.cycles_ci95", "sampling.dir_accesses_ci95",
+       "sampling.llc_hits_ci95", "sampling.noc_flits_ci95",
+       "sampling.noc_flit_hops_ci95", "sampling.dram_row_hits_ci95",
+       "sampling.dram_row_hit_rate_ci95", "sampling.dir_occupancy_ci95"});
+  return sel;
+}
+
 [[nodiscard]] bool write_text_file(const std::string& path, const std::string& text) {
   if (const auto dir = std::filesystem::path(path).parent_path(); !dir.empty()) {
     std::error_code ec;
@@ -136,19 +147,36 @@ ResultSet& ResultSet::append(ResultSet other) {
 }
 
 bool ResultSet::write_csv(const std::string& path) const {
-  std::string text = "key,app,params,size,mode,dir_ratio,adr,seed,sched,topo,dram," +
-                     metrics_csv_header(csv_selection()) + "\n";
+  // Sampled grids gain a `sampling` identity column plus the extrapolation
+  // telemetry; detailed-only grids keep the historical byte-identical layout.
+  bool any_sampling = false;
+  for (const RunSpec& sp : specs_) {
+    if (!sp.sampling.empty()) {
+      any_sampling = true;
+      break;
+    }
+  }
+  std::string text = "key,app,params,size,mode,dir_ratio,adr,seed,sched,topo,dram,";
+  if (any_sampling) text += "sampling,";
+  text += metrics_csv_header(csv_selection());
+  if (any_sampling) text += "," + metrics_csv_header(sampling_csv_selection());
+  text += "\n";
   for (std::size_t i = 0; i < specs_.size(); ++i) {
     const RunSpec& sp = specs_[i];
     // key and params can contain commas (multi-knob overrides) — always
     // quoted; the remaining identity cells quote themselves when needed.
     text += strprintf(
-        "%s,%s,%s,%s,%s,%u,%d,%llu,%s,%s,%s,%s\n", csv_cell(sp.key(), true).c_str(),
+        "%s,%s,%s,%s,%s,%u,%d,%llu,%s,%s,%s,", csv_cell(sp.key(), true).c_str(),
         csv_cell(sp.app).c_str(), csv_cell(sp.params, true).c_str(),
         to_string(sp.size), to_string(sp.mode), sp.dir_ratio, sp.adr ? 1 : 0,
         static_cast<unsigned long long>(sp.seed), to_string(sp.sched),
-        csv_cell(sp.topo).c_str(), csv_cell(sp.dram).c_str(),
-        metrics_csv_cells(csv_selection(), results_[i]).c_str());
+        csv_cell(sp.topo).c_str(), csv_cell(sp.dram).c_str());
+    if (any_sampling) text += csv_cell(sp.sampling) + ",";
+    text += metrics_csv_cells(csv_selection(), results_[i]);
+    if (any_sampling) {
+      text += "," + metrics_csv_cells(sampling_csv_selection(), results_[i]);
+    }
+    text += "\n";
   }
   return write_text_file(path, text);
 }
@@ -157,16 +185,22 @@ bool ResultSet::write_json(const std::string& path) const {
   std::string text = "[\n";
   for (std::size_t i = 0; i < specs_.size(); ++i) {
     const RunSpec& sp = specs_[i];
+    // Sampled specs carry their schedule token; detailed specs stay
+    // byte-identical to the historical layout.
+    const std::string smp =
+        sp.sampling.empty()
+            ? std::string()
+            : strprintf("\"sampling\": \"%s\", ", json_escape(sp.sampling).c_str());
     text += strprintf(
         "  {\"key\": \"%s\", \"app\": \"%s\", \"params\": \"%s\", "
         "\"size\": \"%s\", \"mode\": \"%s\", \"dir_ratio\": %u, \"adr\": %s, "
         "\"seed\": %llu, \"sched\": \"%s\", \"topo\": \"%s\", \"dram\": \"%s\", "
-        "%s}%s\n",
+        "%s%s}%s\n",
         json_escape(sp.key()).c_str(), json_escape(sp.app).c_str(),
         json_escape(sp.params).c_str(), to_string(sp.size), to_string(sp.mode),
         sp.dir_ratio, sp.adr ? "true" : "false",
         static_cast<unsigned long long>(sp.seed), to_string(sp.sched),
-        json_escape(sp.topo).c_str(), json_escape(sp.dram).c_str(),
+        json_escape(sp.topo).c_str(), json_escape(sp.dram).c_str(), smp.c_str(),
         bench_metrics_json(results_[i]).c_str(), i + 1 < specs_.size() ? "," : "");
   }
   text += "]\n";
@@ -294,6 +328,11 @@ Grid& Grid::drams(std::vector<std::string> v) {
   drams_ = std::move(v);
   return *this;
 }
+Grid& Grid::sampling(std::string s) { return samplings({std::move(s)}); }
+Grid& Grid::samplings(std::vector<std::string> v) {
+  samplings_ = std::move(v);
+  return *this;
+}
 Grid& Grid::paper_machine(bool on) {
   paper_machine_ = on;
   return *this;
@@ -362,21 +401,24 @@ std::vector<RunSpec> Grid::specs() const {
                       for (const SchedPolicy sched : scheds_) {
                         for (const std::string& topo : topologies_) {
                           for (const std::string& dram : drams_) {
-                            RunSpec s = base;
-                            s.size = size;
-                            s.mode = mode;
-                            s.dir_ratio = ratio;
-                            s.adr = adr;
-                            s.adr_theta_inc = ti;
-                            s.adr_theta_dec = td;
-                            s.seed = seed;
-                            s.ncrt_latency = lat;
-                            s.ncrt_entries = entries;
-                            s.alloc = alloc;
-                            s.sched = sched;
-                            s.topo = topo;
-                            s.dram = dram;
-                            out.push_back(std::move(s));
+                            for (const std::string& smp : samplings_) {
+                              RunSpec s = base;
+                              s.size = size;
+                              s.mode = mode;
+                              s.dir_ratio = ratio;
+                              s.adr = adr;
+                              s.adr_theta_inc = ti;
+                              s.adr_theta_dec = td;
+                              s.seed = seed;
+                              s.ncrt_latency = lat;
+                              s.ncrt_entries = entries;
+                              s.alloc = alloc;
+                              s.sched = sched;
+                              s.topo = topo;
+                              s.dram = dram;
+                              s.sampling = smp;
+                              out.push_back(std::move(s));
+                            }
                           }
                         }
                       }

@@ -6,8 +6,8 @@
 // on/off (and thresholds), seeds and the overhead/ablation knobs. specs()
 // expands the cartesian product in a fixed nesting order — workloads, sizes,
 // modes, dir_ratios, adr, adr_bands, seeds, ncrt_latencies, ncrt_entries,
-// allocs, scheds, topologies, drams, outermost to innermost — so axis-major
-// index arithmetic on the results stays valid.
+// allocs, scheds, topologies, drams, samplings, outermost to innermost — so
+// axis-major index arithmetic on the results stays valid.
 //
 // ResultSet pairs the expanded specs with their stats (run through the
 // cache-aware work-stealing sweep executor, exec/sweep_executor.hpp; every
@@ -129,6 +129,10 @@ class Grid {
   /// Memory-system tokens ("simple", "ddr[-open|-closed|-fcfs|-frfcfs|-chN|-bkN]").
   Grid& dram(std::string d);
   Grid& drams(std::vector<std::string> v);
+  /// Sampled-simulation tokens ("" = detailed, or "period/window[/warmup]"
+  /// in tasks — see SamplingConfig). Innermost axis.
+  Grid& sampling(std::string s);
+  Grid& samplings(std::vector<std::string> v);
   Grid& paper_machine(bool on);
   /// Sample `metrics` (comma-separated names; "" = default subset) every
   /// `interval` cycles on every run of the grid — ResultSet::series(i).
@@ -154,6 +158,7 @@ class Grid {
   std::vector<SchedPolicy> scheds_{SchedPolicy::kFifo};
   std::vector<std::string> topologies_{"flat"};
   std::vector<std::string> drams_{"simple"};
+  std::vector<std::string> samplings_{""};
   bool paper_machine_ = false;
   Cycle series_interval_ = 0;
   std::string series_metrics_;

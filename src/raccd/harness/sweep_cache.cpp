@@ -147,6 +147,27 @@ void pack(const SimStats& s, Fields& f) {
   f.put_d("mem_dyn_energy_pj", s.mem_dyn_energy_pj);
   f.put_d("l1_dyn_energy_pj", s.l1_dyn_energy_pj);
   f.put_d("dir_leak_energy_pj", s.dir_leak_energy_pj);
+  if (s.sampling.active != 0) {
+    // Gated on `active` so detailed entries keep the v5 byte layout — a
+    // sampled spec carries a distinct `-smp` key, so the two never collide.
+    const SamplingStats& sp = s.sampling;
+    f.put_u("sampling_active", sp.active);
+    f.put_u("sampling_windows", sp.windows);
+    f.put_u("sampling_measured_tasks", sp.measured_tasks);
+    f.put_u("sampling_warmup_tasks", sp.warmup_tasks);
+    f.put_u("sampling_ffwd_tasks", sp.ffwd_tasks);
+    f.put_u("sampling_measured_accesses", sp.measured_accesses);
+    f.put_u("sampling_ffwd_accesses", sp.ffwd_accesses);
+    f.put_d("sampling_scale", sp.scale);
+    f.put_d("sampling_cycles_ci95", sp.cycles_ci95);
+    f.put_d("sampling_dir_accesses_ci95", sp.dir_accesses_ci95);
+    f.put_d("sampling_llc_hits_ci95", sp.llc_hits_ci95);
+    f.put_d("sampling_noc_flits_ci95", sp.noc_flits_ci95);
+    f.put_d("sampling_noc_flit_hops_ci95", sp.noc_flit_hops_ci95);
+    f.put_d("sampling_dram_row_hits_ci95", sp.dram_row_hits_ci95);
+    f.put_d("sampling_dram_row_hit_rate_ci95", sp.dram_row_hit_rate_ci95);
+    f.put_d("sampling_dir_occupancy_ci95", sp.dir_occupancy_ci95);
+  }
 }
 
 void unpack(const Fields& f, SimStats& s) {
@@ -262,6 +283,25 @@ void unpack(const Fields& f, SimStats& s) {
   s.mem_dyn_energy_pj = f.get_d("mem_dyn_energy_pj");
   s.l1_dyn_energy_pj = f.get_d("l1_dyn_energy_pj");
   s.dir_leak_energy_pj = f.get_d("dir_leak_energy_pj");
+  s.sampling.active = f.get_u("sampling_active");
+  if (s.sampling.active != 0) {
+    SamplingStats& sp = s.sampling;
+    sp.windows = f.get_u("sampling_windows");
+    sp.measured_tasks = f.get_u("sampling_measured_tasks");
+    sp.warmup_tasks = f.get_u("sampling_warmup_tasks");
+    sp.ffwd_tasks = f.get_u("sampling_ffwd_tasks");
+    sp.measured_accesses = f.get_u("sampling_measured_accesses");
+    sp.ffwd_accesses = f.get_u("sampling_ffwd_accesses");
+    sp.scale = f.get_d("sampling_scale");
+    sp.cycles_ci95 = f.get_d("sampling_cycles_ci95");
+    sp.dir_accesses_ci95 = f.get_d("sampling_dir_accesses_ci95");
+    sp.llc_hits_ci95 = f.get_d("sampling_llc_hits_ci95");
+    sp.noc_flits_ci95 = f.get_d("sampling_noc_flits_ci95");
+    sp.noc_flit_hops_ci95 = f.get_d("sampling_noc_flit_hops_ci95");
+    sp.dram_row_hits_ci95 = f.get_d("sampling_dram_row_hits_ci95");
+    sp.dram_row_hit_rate_ci95 = f.get_d("sampling_dram_row_hit_rate_ci95");
+    sp.dir_occupancy_ci95 = f.get_d("sampling_dir_occupancy_ci95");
+  }
 }
 
 }  // namespace

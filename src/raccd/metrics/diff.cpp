@@ -242,10 +242,24 @@ BenchDiff diff_bench_logs(const BenchLog& base, const BenchLog& cand,
         bool absolute = false;
         double abs_band = 0.0;
         const double pct = tolerance_pct_for(metric, tol, absolute, abs_band);
+        // CI-aware widening: a sampled run publishes `<metric>_ci95` beside
+        // the metric it prices — the statistical half-width joins the band,
+        // so extrapolation noise inside the reported CI never fails a gate.
+        double ci = 0.0;
+        const std::string ci_key = metric + "_ci95";
+        if (const auto bci = base_metrics.find(ci_key);
+            bci != base_metrics.end() && !std::isnan(bci->second)) {
+          ci = std::max(ci, bci->second);
+        }
+        if (const auto cci = cit->second.find(ci_key);
+            cci != cit->second.end() && !std::isnan(cci->second)) {
+          ci = std::max(ci, cci->second);
+        }
         if (absolute) {
-          e.out_of_tolerance = std::fabs(e.cand - bval) > abs_band;
+          e.out_of_tolerance = std::fabs(e.cand - bval) > std::max(abs_band, ci);
         } else {
-          e.out_of_tolerance = std::fabs(e.delta_pct) > pct;
+          const double band = std::max(std::fabs(bval) * pct / 100.0, ci);
+          e.out_of_tolerance = std::fabs(e.cand - bval) > band;
         }
       }
       if (e.out_of_tolerance) d.exceeded.push_back(std::move(e));

@@ -87,7 +87,28 @@ std::string bench_metrics_json(const SimStats& s) {
     for (const char* key : bench_metric_keys()) v.push_back(&schema.get(key));
     return v;
   }();
-  return metrics_json_fields(sel, s);
+  std::string out = metrics_json_fields(sel, s);
+  // Sampled runs carry their extrapolation telemetry and per-metric CI
+  // half-widths; detailed runs keep the historical payload byte-identical.
+  if (s.sampling.active != 0) {
+    static const std::vector<const MetricDesc*> smp = [] {
+      const MetricSchema& schema = MetricSchema::instance();
+      std::vector<const MetricDesc*> v;
+      for (const char* key :
+           {"sampling_scale", "sampling_windows", "sampling_measured_tasks",
+            "sampling_ffwd_tasks", "sampling_measured_accesses",
+            "sampling_ffwd_accesses", "cycles_ci95", "dir_accesses_ci95",
+            "llc_hits_ci95", "noc_flits_ci95", "noc_flit_hops_ci95",
+            "dram_row_hits_ci95", "dram_row_hit_rate_ci95",
+            "avg_dir_occupancy_ci95"}) {
+        v.push_back(&schema.get(key));
+      }
+      return v;
+    }();
+    out += ", ";
+    out += metrics_json_fields(smp, s);
+  }
+  return out;
 }
 
 std::string metrics_markdown_table(std::span<const std::string> row_labels,

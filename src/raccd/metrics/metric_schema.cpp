@@ -300,6 +300,54 @@ namespace {
       RACCD_METRIC("energy.dir_leak_pj", "dir_leak_energy_pj", "pJ", kEnergy,
                    "directory leakage over powered entry-cycles",
                    s.dir_leak_energy_pj),
+
+      // -- Sampled simulation (SamplingConfig; zero / scale 1 for detailed runs) --
+      RACCD_METRIC("sampling.windows", "sampling_windows", "", kCounter,
+                   "measured sampling windows with at least one access",
+                   s.sampling.windows),
+      RACCD_METRIC("sampling.measured_tasks", "sampling_measured_tasks", "", kCounter,
+                   "tasks replayed with detailed timing into the measured bucket",
+                   s.sampling.measured_tasks),
+      RACCD_METRIC("sampling.warmup_tasks", "sampling_warmup_tasks", "", kCounter,
+                   "detailed-warmup tasks (timed but not measured)",
+                   s.sampling.warmup_tasks),
+      RACCD_METRIC("sampling.ffwd_tasks", "sampling_ffwd_tasks", "", kCounter,
+                   "tasks fast-forwarded functionally", s.sampling.ffwd_tasks),
+      RACCD_METRIC("sampling.measured_accesses", "sampling_measured_accesses", "",
+                   kCounter, "accesses replayed in measured windows",
+                   s.sampling.measured_accesses),
+      RACCD_METRIC("sampling.ffwd_accesses", "sampling_ffwd_accesses", "", kCounter,
+                   "accesses replayed functionally (fast-forward)",
+                   s.sampling.ffwd_accesses),
+      RACCD_METRIC("sampling.scale", "sampling_scale", "", kRatio,
+                   "extrapolation factor: total / measured accesses",
+                   s.sampling.scale),
+      // 95% CI half-widths, keyed `<base key>_ci95` so reports and
+      // raccd-report diff pair them with the metric they price.
+      RACCD_METRIC("sampling.cycles_ci95", "cycles_ci95", "cycles", kRatio,
+                   "95% CI half-width on extrapolated cycles",
+                   s.sampling.cycles_ci95),
+      RACCD_METRIC("sampling.dir_accesses_ci95", "dir_accesses_ci95", "", kRatio,
+                   "95% CI half-width on extrapolated directory accesses",
+                   s.sampling.dir_accesses_ci95),
+      RACCD_METRIC("sampling.llc_hits_ci95", "llc_hits_ci95", "", kRatio,
+                   "95% CI half-width on extrapolated LLC hits",
+                   s.sampling.llc_hits_ci95),
+      RACCD_METRIC("sampling.noc_flits_ci95", "noc_flits_ci95", "flits", kRatio,
+                   "95% CI half-width on extrapolated NoC flits",
+                   s.sampling.noc_flits_ci95),
+      RACCD_METRIC("sampling.noc_flit_hops_ci95", "noc_flit_hops_ci95", "flit-hops",
+                   kRatio, "95% CI half-width on extrapolated NoC flit-hops",
+                   s.sampling.noc_flit_hops_ci95),
+      RACCD_METRIC("sampling.dram_row_hits_ci95", "dram_row_hits_ci95", "", kRatio,
+                   "95% CI half-width on extrapolated DRAM row hits",
+                   s.sampling.dram_row_hits_ci95),
+      RACCD_METRIC("sampling.dram_row_hit_rate_ci95", "dram_row_hit_rate_ci95", "",
+                   kRatio, "95% CI half-width on the DRAM row-hit rate",
+                   s.sampling.dram_row_hit_rate_ci95),
+      RACCD_METRIC("sampling.dir_occupancy_ci95", "avg_dir_occupancy_ci95", "",
+                   kRatio, "95% CI half-width on average directory occupancy",
+                   s.sampling.dir_occupancy_ci95),
   };
 }
 

@@ -84,16 +84,17 @@ Cycle Mesh::latency(std::uint32_t from, std::uint32_t to, MsgClass cls) const no
 }
 
 Cycle Mesh::transfer(const Route& r, MsgClass cls) noexcept {
+  NocStats& st = sink_ != nullptr ? *sink_ : stats_;
   const std::uint32_t flits = flits_for(cls);
-  auto& pc = stats_.per_class[static_cast<std::size_t>(cls)];
+  auto& pc = st.per_class[static_cast<std::size_t>(cls)];
   ++pc.messages;
   pc.flits += flits;
   pc.flit_hops += static_cast<std::uint64_t>(flits) * r.total_hops();
   if (r.socket_hops > 0) {
-    ++stats_.cross_socket.messages;
-    stats_.cross_socket.flits += flits;
-    stats_.cross_socket.flit_hops += static_cast<std::uint64_t>(flits) * r.total_hops();
-    stats_.socket_link_flits += static_cast<std::uint64_t>(flits) * r.socket_hops;
+    ++st.cross_socket.messages;
+    st.cross_socket.flits += flits;
+    st.cross_socket.flit_hops += static_cast<std::uint64_t>(flits) * r.total_hops();
+    st.socket_link_flits += static_cast<std::uint64_t>(flits) * r.socket_hops;
   }
   if (r.total_hops() == 0) return 0;
   return r.latency + (flits - 1);

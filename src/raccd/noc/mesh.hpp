@@ -112,10 +112,18 @@ class Mesh {
   void reset_stats() noexcept { stats_ = NocStats{}; }
   [[nodiscard]] const MeshConfig& config() const noexcept { return cfg_; }
 
+  /// Redirect traffic accounting into `sink` (nullptr = the mesh's own
+  /// measured stats). Sampled simulation points this at a scratch bucket
+  /// during detailed-warmup windows so warmup traffic never pollutes the
+  /// measured rates; the mesh itself is timing-stateless, so redirection is
+  /// the only hook sampling needs here.
+  void set_stats_sink(NocStats* sink) noexcept { sink_ = sink; }
+
  private:
   MeshConfig cfg_;
   Topology topo_;
   NocStats stats_;
+  NocStats* sink_ = nullptr;  ///< non-null: stats bucket override
 };
 
 }  // namespace raccd

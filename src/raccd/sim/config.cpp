@@ -50,6 +50,44 @@ std::string SimConfig::apply_dram(std::string_view token) {
   return parse_dram(token, fabric.dram);
 }
 
+std::string parse_sampling(std::string_view token, SamplingConfig& cfg) {
+  SamplingConfig out;
+  out.enabled = true;
+  std::uint32_t parts[3] = {0, 0, 1};  // warmup defaults to 1
+  std::size_t part = 0;
+  std::size_t pos = 0;
+  while (true) {
+    std::size_t slash = token.find('/', pos);
+    if (slash == std::string_view::npos) slash = token.size();
+    const std::string_view piece = token.substr(pos, slash - pos);
+    if (piece.empty()) return "empty field in sampling token (period/window[/warmup])";
+    if (part == 3) return "too many fields in sampling token (period/window[/warmup])";
+    std::uint64_t v = 0;
+    for (const char c : piece) {
+      if (c < '0' || c > '9') {
+        return "sampling token must be period/window[/warmup] with decimal fields";
+      }
+      v = v * 10 + static_cast<std::uint64_t>(c - '0');
+      if (v > 1'000'000'000) return "sampling field too large";
+    }
+    parts[part++] = static_cast<std::uint32_t>(v);
+    if (slash == token.size()) break;
+    pos = slash + 1;
+  }
+  if (part < 2) return "sampling token needs at least period/window";
+  out.period = parts[0];
+  out.window = parts[1];
+  out.warmup = parts[2];
+  if (out.period == 0) return "sampling period must be >= 1 task";
+  if (out.window == 0) return "sampling window must be >= 1 task";
+  cfg = out;
+  return {};
+}
+
+std::string SimConfig::apply_sampling(std::string_view token) {
+  return parse_sampling(token, sampling);
+}
+
 void SimConfig::set_dir_ratio(std::uint32_t n) {
   RACCD_ASSERT(is_pow2(n), "directory ratio must be a power of two");
   const std::uint32_t entries = fabric.llc.lines_per_bank / n;

@@ -58,6 +58,28 @@ struct SeriesConfig {
   std::uint32_t max_samples = 4096;
 };
 
+/// SMARTS-style sampled simulation (DESIGN.md substitution #12): tasks are
+/// numbered in global start order and each period of `period` tasks splits
+/// into a detailed-warmup prefix (`warmup` tasks, full timing, stats into a
+/// scratch bucket), a measured window (`window` tasks, full timing, stats
+/// measured), and a functional fast-forward remainder (state kept warm —
+/// TLB, L1/LLC/directory tags, NCRT, PT classifier, DRAM row buffers, task
+/// graph — but no NoC routing, DRAM queueing, or stall arithmetic; the clock
+/// dilates by the running mean measured stall per access). Measured windows
+/// extrapolate to run totals with per-metric 95% confidence intervals.
+/// `window >= period` disables fast-forwarding entirely (an all-measured
+/// sampled run reproduces the detailed SimStats exactly).
+struct SamplingConfig {
+  bool enabled = false;
+  std::uint32_t period = 0;  ///< tasks per sampling period
+  std::uint32_t window = 0;  ///< measured tasks per period
+  std::uint32_t warmup = 1;  ///< detailed-warmup tasks preceding each window
+};
+
+/// Parse "period/window[/warmup]" (warmup defaults to 1) into `cfg` with
+/// enabled=true. Returns "" on success or an error message.
+[[nodiscard]] std::string parse_sampling(std::string_view token, SamplingConfig& cfg);
+
 struct SimConfig {
   CohMode mode = CohMode::kRaCCD;
   FabricConfig fabric{};
@@ -71,6 +93,7 @@ struct SimConfig {
   std::uint64_t seed = 42;
   bool enable_checker = false;
   SeriesConfig series{};  ///< phase-resolved sampling (off by default)
+  SamplingConfig sampling{};  ///< sampled simulation (off by default)
 
   /// Default machine: 16 cores, 32 KB 2-way L1s, 2 MB LLC (128 KB/bank),
   /// directory 1:1 (2048 entries/bank).
@@ -92,6 +115,10 @@ struct SimConfig {
   /// Apply a DRAM-model token ("simple", or "ddr" with '-'-separated
   /// modifiers — see dram/dram.hpp) to fabric.dram. Returns "" or an error.
   [[nodiscard]] std::string apply_dram(std::string_view token);
+
+  /// Apply a sampled-simulation token ("period/window[/warmup]") to
+  /// `sampling`. Returns "" or an error.
+  [[nodiscard]] std::string apply_sampling(std::string_view token);
 
   [[nodiscard]] std::uint32_t dir_ratio() const noexcept {
     return fabric.llc.lines_per_bank / fabric.dir.entries_per_bank;

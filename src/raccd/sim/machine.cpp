@@ -1,6 +1,7 @@
 #include "raccd/sim/machine.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "raccd/common/assert.hpp"
 
@@ -15,6 +16,106 @@ namespace {
   // don't rehash it unboundedly.
   cfg.fabric.phys_lines_hint = cfg.fabric.topo.phys_frames * kLinesPerPage;
   return cfg;
+}
+
+// -- sampled-run extrapolation helpers ---------------------------------------
+
+[[nodiscard]] std::uint64_t scale_u(std::uint64_t v, double s) noexcept {
+  return static_cast<std::uint64_t>(std::llround(static_cast<double>(v) * s));
+}
+
+/// Measured-bucket counters scaled up to run totals: every event counter and
+/// dynamic-energy term extrapolates uniformly by the access ratio.
+[[nodiscard]] FabricStats scaled(const FabricStats& m, double s) noexcept {
+  FabricStats o = m;
+#define RACCD_SCALE_FIELD(f) o.f = scale_u(m.f, s)
+  RACCD_SCALE_FIELD(l1_accesses);
+  RACCD_SCALE_FIELD(l1_hits);
+  RACCD_SCALE_FIELD(l1_misses);
+  RACCD_SCALE_FIELD(l1_evictions);
+  RACCD_SCALE_FIELD(l1_wb_coh);
+  RACCD_SCALE_FIELD(l1_wb_nc);
+  RACCD_SCALE_FIELD(l1_invals_sharer);
+  RACCD_SCALE_FIELD(l1_invals_recall);
+  RACCD_SCALE_FIELD(l1_flush_nc_lines);
+  RACCD_SCALE_FIELD(l1_flush_nc_wbs);
+  RACCD_SCALE_FIELD(l1_flush_page_lines);
+  RACCD_SCALE_FIELD(l1_flush_page_wbs);
+  RACCD_SCALE_FIELD(llc_lookups);
+  RACCD_SCALE_FIELD(llc_hits);
+  RACCD_SCALE_FIELD(llc_misses);
+  RACCD_SCALE_FIELD(llc_nc_lookups);
+  RACCD_SCALE_FIELD(llc_nc_hits);
+  RACCD_SCALE_FIELD(llc_fills);
+  RACCD_SCALE_FIELD(llc_evictions);
+  RACCD_SCALE_FIELD(llc_inval_by_dir);
+  RACCD_SCALE_FIELD(llc_wb_mem);
+  RACCD_SCALE_FIELD(llc_touches);
+  RACCD_SCALE_FIELD(dir_accesses);
+  RACCD_SCALE_FIELD(dir_lookups);
+  RACCD_SCALE_FIELD(dir_hits);
+  RACCD_SCALE_FIELD(dir_misses);
+  RACCD_SCALE_FIELD(dir_allocs);
+  RACCD_SCALE_FIELD(dir_evictions);
+  RACCD_SCALE_FIELD(dir_recall_msgs);
+  RACCD_SCALE_FIELD(dir_wb_updates);
+  RACCD_SCALE_FIELD(dir_nc_to_coh);
+  RACCD_SCALE_FIELD(dir_coh_to_nc);
+  RACCD_SCALE_FIELD(coh_reads);
+  RACCD_SCALE_FIELD(coh_writes);
+  RACCD_SCALE_FIELD(upgrades);
+  RACCD_SCALE_FIELD(nc_reads);
+  RACCD_SCALE_FIELD(nc_writes);
+  RACCD_SCALE_FIELD(owner_probes);
+  RACCD_SCALE_FIELD(dir_reqs_cross_socket);
+  RACCD_SCALE_FIELD(nc_reqs_cross_socket);
+  RACCD_SCALE_FIELD(mem_reads);
+  RACCD_SCALE_FIELD(mem_writes);
+  RACCD_SCALE_FIELD(mem_wb_wait_cycles);
+  RACCD_SCALE_FIELD(dram_row_hits);
+  RACCD_SCALE_FIELD(dram_row_misses);
+  RACCD_SCALE_FIELD(dram_row_conflicts);
+  RACCD_SCALE_FIELD(dram_queue_wait_cycles);
+#undef RACCD_SCALE_FIELD
+  o.e_dir_pj = m.e_dir_pj * s;
+  o.e_llc_pj = m.e_llc_pj * s;
+  o.e_l1_pj = m.e_l1_pj * s;
+  o.e_noc_pj = m.e_noc_pj * s;
+  o.e_mem_pj = m.e_mem_pj * s;
+  o.e_mem_act_pj = m.e_mem_act_pj * s;
+  o.e_mem_rd_pj = m.e_mem_rd_pj * s;
+  o.e_mem_wr_pj = m.e_mem_wr_pj * s;
+  o.e_mem_pre_pj = m.e_mem_pre_pj * s;
+  return o;
+}
+
+[[nodiscard]] NocStats scaled(const NocStats& m, double s) noexcept {
+  NocStats o = m;
+  for (std::size_t i = 0; i < o.per_class.size(); ++i) {
+    o.per_class[i].messages = scale_u(m.per_class[i].messages, s);
+    o.per_class[i].flits = scale_u(m.per_class[i].flits, s);
+    o.per_class[i].flit_hops = scale_u(m.per_class[i].flit_hops, s);
+  }
+  o.cross_socket.messages = scale_u(m.cross_socket.messages, s);
+  o.cross_socket.flits = scale_u(m.cross_socket.flits, s);
+  o.cross_socket.flit_hops = scale_u(m.cross_socket.flit_hops, s);
+  o.socket_link_flits = scale_u(m.socket_link_flits, s);
+  return o;
+}
+
+/// 95% half-width of the mean of `r` (zero below two samples).
+[[nodiscard]] double ci95_half_width(const std::vector<double>& r) noexcept {
+  if (r.size() < 2) return 0.0;
+  double mean = 0.0;
+  for (const double v : r) mean += v;
+  mean /= static_cast<double>(r.size());
+  double ss = 0.0;
+  for (const double v : r) {
+    const double d = v - mean;
+    ss += d * d;
+  }
+  const double sd = std::sqrt(ss / static_cast<double>(r.size() - 1));
+  return 1.96 * sd / std::sqrt(static_cast<double>(r.size()));
 }
 
 }  // namespace
@@ -32,6 +133,17 @@ Machine::Machine(const SimConfig& cfg)
     tlbs_.emplace_back(cfg_.tlb_entries);
   }
   cores_.resize(cfg_.fabric.cores);
+  sampling_on_ = cfg_.sampling.enabled;
+  if (sampling_on_) {
+    ffwd_near_tasks_ = 2ULL * cfg_.fabric.cores;
+    // Timed cooldown after each measured window: roughly one task per core,
+    // clamped so the detailed block still fits in the period.
+    const std::uint64_t block = cfg_.sampling.warmup + cfg_.sampling.window;
+    if (cfg_.sampling.period > block) {
+      cooldown_tasks_ =
+          std::min<std::uint64_t>(cfg_.fabric.cores, cfg_.sampling.period - block);
+    }
+  }
   backend_ = make_backend(BackendContext{cfg_, fabric_, mem_, tlbs_});
   if (cfg_.series.interval > 0) {
     sampler_ = std::make_unique<StatSampler>(
@@ -116,10 +228,171 @@ void Machine::step(CoreId c) {
     start_task(c, t);
     return;
   }
+  if (sampling_on_) {
+    sync_phase(cs.phase);
+    if (cs.phase == SimPhase::kFfwd && cs.cursor < cs.trace.records().size()) {
+      replay_task_ffwd(c);
+      return;
+    }
+  }
   if (cs.cursor < cs.trace.records().size()) {
     replay_record(c);
     return;
   }
+  finish_task(c);
+}
+
+SimPhase Machine::phase_for(std::uint64_t k) const noexcept {
+  const SamplingConfig& sc = cfg_.sampling;
+  // window >= period: the whole period is measured — an all-detailed
+  // sampled run, bit-exact with detailed simulation (tested).
+  if (sc.window >= sc.period) return SimPhase::kMeasured;
+  const std::uint64_t kmod = k % sc.period;
+  // Rotate the detailed block (warmup prefix + measured window) through the
+  // period one slot per window: a fixed slot would alias with any periodic
+  // task structure (e.g. alternating compute/copy task classes) and sample
+  // only one class, biasing the extrapolation. The block never wraps a
+  // period boundary, so warmup still immediately precedes its window.
+  // The block ends with a timed cooldown (phase kWarmup, so it is replayed in
+  // full but never attributed): without it the window's tail would interleave
+  // with fast-forwarded tasks whose accesses occupy no bank or link, and the
+  // last measured tasks would see fading contention — on queue-dominated
+  // workloads that clips 10%+ off every contention-sensitive metric.
+  const std::uint64_t detailed = sc.warmup + sc.window + cooldown_tasks_;
+  const std::uint64_t slots = sc.period > detailed ? sc.period - detailed + 1 : 1;
+  const std::uint64_t start = (k / sc.period) % slots;
+  if (kmod < start) return SimPhase::kFfwd;
+  const std::uint64_t rel = kmod - start;
+  if (rel < sc.warmup) return SimPhase::kWarmup;
+  if (rel < sc.warmup + sc.window) return SimPhase::kMeasured;
+  if (rel < detailed) return SimPhase::kWarmup;
+  return SimPhase::kFfwd;
+}
+
+bool Machine::ffwd_is_near(std::uint64_t k) const noexcept {
+  const SamplingConfig& sc = cfg_.sampling;
+  const std::uint64_t detailed = sc.warmup + sc.window + cooldown_tasks_;
+  const std::uint64_t slots = sc.period > detailed ? sc.period - detailed + 1 : 1;
+  const std::uint64_t kmod = k % sc.period;
+  const std::uint64_t start = (k / sc.period) % slots;
+  // Task starts until the next detailed block (this period's if it is still
+  // ahead, else the next period's rotated slot).
+  std::uint64_t dist;
+  if (kmod < start) {
+    dist = start - kmod;
+  } else {
+    dist = (sc.period - kmod) + ((k / sc.period + 1) % slots);
+  }
+  return dist <= ffwd_near_tasks_;
+}
+
+void Machine::sync_phase(SimPhase p) {
+  if (fabric_.phase() == p) return;
+  fabric_.set_phase(p);
+  if (phase_hook_) phase_hook_(p, task_seq_ / cfg_.sampling.period);
+}
+
+void Machine::replay_task_ffwd(CoreId c) {
+  CoreState& cs = cores_[c];
+  const auto& recs = cs.trace.records();
+  std::uint64_t n_acc = 0;
+  Cycle gaps = 0;
+  double n_miss = 0.0;
+
+  if (cs.ffwd_far && cs.cursor == 0) {
+    // Far tier: the task's accesses never touch the fabric — totals come
+    // from the trace header, the hit/miss split from the detailed-replay
+    // miss rate, and only page-grained classification still advances
+    // (PT ownership transitions are sticky and must observe every
+    // accessor; the page walk also keeps the TLB warm). Tag, directory and
+    // DRAM warming is the near tier's and the warmup prefix's job.
+    if (cs.classify) {
+      const TaskNode& node = rt_.task(cs.current);
+      for (const DepSpec& d : node.deps) {
+        if (d.size == 0) continue;
+        for (PageNum vp = page_of(d.addr); vp <= page_of(d.addr + d.size - 1);
+             ++vp) {
+          auto it = std::lower_bound(
+              cs.class_memo.begin(), cs.class_memo.end(), vp,
+              [](const std::pair<PageNum, bool>& e, PageNum p) { return e.first < p; });
+          if (it != cs.class_memo.end() && it->first == vp) continue;
+          const auto tr = tlbs_[c].access(vp, mem_.page_table());
+          const VAddr va = vp << kPageShift;
+          const AccessClass ac =
+              cs.classify(c, va, tr.pframe << kPageShift, tr.pframe, cs.clock);
+          cs.class_memo.insert(it, {vp, ac.nc});
+        }
+      }
+    }
+    n_acc = cs.trace.total_accesses();
+    gaps = cs.trace.total_compute();
+    const double miss_rate =
+        detailed_stall_accesses_ == 0
+            ? 0.0
+            : static_cast<double>(detailed_misses_) /
+                  static_cast<double>(detailed_stall_accesses_);
+    n_miss = miss_rate * static_cast<double>(n_acc);
+    // The task leaves no L1 footprint, so the mode teardown in finish_task
+    // will find nothing to flush — charge the measured per-access teardown
+    // rate here instead (clock-only, like the real teardown).
+    if (detailed_end_accesses_ > 0) {
+      cs.clock += static_cast<Cycle>(
+          std::llround(static_cast<double>(detailed_end_cycles_) /
+                       static_cast<double>(detailed_end_accesses_) *
+                       static_cast<double>(n_acc)));
+    }
+    cs.cursor = recs.size();
+  } else {
+    for (; cs.cursor < recs.size(); ++cs.cursor) {
+      const AccessRecord& r = recs[cs.cursor];
+      gaps += r.compute_gap;
+      n_acc += r.repeat;
+  
+      const PageNum vpage = page_of(r.vaddr);
+      if (mem_.lazy_mapping() && !mem_.page_table().mapped(vpage)) {
+        mem_.map_on_touch(vpage, fabric_.topology().socket_of(c));
+      }
+      const auto tr = tlbs_[c].access(vpage, mem_.page_table());
+      const PAddr paddr = (tr.pframe << kPageShift) | page_offset(r.vaddr);
+      const LineAddr line = line_of(paddr);
+  
+      bool nc = false;
+      if (cs.classify && fabric_.l1(c).find(line) == nullptr) {
+        // Batch classification: each page goes through the ClassifierView
+        // once per task; later accesses reuse the memoized verdict.
+        auto it = std::lower_bound(
+            cs.class_memo.begin(), cs.class_memo.end(), vpage,
+            [](const std::pair<PageNum, bool>& e, PageNum p) { return e.first < p; });
+        if (it == cs.class_memo.end() || it->first != vpage) {
+          const AccessClass ac = cs.classify(c, r.vaddr, paddr, tr.pframe, cs.clock);
+          it = cs.class_memo.insert(it, {vpage, ac.nc});
+        }
+        nc = it->second;
+      }
+      const AccessOutcome out = fabric_.access(c, line, r.is_write != 0, nc, cs.clock);
+      if (!out.l1_hit) n_miss += 1.0;
+      if (r.repeat > 1) fabric_.count_l1_repeat_hits(r.repeat - 1);
+    }
+  }
+  accesses_replayed_ += n_acc;
+  ffwd_accesses_ += n_acc;
+  // Time dilation: compute gaps are exact; the near tier also knows the
+  // exact L1 hit/miss split (its tags are warm) while the far tier uses the
+  // detailed-replay miss rate. Only the mean penalty per miss is estimated,
+  // from the *measured* replay so far — measured windows span the whole
+  // machine, so the mean includes queueing/contention, while warmup replay
+  // right after a fast-forward stretch is deliberately cold and would bias
+  // it. The prior before any detailed miss is one LLC round (llc_cycles).
+  const double miss_extra =
+      detailed_misses_ == 0 ? static_cast<double>(cfg_.fabric.llc_cycles)
+                            : static_cast<double>(detailed_miss_extra_) /
+                                  static_cast<double>(detailed_misses_);
+  const Cycle stall =
+      n_acc * cfg_.fabric.l1_hit_cycles +
+      static_cast<Cycle>(std::llround(miss_extra * n_miss));
+  cs.clock += gaps + stall;
+  cs.busy_cycles += gaps + stall;
+  adr_.poll(cs.clock);
   finish_task(c);
 }
 
@@ -128,6 +401,24 @@ void Machine::start_task(CoreId c, TaskId t) {
   rt_.start_task(t);
   cs.current = t;
   cs.cursor = 0;
+  if (sampling_on_) {
+    // Phase schedule off the global task-start counter: deterministic under
+    // any scheduler interleaving, and task-aligned so state-warming setup
+    // (registration, first-touch) runs under the task's own phase.
+    cs.phase = phase_for(task_seq_);
+    cs.window_id = task_seq_ / cfg_.sampling.period;
+    ++task_seq_;
+    switch (cs.phase) {
+      case SimPhase::kMeasured: ++measured_tasks_; break;
+      case SimPhase::kWarmup: ++warmup_tasks_; break;
+      case SimPhase::kFfwd:
+        ++ffwd_tasks_;
+        cs.class_memo.clear();
+        cs.ffwd_far = !ffwd_is_near(task_seq_ - 1);
+        break;
+    }
+    sync_phase(cs.phase);
+  }
   TaskNode& node = rt_.task(t);
 
   // First-touch placement: the scheduled core's socket claims the frames of
@@ -186,6 +477,23 @@ void Machine::replay_record(CoreId c) {
     nc = ac.nc;
   }
 
+  // Per-window attribution (sampled runs): counter deltas around this
+  // access land in the core's own window bucket, so concurrently running
+  // tasks from neighboring windows never pollute each other's rates.
+  std::uint64_t d0 = 0, h0 = 0, f0 = 0, fh0 = 0, rh0 = 0, rm0 = 0, rc0 = 0;
+  const bool attribute = sampling_on_ && cs.phase == SimPhase::kMeasured;
+  if (attribute) {
+    const FabricStats& f = fabric_.stats();
+    const NocStats& n = fabric_.mesh().stats();
+    d0 = f.dir_accesses;
+    h0 = f.llc_hits;
+    rh0 = f.dram_row_hits;
+    rm0 = f.dram_row_misses;
+    rc0 = f.dram_row_conflicts;
+    f0 = n.total_flits();
+    fh0 = n.total_flit_hops();
+  }
+
   const AccessOutcome out = fabric_.access(c, line, r.is_write != 0, nc, cs.clock + extra);
   Cycle stall = out.latency;
   if (!out.l1_hit && cfg_.timing.miss_overlap > 1.0) {
@@ -200,6 +508,35 @@ void Machine::replay_record(CoreId c) {
   }
   cs.clock += total;
   cs.busy_cycles += total;
+  if (sampling_on_) {
+    // The dilation estimator learns only from *measured* replay: warmup
+    // tasks right after a fast-forward stretch are deliberately cold (that
+    // is the bias warmup absorbs), and their compulsory-miss storms would
+    // inflate both the miss rate and the mean miss penalty.
+    if (attribute) {
+      detailed_stall_cycles_ += total;
+      detailed_stall_accesses_ += r.repeat;
+      if (!out.l1_hit) {
+        ++detailed_misses_;
+        const Cycle l1h = cfg_.fabric.l1_hit_cycles;
+        detailed_miss_extra_ += extra + stall > l1h ? extra + stall - l1h : 0;
+      }
+      if (windows_.size() <= cs.window_id) windows_.resize(cs.window_id + 1);
+      WindowBucket& w = windows_[cs.window_id];
+      measured_accesses_ += r.repeat;
+      w.accesses += r.repeat;
+      w.stall_cycles += total;
+      const FabricStats& f = fabric_.stats();
+      const NocStats& n = fabric_.mesh().stats();
+      w.dir_accesses += f.dir_accesses - d0;
+      w.llc_hits += f.llc_hits - h0;
+      w.dram_row_hits += f.dram_row_hits - rh0;
+      w.dram_row_misses += f.dram_row_misses - rm0;
+      w.dram_row_conflicts += f.dram_row_conflicts - rc0;
+      w.noc_flits += n.total_flits() - f0;
+      w.noc_flit_hops += n.total_flit_hops() - fh0;
+    }
+  }
   adr_.poll(cs.clock);
 }
 
@@ -217,8 +554,27 @@ void Machine::finish_task(CoreId c) {
   invalidate_cycles_ += teardown.cycles;
   flushed_nc_lines_ += teardown.flushed_lines;
   flushed_nc_wbs_ += teardown.flushed_wbs;
+  if (sampling_on_ && cs.phase == SimPhase::kMeasured) {
+    detailed_end_cycles_ += teardown.cycles;
+    detailed_end_accesses_ += cs.trace.total_accesses();
+  }
 
   adr_.poll_all(cs.clock);
+
+  if (sampling_on_ && cs.phase == SimPhase::kMeasured) {
+    // Occupancy is a level, not a rate: sample the instantaneous directory
+    // occupancy at each measured task's end and CI the per-window means.
+    if (windows_.size() <= cs.window_id) windows_.resize(cs.window_id + 1);
+    WindowBucket& w = windows_[cs.window_id];
+    double occ = 0.0;
+    for (BankId b = 0; b < cfg_.fabric.cores; ++b) {
+      const auto& d = fabric_.dir(b);
+      occ += static_cast<double>(d.valid_entries()) /
+             (static_cast<double>(d.total_sets()) * d.ways());
+    }
+    w.occ_sum += occ / cfg_.fabric.cores;
+    ++w.occ_samples;
+  }
 
   // Wake-up phase (paper Fig. 3): notify dependent tasks.
   std::uint32_t resolved = 0;
@@ -316,7 +672,82 @@ SimStats Machine::collect() {
     }
     s.avg_dir_active_frac = active_sum / cfg_.fabric.cores;
   }
+  if (sampling_on_) apply_sampling(s);
   return s;
+}
+
+void Machine::apply_sampling(SimStats& s) const {
+  SamplingStats& sp = s.sampling;
+  sp.active = 1;
+  sp.measured_tasks = measured_tasks_;
+  sp.warmup_tasks = warmup_tasks_;
+  sp.ffwd_tasks = ffwd_tasks_;
+  sp.measured_accesses = measured_accesses_;
+  sp.ffwd_accesses = ffwd_accesses_;
+  for (const WindowBucket& w : windows_) {
+    if (w.accesses > 0) ++sp.windows;
+  }
+  // window >= period degenerates to an all-detailed run: every task is
+  // measured, the measured bucket already holds exact totals — leave
+  // everything (scale 1, zero CIs). Warmup-phase tasks disqualify the
+  // shortcut: their events live outside the measured bucket and must be
+  // covered by extrapolation (small periods can be all warmup + cooldown).
+  if (ffwd_tasks_ == 0 && warmup_tasks_ == 0) return;
+  if (measured_accesses_ == 0) {
+    // Degenerate schedule with nothing measured (e.g. fewer tasks than the
+    // warmup prefix): report every observed event unscaled rather than zero.
+    s.fabric.add(fabric_.warm_stats());
+    s.fabric.add(fabric_.ffwd_stats());
+    s.noc.add(fabric_.noc_scratch_stats());
+  } else {
+    const double scale = static_cast<double>(accesses_replayed_) /
+                         static_cast<double>(measured_accesses_);
+    sp.scale = scale;
+    s.fabric = scaled(fabric_.stats(), scale);
+    s.noc = scaled(fabric_.mesh().stats(), scale);
+
+    // Per-window measured rates; their spread prices the extrapolation. CI on
+    // a counter total = CI(mean rate) x the extrapolated (unmeasured) access
+    // count; level metrics (row-hit rate, occupancy) take CI(mean) directly.
+    std::vector<double> r_stall, r_dir, r_llc, r_flits, r_hops, r_rowhit, r_rowrate,
+        r_occ;
+    for (const WindowBucket& w : windows_) {
+      if (w.accesses == 0) continue;
+      const double a = static_cast<double>(w.accesses);
+      r_stall.push_back(static_cast<double>(w.stall_cycles) / a);
+      r_dir.push_back(static_cast<double>(w.dir_accesses) / a);
+      r_llc.push_back(static_cast<double>(w.llc_hits) / a);
+      r_flits.push_back(static_cast<double>(w.noc_flits) / a);
+      r_hops.push_back(static_cast<double>(w.noc_flit_hops) / a);
+      r_rowhit.push_back(static_cast<double>(w.dram_row_hits) / a);
+      const std::uint64_t rows =
+          w.dram_row_hits + w.dram_row_misses + w.dram_row_conflicts;
+      if (rows > 0) {
+        r_rowrate.push_back(static_cast<double>(w.dram_row_hits) /
+                            static_cast<double>(rows));
+      }
+      if (w.occ_samples > 0) {
+        r_occ.push_back(w.occ_sum / static_cast<double>(w.occ_samples));
+      }
+    }
+    const double extrapolated =
+        static_cast<double>(accesses_replayed_ - measured_accesses_);
+    sp.cycles_ci95 = ci95_half_width(r_stall) * extrapolated;
+    sp.dir_accesses_ci95 = ci95_half_width(r_dir) * extrapolated;
+    sp.llc_hits_ci95 = ci95_half_width(r_llc) * extrapolated;
+    sp.noc_flits_ci95 = ci95_half_width(r_flits) * extrapolated;
+    sp.noc_flit_hops_ci95 = ci95_half_width(r_hops) * extrapolated;
+    sp.dram_row_hits_ci95 = ci95_half_width(r_rowhit) * extrapolated;
+    sp.dram_row_hit_rate_ci95 = ci95_half_width(r_rowrate);
+    sp.dir_occupancy_ci95 = ci95_half_width(r_occ);
+  }
+  // Re-derive the energy roll-ups from the extrapolated fabric bucket
+  // (leakage stays exact: it integrates state over the dilated timeline).
+  s.dir_dyn_energy_pj = s.fabric.e_dir_pj;
+  s.llc_dyn_energy_pj = s.fabric.e_llc_pj;
+  s.noc_dyn_energy_pj = s.fabric.e_noc_pj;
+  s.mem_dyn_energy_pj = s.fabric.e_mem_pj;
+  s.l1_dyn_energy_pj = s.fabric.e_l1_pj;
 }
 
 }  // namespace raccd

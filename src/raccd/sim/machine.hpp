@@ -73,6 +73,12 @@ class Machine {
     return sampler_ ? &sampler_->series() : nullptr;
   }
 
+  /// Progress hook for sampled runs: invoked on every ffwd/detailed phase
+  /// switch with the new phase and the number of sampling periods started.
+  /// Never fires when sampling is disabled.
+  using PhaseHook = std::function<void(SimPhase, std::uint64_t)>;
+  void set_phase_hook(PhaseHook hook) { phase_hook_ = std::move(hook); }
+
  private:
   struct CoreState {
     Cycle clock = 0;
@@ -83,6 +89,30 @@ class Machine {
     Cycle busy_cycles = 0;
     /// Backend classification hook, resolved once per task (devirtualized).
     ClassifierView classify{};
+    /// Sampled simulation: phase assigned to the current task and its
+    /// period group (window) for per-window measured-rate attribution.
+    SimPhase phase = SimPhase::kMeasured;
+    std::uint64_t window_id = 0;
+    /// Fast-forward tier: far tasks (no detailed block within
+    /// ffwd_near_tasks_ starts) skip per-access tag warming entirely.
+    bool ffwd_far = false;
+    /// Fast-forward batch classification: each page resolved through the
+    /// ClassifierView once per task (sorted by vpage, binary-searched).
+    std::vector<std::pair<PageNum, bool>> class_memo;
+  };
+
+  /// One sampling period's measured-window deltas: every counter here is
+  /// accumulated as a before/after difference around the measured tasks'
+  /// fabric accesses, so concurrent tasks from neighboring windows never
+  /// contaminate each other's rates.
+  struct WindowBucket {
+    std::uint64_t accesses = 0;      ///< replayed accesses (incl. repeats)
+    std::uint64_t stall_cycles = 0;  ///< translation + classification + memory
+    std::uint64_t dir_accesses = 0, llc_hits = 0;
+    std::uint64_t noc_flits = 0, noc_flit_hops = 0;
+    std::uint64_t dram_row_hits = 0, dram_row_misses = 0, dram_row_conflicts = 0;
+    double occ_sum = 0.0;  ///< instantaneous dir occupancy at task ends
+    std::uint64_t occ_samples = 0;
   };
 
   /// Pop the awake core with the lowest (clock, id) from the run heap
@@ -96,6 +126,24 @@ class Machine {
   void replay_record(CoreId c);
   void finish_task(CoreId c);
   void wake_sleepers(Cycle at);
+  /// Sampled simulation (cfg_.sampling): phase of the k-th started task.
+  [[nodiscard]] SimPhase phase_for(std::uint64_t k) const noexcept;
+  /// For a kFfwd task: true when the next detailed block starts within
+  /// ffwd_near_tasks_ task starts — near tasks replay every access through
+  /// the fabric (full tag/TLB/row-buffer warming) so measured windows open
+  /// on representative state; far tasks only advance classification and the
+  /// clock, making long fast-forward stretches nearly free.
+  [[nodiscard]] bool ffwd_is_near(std::uint64_t k) const noexcept;
+  /// Flip the fabric to `p` iff it differs (and fire the phase hook).
+  void sync_phase(SimPhase p);
+  /// Fast-forward a whole task in one DES step: replay every remaining
+  /// record functionally (state + stats, no timing), then advance the core
+  /// clock by the compute gaps plus the running mean measured stall per
+  /// access, and finish the task.
+  void replay_task_ffwd(CoreId c);
+  /// Scale the measured buckets up to run totals, fill SimStats::sampling
+  /// (incl. per-metric 95% CIs from window-to-window rate variation).
+  void apply_sampling(SimStats& s) const;
   /// Live stats snapshot for the series sampler: counters as-of-now,
   /// occupancy fields *instantaneous* (valid entries vs capacity right now)
   /// rather than the time-averaged integrals collect() reports.
@@ -136,6 +184,40 @@ class Machine {
   std::uint64_t flushed_nc_wbs_ = 0;
   std::uint64_t accesses_replayed_ = 0;
   bool collected_ = false;
+
+  // -- sampled simulation (cfg_.sampling; all idle when sampling_on_ is false)
+  bool sampling_on_ = false;
+  /// Functional-warming horizon: ffwd tasks this close (in task starts) to
+  /// the next detailed block replay with full tag warming ("near" tier);
+  /// the rest are "far" and skip per-access work. Two tasks per core: the
+  /// warmup prefix rebuilds the small L1s, so the near tier only has to
+  /// re-image the larger shared state (LLC, directory, DRAM row buffers)
+  /// from each core's most recent tasks.
+  std::uint64_t ffwd_near_tasks_ = 0;
+  /// Timed cooldown appended to each detailed block (~one task per core,
+  /// counted as warmup): keeps the measured window's tail contended by real
+  /// traffic instead of fast-forwarded neighbors that occupy no resources.
+  std::uint64_t cooldown_tasks_ = 0;
+  std::uint64_t task_seq_ = 0;  ///< global task-start counter (phase schedule)
+  std::uint64_t measured_tasks_ = 0, warmup_tasks_ = 0, ffwd_tasks_ = 0;
+  std::uint64_t measured_accesses_ = 0, ffwd_accesses_ = 0;
+  /// Dilation estimator: stall cycles per access observed across *detailed*
+  /// replay (measured + warmup), the rate fast-forwarded tasks advance at.
+  std::uint64_t detailed_stall_cycles_ = 0, detailed_stall_accesses_ = 0;
+  /// Miss-cost split: fast-forward knows each access's true L1 hit/miss from
+  /// the warm tags, so only the *penalty per miss* is estimated — the
+  /// hit/miss mix (the dominant variance source) is exact per task.
+  std::uint64_t detailed_miss_extra_ = 0, detailed_misses_ = 0;
+  /// End-of-task teardown estimator: mode teardown (RaCCD NC-line flush,
+  /// WbNC writeback flush) costs cycles proportional to the task's cached
+  /// footprint — far-tier tasks leave no L1 footprint, so their teardown
+  /// would be silently free and fine-grained task graphs would lose a
+  /// per-task overhead that detailed runs pay. Charged per access at the
+  /// measured-phase rate.
+  std::uint64_t detailed_end_cycles_ = 0, detailed_end_accesses_ = 0;
+  std::vector<WindowBucket> windows_;  ///< indexed by period group
+  PhaseHook phase_hook_;
+
   TraceSink trace_sink_;
   std::unique_ptr<StatSampler> sampler_;  ///< non-null iff series enabled
 

@@ -55,6 +55,18 @@ void print_report(const SimStats& s, std::FILE* out) {
                  static_cast<unsigned long long>(s.adr.entries_moved),
                  format_count(s.adr.blocked_cycles).c_str());
   }
+  if (s.sampling.active != 0) {
+    std::fprintf(out,
+                 "  sampled: %llu windows (%llu measured / %llu warmup / %llu "
+                 "ffwd tasks), scale %.2fx, cycles ±%s (95%% CI)\n",
+                 static_cast<unsigned long long>(s.sampling.windows),
+                 static_cast<unsigned long long>(s.sampling.measured_tasks),
+                 static_cast<unsigned long long>(s.sampling.warmup_tasks),
+                 static_cast<unsigned long long>(s.sampling.ffwd_tasks),
+                 s.sampling.scale,
+                 format_count(static_cast<std::uint64_t>(s.sampling.cycles_ci95))
+                     .c_str());
+  }
 }
 
 void print_metrics(const SimStats& s, std::span<const MetricDesc* const> selection,

@@ -14,6 +14,33 @@
 
 namespace raccd {
 
+/// Sampled-simulation bookkeeping (SamplingConfig): how much of the run was
+/// measured, the extrapolation factor applied to the fabric/NoC counters,
+/// and per-metric 95% confidence half-widths from the window-to-window
+/// variation of the measured rates. All zero (scale 1) for detailed runs.
+struct SamplingStats {
+  std::uint64_t active = 0;   ///< 1 when the run used sampled simulation
+  std::uint64_t windows = 0;  ///< measured windows with at least one access
+  std::uint64_t measured_tasks = 0;
+  std::uint64_t warmup_tasks = 0;
+  std::uint64_t ffwd_tasks = 0;
+  std::uint64_t measured_accesses = 0;
+  std::uint64_t ffwd_accesses = 0;
+  double scale = 1.0;  ///< total accesses / measured accesses
+
+  // 95% CI half-widths on the extrapolated totals (absolute, same units as
+  // the metric they annotate; the *_ci95 flat keys pair with the base keys
+  // so raccd-report can widen its tolerance bands CI-aware).
+  double cycles_ci95 = 0.0;
+  double dir_accesses_ci95 = 0.0;
+  double llc_hits_ci95 = 0.0;
+  double noc_flits_ci95 = 0.0;
+  double noc_flit_hops_ci95 = 0.0;
+  double dram_row_hits_ci95 = 0.0;
+  double dram_row_hit_rate_ci95 = 0.0;
+  double dir_occupancy_ci95 = 0.0;
+};
+
 struct SimStats {
   // Identity
   CohMode mode = CohMode::kFullCoh;
@@ -61,6 +88,9 @@ struct SimStats {
   double mem_dyn_energy_pj = 0.0;
   double l1_dyn_energy_pj = 0.0;
   double dir_leak_energy_pj = 0.0;
+
+  // Sampled simulation (zeroed for detailed runs)
+  SamplingStats sampling{};
 
   // Derived (paper Fig. 7a/7b/7c)
   [[nodiscard]] std::uint64_t dir_accesses() const noexcept { return fabric.dir_accesses; }

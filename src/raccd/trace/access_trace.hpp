@@ -48,6 +48,7 @@ class AccessTrace {
     r.size = size;
     r.is_write = static_cast<std::uint8_t>(is_write);
     records_.push_back(r);
+    total_compute_ += r.compute_gap;
     pending_compute_ = 0;
     ++total_accesses_;
   }
@@ -59,6 +60,7 @@ class AccessTrace {
     records_.clear();
     pending_compute_ = 0;
     total_accesses_ = 0;
+    total_compute_ = 0;
   }
 
   [[nodiscard]] const std::vector<AccessRecord>& records() const noexcept {
@@ -67,11 +69,16 @@ class AccessTrace {
   [[nodiscard]] std::uint64_t total_accesses() const noexcept { return total_accesses_; }
   /// Compute cycles recorded after the final access (charged at task end).
   [[nodiscard]] std::uint64_t trailing_compute() const noexcept { return pending_compute_; }
+  /// Sum of every record's compute_gap — the whole trace's inter-access
+  /// compute, available without walking the records (the sampled
+  /// simulator's far fast-forward tier dilates whole tasks from this).
+  [[nodiscard]] std::uint64_t total_compute() const noexcept { return total_compute_; }
 
  private:
   std::vector<AccessRecord> records_;
   std::uint64_t pending_compute_ = 0;
   std::uint64_t total_accesses_ = 0;
+  std::uint64_t total_compute_ = 0;
 };
 
 }  // namespace raccd

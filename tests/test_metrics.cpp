@@ -74,6 +74,12 @@ const char* const kExpectedNames[] = {
     "energy.mem_dyn_pj", "energy.mem_act_pj", "energy.mem_rd_pj",
     "energy.mem_wr_pj", "energy.mem_pre_pj", "energy.l1_dyn_pj",
     "energy.dir_leak_pj",
+    "sampling.windows", "sampling.measured_tasks", "sampling.warmup_tasks",
+    "sampling.ffwd_tasks", "sampling.measured_accesses", "sampling.ffwd_accesses",
+    "sampling.scale", "sampling.cycles_ci95", "sampling.dir_accesses_ci95",
+    "sampling.llc_hits_ci95", "sampling.noc_flits_ci95",
+    "sampling.noc_flit_hops_ci95", "sampling.dram_row_hits_ci95",
+    "sampling.dram_row_hit_rate_ci95", "sampling.dir_occupancy_ci95",
 };
 
 [[nodiscard]] SimStats distinctive_stats() {

@@ -1,0 +1,176 @@
+// Sampled simulation (SamplingConfig + sim/machine.cpp fast-forward tiers):
+// the contract is that *disabled* sampling is byte-identical to the seed
+// simulator (pinned v5 cache keys, no key token), a window covering the whole
+// period reproduces detailed SimStats exactly, and real sampling schedules
+// extrapolate every headline metric to within the 95% CI they report —
+// deterministically, under any worker count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "raccd/harness/experiment.hpp"
+#include "raccd/harness/sweep_cache.hpp"
+#include "raccd/sim/config.hpp"
+
+namespace raccd {
+namespace {
+
+[[nodiscard]] RunSpec tiny_spec(const char* app, CohMode mode) {
+  RunSpec s;
+  s.app = app;
+  s.size = SizeClass::kTiny;
+  s.mode = mode;
+  return s;
+}
+
+// -- Disabled sampling: the seed behavior, byte for byte ---------------------
+
+TEST(Sampling, DisabledKeepsSeedCacheKey) {
+  // The stats format version and the default (detailed) key are pinned: a
+  // sampled-simulator change that alters either invalidates every cached
+  // sweep and perf baseline on disk, which must never happen silently.
+  EXPECT_EQ(kStatsFormatVersion, 5u);
+  RunSpec spec;  // defaults: jacobi small fullcoh
+  EXPECT_EQ(spec.key(), "jacobi-small-FullCoh-d1-s42-nl1-ne32-cont-fifo-v5");
+  EXPECT_EQ(spec.key().find("smp"), std::string::npos);
+}
+
+TEST(Sampling, KeyTokenOnlyWhenEnabledAndCanonical) {
+  RunSpec spec;
+  spec.sampling = "10/1";
+  const std::string k = spec.key();
+  EXPECT_NE(k.find("-smp10-1-1"), std::string::npos);
+  // "10/1" and "10/1/1" canonicalize to one key (warmup defaults to 1), so
+  // the sweep cache never stores the same schedule twice.
+  RunSpec explicit_warmup = spec;
+  explicit_warmup.sampling = "10/1/1";
+  EXPECT_EQ(k, explicit_warmup.key());
+  spec.sampling.clear();
+  EXPECT_EQ(spec.key(), "jacobi-small-FullCoh-d1-s42-nl1-ne32-cont-fifo-v5");
+}
+
+TEST(Sampling, ParseRejectsMalformedTokens) {
+  SamplingConfig cfg;
+  EXPECT_FALSE(parse_sampling("10", cfg).empty());
+  EXPECT_FALSE(parse_sampling("10/", cfg).empty());
+  EXPECT_FALSE(parse_sampling("0/1", cfg).empty());
+  EXPECT_FALSE(parse_sampling("10/0", cfg).empty());
+  EXPECT_FALSE(parse_sampling("10/1/1/1", cfg).empty());
+  EXPECT_FALSE(parse_sampling("10/a", cfg).empty());
+  EXPECT_TRUE(parse_sampling("10/2/3", cfg).empty());
+  EXPECT_EQ(cfg.period, 10u);
+  EXPECT_EQ(cfg.window, 2u);
+  EXPECT_EQ(cfg.warmup, 3u);
+  EXPECT_TRUE(cfg.enabled);
+}
+
+// -- window >= period: a sampled run that measures everything ----------------
+
+TEST(Sampling, FullWindowReproducesDetailedStatsExactly) {
+  for (const CohMode mode : {CohMode::kFullCoh, CohMode::kRaCCD}) {
+    RunSpec detailed = tiny_spec("jacobi", mode);
+    detailed.dram = "ddr";
+    const SimStats want = run_one(detailed);
+
+    RunSpec sampled = detailed;
+    sampled.sampling = "8/8";  // window == period: every task measured
+    SimStats got = run_one(sampled);
+    EXPECT_EQ(got.sampling.active, 1u);
+    EXPECT_EQ(got.sampling.ffwd_tasks, 0u);
+    EXPECT_EQ(got.sampling.warmup_tasks, 0u);
+    EXPECT_DOUBLE_EQ(got.sampling.scale, 1.0);
+    // Identical except for the sampling bookkeeping block.
+    got.sampling = SamplingStats{};
+    SimStats want_clean = want;
+    want_clean.sampling = SamplingStats{};
+    EXPECT_EQ(stats_to_text(want_clean), stats_to_text(got))
+        << "mode=" << to_string(mode);
+  }
+}
+
+// -- Real schedules: extrapolated totals within the reported CI --------------
+
+/// |sampled - detailed| must sit inside the reported 95% CI, widened by a
+/// small relative floor — a CI of a handful of windows is itself an
+/// estimate, and the paper-style acceptance bound is "within the reported
+/// confidence interval", not "equal".
+void expect_within(double det, double smp, double ci95, double rel_floor,
+                   const char* what, const std::string& ctx) {
+  const double tol = std::max(ci95, rel_floor * std::fabs(det));
+  EXPECT_LE(std::fabs(smp - det), tol)
+      << ctx << " " << what << ": detailed=" << det << " sampled=" << smp
+      << " ci95=" << ci95;
+}
+
+TEST(Sampling, ExtrapolationWithinReportedCiAllModes) {
+  for (const char* app : {"jacobi", "synthetic"}) {
+    for (const CohMode mode :
+         {CohMode::kFullCoh, CohMode::kPT, CohMode::kRaCCD, CohMode::kWbNC}) {
+      RunSpec detailed;
+      detailed.app = app;
+      detailed.size = SizeClass::kSmall;
+      detailed.mode = mode;
+      const SimStats d = run_one(detailed);
+
+      RunSpec sampled = detailed;
+      sampled.sampling = "10/1";
+      const SimStats s = run_one(sampled);
+      const std::string ctx =
+          std::string(app) + "-" + to_string(mode) + "-smp10-1";
+      ASSERT_EQ(s.sampling.active, 1u) << ctx;
+      EXPECT_GE(s.sampling.windows, 3u) << ctx;
+      EXPECT_GT(s.sampling.scale, 1.0) << ctx;
+
+      const SamplingStats& sp = s.sampling;
+      expect_within(static_cast<double>(d.cycles), static_cast<double>(s.cycles),
+                    sp.cycles_ci95, 0.10, "cycles", ctx);
+      expect_within(static_cast<double>(d.fabric.dir_accesses),
+                    static_cast<double>(s.fabric.dir_accesses),
+                    sp.dir_accesses_ci95, 0.10, "dir_accesses", ctx);
+      expect_within(static_cast<double>(d.noc.total_flits()),
+                    static_cast<double>(s.noc.total_flits()), sp.noc_flits_ci95,
+                    0.10, "noc_flits", ctx);
+      expect_within(static_cast<double>(d.noc.total_flit_hops()),
+                    static_cast<double>(s.noc.total_flit_hops()),
+                    sp.noc_flit_hops_ci95, 0.10, "noc_flit_hops", ctx);
+      // Levels compare absolutely: both live in [0, 1].
+      EXPECT_LE(std::fabs(s.avg_dir_occupancy - d.avg_dir_occupancy),
+                std::max(sp.dir_occupancy_ci95, 0.05))
+          << ctx;
+    }
+  }
+}
+
+// -- Determinism: sampled sweeps are identical under any worker count --------
+
+TEST(Sampling, DeterministicUnderParallelSweep) {
+  std::vector<RunSpec> specs;
+  for (const char* app : {"jacobi", "synthetic"}) {
+    for (const CohMode mode : {CohMode::kFullCoh, CohMode::kRaCCD}) {
+      RunSpec s = tiny_spec(app, mode);
+      s.sampling = "6/2";
+      specs.push_back(s);
+    }
+  }
+  RunOptions serial;
+  serial.jobs = 1;
+  serial.use_cache = false;
+  RunOptions parallel;
+  parallel.jobs = 4;
+  parallel.use_cache = false;
+
+  const std::vector<SimStats> a = run_all(specs, serial);
+  const std::vector<SimStats> b = run_all(specs, parallel);
+  const std::vector<SimStats> c = run_all(specs, parallel);
+  ASSERT_EQ(a.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(stats_to_text(a[i]), stats_to_text(b[i])) << specs[i].key();
+    EXPECT_EQ(stats_to_text(b[i]), stats_to_text(c[i])) << specs[i].key();
+    EXPECT_EQ(a[i].sampling.active, 1u) << specs[i].key();
+  }
+}
+
+}  // namespace
+}  // namespace raccd
