@@ -1,0 +1,181 @@
+// Service-workload load sweep: per-request tail latency vs offered load,
+// across coherence modes, machine topologies and DRAM models.
+//
+// Open-loop arrivals (Poisson by default) mean latency is the observable:
+// below the saturation knee the queue stays short and p99 tracks the service
+// time; past it requests arrive faster than the machine retires them and the
+// tail grows with every request. The knee sits below load = 1 because `load`
+// is computed against a nominal L1-hit-cost request model (DESIGN.md #13) —
+// and it moves with the coherence mode, which is the experiment: RaCCD's
+// end-of-task invalidations lengthen service time, so its knee arrives at a
+// lower offered load than FullCoh's.
+//
+// Gates (exit 1 on failure): finite sub-saturation p99 for every config,
+// p99 monotone (with slack) in load, >= 2 modes separated at mid load, and a
+// visible knee in p99-vs-load. Results merge into results/BENCH_service.json
+// (the per-spec service_* latency metrics ride in the standard bench log)
+// and the table lands in results/service_sweep.csv.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace raccd;
+
+int main(int argc, char** argv) {
+  BenchOptions opts = BenchOptions::parse(argc, argv);
+  const std::vector<double> loads{0.2, 0.4, 0.6, 0.8, 1.0, 1.2};
+  const std::vector<std::string> topologies{"flat", "numa2"};
+  const std::vector<std::string> drams{"simple", "ddr"};
+
+  std::vector<std::string> workloads;
+  for (const double l : loads) workloads.push_back(strprintf("service:load=%g", l));
+
+  Grid grid;
+  grid.workloads(workloads);
+  // Stable tail percentiles need more requests than the tiny default serves;
+  // explicit --set requests=... still wins (set_params applies later).
+  if (opts.size == SizeClass::kTiny) grid.set("requests", "192");
+  const std::vector<RunSpec> specs = grid.set_params(opts.params)
+                                         .size(opts.size)
+                                         .modes(kAllModes)
+                                         .topologies(topologies)
+                                         .drams(drams)
+                                         .paper_machine(opts.paper_machine)
+                                         .specs();
+  std::fprintf(stderr,
+               "service sweep: %zu simulations (%zu loads x %zu systems x "
+               "%zu topologies x %zu dram models), size=%s\n",
+               specs.size(), loads.size(), kAllModes.size(), topologies.size(),
+               drams.size(), to_string(opts.size));
+  ResultSet rs = ResultSet::run(specs, opts.run);
+  if (!rs.append_bench_json("results/BENCH_service.json")) {
+    std::fprintf(stderr, "warning: could not update results/BENCH_service.json\n");
+  }
+
+  // Grid nesting (grid.hpp): workloads > modes > topologies > drams (innermost).
+  const auto at = [&](std::size_t l, std::size_t m, std::size_t t,
+                      std::size_t d) -> const SimStats& {
+    return rs[((l * kAllModes.size() + m) * topologies.size() + t) * drams.size() + d];
+  };
+
+  std::printf("Service sweep — per-request end-to-end latency vs offered load\n");
+  TextTable table({"topology", "dram", "system", "load", "requests", "p50", "p95",
+                   "p99", "max", "queue p99"});
+  for (std::size_t t = 0; t < topologies.size(); ++t) {
+    for (std::size_t d = 0; d < drams.size(); ++d) {
+      if (t + d != 0) table.add_separator();
+      for (std::size_t m = 0; m < kAllModes.size(); ++m) {
+        for (std::size_t l = 0; l < loads.size(); ++l) {
+          const SimStats& s = at(l, m, t, d);
+          table.add_row({topologies[t], drams[d], to_string(s.mode),
+                         strprintf("%.1f", loads[l]),
+                         format_count(s.service.requests),
+                         format_count(static_cast<std::uint64_t>(s.service.e2e.p50)),
+                         format_count(static_cast<std::uint64_t>(s.service.e2e.p95)),
+                         format_count(static_cast<std::uint64_t>(s.service.e2e.p99)),
+                         format_count(static_cast<std::uint64_t>(s.service.e2e.max)),
+                         format_count(
+                             static_cast<std::uint64_t>(s.service.queueing.p99))});
+        }
+      }
+    }
+  }
+  table.print();
+  if (table.write_csv("results/service_sweep.csv")) {
+    std::printf("(csv written to results/service_sweep.csv)\n");
+  }
+
+  // -- Gates -------------------------------------------------------------------
+  bool ok = true;
+  const auto fail = [&ok](const std::string& why) {
+    std::printf("GATE FAILED: %s\n", why.c_str());
+    ok = false;
+  };
+
+  // 1. Sub-saturation sanity: at the lowest load every config reports a
+  //    finite, positive p99 for every request it admitted.
+  for (std::size_t t = 0; t < topologies.size(); ++t) {
+    for (std::size_t d = 0; d < drams.size(); ++d) {
+      for (std::size_t m = 0; m < kAllModes.size(); ++m) {
+        const SimStats& s = at(0, m, t, d);
+        if (s.service.requests == 0 || !(s.service.e2e.p99 > 0.0) ||
+            !(s.service.e2e.p99 < 1e15)) {
+          fail(strprintf("%s/%s/%s: no finite p99 at load %.1f", topologies[t].c_str(),
+                         drams[d].c_str(), to_string(s.mode), loads[0]));
+        }
+      }
+    }
+  }
+
+  // 2. Tail latency grows with load: per config, p99 never drops by more
+  //    than 10% step to step (percentile noise slack) and the highest load
+  //    strictly exceeds the lowest.
+  for (std::size_t t = 0; t < topologies.size(); ++t) {
+    for (std::size_t d = 0; d < drams.size(); ++d) {
+      for (std::size_t m = 0; m < kAllModes.size(); ++m) {
+        for (std::size_t l = 1; l < loads.size(); ++l) {
+          const double prev = at(l - 1, m, t, d).service.e2e.p99;
+          const double cur = at(l, m, t, d).service.e2e.p99;
+          if (cur < 0.9 * prev) {
+            fail(strprintf("%s/%s/%s: p99 fell %0.f -> %0.f from load %.1f to %.1f",
+                           topologies[t].c_str(), drams[d].c_str(),
+                           to_string(at(l, m, t, d).mode), prev, cur, loads[l - 1],
+                           loads[l]));
+          }
+        }
+        const double lo = at(0, m, t, d).service.e2e.p99;
+        const double hi = at(loads.size() - 1, m, t, d).service.e2e.p99;
+        if (!(hi > lo)) {
+          fail(strprintf("%s/%s/%s: p99 did not grow across the sweep (%0.f -> %0.f)",
+                         topologies[t].c_str(), drams[d].c_str(),
+                         to_string(at(0, m, t, d).mode), lo, hi));
+        }
+      }
+    }
+  }
+
+  // 3. Coherence modes separate: at mid load on flat/simple, the spread of
+  //    p99 across modes exceeds 2%.
+  {
+    const std::size_t mid = loads.size() / 2;
+    double lo = 1e300, hi = 0.0;
+    for (std::size_t m = 0; m < kAllModes.size(); ++m) {
+      const double v = at(mid, m, 0, 0).service.e2e.p99;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (!(hi > 1.02 * lo)) {
+      fail(strprintf("modes do not separate at load %.1f (p99 spread %0.f..%0.f)",
+                     loads[mid], lo, hi));
+    }
+  }
+
+  // 4. The saturation knee is visible: for at least one mode on flat/simple,
+  //    p99 at the top load reaches 3x its lowest-load value.
+  {
+    std::printf("\nSaturation knee (flat/simple, p99 vs load):\n");
+    bool any_knee = false;
+    for (std::size_t m = 0; m < kAllModes.size(); ++m) {
+      const double base = at(0, m, 0, 0).service.e2e.p99;
+      double knee = 0.0;
+      for (std::size_t l = 1; l < loads.size(); ++l) {
+        if (at(l, m, 0, 0).service.e2e.p99 >= 3.0 * base) {
+          knee = loads[l];
+          break;
+        }
+      }
+      any_knee = any_knee || knee > 0.0;
+      std::printf("  %-8s base p99 %10.0f, knee %s\n", to_string(at(0, m, 0, 0).mode),
+                  base,
+                  knee > 0.0 ? strprintf("at load %.1f", knee).c_str()
+                             : "not reached");
+    }
+    if (!any_knee) fail("no mode shows a saturation knee (p99 >= 3x base)");
+  }
+
+  std::printf("%s\n", ok ? "RESULT: service sweep gates passed."
+                         : "RESULT: service sweep gates FAILED.");
+  return ok ? 0 : 1;
+}

@@ -285,6 +285,15 @@ int main(int argc, char** argv) {
                  err.c_str());
     return 1;
   }
+  // Sampled simulation fast-forwards task timing, which would silently corrupt
+  // the per-request latency distributions service workloads exist to measure.
+  if (const WorkloadInfo* info = WorkloadRegistry::instance().find(spec.app);
+      info != nullptr && info->family == "service" && !spec.sampling.empty()) {
+    std::fprintf(stderr,
+                 "--sample is incompatible with open-loop service workloads "
+                 "(per-request latency needs detailed timing)\n");
+    return 1;
+  }
 
   const SimConfig cfg = config_for(spec);
   print_config(cfg);

@@ -1,10 +1,30 @@
 #include "raccd/apps/registry.hpp"
 
 #include <algorithm>
+#include <numeric>
 
 #include "raccd/common/format.hpp"
 
 namespace raccd {
+namespace {
+
+/// Levenshtein distance, two-row rolling array — the registry holds a few
+/// dozen short names, so the quadratic cost is irrelevant.
+[[nodiscard]] std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  std::iota(prev.begin(), prev.end(), std::size_t{0});
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cur[0] = i + 1;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      const std::size_t subst = prev[j] + (a[i] == b[j] ? 0 : 1);
+      cur[j + 1] = std::min({prev[j + 1] + 1, cur[j] + 1, subst});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace
 
 WorkloadRegistry& WorkloadRegistry::instance() {
   static WorkloadRegistry registry;
@@ -50,13 +70,26 @@ std::vector<std::string> WorkloadRegistry::families() const {
 
 std::string WorkloadRegistry::unknown_name_message(std::string_view name) const {
   std::string known;
+  const WorkloadInfo* nearest = nullptr;
+  std::size_t nearest_d = ~std::size_t{0};
   for (const WorkloadInfo& w : workloads_) {
     if (!known.empty()) known += ", ";
     known += w.name;
+    const std::size_t d = edit_distance(name, w.name);
+    if (d < nearest_d) {
+      nearest_d = d;
+      nearest = &w;
+    }
   }
-  return strprintf("unknown workload '%.*s' (registered: %s)",
-                   static_cast<int>(name.size()), name.data(),
-                   known.empty() ? "none" : known.c_str());
+  std::string msg = strprintf("unknown workload '%.*s'",
+                              static_cast<int>(name.size()), name.data());
+  // Only suggest plausible typos: within 3 edits or half the typed length.
+  if (nearest != nullptr &&
+      nearest_d <= std::max<std::size_t>(3, name.size() / 2)) {
+    msg += strprintf(" — did you mean '%s'?", nearest->name.c_str());
+  }
+  msg += strprintf(" (registered: %s)", known.empty() ? "none" : known.c_str());
+  return msg;
 }
 
 WorkloadParams WorkloadRegistry::supported_params(std::string_view name,

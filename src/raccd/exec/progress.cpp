@@ -81,6 +81,19 @@ void ProgressReporter::phase_changed(unsigned worker, bool ffwd,
   repaint_locked();
 }
 
+void ProgressReporter::release_changed(unsigned worker, std::uint64_t released) {
+  // Chrome only, like phase_changed: release batches can drain quickly, so
+  // the suffix shares the throttled repaint.
+  if (!enabled_ || !tty_) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (worker >= phase_.size()) return;
+  phase_[worker] = strprintf("|rel%llu", static_cast<unsigned long long>(released));
+  const auto now = std::chrono::steady_clock::now();
+  if (now - last_phase_paint_ < std::chrono::milliseconds(50)) return;
+  last_phase_paint_ = now;
+  repaint_locked();
+}
+
 void ProgressReporter::run_finished(unsigned worker, const std::string& key) {
   if (!enabled_) return;
   const std::lock_guard<std::mutex> lock(mutex_);

@@ -38,6 +38,10 @@ class ProgressReporter {
   /// gains a `|ffwd<N>` / `|det<N>` suffix (N = window index). TTY-only
   /// chrome; repaints are throttled since windows can turn over quickly.
   void phase_changed(unsigned worker, bool ffwd, std::uint64_t window);
+  /// Open-loop service release on worker `w`: the strip entry gains a
+  /// `|rel<N>` suffix (N = requests released so far). Same TTY-only,
+  /// repaint-throttled chrome as phase_changed.
+  void release_changed(unsigned worker, std::uint64_t released);
   /// A run failed: always printed (even repaint mode gets a plain line).
   void run_failed(unsigned worker, const std::string& key,
                   const std::string& error);

@@ -102,11 +102,19 @@ std::vector<SimStats> SweepExecutor::run(const std::vector<RunSpec>& specs,
           progress.phase_changed(worker, p == SimPhase::kFfwd, window);
         };
       }
+      // Open-loop service specs feed release batches into the strip the same
+      // way; batch workloads never fire the hook, so wiring it is free.
+      std::function<void(std::uint64_t)> release_hook;
+      if (opts_.verbose) {
+        release_hook = [&progress, worker](std::uint64_t released) {
+          progress.release_changed(worker, released);
+        };
+      }
       std::string err;
       std::optional<SimStats> stats;
       try {
         stats = run_one_checked(specs[i], samples(i) ? &(*series_out)[i] : nullptr,
-                                &err, phase_hook);
+                                &err, phase_hook, release_hook);
       } catch (const std::exception& e) {
         err = strprintf("unhandled exception: %s", e.what());
       } catch (...) {

@@ -122,15 +122,28 @@ SimConfig config_for(const RunSpec& spec) {
 
 std::optional<SimStats> run_one_checked(
     const RunSpec& spec, Series* series_out, std::string* error,
-    const std::function<void(SimPhase, std::uint64_t)>& phase_hook) {
+    const std::function<void(SimPhase, std::uint64_t)>& phase_hook,
+    const std::function<void(std::uint64_t)>& release_hook) {
   Machine machine(config_for(spec));
   if (phase_hook) machine.set_phase_hook(phase_hook);
+  if (release_hook) machine.set_release_hook(release_hook);
   AppConfig acfg;
   acfg.size = spec.size;
   acfg.seed = spec.seed;
   std::string err = WorkloadParams::parse(spec.params, acfg.params);
   std::unique_ptr<App> app;
   if (err.empty()) {
+    // Sampled simulation fast-forwards task timing, which would silently
+    // corrupt the per-request latency distributions open-loop service runs
+    // exist to measure — reject the combination instead of mis-measuring.
+    const WorkloadInfo* info = WorkloadRegistry::instance().find(spec.app);
+    if (info != nullptr && info->family == "service" && !spec.sampling.empty()) {
+      if (error != nullptr) {
+        *error = "cannot run: sampled simulation is incompatible with open-loop "
+                 "service workloads (per-request latency needs detailed timing)";
+      }
+      return std::nullopt;
+    }
     app = WorkloadRegistry::instance().create(spec.app, acfg, &err);
   }
   if (app == nullptr) {

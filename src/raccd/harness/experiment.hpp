@@ -87,10 +87,13 @@ struct RunSpec {
 /// invariant violations (RACCD_ASSERT deep inside the Machine) still abort.
 /// `phase_hook`, when set, fires on every sampled-simulation phase
 /// transition with (phase, window index) — the sweep progress strip uses it
-/// to show whether a worker is fast-forwarding or measuring.
+/// to show whether a worker is fast-forwarding or measuring. `release_hook`,
+/// when set, fires on every open-loop release batch with the total requests
+/// released so far (the strip's `|rel<N>` suffix).
 [[nodiscard]] std::optional<SimStats> run_one_checked(
     const RunSpec& spec, Series* series_out, std::string* error,
-    const std::function<void(SimPhase, std::uint64_t)>& phase_hook = {});
+    const std::function<void(SimPhase, std::uint64_t)>& phase_hook = {},
+    const std::function<void(std::uint64_t)>& release_hook = {});
 
 struct RunOptions {
   /// Worker threads for the sweep (--jobs). 0 = hardware concurrency;

@@ -159,7 +159,10 @@ bool ResultSet::write_csv(const std::string& path) const {
   std::string text = "key,app,params,size,mode,dir_ratio,adr,seed,sched,topo,dram,";
   if (any_sampling) text += "sampling,";
   text += metrics_csv_header(csv_selection());
-  if (any_sampling) text += "," + metrics_csv_header(sampling_csv_selection());
+  if (any_sampling) {
+    text += ',';
+    text += metrics_csv_header(sampling_csv_selection());
+  }
   text += "\n";
   for (std::size_t i = 0; i < specs_.size(); ++i) {
     const RunSpec& sp = specs_[i];
@@ -174,7 +177,8 @@ bool ResultSet::write_csv(const std::string& path) const {
     if (any_sampling) text += csv_cell(sp.sampling) + ",";
     text += metrics_csv_cells(csv_selection(), results_[i]);
     if (any_sampling) {
-      text += "," + metrics_csv_cells(sampling_csv_selection(), results_[i]);
+      text += ',';
+      text += metrics_csv_cells(sampling_csv_selection(), results_[i]);
     }
     text += "\n";
   }

@@ -168,6 +168,22 @@ void pack(const SimStats& s, Fields& f) {
     f.put_d("sampling_dram_row_hit_rate_ci95", sp.dram_row_hit_rate_ci95);
     f.put_d("sampling_dir_occupancy_ci95", sp.dir_occupancy_ci95);
   }
+  if (s.service.requests != 0) {
+    // Same gating idea as sampling: batch entries keep the v5 byte layout,
+    // and a service spec always carries workload params in its key.
+    const auto put_dist = [&f](const char* prefix, const DistSummary& d) {
+      f.put_u(strprintf("%s_count", prefix), d.count);
+      f.put_d(strprintf("%s_mean", prefix), d.mean);
+      f.put_d(strprintf("%s_p50", prefix), d.p50);
+      f.put_d(strprintf("%s_p95", prefix), d.p95);
+      f.put_d(strprintf("%s_p99", prefix), d.p99);
+      f.put_d(strprintf("%s_max", prefix), d.max);
+    };
+    f.put_u("service_requests", s.service.requests);
+    put_dist("service_queue", s.service.queueing);
+    put_dist("service_svc", s.service.service);
+    put_dist("service_e2e", s.service.e2e);
+  }
 }
 
 void unpack(const Fields& f, SimStats& s) {
@@ -301,6 +317,20 @@ void unpack(const Fields& f, SimStats& s) {
     sp.dram_row_hits_ci95 = f.get_d("sampling_dram_row_hits_ci95");
     sp.dram_row_hit_rate_ci95 = f.get_d("sampling_dram_row_hit_rate_ci95");
     sp.dir_occupancy_ci95 = f.get_d("sampling_dir_occupancy_ci95");
+  }
+  s.service.requests = f.get_u("service_requests");
+  if (s.service.requests != 0) {
+    const auto get_dist = [&f](const char* prefix, DistSummary& d) {
+      d.count = f.get_u(strprintf("%s_count", prefix));
+      d.mean = f.get_d(strprintf("%s_mean", prefix));
+      d.p50 = f.get_d(strprintf("%s_p50", prefix));
+      d.p95 = f.get_d(strprintf("%s_p95", prefix));
+      d.p99 = f.get_d(strprintf("%s_p99", prefix));
+      d.max = f.get_d(strprintf("%s_max", prefix));
+    };
+    get_dist("service_queue", s.service.queueing);
+    get_dist("service_svc", s.service.service);
+    get_dist("service_e2e", s.service.e2e);
   }
 }
 

@@ -177,6 +177,7 @@ struct Parser {
       absolute = true;
       abs_band = tol.ratio_abs;
       return 0.0;
+    case MetricKind::kDistribution: return tol.cycles_pct;  // latency summaries
   }
   return tol.default_pct;
 }

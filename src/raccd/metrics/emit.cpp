@@ -108,6 +108,26 @@ std::string bench_metrics_json(const SimStats& s) {
     out += ", ";
     out += metrics_json_fields(smp, s);
   }
+  // Open-loop service runs append their per-request latency summaries the
+  // same way: batch runs keep the historical payload byte-identical.
+  if (s.service.requests != 0) {
+    static const std::vector<const MetricDesc*> svc = [] {
+      const MetricSchema& schema = MetricSchema::instance();
+      std::vector<const MetricDesc*> v;
+      for (const char* key :
+           {"service_requests", "service_queue_mean", "service_queue_p50",
+            "service_queue_p95", "service_queue_p99", "service_queue_max",
+            "service_svc_mean", "service_svc_p50", "service_svc_p95",
+            "service_svc_p99", "service_svc_max", "service_e2e_mean",
+            "service_e2e_p50", "service_e2e_p95", "service_e2e_p99",
+            "service_e2e_max"}) {
+        v.push_back(&schema.get(key));
+      }
+      return v;
+    }();
+    out += ", ";
+    out += metrics_json_fields(svc, s);
+  }
   return out;
 }
 

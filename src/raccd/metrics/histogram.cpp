@@ -1,0 +1,68 @@
+#include "raccd/metrics/histogram.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace raccd {
+
+std::uint32_t Histogram::index_of(std::uint64_t v) noexcept {
+  if (v == 0) return 0;
+  const std::uint32_t oct = std::bit_width(v) - 1;  // msb position
+  // Position within the octave [2^oct, 2^(oct+1)), scaled to kSub slots
+  // (shift-only for wide octaves so the scaling never overflows).
+  const std::uint64_t off = v - (1ULL << oct);
+  const std::uint32_t sub =
+      oct >= 5 ? static_cast<std::uint32_t>(off >> (oct - 5))
+               : static_cast<std::uint32_t>((off * kSub) >> oct);
+  return 1 + oct * kSub + sub;
+}
+
+void Histogram::bounds_of(std::uint32_t i, double& lo, double& hi) noexcept {
+  const std::uint32_t oct = (i - 1) / kSub;
+  const std::uint32_t sub = (i - 1) % kSub;
+  const double base = std::ldexp(1.0, static_cast<int>(oct));
+  lo = base * (1.0 + static_cast<double>(sub) / kSub);
+  hi = base * (1.0 + static_cast<double>(sub + 1) / kSub);
+}
+
+void Histogram::add(std::uint64_t v) noexcept {
+  ++counts_[index_of(v)];
+  ++count_;
+  sum_ += v;
+  if (v > max_) max_ = v;
+}
+
+double Histogram::percentile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  const std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(count_) + 0.999999);
+  std::uint64_t cum = 0;
+  for (std::uint32_t i = 0; i < kBuckets; ++i) {
+    if (counts_[i] == 0) continue;
+    if (cum + counts_[i] >= rank) {
+      if (i == 0) return 0.0;
+      double lo = 0.0, hi = 0.0;
+      bounds_of(i, lo, hi);
+      const double within = static_cast<double>(rank - cum) /
+                            static_cast<double>(counts_[i]);
+      const double v = lo + (hi - lo) * within;
+      // Never report past the exact observed maximum.
+      return v < static_cast<double>(max_) ? v : static_cast<double>(max_);
+    }
+    cum += counts_[i];
+  }
+  return static_cast<double>(max_);
+}
+
+DistSummary Histogram::summary() const noexcept {
+  DistSummary d;
+  d.count = count_;
+  d.mean = mean();
+  d.p50 = percentile(0.50);
+  d.p95 = percentile(0.95);
+  d.p99 = percentile(0.99);
+  d.max = static_cast<double>(max_);
+  return d;
+}
+
+}  // namespace raccd

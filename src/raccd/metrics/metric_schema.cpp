@@ -348,6 +348,33 @@ namespace {
       RACCD_METRIC("sampling.dir_occupancy_ci95", "avg_dir_occupancy_ci95", "",
                    kRatio, "95% CI half-width on average directory occupancy",
                    s.sampling.dir_occupancy_ci95),
+
+      // -- Open-loop service runs (ServiceStats; zero for batch runs) -------------
+      RACCD_METRIC("service.requests", "service_requests", "", kCounter,
+                   "completed service requests (open-loop runs)",
+                   s.service.requests),
+// Each latency component reports the distribution summary the histogram
+// produced: mean and max exact, percentiles at the bucket-grid resolution.
+#define RACCD_SERVICE_DIST(NAME, KEY, FIELD, WHAT)                              \
+  RACCD_METRIC("service." NAME ".mean", "service_" KEY "_mean", "cycles",       \
+               kDistribution, WHAT " latency, mean", s.service.FIELD.mean),     \
+      RACCD_METRIC("service." NAME ".p50", "service_" KEY "_p50", "cycles",     \
+                   kDistribution, WHAT " latency, median", s.service.FIELD.p50),\
+      RACCD_METRIC("service." NAME ".p95", "service_" KEY "_p95", "cycles",     \
+                   kDistribution, WHAT " latency, 95th percentile",             \
+                   s.service.FIELD.p95),                                        \
+      RACCD_METRIC("service." NAME ".p99", "service_" KEY "_p99", "cycles",     \
+                   kDistribution, WHAT " latency, 99th percentile",             \
+                   s.service.FIELD.p99),                                        \
+      RACCD_METRIC("service." NAME ".max", "service_" KEY "_max", "cycles",     \
+                   kDistribution, WHAT " latency, maximum", s.service.FIELD.max)
+      RACCD_SERVICE_DIST("queue", "queue", queueing,
+                         "request queueing (release to first task start)"),
+      RACCD_SERVICE_DIST("svc", "svc", service,
+                         "request service (first task start to last task end)"),
+      RACCD_SERVICE_DIST("e2e", "e2e", e2e,
+                         "request end-to-end (release to last task end)"),
+#undef RACCD_SERVICE_DIST
   };
 }
 
@@ -400,6 +427,8 @@ std::string MetricDesc::format(const SimStats& s) const {
       return strprintf("%.6f", v.d);
     case MetricKind::kEnergy:
       return strprintf("%.3f", v.d);
+    case MetricKind::kDistribution:
+      return strprintf("%.1f", v.d);
   }
   return "?";
 }

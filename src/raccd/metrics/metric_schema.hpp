@@ -28,10 +28,11 @@ namespace raccd {
 
 /// What a metric measures; fixes formatting and the perf-gate tolerance class.
 enum class MetricKind : std::uint8_t {
-  kCounter,  ///< event count (integer, exact under determinism)
-  kCycles,   ///< simulated-cycle total (integer)
-  kRatio,    ///< dimensionless [0,1]-ish fraction (printed %.6f)
-  kEnergy,   ///< picojoules (printed %.3f)
+  kCounter,       ///< event count (integer, exact under determinism)
+  kCycles,        ///< simulated-cycle total (integer)
+  kRatio,         ///< dimensionless [0,1]-ish fraction (printed %.6f)
+  kEnergy,        ///< picojoules (printed %.3f)
+  kDistribution,  ///< summary stat of a latency distribution (printed %.1f)
 };
 
 [[nodiscard]] constexpr const char* to_string(MetricKind k) noexcept {
@@ -40,6 +41,7 @@ enum class MetricKind : std::uint8_t {
     case MetricKind::kCycles: return "cycles";
     case MetricKind::kRatio: return "ratio";
     case MetricKind::kEnergy: return "energy";
+    case MetricKind::kDistribution: return "distribution";
   }
   return "?";
 }

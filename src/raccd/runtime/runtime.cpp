@@ -24,7 +24,13 @@ TaskId Runtime::create_task(TaskDesc desc) {
   ++stats_.tasks_created;
   if (n.unresolved_preds == 0) {
     n.state = TaskState::kReady;
-    sched_.push(id, /*producer=*/0);
+    // Release-gated tasks always park at creation: spawning happens between
+    // taskwait phases, before the executing phase's release base is known.
+    if (n.release > 0) {
+      pending_releases_.emplace(n.release, id);
+    } else {
+      sched_.push(id, /*producer=*/0);
+    }
   }
   return id;
 }
@@ -41,10 +47,40 @@ bool Runtime::finish_task(TaskId t, CoreId core, std::uint32_t& resolved) {
   scratch_ready_.clear();
   resolved = tdg_.finish(t, scratch_ready_);
   stats_.wakeups += resolved;
+  bool any_schedulable = false;
   for (const TaskId r : scratch_ready_) {
-    sched_.push(r, core);
+    // A dep-resolved task whose release instant is still ahead parks in the
+    // release heap; the Machine drains it when its clock gets there.
+    if (gated(tdg_.task(r))) {
+      pending_releases_.emplace(tdg_.task(r).release, r);
+    } else {
+      sched_.push(r, core);
+      any_schedulable = true;
+    }
   }
-  return !scratch_ready_.empty();
+  return any_schedulable;
+}
+
+std::uint32_t Runtime::release_up_to(Cycle now) {
+  released_up_to_ = std::max(released_up_to_, now);
+  std::uint32_t released = 0;
+  while (!pending_releases_.empty() &&
+         release_base_ + pending_releases_.top().first <= now) {
+    const TaskId id = pending_releases_.top().second;
+    pending_releases_.pop();
+    TaskNode& n = tdg_.task(id);
+    RACCD_ASSERT(n.state == TaskState::kReady, "released task is not dep-ready");
+    sched_.push(id, /*producer=*/0);
+    ++released;
+  }
+  released_count_ += released;
+  return released;
+}
+
+bool Runtime::next_release(Cycle& out) const {
+  if (pending_releases_.empty()) return false;
+  out = release_base_ + pending_releases_.top().first;
+  return true;
 }
 
 }  // namespace raccd

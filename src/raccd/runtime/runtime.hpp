@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstdint>
+#include <queue>
+#include <utility>
 #include <vector>
 
 #include "raccd/common/types.hpp"
@@ -41,6 +43,28 @@ class Runtime {
   /// whether any task became ready; `resolved` counts wake-up edges.
   bool finish_task(TaskId t, CoreId core, std::uint32_t& resolved);
 
+  // -- Open-loop releases (service workloads) -------------------------------
+  // Tasks with `release > 0` are *release-gated*: when their dependences
+  // resolve they park in a (release, id) min-heap instead of entering the
+  // scheduler. The Machine anchors releases to the executing taskwait phase
+  // (set_release_base) and drains due tasks as its clock passes each release
+  // instant (release_up_to), so the gating is exact, not approximate.
+
+  /// Anchor relative release times: absolute release = base + task.release.
+  void set_release_base(Cycle base) noexcept { release_base_ = base; }
+  [[nodiscard]] Cycle release_base() const noexcept { return release_base_; }
+
+  /// Move every parked task with absolute release <= `now` into the
+  /// scheduler (pushed in (release, id) order onto core 0's queue).
+  /// Returns the number of tasks released.
+  std::uint32_t release_up_to(Cycle now);
+
+  /// Earliest pending absolute release; false when nothing is parked.
+  [[nodiscard]] bool next_release(Cycle& out) const;
+
+  /// Total tasks released so far via release gating (progress reporting).
+  [[nodiscard]] std::uint64_t released_count() const noexcept { return released_count_; }
+
   [[nodiscard]] TaskNode& task(TaskId t) { return tdg_.task(t); }
   [[nodiscard]] const TaskNode& task(TaskId t) const { return tdg_.task(t); }
   [[nodiscard]] bool all_finished() const noexcept { return tdg_.all_finished(); }
@@ -51,12 +75,26 @@ class Runtime {
   [[nodiscard]] std::size_t ready_count() const noexcept { return sched_.size(); }
 
  private:
+  /// True when `t` must park in the release heap rather than be scheduled.
+  [[nodiscard]] bool gated(const TaskNode& n) const noexcept {
+    return n.release > 0 && release_base_ + n.release > released_up_to_;
+  }
+
   Tdg tdg_;
   DepRegistry deps_;
   Scheduler sched_;
   RuntimeStats stats_;
   std::vector<TaskId> scratch_preds_;
   std::vector<TaskId> scratch_ready_;
+
+  /// Dep-resolved tasks awaiting their release instant, keyed by absolute-
+  /// release-order (ties broken by creation id for determinism).
+  using ReleaseEntry = std::pair<Cycle, TaskId>;
+  std::priority_queue<ReleaseEntry, std::vector<ReleaseEntry>, std::greater<ReleaseEntry>>
+      pending_releases_;
+  Cycle release_base_ = 0;
+  Cycle released_up_to_ = 0;  ///< high-water mark of release_up_to()
+  std::uint64_t released_count_ = 0;
 };
 
 }  // namespace raccd

@@ -96,10 +96,21 @@ class ArrayRef {
 
 using TaskBody = std::function<void(TaskContext&)>;
 
+/// Sentinel for tasks that belong to no service request.
+inline constexpr std::uint64_t kNoRequest = ~0ULL;
+
 struct TaskDesc {
   TaskBody body;
   std::vector<DepSpec> deps;
   std::string name;
+  /// Open-loop release time, in cycles from the start of the taskwait phase
+  /// that executes the task (0 = released immediately, the batch default).
+  /// The scheduler refuses to start the task before this instant; the
+  /// Machine's event loop advances the clock across idle gaps to it.
+  Cycle release = 0;
+  /// Service request this task belongs to (per-request latency tracking
+  /// groups a request's task chain by this id). kNoRequest = batch task.
+  std::uint64_t request = kNoRequest;
 };
 
 enum class TaskState : std::uint8_t { kCreated, kReady, kRunning, kFinished };
@@ -112,6 +123,8 @@ struct TaskNode {
   std::vector<DepSpec> deps;
   TaskBody body;
   std::string name;
+  Cycle release = 0;                     ///< see TaskDesc::release
+  std::uint64_t request = kNoRequest;    ///< see TaskDesc::request
 };
 
 }  // namespace raccd

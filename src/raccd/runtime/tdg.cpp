@@ -14,6 +14,8 @@ TaskId Tdg::add_task(TaskDesc desc) {
   n.deps = std::move(desc.deps);
   n.body = std::move(desc.body);
   n.name = std::move(desc.name);
+  n.release = desc.release;
+  n.request = desc.request;
   nodes_.push_back(std::move(n));
   return id;
 }

@@ -1,0 +1,65 @@
+// Arrival processes for open-loop service workloads: seeded, deterministic
+// generators producing a schedule of request release times (cycles, relative
+// to the taskwait phase that serves them — see TaskDesc::release).
+//
+// Three processes: Poisson (exponential inter-arrival gaps), bursty (on/off
+// square-wave-modulated Poisson that preserves the mean rate), and a fixed
+// trace replayed from a raccd-sched schedule file. Generation is a pure
+// function of the config — the schedule never depends on core counts,
+// executor workers, or host state, so release order is reproducible
+// everywhere a run is.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "raccd/common/types.hpp"
+
+namespace raccd {
+
+enum class ArrivalKind : std::uint8_t { kPoisson, kBurst, kTrace };
+
+[[nodiscard]] constexpr const char* to_string(ArrivalKind k) noexcept {
+  switch (k) {
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kBurst: return "burst";
+    case ArrivalKind::kTrace: return "trace";
+  }
+  return "?";
+}
+
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  std::uint64_t count = 0;         ///< requests to generate (ignored by kTrace)
+  double mean_gap_cycles = 1000.0; ///< mean inter-arrival gap (Poisson/burst)
+  /// Burst modulation: arrivals land only in the leading `duty` fraction of
+  /// each period, at a rate scaled by 1/duty so the mean rate is preserved.
+  double burst_duty = 0.25;
+  std::uint64_t burst_period_cycles = 0;  ///< 0 = 16x the mean gap
+  std::string trace_path;  ///< kTrace: raccd-sched file to replay
+  std::uint64_t seed = 1;
+};
+
+/// Generate the release schedule: non-decreasing cycles, strictly positive
+/// (release 0 means "not gated"), one per request. Returns an empty vector
+/// and sets `*error` on failure (bad config, unreadable trace).
+[[nodiscard]] std::vector<Cycle> generate_arrivals(const ArrivalConfig& cfg,
+                                                   std::string* error = nullptr);
+
+// -- raccd-sched schedule files ----------------------------------------------
+// Text format: "raccd-sched v1" header, the release count, then one release
+// cycle per line. Round-trips exactly (tested), so captured schedules replay
+// bit-identically through ArrivalKind::kTrace.
+
+[[nodiscard]] std::string format_schedule(const std::vector<Cycle>& schedule);
+[[nodiscard]] bool parse_schedule(const std::string& text, std::vector<Cycle>& out,
+                                  std::string* error = nullptr);
+[[nodiscard]] bool write_schedule_file(const std::string& path,
+                                       const std::vector<Cycle>& schedule,
+                                       std::string* error = nullptr);
+[[nodiscard]] bool read_schedule_file(const std::string& path,
+                                      std::vector<Cycle>& out,
+                                      std::string* error = nullptr);
+
+}  // namespace raccd

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "raccd/common/assert.hpp"
+#include "raccd/metrics/histogram.hpp"
 
 namespace raccd {
 namespace {
@@ -182,6 +183,9 @@ void Machine::wake_sleepers(Cycle at) {
 
 void Machine::taskwait() {
   const Cycle phase_start = main_clock_;
+  // Open-loop releases are anchored to this phase: a task with release r
+  // becomes schedulable at absolute cycle phase_start + r, exactly.
+  rt_.set_release_base(phase_start);
   run_heap_ = {};
   for (CoreId c = 0; c < cores_.size(); ++c) {
     cores_[c].clock = phase_start;
@@ -190,7 +194,30 @@ void Machine::taskwait() {
   }
   while (!rt_.all_finished()) {
     const CoreId c = pop_min_clock_core();
-    RACCD_ASSERT(c != kNoCore, "deadlock: all cores asleep with unfinished tasks");
+    if (c == kNoCore) {
+      // Every core is asleep with nothing runnable. Under open-loop
+      // arrivals this is an idle gap, not a deadlock: advance the clock to
+      // the next release instant and resume there instead of spinning.
+      Cycle nr = 0;
+      RACCD_ASSERT(rt_.next_release(nr),
+                   "deadlock: all cores asleep with unfinished tasks");
+      rt_.release_up_to(nr);
+      if (release_hook_) release_hook_(rt_.released_count());
+      wake_sleepers(nr);
+      continue;
+    }
+    // Drain releases due at or before the minimum clock: sleeping cores
+    // wake *at the release instant* (possibly earlier than the popped
+    // core), so re-pick the global minimum afterwards. One release batch
+    // per iteration keeps each wake-up at its own exact instant.
+    Cycle due = 0;
+    if (rt_.next_release(due) && due <= cores_[c].clock) {
+      rt_.release_up_to(due);
+      if (release_hook_) release_hook_(rt_.released_count());
+      wake_sleepers(due);
+      run_heap_.emplace(cores_[c].clock, c);
+      continue;
+    }
     for (;;) {
       // The stepped core holds the globally minimal clock, so sample times
       // are non-decreasing — the series is a consistent global timeline.
@@ -202,8 +229,11 @@ void Machine::taskwait() {
       // (clock, id) comparison against the top reproduces the push-then-pop
       // order exactly (a stale top only underestimates its core's clock, so
       // it can only send us down the slow path, never reorder steps).
+      // A pending release at or before this clock also exits: the slow
+      // path must perform the release before anything steps past it.
       if (!legacy_ && !rt_.all_finished() &&
-          (run_heap_.empty() || ClockEntry{cores_[c].clock, c} < run_heap_.top())) {
+          (run_heap_.empty() || ClockEntry{cores_[c].clock, c} < run_heap_.top()) &&
+          !(rt_.next_release(due) && due <= cores_[c].clock)) {
         continue;
       }
       run_heap_.emplace(cores_[c].clock, c);
@@ -421,6 +451,16 @@ void Machine::start_task(CoreId c, TaskId t) {
   }
   TaskNode& node = rt_.task(t);
 
+  // Per-request latency: the chain head carries the release instant; the
+  // first task to start (the head, by dep order) opens the service window.
+  if (node.request != kNoRequest) {
+    if (requests_.size() <= node.request) requests_.resize(node.request + 1);
+    RequestLat& rq = requests_[node.request];
+    if (node.release > 0) rq.release = rt_.release_base() + node.release;
+    if (!rq.started || cs.clock < rq.start) rq.start = cs.clock;
+    rq.started = true;
+  }
+
   // First-touch placement: the scheduled core's socket claims the frames of
   // this task's dependence pages before anything translates them (RaCCD's
   // raccd_register below walks these pages through the TLB).
@@ -576,6 +616,17 @@ void Machine::finish_task(CoreId c) {
     ++w.occ_samples;
   }
 
+  // Per-request latency: the chain's last task to finish closes the
+  // request. Recorded after teardown (the mode's end-of-task flush is part
+  // of serving the request) but before the wake-up edges below.
+  {
+    const TaskNode& node = rt_.task(cs.current);
+    if (node.request != kNoRequest && node.request < requests_.size()) {
+      RequestLat& rq = requests_[node.request];
+      if (cs.clock > rq.end) rq.end = cs.clock;
+    }
+  }
+
   // Wake-up phase (paper Fig. 3): notify dependent tasks.
   std::uint32_t resolved = 0;
   const bool new_ready = rt_.finish_task(cs.current, c, resolved);
@@ -673,6 +724,23 @@ SimStats Machine::collect() {
     s.avg_dir_active_frac = active_sum / cfg_.fabric.cores;
   }
   if (sampling_on_) apply_sampling(s);
+
+  // Open-loop service runs: summarize the per-request latency components.
+  // Queueing = release -> first task start (scheduling delay under load),
+  // service = first start -> last end, end-to-end = release -> last end.
+  if (!requests_.empty()) {
+    Histogram queueing, service, e2e;
+    for (const RequestLat& rq : requests_) {
+      if (!rq.started) continue;
+      queueing.add(rq.start > rq.release ? rq.start - rq.release : 0);
+      service.add(rq.end > rq.start ? rq.end - rq.start : 0);
+      e2e.add(rq.end > rq.release ? rq.end - rq.release : 0);
+    }
+    s.service.requests = e2e.count();
+    s.service.queueing = queueing.summary();
+    s.service.service = service.summary();
+    s.service.e2e = e2e.summary();
+  }
   return s;
 }
 

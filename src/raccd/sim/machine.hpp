@@ -79,6 +79,12 @@ class Machine {
   using PhaseHook = std::function<void(SimPhase, std::uint64_t)>;
   void set_phase_hook(PhaseHook hook) { phase_hook_ = std::move(hook); }
 
+  /// Progress hook for open-loop service runs: invoked each time the event
+  /// loop releases a batch of gated tasks, with the total released so far.
+  /// Never fires for batch workloads (no release-gated tasks).
+  using ReleaseHook = std::function<void(std::uint64_t)>;
+  void set_release_hook(ReleaseHook hook) { release_hook_ = std::move(hook); }
+
  private:
   struct CoreState {
     Cycle clock = 0;
@@ -99,6 +105,16 @@ class Machine {
     /// Fast-forward batch classification: each page resolved through the
     /// ClassifierView once per task (sorted by vpage, binary-searched).
     std::vector<std::pair<PageNum, bool>> class_memo;
+  };
+
+  /// Per-request latency record: TaskNode::request groups a request's task
+  /// chain; release comes from the chain head's gated release instant,
+  /// start/end are the min task start / max task end across the chain.
+  struct RequestLat {
+    Cycle release = 0;
+    Cycle start = 0;
+    Cycle end = 0;
+    bool started = false;
   };
 
   /// One sampling period's measured-window deltas: every counter here is
@@ -217,6 +233,10 @@ class Machine {
   std::uint64_t detailed_end_cycles_ = 0, detailed_end_accesses_ = 0;
   std::vector<WindowBucket> windows_;  ///< indexed by period group
   PhaseHook phase_hook_;
+
+  // -- open-loop service runs (empty for batch workloads)
+  std::vector<RequestLat> requests_;  ///< indexed by TaskNode::request
+  ReleaseHook release_hook_;
 
   TraceSink trace_sink_;
   std::unique_ptr<StatSampler> sampler_;  ///< non-null iff series enabled

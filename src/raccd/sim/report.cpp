@@ -67,6 +67,22 @@ void print_report(const SimStats& s, std::FILE* out) {
                  format_count(static_cast<std::uint64_t>(s.sampling.cycles_ci95))
                      .c_str());
   }
+  if (s.service.requests != 0) {
+    const auto line = [out](const char* what, const DistSummary& d) {
+      std::fprintf(out,
+                   "    %-8s mean=%s p50=%s p95=%s p99=%s max=%s\n", what,
+                   format_count(static_cast<std::uint64_t>(d.mean)).c_str(),
+                   format_count(static_cast<std::uint64_t>(d.p50)).c_str(),
+                   format_count(static_cast<std::uint64_t>(d.p95)).c_str(),
+                   format_count(static_cast<std::uint64_t>(d.p99)).c_str(),
+                   format_count(static_cast<std::uint64_t>(d.max)).c_str());
+    };
+    std::fprintf(out, "  service: %llu requests, latency in cycles:\n",
+                 static_cast<unsigned long long>(s.service.requests));
+    line("queue", s.service.queueing);
+    line("svc", s.service.service);
+    line("e2e", s.service.e2e);
+  }
 }
 
 void print_metrics(const SimStats& s, std::span<const MetricDesc* const> selection,

@@ -41,6 +41,27 @@ struct SamplingStats {
   double dir_occupancy_ci95 = 0.0;
 };
 
+/// Summary of one latency distribution (cycles): produced by
+/// metrics::Histogram, reported by the `distribution` metric kind.
+struct DistSummary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Open-loop service-run bookkeeping: per-request latency distributions
+/// grouped by TaskNode::request. All zero for batch runs (`requests == 0`
+/// gates the cache/JSON blocks, like SamplingStats::active).
+struct ServiceStats {
+  std::uint64_t requests = 0;  ///< completed requests observed
+  DistSummary queueing{};      ///< release -> first task start
+  DistSummary service{};       ///< first task start -> last task end
+  DistSummary e2e{};           ///< release -> last task end
+};
+
 struct SimStats {
   // Identity
   CohMode mode = CohMode::kFullCoh;
@@ -91,6 +112,9 @@ struct SimStats {
 
   // Sampled simulation (zeroed for detailed runs)
   SamplingStats sampling{};
+
+  // Open-loop service runs (zeroed for batch runs)
+  ServiceStats service{};
 
   // Derived (paper Fig. 7a/7b/7c)
   [[nodiscard]] std::uint64_t dir_accesses() const noexcept { return fabric.dir_accesses; }

@@ -4,14 +4,17 @@
 // byte-compatibility + round-trip guarantees of the BENCH_grid.json payload.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <set>
+#include <vector>
 
 #include "raccd/harness/grid.hpp"
 #include "raccd/metrics/diff.hpp"
 #include "raccd/metrics/emit.hpp"
+#include "raccd/metrics/histogram.hpp"
 #include "raccd/metrics/metric_schema.hpp"
 
 namespace raccd {
@@ -80,6 +83,14 @@ const char* const kExpectedNames[] = {
     "sampling.llc_hits_ci95", "sampling.noc_flits_ci95",
     "sampling.noc_flit_hops_ci95", "sampling.dram_row_hits_ci95",
     "sampling.dram_row_hit_rate_ci95", "sampling.dir_occupancy_ci95",
+    // Open-loop service (per-request latency distributions)
+    "service.requests",
+    "service.queue.mean", "service.queue.p50", "service.queue.p95",
+    "service.queue.p99", "service.queue.max",
+    "service.svc.mean", "service.svc.p50", "service.svc.p95",
+    "service.svc.p99", "service.svc.max",
+    "service.e2e.mean", "service.e2e.p50", "service.e2e.p95",
+    "service.e2e.p99", "service.e2e.max",
 };
 
 [[nodiscard]] SimStats distinctive_stats() {
@@ -163,6 +174,80 @@ TEST(MetricSchema, ParseSelection) {
   EXPECT_NE(schema.parse_selection("", sel), "");
   EXPECT_NE(schema.describe().find("dir.avg_occupancy"), std::string::npos);
   EXPECT_NE(schema.describe(true).find("| `cycles` |"), std::string::npos);
+}
+
+TEST(MetricSchema, DistributionKindFormatsWithOneDecimal) {
+  SimStats s;
+  s.service.requests = 7;
+  s.service.e2e = {7, 1234.56, 1000.0, 2000.0, 3000.0, 3500.0};
+  const MetricSchema& schema = MetricSchema::instance();
+  const MetricDesc& m = schema.get("service.e2e.mean");
+  EXPECT_EQ(m.kind, MetricKind::kDistribution);
+  EXPECT_STREQ(to_string(m.kind), "distribution");
+  EXPECT_EQ(m.format(s), "1234.6");
+  EXPECT_EQ(schema.get("service_e2e_p99").format(s), "3000.0");
+  EXPECT_EQ(schema.get("service.requests").value(s).u, 7u);
+}
+
+TEST(Histogram, ExactStatsAndBoundedPercentileError) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.99), 0.0);
+  std::uint64_t sum = 0, mx = 0;
+  // A wide, deterministic spread: values across many octaves.
+  std::uint64_t v = 1;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 2000; ++i) {
+    v = v * 6364136223846793005ULL + 1442695040888963407ULL;
+    const std::uint64_t x = (v >> 20) % 10'000'000;
+    values.push_back(x);
+    h.add(x);
+    sum += x;
+    mx = std::max(mx, x);
+  }
+  EXPECT_EQ(h.count(), 2000u);
+  EXPECT_DOUBLE_EQ(h.mean(), static_cast<double>(sum) / 2000.0);
+  EXPECT_EQ(h.max_value(), mx);
+  // Percentiles come from log-spaced buckets (32 per octave): relative
+  // error vs the exact order statistic stays within one sub-bucket (~3.2%).
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.50, 0.95, 0.99}) {
+    const std::size_t rank = static_cast<std::size_t>(std::ceil(q * 2000.0)) - 1;
+    const double exact = static_cast<double>(values[rank]);
+    EXPECT_NEAR(h.percentile(q), exact, 0.04 * exact + 1.0) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), static_cast<double>(mx));
+  const DistSummary ds = h.summary();
+  EXPECT_EQ(ds.count, 2000u);
+  EXPECT_DOUBLE_EQ(ds.max, static_cast<double>(mx));
+  EXPECT_DOUBLE_EQ(ds.p50, h.percentile(0.50));
+}
+
+TEST(Histogram, InsertionOrderDoesNotMatter) {
+  Histogram fwd, rev;
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t i = 0; i < 500; ++i) values.push_back(i * i * 37 % 100000);
+  for (const std::uint64_t x : values) fwd.add(x);
+  std::reverse(values.begin(), values.end());
+  for (const std::uint64_t x : values) rev.add(x);
+  EXPECT_DOUBLE_EQ(fwd.percentile(0.5), rev.percentile(0.5));
+  EXPECT_DOUBLE_EQ(fwd.percentile(0.99), rev.percentile(0.99));
+  EXPECT_DOUBLE_EQ(fwd.mean(), rev.mean());
+  EXPECT_EQ(fwd.max_value(), rev.max_value());
+}
+
+TEST(Emitters, ServiceBlockAppendsOnlyForServiceRuns) {
+  SimStats s = distinctive_stats();
+  ASSERT_EQ(s.service.requests, 0u);  // batch runs stay byte-identical
+  EXPECT_EQ(bench_metrics_json(s).find("service_"), std::string::npos);
+  s.service.requests = 3;
+  s.service.e2e = {3, 10.0, 8.0, 12.0, 12.0, 12.0};
+  const std::string payload = bench_metrics_json(s);
+  EXPECT_NE(payload.find("\"service_requests\": 3"), std::string::npos);
+  EXPECT_NE(payload.find("\"service_e2e_p99\": 12.0"), std::string::npos);
+  BenchLog log;
+  EXPECT_EQ(parse_bench_json("{\"k\": {" + payload + "}}", log), "");
+  EXPECT_DOUBLE_EQ(log.at("k").at("service_e2e_p50"), 8.0);
 }
 
 TEST(Emitters, CsvCellQuoting) {

@@ -1,0 +1,118 @@
+// Service workload family: registration, functional verification across
+// coherence modes, per-request latency stats, determinism, and worker-count
+// independence through the sweep executor.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "raccd/apps/registry.hpp"
+#include "raccd/harness/experiment.hpp"
+
+namespace raccd {
+namespace {
+
+RunSpec service_spec(CohMode mode, const std::string& ref = "service") {
+  RunSpec spec;
+  spec.size = SizeClass::kTiny;
+  spec.mode = mode;
+  const std::string err = spec.set_workload_ref(ref);
+  EXPECT_EQ(err, "");
+  return spec;
+}
+
+TEST(Service, RegisteredInServiceFamilyWithKnobs) {
+  const WorkloadInfo* info = WorkloadRegistry::instance().find("service");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->family, "service");
+  // The load/arrival knobs validate through the schema: a bad arrival kind
+  // is rejected with a message naming the valid choices.
+  AppConfig cfg(SizeClass::kTiny, 1);
+  cfg.params.set("arrival", "uniform");
+  std::string err;
+  EXPECT_EQ(WorkloadRegistry::instance().create("service", cfg, &err), nullptr);
+  EXPECT_NE(err.find("arrival"), std::string::npos) << err;
+}
+
+TEST(Service, UnknownNameSuggestsNearestWorkload) {
+  const std::string msg =
+      WorkloadRegistry::instance().unknown_name_message("servise");
+  EXPECT_NE(msg.find("did you mean 'service'"), std::string::npos) << msg;
+}
+
+TEST(Service, RunsAndVerifiesAcrossCoherenceModes) {
+  for (const CohMode mode : {CohMode::kFullCoh, CohMode::kPT, CohMode::kRaCCD}) {
+    std::string err;
+    const auto stats = run_one_checked(service_spec(mode), nullptr, &err);
+    ASSERT_TRUE(stats.has_value()) << err;
+    // Tiny default: 24 requests, all of which must complete and report
+    // finite latency components.
+    EXPECT_EQ(stats->service.requests, 24u);
+    EXPECT_GT(stats->service.e2e.p99, 0.0);
+    EXPECT_GE(stats->service.e2e.max, stats->service.e2e.p99);
+    EXPECT_GT(stats->service.service.mean, 0.0);
+  }
+}
+
+TEST(Service, StatsAreDeterministicAcrossRuns) {
+  const RunSpec spec = service_spec(CohMode::kRaCCD);
+  std::string err;
+  const auto a = run_one_checked(spec, nullptr, &err);
+  const auto b = run_one_checked(spec, nullptr, &err);
+  ASSERT_TRUE(a.has_value() && b.has_value()) << err;
+  EXPECT_EQ(a->cycles, b->cycles);
+  EXPECT_DOUBLE_EQ(a->service.e2e.p99, b->service.e2e.p99);
+  EXPECT_DOUBLE_EQ(a->service.queueing.mean, b->service.queueing.mean);
+}
+
+TEST(Service, OverloadRaisesTailLatency) {
+  // Open-loop load factor: past the saturation knee the queue grows without
+  // bound, so p99 at load 1.5 must clearly exceed p99 at load 0.2.
+  std::string err;
+  const auto light = run_one_checked(
+      service_spec(CohMode::kFullCoh, "service:requests=96,load=0.2"), nullptr, &err);
+  ASSERT_TRUE(light.has_value()) << err;
+  const auto heavy = run_one_checked(
+      service_spec(CohMode::kFullCoh, "service:requests=96,load=1.5"), nullptr, &err);
+  ASSERT_TRUE(heavy.has_value()) << err;
+  EXPECT_GT(heavy->service.e2e.p99, light->service.e2e.p99);
+  EXPECT_GT(heavy->service.queueing.mean, light->service.queueing.mean);
+}
+
+TEST(Service, WorkerCountDoesNotChangeResults) {
+  // Release order and latency stats are independent of how many executor
+  // workers serve the sweep: -j1 and -j2 commit identical results.
+  std::vector<RunSpec> specs;
+  for (const CohMode mode : {CohMode::kFullCoh, CohMode::kPT, CohMode::kRaCCD}) {
+    specs.push_back(service_spec(mode));
+  }
+  RunOptions serial;
+  serial.jobs = 1;
+  serial.use_cache = false;
+  RunOptions parallel;
+  parallel.jobs = 2;
+  parallel.use_cache = false;
+  const auto a = run_all(specs, serial);
+  const auto b = run_all(specs, parallel);
+  ASSERT_EQ(a.size(), specs.size());
+  ASSERT_EQ(b.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(a[i].cycles, b[i].cycles) << specs[i].key();
+    EXPECT_EQ(a[i].service.requests, b[i].service.requests) << specs[i].key();
+    EXPECT_DOUBLE_EQ(a[i].service.e2e.p99, b[i].service.e2e.p99) << specs[i].key();
+    EXPECT_DOUBLE_EQ(a[i].service.queueing.p95, b[i].service.queueing.p95)
+        << specs[i].key();
+  }
+}
+
+TEST(Service, SampledSimulationIsCleanlyRejected) {
+  RunSpec spec = service_spec(CohMode::kRaCCD);
+  spec.sampling = "10/2";
+  std::string err;
+  const auto stats = run_one_checked(spec, nullptr, &err);
+  EXPECT_FALSE(stats.has_value());
+  EXPECT_NE(err.find("incompatible"), std::string::npos) << err;
+}
+
+}  // namespace
+}  // namespace raccd
