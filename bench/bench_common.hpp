@@ -39,7 +39,9 @@ inline constexpr const char* kBenchJsonPath = "results/BENCH_grid.json";
 /// cumulative BENCH_grid.json perf log. Every bench binary runs through this.
 inline ResultSet run_logged(std::vector<RunSpec> specs, const BenchOptions& opts) {
   ResultSet rs = ResultSet::run(std::move(specs), opts.run);
-  if (!rs.append_bench_json(kBenchJsonPath)) {
+  // include_profile: the sweep's wall-time breakdown rides along as a
+  // `__profile__` entry (informational — the perf differ skips it).
+  if (!rs.append_bench_json(kBenchJsonPath, /*include_profile=*/true)) {
     std::fprintf(stderr, "warning: could not update %s\n", kBenchJsonPath);
   }
   return rs;

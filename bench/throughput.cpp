@@ -13,6 +13,14 @@
 // paths produce bit-identical SimStats, and exits non-zero if the optimized
 // structures are ever >25% *slower* than the legacy ones — the CI
 // throughput-smoke regression gate.
+//
+// --trace-ab measures the cost of event tracing compiled-in-but-off: each
+// rep runs the same simulation twice back to back — null sink, then a sink
+// armed with every category filtered off, so every instrumentation guard
+// executes and nothing records. Interleaving the arms per rep makes the
+// comparison robust to host load drift; the gate fails if the armed arm's
+// best time regresses more than the tolerance (default 2%), and always
+// fails if the two arms' stats differ (tracing must be pure observation).
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -23,9 +31,12 @@
 #include <thread>
 #include <vector>
 
+#include "raccd/apps/registry.hpp"
 #include "raccd/common/format.hpp"
 #include "raccd/harness/experiment.hpp"
 #include "raccd/harness/sweep_cache.hpp"
+#include "raccd/obs/trace_sink.hpp"
+#include "raccd/sim/machine.hpp"
 
 namespace raccd {
 namespace {
@@ -57,6 +68,80 @@ struct Measurement {
     m.stats = stats;  // deterministic: identical every rep
   }
   return m;
+}
+
+/// One uncached simulation with an optional trace sink attached, timed from
+/// Machine construction to collect() (process startup excluded).
+[[nodiscard]] double timed_run(const RunSpec& spec, obs::TraceSink* sink,
+                               SimStats* stats_out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Machine machine(config_for(spec));
+  if (sink != nullptr) machine.set_obs_trace(sink);
+  AppConfig acfg;
+  acfg.size = spec.size;
+  acfg.seed = spec.seed;
+  std::string err = WorkloadParams::parse(spec.params, acfg.params);
+  std::unique_ptr<App> app;
+  if (err.empty()) app = WorkloadRegistry::instance().create(spec.app, acfg, &err);
+  if (app == nullptr) {
+    std::fprintf(stderr, "trace-ab: cannot run %s: %s\n", spec.key().c_str(),
+                 err.c_str());
+    std::exit(2);
+  }
+  app->run(machine);
+  *stats_out = machine.collect();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// The trace-smoke CI gate: tracing compiled-in-but-off must be (nearly)
+/// free, and attaching a sink must never change results.
+[[nodiscard]] int trace_ab_gate(const BenchOptions& opts, unsigned reps,
+                                double max_pct) {
+  int rc = 0;
+  std::printf("%-34s %-7s %12s %12s %9s\n", "workload", "mode", "plain ms",
+              "armed-off ms", "delta");
+  for (const char* w : {"jacobi", "synthetic:footprint_kb=4096"}) {
+    for (const CohMode m : {CohMode::kFullCoh, CohMode::kRaCCD}) {
+      RunSpec spec;
+      if (const std::string err = spec.set_workload_ref(w); !err.empty()) {
+        std::fprintf(stderr, "trace-ab: %s\n", err.c_str());
+        return 2;
+      }
+      spec.size = opts.size;
+      spec.mode = m;
+      spec.paper_machine = opts.paper_machine;
+      obs::TraceConfig armed_cfg;
+      armed_cfg.categories = 0;  // every guard runs, nothing records
+      double best_plain = 0.0, best_armed = 0.0;
+      SimStats plain_stats, armed_stats;
+      for (unsigned r = 0; r < reps; ++r) {
+        // Interleave the arms so host-load drift hits both equally.
+        const double p = timed_run(spec, nullptr, &plain_stats);
+        obs::TraceSink sink(armed_cfg);
+        const double a = timed_run(spec, &sink, &armed_stats);
+        if (r == 0 || p < best_plain) best_plain = p;
+        if (r == 0 || a < best_armed) best_armed = a;
+      }
+      if (stats_to_text(plain_stats) != stats_to_text(armed_stats)) {
+        std::fprintf(stderr, "trace-ab: FAIL: stats differ with a sink attached "
+                             "for %s\n",
+                     spec.key().c_str());
+        rc = 1;
+      }
+      const double pct = best_plain > 0.0
+                             ? (best_armed - best_plain) * 100.0 / best_plain
+                             : 0.0;
+      std::printf("%-34s %-7s %12.2f %12.2f %+8.2f%%\n", w, to_string(m),
+                  best_plain * 1e3, best_armed * 1e3, pct);
+      // Sub-millisecond deltas are timer noise on tiny runs, not overhead.
+      if (pct > max_pct && best_armed - best_plain > 1e-3) rc = 1;
+    }
+  }
+  if (rc == 1) {
+    std::fprintf(stderr, "throughput: FAIL (armed-but-off tracing costs >%g%%)\n",
+                 max_pct);
+  }
+  return rc;
 }
 
 [[nodiscard]] bool write_file_atomic(const std::string& path, const std::string& text) {
@@ -114,13 +199,20 @@ int run(int argc, char** argv) {
   BenchOptions opts = BenchOptions::parse(argc, argv);
   unsigned reps = 3;
   bool compare_legacy = false;
+  bool trace_ab = false;
+  double max_trace_pct = 2.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--reps=", 7) == 0) {
       reps = std::max(1u, static_cast<unsigned>(std::strtoul(argv[i] + 7, nullptr, 10)));
     } else if (std::strcmp(argv[i], "--compare-legacy") == 0) {
       compare_legacy = true;
+    } else if (std::strcmp(argv[i], "--trace-ab") == 0) {
+      trace_ab = true;
+    } else if (std::strncmp(argv[i], "--max-trace-pct=", 16) == 0) {
+      max_trace_pct = std::atof(argv[i] + 16);
     }
   }
+  if (trace_ab) return trace_ab_gate(opts, reps, max_trace_pct);
   // The A/B comparison toggles the process-global RACCD_LEGACY_STRUCTURES
   // flag around each measurement — concurrent workers would race on it and
   // measure a mix of both structure sets. Reject the combination up front

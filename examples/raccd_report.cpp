@@ -8,10 +8,17 @@
 //       List a BENCH_grid.json log (optionally filtered by spec-key
 //       substring) as a markdown table of the headline metrics.
 //
+//   raccd-report profile FILE [BASELINE]
+//       Show the host-side sweep profile (the `__profile__` entry bench
+//       binaries merge into BENCH_grid.json): wall-time breakdown, worker
+//       utilization, steal count. With BASELINE, print side-by-side deltas.
+//       Informational only — profile entries never gate (diff skips them).
+//
 //   raccd-report diff BASELINE CANDIDATE [options]
 //       Join two BENCH_grid.json logs on RunSpec::key(), compare every
 //       metric under per-kind tolerances and exit nonzero on regression —
-//       the primitive the CI perf gate runs on.
+//       the primitive the CI perf gate runs on. `__`-prefixed entries
+//       (host profiles) are skipped.
 //         --tol-cycles=PCT    cycle-total tolerance in percent (default 2)
 //         --tol-energy=PCT    energy tolerance in percent (default 2)
 //         --tol-counters=PCT  counter tolerance in percent (default 0: exact)
@@ -36,6 +43,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: raccd-report metrics [--markdown]\n"
                "       raccd-report show FILE [substring]\n"
+               "       raccd-report profile FILE [BASELINE]\n"
                "       raccd-report diff BASELINE CANDIDATE [--tol-cycles=PCT]\n"
                "                    [--tol-energy=PCT] [--tol-counters=PCT]\n"
                "                    [--tol-ratio=ABS] [--markdown] [--out=FILE]\n");
@@ -65,6 +73,53 @@ int cmd_show(int argc, char** argv) {
     if (!filter.empty() && key.find(filter) == std::string::npos) continue;
     for (const auto& [metric, value] : metrics) {
       std::printf("| `%s` | %s | %g |\n", key.c_str(), metric.c_str(), value);
+    }
+  }
+  return 0;
+}
+
+int cmd_profile(int argc, char** argv) {
+  if (argc < 3 || argc > 4) return usage();
+  BenchLog cand;
+  if (const std::string err = load_bench_json(argv[2], cand); !err.empty()) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 2;
+  }
+  const auto pit = cand.find("__profile__");
+  if (pit == cand.end()) {
+    std::fprintf(stderr, "%s: no __profile__ entry (the log predates sweep "
+                         "profiling, or the emitter left it off)\n",
+                 argv[2]);
+    return 2;
+  }
+  BenchLog base;
+  const MetricMap* base_profile = nullptr;
+  if (argc == 4) {
+    if (const std::string err = load_bench_json(argv[3], base); !err.empty()) {
+      std::fprintf(stderr, "baseline: %s\n", err.c_str());
+      return 2;
+    }
+    if (const auto bit = base.find("__profile__"); bit != base.end()) {
+      base_profile = &bit->second;
+    } else {
+      std::fprintf(stderr, "baseline %s: no __profile__ entry\n", argv[3]);
+    }
+  }
+  if (base_profile != nullptr) {
+    std::printf("%-14s %12s %12s %10s\n", "field", "profile", "baseline", "delta");
+    for (const auto& [field, value] : pit->second) {
+      const auto bit = base_profile->find(field);
+      if (bit == base_profile->end()) {
+        std::printf("%-14s %12g %12s %10s\n", field.c_str(), value, "-", "-");
+      } else {
+        std::printf("%-14s %12g %12g %+10g\n", field.c_str(), value,
+                    bit->second, value - bit->second);
+      }
+    }
+  } else {
+    std::printf("%-14s %12s\n", "field", "value");
+    for (const auto& [field, value] : pit->second) {
+      std::printf("%-14s %12g\n", field.c_str(), value);
     }
   }
   return 0;
@@ -111,6 +166,10 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   if (std::strcmp(argv[1], "metrics") == 0) return cmd_metrics(argc, argv);
   if (std::strcmp(argv[1], "show") == 0) return cmd_show(argc, argv);
+  if (std::strcmp(argv[1], "profile") == 0 ||
+      std::strcmp(argv[1], "--profile") == 0) {
+    return cmd_profile(argc, argv);
+  }
   if (std::strcmp(argv[1], "diff") == 0) return cmd_diff(argc, argv);
   return usage();
 }

@@ -11,6 +11,8 @@
 //            [--ncrt-entries=N] [--ncrt-latency=N] [--fragmented] [--seed=N]
 //            [--sample=period/window[/warmup]] [--dot=FILE]
 //            [--record-trace=FILE] [--list]
+//            [--trace=FILE] [--trace-filter=task,coh,dram,svc,noc]
+//            [--trace-cap=N]
 //            [--series=FILE] [--series-interval=N] [--series-metrics=a,b,c]
 //            [--metrics=a,b,c]
 //
@@ -27,6 +29,7 @@
 #include "raccd/apps/trace_capture.hpp"
 #include "raccd/harness/experiment.hpp"
 #include "raccd/metrics/series.hpp"
+#include "raccd/obs/trace_sink.hpp"
 #include "raccd/sim/report.hpp"
 
 using namespace raccd;
@@ -71,6 +74,15 @@ void usage() {
       "                            totals are extrapolated with 95%% CIs\n"
       "  --dot=FILE                export the task dependence graph\n"
       "  --record-trace=FILE       save the run as a replayable raccd-trace\n"
+      "  --trace=FILE              export a simulated-time event timeline as\n"
+      "                            Chrome Trace Event JSON (open in Perfetto\n"
+      "                            or chrome://tracing; 1 cycle = 1 us)\n"
+      "  --trace-filter=c1,c2      trace categories: task, coh, dram, svc,\n"
+      "                            noc, all (default), or none (sink armed\n"
+      "                            with every category off — overhead A/B)\n"
+      "  --trace-cap=N             event buffer capacity (default 1M); when\n"
+      "                            full, newest events drop with per-category\n"
+      "                            accounting in the JSON footer\n"
       "  --series=FILE             write a metric time-series (occupancy vs\n"
       "                            time etc.) as JSON; see --series-metrics\n"
       "  --series-interval=N       sampling period in cycles (default %llu)\n"
@@ -109,6 +121,8 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string series_path;
   std::string metrics_list;
+  std::string obs_trace_path;
+  obs::TraceConfig obs_cfg;
   const auto apply_set = [&params](const char* text) {
     WorkloadParams p;
     const std::string err = WorkloadParams::parse(text, p);
@@ -183,6 +197,24 @@ int main(int argc, char** argv) {
       dot_path = a + 6;
     } else if (std::strncmp(a, "--record-trace=", 15) == 0) {
       trace_path = a + 15;
+    } else if (std::strncmp(a, "--trace=", 8) == 0) {
+      obs_trace_path = a + 8;
+    } else if (std::strncmp(a, "--trace-filter=", 15) == 0) {
+      std::string ferr;
+      obs_cfg.categories = obs::parse_trace_filter(a + 15, &ferr);
+      if (!ferr.empty()) {
+        std::fprintf(stderr, "--trace-filter: %s\n", ferr.c_str());
+        return 1;
+      }
+    } else if (std::strncmp(a, "--trace-cap=", 12) == 0) {
+      char* end = nullptr;
+      obs_cfg.max_events = std::strtoull(a + 12, &end, 10);
+      if (a[12] == '-' || end == a + 12 || *end != '\0' ||
+          obs_cfg.max_events == 0) {
+        std::fprintf(stderr, "--trace-cap: '%s' is not a positive event count\n",
+                     a + 12);
+        return 1;
+      }
     } else if (std::strncmp(a, "--series=", 9) == 0) {
       series_path = a + 9;
     } else if (std::strncmp(a, "--series-interval=", 18) == 0) {
@@ -239,6 +271,14 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
+  }
+
+  if (obs_trace_path.empty() &&
+      (obs_cfg.categories != obs::kAllCats ||
+       obs_cfg.max_events != obs::TraceConfig{}.max_events)) {
+    std::fprintf(stderr,
+                 "--trace-filter/--trace-cap have no effect without --trace=FILE\n");
+    return 1;
   }
 
   // Validate metric selections up front (the sampler would abort later).
@@ -300,6 +340,14 @@ int main(int argc, char** argv) {
   Machine machine(cfg);
   std::optional<TraceCapture> capture;
   if (!trace_path.empty()) capture.emplace(machine);
+  // Event tracing attaches before the app runs so task creation and every
+  // simulated event lands on the timeline. Pure observation: the same run
+  // with no sink produces byte-identical stats.
+  std::optional<obs::TraceSink> obs_sink;
+  if (!obs_trace_path.empty()) {
+    obs_sink.emplace(obs_cfg);
+    machine.set_obs_trace(&*obs_sink);
+  }
   std::printf("\napp: %s — %s (scheduler: %s)\n", std::string(app->name()).c_str(),
               app->problem().c_str(), to_string(spec.sched));
   app->run(machine);
@@ -331,6 +379,22 @@ int main(int argc, char** argv) {
   }
   const SimStats stats = machine.collect();
   print_report(stats);
+  if (obs_sink.has_value()) {
+    if (obs_sink->write_json(obs_trace_path)) {
+      std::printf("trace: %zu events written to %s (open in ui.perfetto.dev "
+                  "or chrome://tracing)\n",
+                  obs_sink->events().size(), obs_trace_path.c_str());
+      if (obs_sink->dropped_total() > 0) {
+        std::printf("trace: %llu events dropped at the %zu-event cap "
+                    "(raise with --trace-cap=N)\n",
+                    static_cast<unsigned long long>(obs_sink->dropped_total()),
+                    obs_sink->config().max_events);
+      }
+    } else {
+      std::fprintf(stderr, "warning: could not write %s\n",
+                   obs_trace_path.c_str());
+    }
+  }
   if (!metrics_list.empty()) {
     std::printf("\nmetrics:\n");
     print_metrics(stats, selection);

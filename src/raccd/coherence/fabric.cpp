@@ -5,6 +5,8 @@
 #include "raccd/coherence/checker.hpp"
 #include "raccd/common/assert.hpp"
 #include "raccd/common/bits.hpp"
+#include "raccd/common/format.hpp"
+#include "raccd/obs/trace_sink.hpp"
 
 namespace raccd {
 
@@ -293,6 +295,47 @@ Cycle Fabric::llc_fill(BankId b, LineAddr line, bool nc, bool dirty, std::uint64
   return lat;
 }
 
+void Fabric::set_obs_trace(obs::TraceSink* sink) {
+  obs_ = sink;
+  obs_q_names_.clear();
+  if (sink == nullptr) return;
+  obs_ids_.deactivate = sink->intern("line_deactivate");
+  obs_ids_.reactivate = sink->intern("line_reactivate");
+  obs_ids_.busy = sink->intern("bank_busy");
+  obs_ids_.line = sink->intern("line");
+  obs_ids_.wait = sink->intern("wait");
+  obs_ids_.row = sink->intern("row");
+  const std::uint32_t chs = cfg_.dram.channels, bks = cfg_.dram.banks;
+  for (std::uint32_t ctrl = 0; ctrl < dram_.size(); ++ctrl) {
+    for (std::uint32_t ch = 0; ch < chs; ++ch) {
+      obs_q_names_.emplace_back(
+          sink->intern(strprintf("read_q mc%u ch%u", ctrl, ch)),
+          sink->intern(strprintf("write_q mc%u ch%u", ctrl, ch)));
+      for (std::uint32_t bk = 0; bk < bks; ++bk) {
+        sink->set_thread_name(obs::kPidDram, ctrl * chs * bks + ch * bks + bk,
+                              strprintf("mc%u ch%u bk%u", ctrl, ch, bk));
+      }
+    }
+  }
+  for (BankId b = 0; b < cfg_.cores; ++b) {
+    sink->set_thread_name(obs::kPidCoherence, b, strprintf("bank %u", b));
+  }
+}
+
+void Fabric::trace_dram(std::uint32_t ctrl, const DramOutcome& out, Cycle arrive) {
+  // Busy span on the bank's own track: [service start, data done]. Queue
+  // depths step on the channel's counter tracks at the same instant.
+  const std::uint32_t chs = cfg_.dram.channels, bks = cfg_.dram.banks;
+  const std::uint32_t tid = ctrl * chs * bks + out.channel * bks + out.bank;
+  const Cycle at = arrive + out.wait;
+  obs_->complete(obs::TraceCat::kDram, obs::kPidDram, tid, obs_ids_.busy, at,
+                 out.latency, obs_ids_.wait, out.wait, obs_ids_.row,
+                 static_cast<std::uint64_t>(out.row));
+  const auto& qn = obs_q_names_[ctrl * chs + out.channel];
+  obs_->counter(obs::TraceCat::kDram, obs::kPidDram, 0, qn.first, at, out.read_depth);
+  obs_->counter(obs::TraceCat::kDram, obs::kPidDram, 0, qn.second, at, out.write_depth);
+}
+
 DramController& Fabric::dram_at(std::uint32_t mc) {
   RACCD_DEBUG_ASSERT(!dram_.empty(), "DRAM model disabled");
   return dram_[mc_of_[mc]];
@@ -331,10 +374,14 @@ Cycle Fabric::mem_fetch(BankId b, LineAddr line, std::uint64_t& version, Cycle n
     lat += cfg_.mem_cycles;
     st().e_mem_pj += energy_.mem_access_pj();
   } else {
-    const DramOutcome out = dram_at(mc).read(line, now + lat);
+    const Cycle arrive = now + lat;
+    const DramOutcome out = dram_at(mc).read(line, arrive);
     lat += out.total();
     st().dram_queue_wait_cycles += out.wait;
     account_dram(out, /*is_write=*/false);
+    if (obs_ != nullptr && obs_->wants(obs::TraceCat::kDram)) {
+      trace_dram(mc_of_[mc], out, arrive);
+    }
   }
   lat += msg(mc, b, MsgClass::kResponseData);
   return lat;
@@ -357,6 +404,9 @@ void Fabric::mem_writeback(BankId b, LineAddr line, std::uint64_t version, Cycle
     const DramOutcome out = dram_at(mc).write(line, now + leg);
     st().mem_wb_wait_cycles += leg + out.wait;
     account_dram(out, /*is_write=*/true);
+    if (obs_ != nullptr && obs_->wants(obs::TraceCat::kDram)) {
+      trace_dram(mc_of_[mc], out, now + leg);
+    }
   }
   if (!legacy_) {
     mem_flat_.set(line, version);
@@ -533,6 +583,10 @@ Fabric::MissResult Fabric::coherent_miss(CoreId c, LineAddr line, bool is_write,
         // NC -> coherent transition (paper §III-E): start tracking.
         ll->nc = false;
         ++st().dir_nc_to_coh;
+        if (obs_ != nullptr && obs_->wants(obs::TraceCat::kCoh)) {
+          obs_->instant(obs::TraceCat::kCoh, obs::kPidCoherence, b,
+                        obs_ids_.reactivate, now + r.latency, obs_ids_.line, line);
+        }
       }
       llc_[b]->touch(*ll);
       r.llc_hit = true;
@@ -579,6 +633,10 @@ Fabric::MissResult Fabric::nc_miss(CoreId c, LineAddr line, bool is_write, Cycle
         ++st().dir_coh_to_nc;
       }
       ll->nc = true;
+      if (obs_ != nullptr && obs_->wants(obs::TraceCat::kCoh)) {
+        obs_->instant(obs::TraceCat::kCoh, obs::kPidCoherence, b,
+                      obs_ids_.deactivate, now + r.latency, obs_ids_.line, line);
+      }
     }
     llc_[b]->touch(*ll);
     r.llc_hit = true;

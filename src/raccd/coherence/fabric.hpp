@@ -38,6 +38,10 @@ namespace raccd {
 
 class CoherenceChecker;
 
+namespace obs {
+class TraceSink;
+}
+
 /// Execution phase of the sampled simulator (SamplingConfig). The fabric's
 /// *state* transitions (L1/LLC/directory tags, MESI, NC bits, memory
 /// versions, DRAM row buffers) are identical in every phase — phases differ
@@ -186,6 +190,12 @@ class Fabric {
   /// Average directory occupancy across banks [0,1] (valid after finalize()).
   [[nodiscard]] double avg_dir_occupancy(Cycle end_time) const noexcept;
 
+  /// Attach a simulated-time event trace (obs/trace_sink.hpp); nullptr
+  /// detaches. Records coherent<->NC line transitions at the directory and
+  /// per-bank DRAM busy spans + queue depths. Pure observation: never
+  /// consulted by timing or state transitions.
+  void set_obs_trace(obs::TraceSink* sink);
+
  private:
   struct MissResult {
     Cycle latency = 0;
@@ -266,6 +276,18 @@ class Fabric {
   CoherenceChecker* checker_;
   std::uint64_t version_counter_ = 0;
   std::uint64_t dir_dirty_mask_ = 0;
+
+  // -- simulated-time event tracing (null = off; pure observation)
+  obs::TraceSink* obs_ = nullptr;
+  struct ObsIds {
+    std::uint16_t deactivate = 0, reactivate = 0, busy = 0, line = 0,
+                  wait = 0, row = 0;
+  } obs_ids_{};
+  /// Per-(controller, channel) interned counter names ("read_q mc0 ch1").
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> obs_q_names_;
+  /// Emit the busy span + queue counters for one serviced DRAM request
+  /// (arrive = when it reached the controller; ctrl indexes dram_).
+  void trace_dram(std::uint32_t ctrl, const DramOutcome& out, Cycle arrive);
 };
 
 }  // namespace raccd

@@ -42,12 +42,17 @@ DramOutcome DramController::service(LineAddr line, Cycle arrive, bool is_write) 
   // Address mapping: line-interleaved channels, then row:bank:column — a row
   // is `row_bytes` of consecutive lines, consecutive rows rotate banks, so
   // streaming access row-hits within a row and spreads across banks.
-  Channel& ch = channels_[line & (cfg_.channels - 1)];
+  const std::uint32_t ch_idx = static_cast<std::uint32_t>(line & (cfg_.channels - 1));
+  Channel& ch = channels_[ch_idx];
   const std::uint64_t col = line >> ch_bits_;
-  Bank& bank = ch.banks[(col >> row_line_bits_) & (cfg_.banks - 1)];
+  const std::uint32_t bank_idx =
+      static_cast<std::uint32_t>((col >> row_line_bits_) & (cfg_.banks - 1));
+  Bank& bank = ch.banks[bank_idx];
   const std::uint64_t row = col >> (row_line_bits_ + bank_bits_);
 
   DramOutcome out;
+  out.channel = ch_idx;
+  out.bank = bank_idx;
   Cycle start = arrive;
   // Writebacks occupy write-queue slots that backpressure reads: a full
   // write queue forces a drain before *any* request issues.
@@ -93,6 +98,8 @@ DramOutcome DramController::service(LineAddr line, Cycle arrive, bool is_write) 
   }
   ch.last_start = std::max(ch.last_start, start);
   (is_write ? ch.write_q : ch.read_q).push_back(done);
+  out.read_depth = static_cast<std::uint32_t>(ch.read_q.size());
+  out.write_depth = static_cast<std::uint32_t>(ch.write_q.size());
 
   out.wait = start - arrive;
   out.latency = done - start;

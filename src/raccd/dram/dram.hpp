@@ -78,7 +78,10 @@ struct DramConfig {
   Cycle t_burst = 16;  ///< data burst on the channel bus
 };
 
-/// One serviced request, as accounted by the fabric.
+/// One serviced request, as accounted by the fabric. Beyond the timing the
+/// fabric charges, the outcome carries where the request landed and how deep
+/// the queues were — observation-only fields the event tracer turns into
+/// per-bank busy spans and queue-depth counters (never consulted by timing).
 struct DramOutcome {
   enum class Row : std::uint8_t { kHit = 0, kEmpty, kConflict };
   Cycle wait = 0;     ///< arrive -> service start (queues, drains, bank, order)
@@ -86,6 +89,10 @@ struct DramOutcome {
   Row row = Row::kEmpty;
   bool activated = false;   ///< paid an ACT (row was not open)
   bool precharged = false;  ///< paid a PRE (conflict or closed-page auto-PRE)
+  std::uint32_t channel = 0;     ///< channel index within the controller
+  std::uint32_t bank = 0;        ///< bank index within the channel
+  std::uint32_t read_depth = 0;  ///< read-queue depth after this request
+  std::uint32_t write_depth = 0; ///< write-queue depth after this request
 
   [[nodiscard]] Cycle total() const noexcept { return wait + latency; }
 };

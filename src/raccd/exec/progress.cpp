@@ -19,9 +19,11 @@ namespace {
 }  // namespace
 
 ProgressReporter::ProgressReporter(std::size_t total, unsigned workers, bool enabled,
-                                   std::FILE* stream, int force_tty)
+                                   std::FILE* stream, int force_tty,
+                                   std::size_t cached)
     : stream_(stream),
       total_(total),
+      cached_(cached),
       enabled_(enabled),
       running_(std::max(1u, workers)),
       phase_(std::max(1u, workers)),
@@ -32,6 +34,9 @@ ProgressReporter::ProgressReporter(std::size_t total, unsigned workers, bool ena
 ProgressReporter::~ProgressReporter() { finish(); }
 
 std::string ProgressReporter::rate_eta_locked() const {
+  // Rate counts only runs that actually simulated (done_ never includes
+  // cache-preload hits), so the ETA reflects real per-run cost from the
+  // first finished run instead of starting wildly optimistic.
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
   const double rate = secs > 0.0 ? static_cast<double>(done_) / secs : 0.0;
@@ -124,9 +129,15 @@ void ProgressReporter::run_failed(unsigned worker, const std::string& key,
     std::fprintf(stream_, "\n");
     line_open_ = false;
   }
+  ++failed_;
   std::fprintf(stream_, "[%zu/%zu] FAILED %s: %s\n", done_, total_, key.c_str(),
                error.c_str());
   if (enabled_ && tty_) repaint_locked();
+}
+
+void ProgressReporter::set_summary_extra(std::string extra) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  summary_extra_ = std::move(extra);
 }
 
 void ProgressReporter::finish() {
@@ -135,6 +146,13 @@ void ProgressReporter::finish() {
     std::fprintf(stream_, "\n");
     std::fflush(stream_);
     line_open_ = false;
+  }
+  if (enabled_ && !summary_printed_) {
+    summary_printed_ = true;
+    std::fprintf(stream_, "sweep: %zu run, %zu cached, %zu failed%s%s\n",
+                 done_ - failed_, cached_, failed_,
+                 summary_extra_.empty() ? "" : " | ", summary_extra_.c_str());
+    std::fflush(stream_);
   }
 }
 

@@ -23,10 +23,15 @@ namespace raccd {
 
 class ProgressReporter {
  public:
-  /// `total` runs across `workers` workers; `enabled` false = fully silent
-  /// (the --verbose gate). `force_tty` overrides isatty for tests.
+  /// `total` *uncached* runs across `workers` workers; `enabled` false =
+  /// fully silent (the --verbose gate). `force_tty` overrides isatty for
+  /// tests. `cached` is how many specs the sweep satisfied from the stats
+  /// cache before any run started: cached hits are displayed, but never
+  /// enter the rate/ETA estimate (a cache hit completes in microseconds, so
+  /// counting it as a finished run made early ETAs wildly optimistic).
   ProgressReporter(std::size_t total, unsigned workers, bool enabled,
-                   std::FILE* stream = stderr, int force_tty = -1);
+                   std::FILE* stream = stderr, int force_tty = -1,
+                   std::size_t cached = 0);
   ~ProgressReporter();
 
   /// Worker `w` began simulating `key` (kNoWorker for the inline -j1 path).
@@ -45,7 +50,11 @@ class ProgressReporter {
   /// A run failed: always printed (even repaint mode gets a plain line).
   void run_failed(unsigned worker, const std::string& key,
                   const std::string& error);
-  /// Erase/complete the status line (TTY mode); idempotent.
+  /// Extra text (the sweep's wall-time profile) appended to the final
+  /// summary line that finish() prints.
+  void set_summary_extra(std::string extra);
+  /// Erase/complete the status line (TTY mode) and, when enabled, print the
+  /// final `N run, M cached, K failed` summary line; idempotent.
   void finish();
 
   [[nodiscard]] std::size_t done() const;
@@ -58,6 +67,10 @@ class ProgressReporter {
   std::FILE* stream_;
   std::size_t total_;
   std::size_t done_ = 0;
+  std::size_t cached_ = 0;  ///< preloaded hits; excluded from rate/ETA
+  std::size_t failed_ = 0;
+  std::string summary_extra_;
+  bool summary_printed_ = false;
   bool enabled_;
   bool tty_;
   bool line_open_ = false;  ///< a repainted status line is on screen

@@ -13,6 +13,7 @@
 #include "raccd/exec/progress.hpp"
 #include "raccd/exec/work_steal_pool.hpp"
 #include "raccd/harness/sweep_cache.hpp"
+#include "raccd/obs/profiler.hpp"
 
 namespace raccd {
 
@@ -25,6 +26,12 @@ unsigned SweepExecutor::effective_jobs(unsigned jobs, std::size_t todo) {
 std::vector<SimStats> SweepExecutor::run(const std::vector<RunSpec>& specs,
                                          std::vector<Series>* series_out) {
   failures_.clear();
+  // Host-side wall-time profile of this sweep: filled as the sweep runs,
+  // published through obs::last_sweep_profile() at the end (export timing is
+  // accumulated there later by the grid emitters). Observation only — it
+  // never influences scheduling, results, or the cache.
+  obs::SweepProfile profile;
+  obs::ScopeTimer wall;
   std::vector<SimStats> results(specs.size());
   std::vector<std::uint8_t> pending(specs.size(), 1);
   if (series_out != nullptr) series_out->assign(specs.size(), Series{});
@@ -33,6 +40,7 @@ std::vector<SimStats> SweepExecutor::run(const std::vector<RunSpec>& specs,
   };
 
   if (opts_.use_cache) {
+    const obs::ScopeTimer preload;
     for (std::size_t i = 0; i < specs.size(); ++i) {
       // A cached SimStats cannot satisfy a sampling spec: the series only
       // exists if the simulation actually runs.
@@ -40,8 +48,10 @@ std::vector<SimStats> SweepExecutor::run(const std::vector<RunSpec>& specs,
       if (auto cached = cache_load(opts_.cache_dir, specs[i].key())) {
         results[i] = *cached;
         pending[i] = 0;
+        ++profile.cached;
       }
     }
+    profile.preload_s = preload.seconds();
   }
 
   // In-flight dedup: identical specs (same cache key) are simulated once and
@@ -83,10 +93,16 @@ std::vector<SimStats> SweepExecutor::run(const std::vector<RunSpec>& specs,
     todo = std::move(mine);
   }
 
-  if (!todo.empty()) {
+  profile.deduped = dup.size();
+
+  {
     const unsigned jobs = effective_jobs(opts_.jobs, todo.size());
-    ProgressReporter progress(todo.size(), jobs, opts_.verbose);
+    profile.jobs = jobs;
+    profile.workers.assign(jobs, {});
+    ProgressReporter progress(todo.size(), jobs, opts_.verbose, stderr,
+                              /*force_tty=*/-1, profile.cached);
     std::mutex failures_mutex;
+    std::mutex profile_mutex;
     std::atomic<bool> stop{false};
 
     // The per-spec task body. Returns through `results[i]` (index commit:
@@ -94,6 +110,8 @@ std::vector<SimStats> SweepExecutor::run(const std::vector<RunSpec>& specs,
     const auto run_slot = [&](std::size_t i, unsigned worker) {
       const std::string key = specs[i].key();
       progress.run_started(worker, key);
+      const obs::ScopeTimer busy;
+      obs::RunProfile run_profile;
       // Sampled specs feed phase transitions into the strip: the entry shows
       // whether the worker is fast-forwarding or measuring, and the window.
       std::function<void(SimPhase, std::uint64_t)> phase_hook;
@@ -114,11 +132,23 @@ std::vector<SimStats> SweepExecutor::run(const std::vector<RunSpec>& specs,
       std::optional<SimStats> stats;
       try {
         stats = run_one_checked(specs[i], samples(i) ? &(*series_out)[i] : nullptr,
-                                &err, phase_hook, release_hook);
+                                &err, phase_hook, release_hook, &run_profile);
       } catch (const std::exception& e) {
         err = strprintf("unhandled exception: %s", e.what());
       } catch (...) {
         err = "unhandled exception (non-std type)";
+      }
+      {
+        const std::lock_guard<std::mutex> lock(profile_mutex);
+        profile.setup_s += run_profile.setup_s;
+        profile.sim_s += run_profile.sim_s;
+        const unsigned slot = worker == ProgressReporter::kNoWorker ? 0 : worker;
+        if (slot < profile.workers.size()) {
+          profile.workers[slot].busy_s += busy.seconds();
+          ++profile.workers[slot].runs;
+        }
+        if (stats.has_value()) ++profile.executed;
+        else ++profile.failed;
       }
       if (!stats.has_value()) {
         stop.store(true, std::memory_order_relaxed);
@@ -138,7 +168,10 @@ std::vector<SimStats> SweepExecutor::run(const std::vector<RunSpec>& specs,
       progress.run_finished(worker, key);
     };
 
-    if (jobs == 1) {
+    if (todo.empty()) {
+      // Nothing to simulate (all cached): no workers, but the summary below
+      // still reports the cache hits.
+    } else if (jobs == 1) {
       // Inline serial path: the historical behavior, and the only mode in
       // which per-process RACCD_LEGACY_STRUCTURES A/B toggling is sound.
       for (const std::size_t i : todo) {
@@ -156,7 +189,10 @@ std::vector<SimStats> SweepExecutor::run(const std::vector<RunSpec>& specs,
         });
       }
       pool.wait();
+      profile.steals = pool.steal_count();
     }
+    profile.wall_s = wall.seconds();
+    progress.set_summary_extra(profile.summary());
     progress.finish();
   }
 
@@ -164,6 +200,9 @@ std::vector<SimStats> SweepExecutor::run(const std::vector<RunSpec>& specs,
     results[dst] = results[src];
     if (series_out != nullptr && samples(dst)) (*series_out)[dst] = (*series_out)[src];
   }
+  // Publish for bench binaries / grid emitters; export_s starts at zero and
+  // accumulates as the ResultSet emitters time their own writes.
+  obs::last_sweep_profile() = std::move(profile);
   return results;
 }
 

@@ -123,7 +123,9 @@ SimConfig config_for(const RunSpec& spec) {
 std::optional<SimStats> run_one_checked(
     const RunSpec& spec, Series* series_out, std::string* error,
     const std::function<void(SimPhase, std::uint64_t)>& phase_hook,
-    const std::function<void(std::uint64_t)>& release_hook) {
+    const std::function<void(std::uint64_t)>& release_hook,
+    obs::RunProfile* profile) {
+  obs::ScopeTimer timer;
   Machine machine(config_for(spec));
   if (phase_hook) machine.set_phase_hook(phase_hook);
   if (release_hook) machine.set_release_hook(release_hook);
@@ -150,6 +152,10 @@ std::optional<SimStats> run_one_checked(
     if (error != nullptr) *error = "cannot run: " + err;
     return std::nullopt;
   }
+  if (profile != nullptr) {
+    profile->setup_s = timer.seconds();
+    timer.reset();
+  }
   app->run(machine);
   err = app->verify(machine);
   if (!err.empty()) {
@@ -160,6 +166,7 @@ std::optional<SimStats> run_one_checked(
   if (series_out != nullptr && machine.series() != nullptr) {
     *series_out = *machine.series();
   }
+  if (profile != nullptr) profile->sim_s = timer.seconds();
   return stats;
 }
 

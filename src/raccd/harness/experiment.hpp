@@ -14,6 +14,7 @@
 
 #include "raccd/apps/app.hpp"
 #include "raccd/metrics/series.hpp"
+#include "raccd/obs/profiler.hpp"
 #include "raccd/sim/config.hpp"
 #include "raccd/sim/stats.hpp"
 
@@ -89,11 +90,14 @@ struct RunSpec {
 /// transition with (phase, window index) — the sweep progress strip uses it
 /// to show whether a worker is fast-forwarding or measuring. `release_hook`,
 /// when set, fires on every open-loop release batch with the total requests
-/// released so far (the strip's `|rel<N>` suffix).
+/// released so far (the strip's `|rel<N>` suffix). `profile`, when set,
+/// receives the run's wall-time breakdown (setup vs simulate) — host-side
+/// observation only, never part of the stats or the cache key.
 [[nodiscard]] std::optional<SimStats> run_one_checked(
     const RunSpec& spec, Series* series_out, std::string* error,
     const std::function<void(SimPhase, std::uint64_t)>& phase_hook = {},
-    const std::function<void(std::uint64_t)>& release_hook = {});
+    const std::function<void(std::uint64_t)>& release_hook = {},
+    obs::RunProfile* profile = nullptr);
 
 struct RunOptions {
   /// Worker threads for the sweep (--jobs). 0 = hardware concurrency;

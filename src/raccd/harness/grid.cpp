@@ -14,6 +14,7 @@
 #include "raccd/common/assert.hpp"
 #include "raccd/common/format.hpp"
 #include "raccd/metrics/emit.hpp"
+#include "raccd/obs/profiler.hpp"
 
 namespace raccd {
 namespace {
@@ -147,6 +148,7 @@ ResultSet& ResultSet::append(ResultSet other) {
 }
 
 bool ResultSet::write_csv(const std::string& path) const {
+  const obs::ScopeTimer timer;
   // Sampled grids gain a `sampling` identity column plus the extrapolation
   // telemetry; detailed-only grids keep the historical byte-identical layout.
   bool any_sampling = false;
@@ -182,10 +184,13 @@ bool ResultSet::write_csv(const std::string& path) const {
     }
     text += "\n";
   }
-  return write_text_file(path, text);
+  const bool ok = write_text_file(path, text);
+  obs::last_sweep_profile().export_s += timer.seconds();
+  return ok;
 }
 
 bool ResultSet::write_json(const std::string& path) const {
+  const obs::ScopeTimer timer;
   std::string text = "[\n";
   for (std::size_t i = 0; i < specs_.size(); ++i) {
     const RunSpec& sp = specs_[i];
@@ -208,10 +213,14 @@ bool ResultSet::write_json(const std::string& path) const {
         bench_metrics_json(results_[i]).c_str(), i + 1 < specs_.size() ? "," : "");
   }
   text += "]\n";
-  return write_text_file(path, text);
+  const bool ok = write_text_file(path, text);
+  obs::last_sweep_profile().export_s += timer.seconds();
+  return ok;
 }
 
-bool ResultSet::append_bench_json(const std::string& path) const {
+bool ResultSet::append_bench_json(const std::string& path,
+                                  bool include_profile) const {
+  const obs::ScopeTimer timer;
   // Collect existing entries (one `  "key": {...}` line each — the format
   // this emitter writes; foreign files are rewritten from scratch).
   std::map<std::string, std::string> entries;
@@ -240,6 +249,13 @@ bool ResultSet::append_bench_json(const std::string& path) const {
     }
     entries[key] = strprintf("{%s}", bench_metrics_json(results_[i]).c_str());
   }
+  if (include_profile) {
+    // The sweep's host-side wall-time breakdown. export_s reflects emitter
+    // time accumulated *before* this merge (CSV/JSON writes); the merge
+    // itself is timed into the next sweep's entry.
+    entries["__profile__"] =
+        strprintf("{%s}", obs::last_sweep_profile().json_fields().c_str());
+  }
   std::string text = "{\n";
   std::size_t n = 0;
   for (const auto& [key, payload] : entries) {
@@ -247,7 +263,9 @@ bool ResultSet::append_bench_json(const std::string& path) const {
                       ++n < entries.size() ? "," : "");
   }
   text += "}\n";
-  return write_text_file(path, text);
+  const bool ok = write_text_file(path, text);
+  obs::last_sweep_profile().export_s += timer.seconds();
+  return ok;
 }
 
 // -- Grid ---------------------------------------------------------------------

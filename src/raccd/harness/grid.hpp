@@ -75,8 +75,14 @@ class ResultSet {
   /// Merge into the cumulative benchmark log at `path`: a JSON object
   /// mapping RunSpec::key() to {cycles, dir_accesses, llc_hit_rate,
   /// noc_flit_hops, dir_dyn_energy_pj, ...}. Existing keys are overwritten,
-  /// other keys are preserved, the key order is sorted.
-  [[nodiscard]] bool append_bench_json(const std::string& path) const;
+  /// other keys are preserved, the key order is sorted. When
+  /// `include_profile` is true, the last sweep's host-side wall-time profile
+  /// (obs::last_sweep_profile()) also merges as a `__profile__` entry;
+  /// double-underscore keys are informational — the perf differ skips them,
+  /// and emitters that must stay byte-identical across -jN leave the flag
+  /// off (host timings are nondeterministic by nature).
+  [[nodiscard]] bool append_bench_json(const std::string& path,
+                                       bool include_profile = false) const;
 
  private:
   std::vector<RunSpec> specs_;

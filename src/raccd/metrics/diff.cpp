@@ -215,6 +215,9 @@ BenchDiff diff_bench_logs(const BenchLog& base, const BenchLog& cand,
                           const DiffTolerances& tol) {
   BenchDiff d;
   for (const auto& [key, base_metrics] : base) {
+    // Double-underscore entries (__profile__) carry host-side telemetry —
+    // nondeterministic by nature, never part of the gate.
+    if (key.rfind("__", 0) == 0) continue;
     const auto cit = cand.find(key);
     if (cit == cand.end()) {
       d.only_in_base.push_back(key);
@@ -268,6 +271,7 @@ BenchDiff diff_bench_logs(const BenchLog& base, const BenchLog& cand,
   }
   for (const auto& [key, metrics] : cand) {
     (void)metrics;
+    if (key.rfind("__", 0) == 0) continue;
     if (base.find(key) == base.end()) d.only_in_candidate.push_back(key);
   }
   return d;

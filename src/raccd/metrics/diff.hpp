@@ -7,7 +7,9 @@
 // counters are exact by default (the simulator is deterministic), cycle and
 // energy totals get a percent band, ratios an absolute band. Spec keys
 // present only in the baseline count as regressions (coverage loss); keys
-// only in the candidate are reported but don't fail the gate.
+// only in the candidate are reported but don't fail the gate. Entries whose
+// key starts with "__" (the `__profile__` host-timing breakdown) are skipped
+// entirely — host wall time is nondeterministic and must never gate.
 #pragma once
 
 #include <cstddef>

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cmath>
+#include <limits>
 
 namespace raccd {
 
@@ -33,7 +34,7 @@ void Histogram::add(std::uint64_t v) noexcept {
 }
 
 double Histogram::percentile(double q) const noexcept {
-  if (count_ == 0) return 0.0;
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
   const std::uint64_t rank =
       static_cast<std::uint64_t>(q * static_cast<double>(count_) + 0.999999);
   std::uint64_t cum = 0;
@@ -61,7 +62,8 @@ DistSummary Histogram::summary() const noexcept {
   d.p50 = percentile(0.50);
   d.p95 = percentile(0.95);
   d.p99 = percentile(0.99);
-  d.max = static_cast<double>(max_);
+  d.max = count_ == 0 ? std::numeric_limits<double>::quiet_NaN()
+                      : static_cast<double>(max_);
   return d;
 }
 

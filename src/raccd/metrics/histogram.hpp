@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "raccd/sim/stats.hpp"
@@ -20,17 +21,22 @@ class Histogram {
   void add(std::uint64_t v) noexcept;
 
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  /// NaN when empty (the emitters' NaN-to-null convention): an empty
+  /// distribution has no mean, and 0 would silently read as "instant".
   [[nodiscard]] double mean() const noexcept {
-    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+    return count_ == 0 ? std::numeric_limits<double>::quiet_NaN()
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
   }
   [[nodiscard]] std::uint64_t max_value() const noexcept { return max_; }
 
   /// Value at quantile `q` in (0, 1]: the bucket holding the ceil(q*count)-th
   /// smallest sample, linearly interpolated across the bucket's span. Exact
-  /// at the resolution of the bucket grid; 0 when empty.
+  /// at the resolution of the bucket grid; NaN when empty (emitted as JSON
+  /// null, never a fake 0-cycle latency).
   [[nodiscard]] double percentile(double q) const noexcept;
 
-  /// count/mean/p50/p95/p99/max in one shot (mean and max are exact).
+  /// count/mean/p50/p95/p99/max in one shot (mean and max are exact; all
+  /// NaN when the distribution is empty).
   [[nodiscard]] DistSummary summary() const noexcept;
 
  private:

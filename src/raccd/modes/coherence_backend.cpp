@@ -11,9 +11,10 @@
 
 namespace raccd {
 
-Cycle CoherenceBackend::on_task_start(CoreId c, const TaskNode& node) {
+Cycle CoherenceBackend::on_task_start(CoreId c, const TaskNode& node, Cycle now) {
   (void)c;
   (void)node;
+  (void)now;
   return 0;
 }
 

@@ -38,6 +38,10 @@ struct SimConfig;
 struct SimStats;
 struct TaskNode;
 
+namespace obs {
+class TraceSink;
+}
+
 /// Mode-agnostic machine state a backend may consult or drive. All references
 /// outlive the backend (Machine constructs its backend last and destroys it
 /// first).
@@ -85,8 +89,9 @@ class CoherenceBackend {
 
   [[nodiscard]] virtual CohMode mode() const noexcept = 0;
 
-  /// Pre-execution hook on the scheduled core; returns cycles to charge.
-  virtual Cycle on_task_start(CoreId c, const TaskNode& node);
+  /// Pre-execution hook on the scheduled core at time `now`; returns cycles
+  /// to charge.
+  virtual Cycle on_task_start(CoreId c, const TaskNode& node, Cycle now);
 
   /// The per-access classification view (cached by Machine per task).
   [[nodiscard]] virtual ClassifierView classifier() noexcept { return {}; }
@@ -97,8 +102,22 @@ class CoherenceBackend {
   /// Export mode-private statistics (NCRT, PT classifier, ...) into `s`.
   virtual void accumulate(SimStats& s) const;
 
+  /// Attach a simulated-time event trace (obs/trace_sink.hpp); nullptr
+  /// detaches. Observation only: backends emit mode events on it (RaCCD
+  /// register/NCRT overflow, PT classification flips) and never let the
+  /// sink's presence alter policy, timing, or stats.
+  void set_obs_trace(obs::TraceSink* sink) {
+    obs_trace_ = sink;
+    on_obs_trace();
+  }
+
  protected:
+  /// Called after a sink attaches/detaches so backends can (re)intern their
+  /// event names; default does nothing (FullCoh/WbNC emit no mode events).
+  virtual void on_obs_trace() {}
+
   BackendContext ctx_;
+  obs::TraceSink* obs_trace_ = nullptr;
 };
 
 /// Construct the backend `cfg.mode` names. Asserts on unknown modes.

@@ -1,11 +1,19 @@
 #include "raccd/modes/pt_backend.hpp"
 
 #include "raccd/coherence/fabric.hpp"
+#include "raccd/obs/trace_sink.hpp"
 #include "raccd/sim/config.hpp"
 #include "raccd/sim/stats.hpp"
 #include "raccd/tlb/tlb.hpp"
 
 namespace raccd {
+
+void PtBackend::on_obs_trace() {
+  if (obs_trace_ == nullptr) return;
+  obs_ids_.flip = obs_trace_->intern("pt_flip");
+  obs_ids_.vpage = obs_trace_->intern("vpage");
+  obs_ids_.prev_owner = obs_trace_->intern("prev_owner");
+}
 
 AccessClass PtBackend::classify_thunk(CoherenceBackend* self, CoreId c, VAddr vaddr,
                                       PAddr paddr, PageNum pframe, Cycle now) {
@@ -24,6 +32,13 @@ AccessClass PtBackend::classify(CoreId c, VAddr vaddr, PageNum pframe, Cycle now
     const auto fo = ctx_.fabric.flush_page_lines(d.prev_owner, pframe, now);
     ctx_.tlbs[d.prev_owner].invalidate(vpage);
     out.extra_cycles = fo.cycles + ctx_.cfg.timing.pt_shootdown_cycles;
+    if (obs_trace_ != nullptr && obs_trace_->wants(obs::TraceCat::kCoh)) {
+      // Classification flip: the page just went private -> shared forever
+      // (paper §II-B); placed when the recovery completes.
+      obs_trace_->instant(obs::TraceCat::kCoh, obs::kPidCoherence, c,
+                          obs_ids_.flip, now + out.extra_cycles, obs_ids_.vpage,
+                          vpage, obs_ids_.prev_owner, d.prev_owner);
+    }
   }
   out.nc = d.noncoherent;
   return out;

@@ -27,8 +27,13 @@ class PtBackend final : public CoherenceBackend {
   static AccessClass classify_thunk(CoherenceBackend* self, CoreId c, VAddr vaddr,
                                     PAddr paddr, PageNum pframe, Cycle now);
   AccessClass classify(CoreId c, VAddr vaddr, PageNum pframe, Cycle now);
+  void on_obs_trace() override;
 
   PtClassifier pt_;
+  /// Interned trace-event names (valid iff obs_trace_ != nullptr).
+  struct ObsIds {
+    std::uint16_t flip = 0, vpage = 0, prev_owner = 0;
+  } obs_ids_{};
 };
 
 }  // namespace raccd

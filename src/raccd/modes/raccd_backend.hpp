@@ -20,7 +20,7 @@ class RaccdBackend final : public CoherenceBackend {
   explicit RaccdBackend(const BackendContext& ctx);
 
   [[nodiscard]] CohMode mode() const noexcept override { return CohMode::kRaCCD; }
-  Cycle on_task_start(CoreId c, const TaskNode& node) override;
+  Cycle on_task_start(CoreId c, const TaskNode& node, Cycle now) override;
   [[nodiscard]] ClassifierView classifier() noexcept override {
     return {this, &RaccdBackend::classify_thunk};
   }
@@ -32,8 +32,13 @@ class RaccdBackend final : public CoherenceBackend {
  private:
   static AccessClass classify_thunk(CoherenceBackend* self, CoreId c, VAddr vaddr,
                                     PAddr paddr, PageNum pframe, Cycle now);
+  void on_obs_trace() override;
 
   RaccdEngine engine_;
+  /// Interned trace-event names (valid iff obs_trace_ != nullptr).
+  struct ObsIds {
+    std::uint16_t reg = 0, overflow = 0, pages = 0, ranges = 0;
+  } obs_ids_{};
 };
 
 }  // namespace raccd

@@ -1,0 +1,305 @@
+#include "raccd/obs/trace_sink.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "raccd/common/format.hpp"
+
+namespace raccd::obs {
+
+const char* to_string(TraceCat c) noexcept {
+  switch (c) {
+    case TraceCat::kTask: return "task";
+    case TraceCat::kCoh: return "coh";
+    case TraceCat::kDram: return "dram";
+    case TraceCat::kSvc: return "svc";
+    case TraceCat::kNoc: return "noc";
+  }
+  return "?";
+}
+
+std::uint32_t parse_trace_filter(std::string_view filter, std::string* error) {
+  std::uint32_t mask = 0;
+  bool none_seen = false;
+  std::size_t pos = 0;
+  while (pos <= filter.size()) {
+    const std::size_t comma = filter.find(',', pos);
+    const std::string_view tok = filter.substr(
+        pos, (comma == std::string_view::npos ? filter.size() : comma) - pos);
+    pos = (comma == std::string_view::npos) ? filter.size() + 1 : comma + 1;
+    if (tok.empty()) continue;
+    if (tok == "all") {
+      mask |= kAllCats;
+      continue;
+    }
+    // "none" arms the sink with every category off — the sites' wants()
+    // checks all run but nothing records (the overhead-gate A/B arm).
+    if (tok == "none") {
+      none_seen = true;
+      continue;
+    }
+    bool known = false;
+    for (std::uint32_t c = 0; c < kCatCount; ++c) {
+      if (tok == to_string(static_cast<TraceCat>(c))) {
+        mask |= 1u << c;
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      if (error != nullptr) {
+        *error = strprintf(
+            "unknown trace category '%.*s' (know: task,coh,dram,svc,noc,all,none)",
+            static_cast<int>(tok.size()), tok.data());
+      }
+      return 0;
+    }
+  }
+  if (mask == 0 && !none_seen && error != nullptr) *error = "empty trace filter";
+  return mask;
+}
+
+TraceSink::TraceSink(TraceConfig cfg) : cfg_(cfg) {
+  // Reserve modestly: tiny traced runs should not pre-commit the full cap.
+  events_.reserve(std::min<std::size_t>(cfg_.max_events, 4096));
+  names_.reserve(64);
+}
+
+NameId TraceSink::intern(std::string_view name) {
+  const auto it = name_ids_.find(std::string(name));
+  if (it != name_ids_.end()) return it->second;
+  // 16-bit id space (minus the kNoName sentinel): past the cap, collapse to
+  // one shared placeholder so hot paths never observe a failed intern.
+  if (names_.size() >= static_cast<std::size_t>(kNoName) - 1) {
+    if (overflow_name_ == kNoName) {
+      overflow_name_ = static_cast<NameId>(names_.size());
+      names_.push_back("<interned-overflow>");
+    }
+    return overflow_name_;
+  }
+  const NameId id = static_cast<NameId>(names_.size());
+  names_.push_back(std::string(name));
+  name_ids_.emplace(names_.back(), id);
+  return id;
+}
+
+const std::string& TraceSink::name_of(NameId id) const {
+  static const std::string unknown = "<unknown>";
+  return id < names_.size() ? names_[id] : unknown;
+}
+
+bool TraceSink::admit(TraceCat cat) noexcept {
+  // Backstop for the sites' wants() pre-check: filtered-out categories are
+  // refused silently — they were never wanted, so they don't count as drops.
+  if (!wants(cat)) return false;
+  if (events_.size() < cfg_.max_events) return true;
+  ++drops_[static_cast<unsigned>(cat)];
+  return false;
+}
+
+void TraceSink::begin(TraceCat cat, std::uint8_t pid, std::uint32_t tid,
+                      NameId name, std::uint64_t ts) {
+  if (!admit(cat)) return;
+  TraceEvent e;
+  e.ts = ts;
+  e.tid = tid;
+  e.name = name;
+  e.pid = pid;
+  e.ph = 'B';
+  e.cat = static_cast<std::uint8_t>(cat);
+  events_.push_back(e);
+}
+
+void TraceSink::end(TraceCat cat, std::uint8_t pid, std::uint32_t tid,
+                    NameId name, std::uint64_t ts) {
+  if (!admit(cat)) return;
+  TraceEvent e;
+  e.ts = ts;
+  e.tid = tid;
+  e.name = name;
+  e.pid = pid;
+  e.ph = 'E';
+  e.cat = static_cast<std::uint8_t>(cat);
+  events_.push_back(e);
+}
+
+void TraceSink::complete(TraceCat cat, std::uint8_t pid, std::uint32_t tid,
+                         NameId name, std::uint64_t ts, std::uint64_t dur,
+                         NameId k0, std::uint64_t a0, NameId k1,
+                         std::uint64_t a1) {
+  if (!admit(cat)) return;
+  TraceEvent e;
+  e.ts = ts;
+  e.dur = dur;
+  e.a0 = a0;
+  e.a1 = a1;
+  e.tid = tid;
+  e.name = name;
+  e.k0 = k0;
+  e.k1 = k1;
+  e.pid = pid;
+  e.ph = 'X';
+  e.cat = static_cast<std::uint8_t>(cat);
+  events_.push_back(e);
+}
+
+void TraceSink::instant(TraceCat cat, std::uint8_t pid, std::uint32_t tid,
+                        NameId name, std::uint64_t ts, NameId k0,
+                        std::uint64_t a0, NameId k1, std::uint64_t a1) {
+  if (!admit(cat)) return;
+  TraceEvent e;
+  e.ts = ts;
+  e.a0 = a0;
+  e.a1 = a1;
+  e.tid = tid;
+  e.name = name;
+  e.k0 = k0;
+  e.k1 = k1;
+  e.pid = pid;
+  e.ph = 'i';
+  e.cat = static_cast<std::uint8_t>(cat);
+  events_.push_back(e);
+}
+
+void TraceSink::counter(TraceCat cat, std::uint8_t pid, std::uint32_t tid,
+                        NameId name, std::uint64_t ts, std::uint64_t value) {
+  if (!admit(cat)) return;
+  TraceEvent e;
+  e.ts = ts;
+  e.a0 = value;
+  e.tid = tid;
+  e.name = name;
+  e.pid = pid;
+  e.ph = 'C';
+  e.cat = static_cast<std::uint8_t>(cat);
+  events_.push_back(e);
+}
+
+void TraceSink::set_process_name(std::uint8_t pid, std::string_view name) {
+  process_names_.emplace_back(pid, std::string(name));
+}
+
+void TraceSink::set_thread_name(std::uint8_t pid, std::uint32_t tid,
+                                std::string_view name) {
+  thread_names_.emplace_back(std::make_pair(pid, tid), std::string(name));
+}
+
+std::uint64_t TraceSink::dropped_total() const noexcept {
+  std::uint64_t total = 0;
+  for (const std::uint64_t d : drops_) total += d;
+  return total;
+}
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view in) {
+  out += '"';
+  for (const char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strprintf("\\u%04x", static_cast<unsigned>(c));
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string TraceSink::to_json() const {
+  std::string out;
+  out.reserve(128 + events_.size() * 96);
+  out += "{\"traceEvents\":[\n";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+  for (const auto& [pid, name] : process_names_) {
+    sep();
+    out += strprintf(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,\"tid\":0,"
+        "\"args\":{\"name\":",
+        static_cast<unsigned>(pid));
+    append_json_string(out, name);
+    out += "}}";
+  }
+  for (const auto& [key, name] : thread_names_) {
+    sep();
+    out += strprintf(
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%u,\"tid\":%u,"
+        "\"args\":{\"name\":",
+        static_cast<unsigned>(key.first), static_cast<unsigned>(key.second));
+    append_json_string(out, name);
+    out += "}}";
+  }
+  for (const TraceEvent& e : events_) {
+    sep();
+    out += "{\"name\":";
+    append_json_string(out, name_of(e.name));
+    out += strprintf(",\"cat\":\"%s\",\"ph\":\"%c\",\"ts\":%llu,\"pid\":%u,\"tid\":%u",
+                     to_string(static_cast<TraceCat>(e.cat)), e.ph,
+                     static_cast<unsigned long long>(e.ts),
+                     static_cast<unsigned>(e.pid), static_cast<unsigned>(e.tid));
+    if (e.ph == 'X') {
+      out += strprintf(",\"dur\":%llu", static_cast<unsigned long long>(e.dur));
+    }
+    if (e.ph == 'i') out += ",\"s\":\"t\"";  // thread-scoped instant
+    if (e.ph == 'C') {
+      out += strprintf(",\"args\":{\"value\":%llu}",
+                       static_cast<unsigned long long>(e.a0));
+    } else if (e.k0 != kNoName || e.k1 != kNoName) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      if (e.k0 != kNoName) {
+        append_json_string(out, name_of(e.k0));
+        out += strprintf(":%llu", static_cast<unsigned long long>(e.a0));
+        first_arg = false;
+      }
+      if (e.k1 != kNoName) {
+        if (!first_arg) out += ',';
+        append_json_string(out, name_of(e.k1));
+        out += strprintf(":%llu", static_cast<unsigned long long>(e.a1));
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "\n],\n\"displayTimeUnit\":\"ms\",\n\"raccd\":{";
+  out += strprintf("\"events\":%llu,\"dropped_total\":%llu",
+                   static_cast<unsigned long long>(events_.size()),
+                   static_cast<unsigned long long>(dropped_total()));
+  for (std::uint32_t c = 0; c < kCatCount; ++c) {
+    out += strprintf(",\"dropped_%s\":%llu", to_string(static_cast<TraceCat>(c)),
+                     static_cast<unsigned long long>(drops_[c]));
+  }
+  out += "}}\n";
+  return out;
+}
+
+bool TraceSink::write_json(const std::string& path) const {
+  const std::string body = to_json();
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace raccd::obs

@@ -1,0 +1,141 @@
+// Simulated-time event tracing: a bounded in-memory sink the Machine, the
+// coherence fabric, the DRAM model, and the mode backends feed while a run
+// executes, exported post-hoc as Chrome Trace Event JSON (loadable in
+// Perfetto / chrome://tracing). Timestamps are simulated cycles mapped 1:1
+// to trace microseconds, so the timeline reads in machine time, not host
+// time.
+//
+// Zero-overhead-when-off contract: every instrumentation site guards on a
+// `TraceSink*` being non-null (and `wants(cat)` for its category) before
+// touching the sink, and recording is pure observation — no simulated state
+// is read *or* written differently because a sink is attached, so stats are
+// byte-identical with tracing on, off, or compiled out of the run entirely.
+//
+// Events are compact fixed-size records (no strings: names are interned to
+// 16-bit ids) in a capacity-bounded buffer. When the cap is reached new
+// events are dropped — never silently: per-category drop counters are
+// carried into the exported JSON and the validator relaxes its balance
+// checks only when drops are declared.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace raccd::obs {
+
+/// Event categories, also the `--trace-filter` vocabulary. Values are bit
+/// positions in the category mask.
+enum class TraceCat : std::uint8_t {
+  kTask = 0,  ///< per-core task spans, taskwait phases, release/idle instants
+  kCoh = 1,   ///< deactivation/reactivation, NCRT, PT flips, invalidations
+  kDram = 2,  ///< per-bank busy spans, queue-depth counters
+  kSvc = 3,   ///< request lifecycle spans (queueing -> service -> respond)
+  kNoc = 4,   ///< cumulative flit counters
+};
+inline constexpr std::uint32_t kCatCount = 5;
+inline constexpr std::uint32_t kAllCats = (1u << kCatCount) - 1u;
+
+[[nodiscard]] const char* to_string(TraceCat c) noexcept;
+
+/// Parse a `--trace-filter` list ("task,coh,dram,svc,noc", "all", or "none"
+/// — an armed sink with every category off, for overhead A/B) into a
+/// category mask. Returns 0 and fills *error on an unknown token.
+[[nodiscard]] std::uint32_t parse_trace_filter(std::string_view filter,
+                                               std::string* error);
+
+using NameId = std::uint16_t;
+inline constexpr NameId kNoName = 0xffff;
+
+/// Track (Chrome `pid`) layout used by the simulator's instrumentation:
+/// one "process" per subsystem, threads within it per core/bank/request.
+inline constexpr std::uint8_t kPidCores = 1;      ///< tid = core id
+inline constexpr std::uint8_t kPidRuntime = 2;    ///< tid = 0
+inline constexpr std::uint8_t kPidCoherence = 3;  ///< tid = core or bank
+inline constexpr std::uint8_t kPidDram = 4;       ///< tid = global bank index
+inline constexpr std::uint8_t kPidService = 5;    ///< tid = request id
+inline constexpr std::uint8_t kPidNoc = 6;        ///< tid = 0
+
+/// One recorded event. `ph` is the Chrome phase letter: B/E (span begin and
+/// end), X (complete span with `dur`), i (instant), C (counter).
+struct TraceEvent {
+  std::uint64_t ts = 0;   ///< simulated cycles (exported as trace us)
+  std::uint64_t dur = 0;  ///< X only
+  std::uint64_t a0 = 0, a1 = 0;
+  std::uint32_t tid = 0;
+  NameId name = kNoName;
+  NameId k0 = kNoName, k1 = kNoName;  ///< arg key names (kNoName = absent)
+  std::uint8_t pid = 0;
+  char ph = 'i';
+  std::uint8_t cat = 0;
+};
+
+struct TraceConfig {
+  std::uint32_t categories = kAllCats;
+  /// Hard cap on buffered events; further events are dropped (and counted).
+  std::size_t max_events = 1u << 20;
+};
+
+class TraceSink {
+ public:
+  explicit TraceSink(TraceConfig cfg = {});
+
+  /// The per-site fast check: false when the category is filtered out.
+  [[nodiscard]] bool wants(TraceCat c) const noexcept {
+    return ((cfg_.categories >> static_cast<unsigned>(c)) & 1u) != 0;
+  }
+
+  /// Intern a name, returning its stable id. The table is capped (16-bit
+  /// ids); past the cap every new name maps to a shared "<interned>" id so
+  /// recording never fails mid-run.
+  NameId intern(std::string_view name);
+
+  void begin(TraceCat cat, std::uint8_t pid, std::uint32_t tid, NameId name,
+             std::uint64_t ts);
+  void end(TraceCat cat, std::uint8_t pid, std::uint32_t tid, NameId name,
+           std::uint64_t ts);
+  void complete(TraceCat cat, std::uint8_t pid, std::uint32_t tid, NameId name,
+                std::uint64_t ts, std::uint64_t dur, NameId k0 = kNoName,
+                std::uint64_t a0 = 0, NameId k1 = kNoName, std::uint64_t a1 = 0);
+  void instant(TraceCat cat, std::uint8_t pid, std::uint32_t tid, NameId name,
+               std::uint64_t ts, NameId k0 = kNoName, std::uint64_t a0 = 0,
+               NameId k1 = kNoName, std::uint64_t a1 = 0);
+  void counter(TraceCat cat, std::uint8_t pid, std::uint32_t tid, NameId name,
+               std::uint64_t ts, std::uint64_t value);
+
+  /// Track naming, emitted as Chrome 'M' metadata records on export.
+  void set_process_name(std::uint8_t pid, std::string_view name);
+  void set_thread_name(std::uint8_t pid, std::uint32_t tid, std::string_view name);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] const std::string& name_of(NameId id) const;
+  [[nodiscard]] std::uint64_t dropped(TraceCat c) const noexcept {
+    return drops_[static_cast<unsigned>(c)];
+  }
+  [[nodiscard]] std::uint64_t dropped_total() const noexcept;
+  [[nodiscard]] const TraceConfig& config() const noexcept { return cfg_; }
+
+  /// Chrome Trace Event JSON: {"traceEvents":[...], "raccd":{drop counts}}.
+  [[nodiscard]] std::string to_json() const;
+  /// to_json() to a file (temp + rename). Returns false on I/O failure.
+  [[nodiscard]] bool write_json(const std::string& path) const;
+
+ private:
+  [[nodiscard]] bool admit(TraceCat cat) noexcept;
+
+  TraceConfig cfg_;
+  std::vector<TraceEvent> events_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, NameId> name_ids_;
+  NameId overflow_name_ = kNoName;  ///< shared id once the table is full
+  std::uint64_t drops_[kCatCount] = {0, 0, 0, 0, 0};
+  std::vector<std::pair<std::uint8_t, std::string>> process_names_;
+  std::vector<std::pair<std::pair<std::uint8_t, std::uint32_t>, std::string>>
+      thread_names_;
+};
+
+}  // namespace raccd::obs

@@ -1,0 +1,341 @@
+#include "raccd/obs/trace_validate.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+#include "raccd/common/format.hpp"
+
+namespace raccd::obs {
+namespace {
+
+// -- A minimal JSON DOM, just enough for trace files ---------------------------
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = Kind::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::shared_ptr<JsonArray> arr;
+  std::shared_ptr<JsonObject> obj;
+
+  [[nodiscard]] const JsonValue* get(const std::string& key) const {
+    if (kind != Kind::kObject) return nullptr;
+    const auto it = obj->find(key);
+    return it == obj->end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] bool parse(JsonValue& out, std::string* error) {
+    if (!value(out)) {
+      *error = strprintf("JSON parse error at offset %zu: %s", pos_, err_.c_str());
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      *error = strprintf("trailing garbage at offset %zu", pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool fail(const char* what) {
+    if (err_.empty()) err_ = what;
+    return false;
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  [[nodiscard]] bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  [[nodiscard]] bool string(std::string& out) {
+    if (!consume('"')) return fail("expected string");
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("bad escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail("bad \\u escape");
+            }
+            // Validation only ever compares ASCII names; fold the rest.
+            out += code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  [[nodiscard]] bool value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out.kind = JsonValue::Kind::kObject;
+      out.obj = std::make_shared<JsonObject>();
+      skip_ws();
+      if (consume('}')) return true;
+      while (true) {
+        std::string key;
+        if (!string(key)) return false;
+        if (!consume(':')) return fail("expected ':'");
+        JsonValue v;
+        if (!value(v)) return false;
+        (*out.obj)[std::move(key)] = std::move(v);
+        if (consume(',')) continue;
+        if (consume('}')) return true;
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out.kind = JsonValue::Kind::kArray;
+      out.arr = std::make_shared<JsonArray>();
+      skip_ws();
+      if (consume(']')) return true;
+      while (true) {
+        JsonValue v;
+        if (!value(v)) return false;
+        out.arr->push_back(std::move(v));
+        if (consume(',')) continue;
+        if (consume(']')) return true;
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return string(out.str);
+    }
+    if (c == 't') {
+      out.kind = JsonValue::Kind::kBool;
+      out.b = true;
+      return literal("true") || fail("bad literal");
+    }
+    if (c == 'f') {
+      out.kind = JsonValue::Kind::kBool;
+      out.b = false;
+      return literal("false") || fail("bad literal");
+    }
+    if (c == 'n') {
+      out.kind = JsonValue::Kind::kNull;
+      return literal("null") || fail("bad literal");
+    }
+    // number
+    const std::size_t start = pos_;
+    if (c == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("unexpected character");
+    out.kind = JsonValue::Kind::kNumber;
+    out.num = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(), nullptr);
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string err_;
+};
+
+[[nodiscard]] bool number_field(const JsonValue& ev, const char* key, double& out) {
+  const JsonValue* v = ev.get(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) return false;
+  out = v->num;
+  return true;
+}
+
+}  // namespace
+
+TraceValidation validate_trace_json(std::string_view json) {
+  TraceValidation r;
+  JsonValue root;
+  std::string perr;
+  JsonParser parser(json);
+  if (!parser.parse(root, &perr)) {
+    r.errors.push_back(perr);
+    return r;
+  }
+  if (root.kind != JsonValue::Kind::kObject) {
+    r.errors.push_back("top level is not an object");
+    return r;
+  }
+  const JsonValue* events = root.get("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    r.errors.push_back("missing traceEvents array");
+    return r;
+  }
+  if (const JsonValue* meta = root.get("raccd"); meta != nullptr) {
+    double d = 0.0;
+    if (number_field(*meta, "dropped_total", d)) {
+      r.dropped = static_cast<std::uint64_t>(d);
+    }
+  }
+
+  struct TrackState {
+    std::vector<std::string> open;  ///< B names awaiting E
+    double last_ts = -1.0;          ///< last B/E timestamp seen
+  };
+  std::map<std::pair<double, double>, TrackState> tracks;
+  const auto err = [&](std::size_t i, const std::string& what) {
+    if (r.errors.size() < 20) {
+      r.errors.push_back(strprintf("event %zu: %s", i, what.c_str()));
+    }
+  };
+
+  for (std::size_t i = 0; i < events->arr->size(); ++i) {
+    const JsonValue& ev = (*events->arr)[i];
+    if (ev.kind != JsonValue::Kind::kObject) {
+      err(i, "not an object");
+      continue;
+    }
+    const JsonValue* name = ev.get("name");
+    const JsonValue* ph = ev.get("ph");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString) {
+      err(i, "missing name");
+      continue;
+    }
+    if (ph == nullptr || ph->kind != JsonValue::Kind::kString || ph->str.size() != 1) {
+      err(i, "missing/bad ph");
+      continue;
+    }
+    const char phase = ph->str[0];
+    if (phase == 'M') {
+      ++r.metadata;
+      continue;
+    }
+    if (phase != 'B' && phase != 'E' && phase != 'X' && phase != 'i' && phase != 'C') {
+      err(i, strprintf("unknown phase '%c'", phase));
+      continue;
+    }
+    ++r.events;
+    double ts = 0.0, pid = 0.0, tid = 0.0;
+    if (!number_field(ev, "ts", ts)) {
+      err(i, "missing ts");
+      continue;
+    }
+    if (!number_field(ev, "pid", pid) || !number_field(ev, "tid", tid)) {
+      err(i, "missing pid/tid");
+      continue;
+    }
+    TrackState& track = tracks[{pid, tid}];
+    if (phase == 'X') {
+      double dur = 0.0;
+      if (!number_field(ev, "dur", dur)) {
+        err(i, "X event missing dur");
+        continue;
+      }
+      if (dur < 0.0) err(i, "negative dur");
+      ++r.spans;
+      continue;
+    }
+    if (phase == 'B' || phase == 'E') {
+      // Per-track timestamps are simulated core/request clocks: monotone by
+      // construction. File order within one track is emission order.
+      if (ts < track.last_ts) {
+        err(i, strprintf("B/E timestamp moved backwards on track (%g,%g): %g < %g",
+                         pid, tid, ts, track.last_ts));
+      }
+      track.last_ts = ts;
+      if (phase == 'B') {
+        track.open.push_back(name->str);
+      } else {
+        if (track.open.empty()) {
+          err(i, strprintf("E '%s' with no open B on track (%g,%g)",
+                           name->str.c_str(), pid, tid));
+        } else {
+          if (track.open.back() != name->str) {
+            err(i, strprintf("E '%s' closes B '%s'", name->str.c_str(),
+                             track.open.back().c_str()));
+          }
+          track.open.pop_back();
+          ++r.spans;
+        }
+      }
+    }
+  }
+  r.tracks = tracks.size();
+  if (r.dropped == 0) {
+    for (const auto& [key, track] : tracks) {
+      if (!track.open.empty() && r.errors.size() < 20) {
+        r.errors.push_back(strprintf(
+            "track (%g,%g): %zu span(s) never closed ('%s') and no drops declared",
+            key.first, key.second, track.open.size(), track.open.back().c_str()));
+      }
+    }
+  }
+  r.ok = r.errors.empty();
+  return r;
+}
+
+TraceValidation validate_trace_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    TraceValidation r;
+    r.errors.push_back(strprintf("cannot open '%s'", path.c_str()));
+    return r;
+  }
+  std::string body;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) body.append(buf, n);
+  std::fclose(f);
+  return validate_trace_json(body);
+}
+
+}  // namespace raccd::obs

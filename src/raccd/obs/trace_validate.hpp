@@ -1,0 +1,34 @@
+// Structural validation of Chrome Trace Event JSON produced by TraceSink
+// (or anything else emitting the format): well-formedness plus the span
+// invariants the instrumentation promises — per-(pid,tid) B/E balance and
+// monotone begin/end timestamps, non-negative X durations, known phase
+// letters. Used by tests/test_obs.cpp directly and by the standalone
+// `trace_validate` CLI the trace-smoke CI job runs on recorded artifacts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace raccd::obs {
+
+struct TraceValidation {
+  bool ok = false;
+  std::vector<std::string> errors;  ///< empty iff ok
+  std::uint64_t events = 0;         ///< non-metadata events seen
+  std::uint64_t metadata = 0;       ///< M records
+  std::uint64_t spans = 0;          ///< matched B/E pairs + X records
+  std::uint64_t dropped = 0;        ///< declared drops (raccd.dropped_total)
+  std::uint64_t tracks = 0;         ///< distinct (pid,tid) pairs
+};
+
+/// Validate a JSON document in memory. When the trace declares dropped
+/// events (raccd.dropped_total > 0) the B/E balance check is relaxed to
+/// "never more E than B" — a capped trace legitimately ends mid-span.
+[[nodiscard]] TraceValidation validate_trace_json(std::string_view json);
+
+/// Validate a file on disk (adds a read error instead of throwing).
+[[nodiscard]] TraceValidation validate_trace_file(const std::string& path);
+
+}  // namespace raccd::obs

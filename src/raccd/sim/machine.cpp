@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "raccd/common/assert.hpp"
+#include "raccd/common/format.hpp"
 #include "raccd/metrics/histogram.hpp"
+#include "raccd/obs/trace_sink.hpp"
 
 namespace raccd {
 namespace {
@@ -152,6 +154,37 @@ Machine::Machine(const SimConfig& cfg)
   }
 }
 
+void Machine::set_obs_trace(obs::TraceSink* sink) {
+  obs_ = sink;
+  fabric_.set_obs_trace(sink);
+  backend_->set_obs_trace(sink);
+  if (sink == nullptr) return;
+  sink->set_process_name(obs::kPidCores, "cores");
+  sink->set_process_name(obs::kPidRuntime, "runtime");
+  sink->set_process_name(obs::kPidCoherence, "coherence");
+  sink->set_process_name(obs::kPidDram, "dram");
+  sink->set_process_name(obs::kPidService, "service");
+  sink->set_process_name(obs::kPidNoc, "noc");
+  for (CoreId c = 0; c < cfg_.fabric.cores; ++c) {
+    sink->set_thread_name(obs::kPidCores, c, strprintf("core %u", c));
+  }
+  sink->set_thread_name(obs::kPidRuntime, 0, "scheduler");
+  sink->set_thread_name(obs::kPidNoc, 0, "mesh");
+  obs_ids_.taskwait = sink->intern("taskwait");
+  obs_ids_.idle_gap = sink->intern("idle_gap");
+  obs_ids_.release = sink->intern("release");
+  obs_ids_.flush = sink->intern("nc_flush");
+  obs_ids_.queueing = sink->intern("queueing");
+  obs_ids_.service = sink->intern("service");
+  obs_ids_.respond = sink->intern("respond");
+  obs_ids_.noc_flits = sink->intern("noc_flits");
+  obs_ids_.lines = sink->intern("lines");
+  obs_ids_.wbs = sink->intern("wbs");
+  obs_ids_.released = sink->intern("released");
+  obs_ids_.until = sink->intern("until");
+  obs_ids_.task = sink->intern("task");
+}
+
 TaskId Machine::spawn(TaskDesc desc) {
   const Cycle cost = cfg_.timing.task_create_cycles +
                      cfg_.timing.dep_analysis_cycles * desc.deps.size();
@@ -183,6 +216,11 @@ void Machine::wake_sleepers(Cycle at) {
 
 void Machine::taskwait() {
   const Cycle phase_start = main_clock_;
+  const bool tr = obs_ != nullptr && obs_->wants(obs::TraceCat::kTask);
+  if (tr) {
+    obs_->begin(obs::TraceCat::kTask, obs::kPidRuntime, 0, obs_ids_.taskwait,
+                phase_start);
+  }
   // Open-loop releases are anchored to this phase: a task with release r
   // becomes schedulable at absolute cycle phase_start + r, exactly.
   rt_.set_release_base(phase_start);
@@ -203,6 +241,11 @@ void Machine::taskwait() {
                    "deadlock: all cores asleep with unfinished tasks");
       rt_.release_up_to(nr);
       if (release_hook_) release_hook_(rt_.released_count());
+      if (tr) {
+        obs_->instant(obs::TraceCat::kTask, obs::kPidRuntime, 0,
+                      obs_ids_.idle_gap, nr, obs_ids_.released,
+                      rt_.released_count());
+      }
       wake_sleepers(nr);
       continue;
     }
@@ -214,6 +257,11 @@ void Machine::taskwait() {
     if (rt_.next_release(due) && due <= cores_[c].clock) {
       rt_.release_up_to(due);
       if (release_hook_) release_hook_(rt_.released_count());
+      if (tr) {
+        obs_->instant(obs::TraceCat::kTask, obs::kPidRuntime, 0,
+                      obs_ids_.release, due, obs_ids_.released,
+                      rt_.released_count());
+      }
       wake_sleepers(due);
       run_heap_.emplace(cores_[c].clock, c);
       continue;
@@ -243,6 +291,9 @@ void Machine::taskwait() {
   Cycle end = phase_start;
   for (const auto& cs : cores_) end = std::max(end, cs.clock);
   main_clock_ = end;
+  if (tr) {
+    obs_->end(obs::TraceCat::kTask, obs::kPidRuntime, 0, obs_ids_.taskwait, end);
+  }
 }
 
 void Machine::step(CoreId c) {
@@ -450,6 +501,11 @@ void Machine::start_task(CoreId c, TaskId t) {
     sync_phase(cs.phase);
   }
   TaskNode& node = rt_.task(t);
+  if (obs_ != nullptr && obs_->wants(obs::TraceCat::kTask)) {
+    obs_->begin(obs::TraceCat::kTask, obs::kPidCores, c,
+                node.name.empty() ? obs_ids_.task : obs_->intern(node.name),
+                cs.clock);
+  }
 
   // Per-request latency: the chain head carries the release instant; the
   // first task to start (the head, by dep order) opens the service window.
@@ -476,7 +532,7 @@ void Machine::start_task(CoreId c, TaskId t) {
 
   // Mode-specific setup (e.g. RaCCD's raccd_register per dependence), and
   // the per-access classification hook for this task, resolved once.
-  const Cycle setup = backend_->on_task_start(c, node);
+  const Cycle setup = backend_->on_task_start(c, node, cs.clock);
   cs.clock += setup;
   register_cycles_ += setup;
   cs.classify = backend_->classifier();
@@ -594,6 +650,13 @@ void Machine::finish_task(CoreId c) {
   invalidate_cycles_ += teardown.cycles;
   flushed_nc_lines_ += teardown.flushed_lines;
   flushed_nc_wbs_ += teardown.flushed_wbs;
+  if (obs_ != nullptr && obs_->wants(obs::TraceCat::kCoh) &&
+      (teardown.flushed_lines > 0 || teardown.flushed_wbs > 0)) {
+    // Invalidation burst: the mode's end-of-task NC flush / writeback storm.
+    obs_->instant(obs::TraceCat::kCoh, obs::kPidCoherence, c, obs_ids_.flush,
+                  cs.clock, obs_ids_.lines, teardown.flushed_lines,
+                  obs_ids_.wbs, teardown.flushed_wbs);
+  }
   if (sampling_on_ && cs.phase == SimPhase::kMeasured) {
     detailed_end_cycles_ += teardown.cycles;
     detailed_end_accesses_ += cs.trace.total_accesses();
@@ -629,11 +692,26 @@ void Machine::finish_task(CoreId c) {
 
   // Wake-up phase (paper Fig. 3): notify dependent tasks.
   std::uint32_t resolved = 0;
+  const TaskId finished = cs.current;
   const bool new_ready = rt_.finish_task(cs.current, c, resolved);
   const Cycle wake_cost = cfg_.timing.wakeup_per_edge_cycles * resolved;
   cs.clock += wake_cost;
   wakeup_cycles_ += wake_cost;
   cs.current = kNoTask;
+  if (obs_ != nullptr) {
+    if (obs_->wants(obs::TraceCat::kTask)) {
+      const TaskNode& node = rt_.task(finished);
+      obs_->end(obs::TraceCat::kTask, obs::kPidCores, c,
+                node.name.empty() ? obs_ids_.task : obs_->intern(node.name),
+                cs.clock);
+    }
+    if (obs_->wants(obs::TraceCat::kNoc)) {
+      // Cumulative flit counter, sampled at every task end: a step curve of
+      // total mesh traffic over simulated time.
+      obs_->counter(obs::TraceCat::kNoc, obs::kPidNoc, 0, obs_ids_.noc_flits,
+                    cs.clock, fabric_.mesh().stats().total_flits());
+    }
+  }
   if (new_ready) wake_sleepers(cs.clock);
 }
 
@@ -737,11 +815,42 @@ SimStats Machine::collect() {
       e2e.add(rq.end > rq.release ? rq.end - rq.release : 0);
     }
     s.service.requests = e2e.count();
-    s.service.queueing = queueing.summary();
-    s.service.service = service.summary();
-    s.service.e2e = e2e.summary();
+    // Empty distributions summarize to NaN (emitted as JSON null); a service
+    // run where no request ever started keeps the all-zero default payload
+    // so empty-request stats stay byte-identical with requests == 0 gating.
+    if (e2e.count() > 0) {
+      s.service.queueing = queueing.summary();
+      s.service.service = service.summary();
+      s.service.e2e = e2e.summary();
+    }
+    emit_request_spans();
   }
   return s;
+}
+
+void Machine::emit_request_spans() {
+  // Post-hoc service lifecycle spans: one track per request id, queueing
+  // span [release, start], service span [start, end], respond instant at
+  // end. Emitted from the recorded RequestLat table after the run — the
+  // hot path never pays for per-request bookkeeping beyond what the
+  // latency histograms already need.
+  if (obs_ == nullptr || !obs_->wants(obs::TraceCat::kSvc)) return;
+  for (std::size_t r = 0; r < requests_.size(); ++r) {
+    const RequestLat& rq = requests_[r];
+    if (!rq.started) continue;
+    const std::uint32_t tid = static_cast<std::uint32_t>(r);
+    const Cycle start = std::max(rq.start, rq.release);
+    const Cycle end = std::max(rq.end, start);
+    obs_->begin(obs::TraceCat::kSvc, obs::kPidService, tid, obs_ids_.queueing,
+                rq.release);
+    obs_->end(obs::TraceCat::kSvc, obs::kPidService, tid, obs_ids_.queueing,
+              start);
+    obs_->begin(obs::TraceCat::kSvc, obs::kPidService, tid, obs_ids_.service,
+                start);
+    obs_->end(obs::TraceCat::kSvc, obs::kPidService, tid, obs_ids_.service, end);
+    obs_->instant(obs::TraceCat::kSvc, obs::kPidService, tid, obs_ids_.respond,
+                  end);
+  }
 }
 
 void Machine::apply_sampling(SimStats& s) const {

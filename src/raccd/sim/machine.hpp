@@ -37,6 +37,10 @@
 
 namespace raccd {
 
+namespace obs {
+class TraceSink;
+}
+
 class Machine {
  public:
   explicit Machine(const SimConfig& cfg);
@@ -66,6 +70,12 @@ class Machine {
   /// (`apps/trace_capture.hpp`) uses to serialize whole workloads.
   using TraceSink = std::function<void(const TaskNode&, const AccessTrace&)>;
   void set_trace_sink(TraceSink sink) { trace_sink_ = std::move(sink); }
+
+  /// Attach a simulated-time event trace (obs/trace_sink.hpp); nullptr
+  /// detaches. Wires the fabric (DRAM/NoC/coherence events) and the mode
+  /// backend (register/flip events) to the same sink and names the tracks.
+  /// Recording is pure observation: attaching a sink never changes stats.
+  void set_obs_trace(obs::TraceSink* sink);
 
   /// Phase-resolved metric series (cfg.series.interval > 0); nullptr when
   /// sampling is disabled. Final sample lands when collect() runs.
@@ -240,6 +250,17 @@ class Machine {
 
   TraceSink trace_sink_;
   std::unique_ptr<StatSampler> sampler_;  ///< non-null iff series enabled
+
+  // -- simulated-time event tracing (null = off; pure observation)
+  obs::TraceSink* obs_ = nullptr;
+  /// Interned ids for the fixed event names (valid iff obs_ != nullptr).
+  struct ObsIds {
+    std::uint16_t taskwait = 0, idle_gap = 0, release = 0, flush = 0,
+                  queueing = 0, service = 0, respond = 0, noc_flits = 0,
+                  lines = 0, wbs = 0, released = 0, until = 0, task = 0;
+  } obs_ids_{};
+  /// Emit the per-request lifecycle spans (collect() tail, post-hoc).
+  void emit_request_spans();
 
   /// Constructed last (it references fabric/mem/tlbs), destroyed first.
   std::unique_ptr<CoherenceBackend> backend_;

@@ -175,7 +175,26 @@ TEST(ProgressReporter, PlainLinesWhenNotATty) {
   EXPECT_NE(out.find("[1/2] spec-a"), std::string::npos);
   EXPECT_NE(out.find("[2/2] spec-b"), std::string::npos);
   EXPECT_NE(out.find("runs/s"), std::string::npos);
+  EXPECT_NE(out.find("sweep: 2 run, 0 cached, 0 failed"), std::string::npos);
   EXPECT_EQ(out.find('\r'), std::string::npos) << "CI logs must stay append-only";
+}
+
+TEST(ProgressReporter, SummaryCountsCachedAndFailedSeparately) {
+  CapturedStream cap;
+  ProgressReporter p(3, 2, /*enabled=*/true, cap.f, /*force_tty=*/0,
+                     /*cached=*/5);
+  p.run_started(0, "spec-a");
+  p.run_finished(0, "spec-a");
+  p.run_started(1, "spec-b");
+  p.run_failed(1, "spec-b", "boom");
+  p.set_summary_extra("sim 1.0s");
+  p.finish();
+  const std::string out = cap.text();
+  // Cached preload hits are reported but never counted as finished runs (the
+  // rate/ETA estimate would otherwise start wildly optimistic).
+  EXPECT_NE(out.find("sweep: 1 run, 5 cached, 1 failed | sim 1.0s"),
+            std::string::npos);
+  EXPECT_EQ(p.done(), 2u);
 }
 
 TEST(ProgressReporter, RepaintsInPlaceOnTty) {
@@ -220,13 +239,18 @@ TEST(ProgressReporter, ConcurrentReportersNeverTear) {
   for (auto& t : threads) t.join();
   p.finish();
   EXPECT_EQ(p.done(), 64u);
-  // Every line is complete: starts with '[', ends where the next starts.
+  // Every line is complete: starts with '[' (or is the final summary line),
+  // ends where the next starts.
   const std::string out = cap.text();
   std::size_t lines = 0;
   std::size_t pos = 0;
   while (pos < out.size()) {
     const std::size_t eol = out.find('\n', pos);
     ASSERT_NE(eol, std::string::npos);
+    if (out.compare(pos, 6, "sweep:") == 0) {
+      pos = eol + 1;
+      continue;
+    }
     EXPECT_EQ(out[pos], '[') << "torn line: " << out.substr(pos, eol - pos);
     pos = eol + 1;
     ++lines;

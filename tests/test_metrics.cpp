@@ -192,7 +192,15 @@ TEST(MetricSchema, DistributionKindFormatsWithOneDecimal) {
 TEST(Histogram, ExactStatsAndBoundedPercentileError) {
   Histogram h;
   EXPECT_EQ(h.count(), 0u);
-  EXPECT_EQ(h.percentile(0.99), 0.0);
+  // Empty distribution -> NaN (the emitters' null convention), never a
+  // fake 0-cycle latency.
+  EXPECT_TRUE(std::isnan(h.percentile(0.99)));
+  EXPECT_TRUE(std::isnan(h.mean()));
+  const DistSummary empty = h.summary();
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_TRUE(std::isnan(empty.mean));
+  EXPECT_TRUE(std::isnan(empty.p50));
+  EXPECT_TRUE(std::isnan(empty.max));
   std::uint64_t sum = 0, mx = 0;
   // A wide, deterministic spread: values across many octaves.
   std::uint64_t v = 1;

@@ -1,0 +1,37 @@
+// trace_validate: structural validation of recorded Chrome Trace Event JSON
+// (well-formedness + span invariants). Exit 0 when every file passes, 1
+// otherwise — the trace-smoke CI job gates on it.
+//
+//   trace_validate out.json [more.json ...]
+#include <cstdio>
+#include <cstring>
+
+#include "raccd/obs/trace_validate.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0) {
+    std::fprintf(stderr, "usage: trace_validate TRACE.json [...]\n");
+    return argc < 2 ? 2 : 0;
+  }
+  bool all_ok = true;
+  for (int i = 1; i < argc; ++i) {
+    const raccd::obs::TraceValidation v = raccd::obs::validate_trace_file(argv[i]);
+    if (v.ok) {
+      std::printf(
+          "%s: OK (%llu events, %llu spans, %llu tracks, %llu metadata, "
+          "%llu dropped)\n",
+          argv[i], static_cast<unsigned long long>(v.events),
+          static_cast<unsigned long long>(v.spans),
+          static_cast<unsigned long long>(v.tracks),
+          static_cast<unsigned long long>(v.metadata),
+          static_cast<unsigned long long>(v.dropped));
+    } else {
+      all_ok = false;
+      std::printf("%s: FAIL\n", argv[i]);
+      for (const std::string& e : v.errors) {
+        std::printf("  %s\n", e.c_str());
+      }
+    }
+  }
+  return all_ok ? 0 : 1;
+}
